@@ -1,0 +1,308 @@
+(* bagcq — bag-semantics conjunctive-query toolbox.
+
+   Subcommands:
+     eval      evaluate a query on a database under bag semantics
+     contain   decidable containment checks (set semantics, bag equivalence)
+     hunt      search for a bag-containment counterexample
+     reduce    run the Theorem 1 reduction on a Diophantine polynomial
+     multiply  build and validate the Theorem 3 multiplier gadget *)
+
+open Cmdliner
+open Bagcq_relational
+open Bagcq_cq
+open Bagcq_reduction
+module Nat = Bagcq_bignum.Nat
+module Eval = Bagcq_hom.Eval
+module Hunt = Bagcq_search.Hunt
+module Sampler = Bagcq_search.Sampler
+module Lemma11 = Bagcq_poly.Lemma11
+
+let query_conv =
+  let parse s = match Parse.parse s with Ok q -> Ok q | Error e -> Error (`Msg e) in
+  Arg.conv (parse, Query.pp)
+
+let poly_conv =
+  let parse s =
+    match Bagcq_poly.Parse.parse s with Ok p -> Ok p | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Bagcq_poly.Polynomial.pp)
+
+let read_database path =
+  let text =
+    match path with
+    | "-" -> In_channel.input_all In_channel.stdin
+    | path -> In_channel.with_open_text path In_channel.input_all
+  in
+  Encode.parse text
+
+(* ---------------- eval ---------------- *)
+
+let eval_cmd =
+  let query =
+    Arg.(required & opt (some query_conv) None & info [ "q"; "query" ] ~docv:"QUERY"
+           ~doc:"The boolean conjunctive query, e.g. 'E(x,y) & E(y,z) & x != y'.")
+  in
+  let db =
+    Arg.(value & opt string "-" & info [ "d"; "database" ] ~docv:"FILE"
+           ~doc:"Database file in fact-list syntax ('-' for stdin).")
+  in
+  let run q path =
+    match read_database path with
+    | Error e -> `Error (false, e)
+    | Ok d ->
+        Printf.printf "query: %s\n" (Query.to_string q);
+        Printf.printf "bag count  ψ(D) = %s\n" (Nat.to_string (Eval.count q d));
+        Printf.printf "satisfied  D ⊨ ψ: %b\n" (Eval.satisfies d q);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a query on a database under bag semantics.")
+    Cmdliner.Term.(ret (const run $ query $ db))
+
+(* ---------------- contain ---------------- *)
+
+let contain_cmd =
+  let small =
+    Arg.(required & opt (some query_conv) None & info [ "small" ] ~docv:"QUERY"
+           ~doc:"The s-query (candidate containee).")
+  in
+  let big =
+    Arg.(required & opt (some query_conv) None & info [ "big" ] ~docv:"QUERY"
+           ~doc:"The b-query (candidate container).")
+  in
+  let run small big =
+    (try
+       Printf.printf "set-semantics containment (Chandra–Merlin): %b\n"
+         (Containment.set_contains ~small ~big)
+     with Invalid_argument _ ->
+       Printf.printf "set-semantics containment: n/a (inequalities present)\n");
+    Printf.printf "bag equivalence (Chaudhuri–Vardi, isomorphism): %b\n"
+      (Containment.bag_equivalent small big);
+    Printf.printf
+      "bag containment: decidability open — use 'bagcq hunt' to search for\n\
+       a counterexample database.\n";
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "contain" ~doc:"Run the decidable containment checks on a pair of queries.")
+    Cmdliner.Term.(ret (const run $ small $ big))
+
+(* ---------------- hunt ---------------- *)
+
+let hunt_cmd =
+  let small =
+    Arg.(required & opt (some query_conv) None & info [ "small" ] ~docv:"QUERY" ~doc:"The s-query.")
+  in
+  let big =
+    Arg.(required & opt (some query_conv) None & info [ "big" ] ~docv:"QUERY" ~doc:"The b-query.")
+  in
+  let samples =
+    Arg.(value & opt int 500 & info [ "samples" ] ~docv:"N" ~doc:"Random databases to try.")
+  in
+  let max_size =
+    Arg.(value & opt int 2 & info [ "exhaustive-size" ] ~docv:"N"
+           ~doc:"Exhaustively enumerate databases up to this many elements first.")
+  in
+  let seed = Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let run small big samples max_size seed =
+    let strategy =
+      {
+        Hunt.exhaustive_max_size = max_size;
+        Hunt.sampler = { Sampler.default with Sampler.samples; Sampler.seed };
+      }
+    in
+    let report = Hunt.counterexample ~strategy ~small ~big () in
+    (match report.Hunt.witness with
+    | Some d ->
+        let cs, cb = Containment.bag_counts ~small ~big d in
+        Printf.printf "VIOLATED: small(D) = %s > big(D) = %s on:\n%s"
+          (Nat.to_string cs) (Nat.to_string cb) (Encode.to_string d)
+    | None ->
+        Printf.printf
+          "no counterexample found (exhaustive to size %d complete: %b; %d random samples)\n"
+          max_size report.Hunt.exhaustive_complete report.Hunt.tested_random);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "hunt" ~doc:"Hunt for a database witnessing small(D) > big(D).")
+    Cmdliner.Term.(ret (const run $ small $ big $ samples $ max_size $ seed))
+
+(* ---------------- reduce ---------------- *)
+
+let reduce_cmd =
+  let poly =
+    Arg.(required & opt (some poly_conv) None & info [ "p"; "polynomial" ] ~docv:"POLY"
+           ~doc:"Diophantine polynomial over x1, x2, …, e.g. 'x1^2 - 2x2^2 - 1'.")
+  in
+  let search_bound =
+    Arg.(value & opt int 6 & info [ "bound" ] ~docv:"N"
+           ~doc:"Grid bound for the violation search over valuations.")
+  in
+  let run q bound =
+    Printf.printf "Q = %s\n" (Bagcq_poly.Polynomial.to_string q);
+    let t1 = Theorem1.of_polynomial q in
+    let t = t1.Theorem1.instance in
+    Printf.printf
+      "Lemma 11 instance: c = %d, %d monomials of degree %d, %d variables\n"
+      t.Lemma11.c (Lemma11.num_monomials t) t.Lemma11.degree t.Lemma11.n_vars;
+    Printf.printf "reduction constant ℂ = %s\n" (Nat.to_string t1.Theorem1.cc);
+    Printf.printf "φ_s: Arena (%d ground atoms) ∧̄ π_s (%d atoms)\n"
+      (Query.num_atoms t1.Theorem1.arena)
+      (Query.num_atoms t1.Theorem1.pi_s);
+    Printf.printf "φ_b: π_b (%d atoms) ∧̄ ζ_b (𝕜 = %d) ∧̄ δ_b (cycles %s, power ℂ)\n"
+      (Query.num_atoms t1.Theorem1.pi_b)
+      t1.Theorem1.zeta.Zeta.k
+      (String.concat "," (List.map string_of_int (Delta.lengths t)));
+    (match Lemma11.violation_search t ~max:bound with
+    | Some xs ->
+        Printf.printf "violating valuation found: Ξ = (%s)\n"
+          (String.concat ", " (Array.to_list (Array.map string_of_int xs)));
+        let d = Theorem1.violating_db t1 xs in
+        Printf.printf
+          "encoding database: %d elements, %d atoms — ℂ·φ_s(D) ≤ φ_b(D): %b\n"
+          (Structure.domain_size d) (Structure.total_atoms d) (Theorem1.holds_on t1 d);
+        Printf.printf "=> the containment ℂ·φ_s ≤ φ_b FAILS (Q has a zero)\n"
+    | None ->
+        Printf.printf
+          "no violating valuation with entries ≤ %d — if Q has no zero at all,\n\
+           the containment ℂ·φ_s(D) ≤ φ_b(D) holds for every non-trivial D\n"
+          bound);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Run the Theorem 1 reduction from Hilbert's 10th problem to bag containment.")
+    Cmdliner.Term.(ret (const run $ poly $ search_bound))
+
+(* ---------------- multiply ---------------- *)
+
+let multiply_cmd =
+  let c =
+    Arg.(required & opt (some int) None & info [ "c" ] ~docv:"C"
+           ~doc:"The multiplication constant (≥ 2).")
+  in
+  let samples =
+    Arg.(value & opt int 60 & info [ "samples" ] ~docv:"N"
+           ~doc:"Random databases on which to validate condition (≤).")
+  in
+  let run c samples =
+    if c < 2 then `Error (false, "c must be >= 2")
+    else begin
+      let pair = Multiplier.alpha ~c in
+      let cs, cb = Multiplier.counts_on pair pair.Multiplier.witness in
+      Printf.printf "α gadget for c = %d  (p = %d, m = %d)\n" c ((2 * c) - 1) (2 * c);
+      Printf.printf "α_s: %d atoms, 0 inequalities;  α_b: %d atoms, %d inequality\n"
+        (Query.num_atoms pair.Multiplier.qs)
+        (Query.num_atoms pair.Multiplier.qb)
+        (Query.num_neqs pair.Multiplier.qb);
+      Printf.printf "witness: α_s = %s = %d·%s = c·α_b  — condition (=) holds\n"
+        (Nat.to_string cs) c (Nat.to_string cb);
+      let schema =
+        Schema.union (Query.schema pair.Multiplier.qs) (Query.schema pair.Multiplier.qb)
+      in
+      let config = { Sampler.default with Sampler.samples; Sampler.sizes = [ 1; 2 ] } in
+      let outcome =
+        Sampler.check_all ~config ~schema (fun d -> Multiplier.check_le_on pair d)
+      in
+      (match outcome.Sampler.witness with
+      | None ->
+          Printf.printf "condition (≤) survived %d random non-trivial databases\n"
+            outcome.Sampler.tested
+      | Some _ -> Printf.printf "condition (≤) VIOLATED — please report this!\n");
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "multiply" ~doc:"Build and validate the single-inequality ×c gadget of Theorem 3.")
+    Cmdliner.Term.(ret (const run $ c $ samples))
+
+
+(* ---------------- core ---------------- *)
+
+let core_cmd =
+  let query =
+    Arg.(required & opt (some query_conv) None & info [ "q"; "query" ] ~docv:"QUERY"
+           ~doc:"An inequality-free boolean CQ.")
+  in
+  let run q =
+    if Query.has_neqs q then `Error (false, "core is defined for inequality-free CQs")
+    else begin
+      let c = Bagcq_hom.Morphism.core q in
+      Printf.printf "query: %s\n" (Query.to_string q);
+      Printf.printf "core : %s\n" (Query.to_string c);
+      Printf.printf "minimised: %d -> %d atoms, %d -> %d variables\n"
+        (Query.num_atoms q) (Query.num_atoms c) (Query.num_vars q) (Query.num_vars c);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "core" ~doc:"Minimise a CQ to its core (Chandra-Merlin).")
+    Cmdliner.Term.(ret (const run $ query))
+
+(* ---------------- answers ---------------- *)
+
+let answers_cmd =
+  let query =
+    Arg.(required & opt (some query_conv) None & info [ "q"; "query" ] ~docv:"QUERY"
+           ~doc:"The query body.")
+  in
+  let head =
+    Arg.(value & opt (list string) [] & info [ "head" ] ~docv:"VARS"
+           ~doc:"Comma-separated head variables (non-boolean evaluation).")
+  in
+  let db =
+    Arg.(value & opt string "-" & info [ "d"; "database" ] ~docv:"FILE"
+           ~doc:"Database file ('-' for stdin).")
+  in
+  let run q head path =
+    match read_database path with
+    | Error e -> `Error (false, e)
+    | Ok d ->
+        let head_terms = List.map (fun v -> Bagcq_cq.Term.var v) head in
+        let bag = Bagcq_hom.Answers.answers ~head:head_terms q d in
+        Printf.printf "answer bag (%s tuples with multiplicity):\n"
+          (Nat.to_string (Bagcq_hom.Answers.cardinal bag));
+        List.iter
+          (fun tup ->
+            Printf.printf "  %s  x%s\n"
+              (Format.asprintf "%a" Tuple.pp tup)
+              (Nat.to_string (Bagcq_hom.Answers.multiplicity bag tup)))
+          (Bagcq_hom.Answers.support bag);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "answers" ~doc:"Evaluate a non-boolean CQ to its bag of answer tuples.")
+    Cmdliner.Term.(ret (const run $ query $ head $ db))
+
+(* ---------------- hde ---------------- *)
+
+let hde_cmd =
+  let small =
+    Arg.(required & opt (some query_conv) None & info [ "small" ] ~docv:"QUERY" ~doc:"The s-query.")
+  in
+  let big =
+    Arg.(required & opt (some query_conv) None & info [ "big" ] ~docv:"QUERY" ~doc:"The b-query.")
+  in
+  let run small big =
+    match Bagcq_search.Domination.estimate ~small ~big () with
+    | est ->
+        Printf.printf "domination exponent lower bound: %.4f (over %d usable samples)\n"
+          est.Bagcq_search.Domination.lower_bound est.Bagcq_search.Domination.usable;
+        if Bagcq_search.Domination.refutes_containment est then
+          Printf.printf "> 1: bag containment small <= big is REFUTED\n"
+        else Printf.printf "<= 1: no refutation from the exponent\n";
+        `Ok ()
+    | exception Invalid_argument msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "hde"
+       ~doc:"Estimate the homomorphism domination exponent (Kopparty-Rossman).")
+    Cmdliner.Term.(ret (const run $ small $ big))
+
+let main_cmd =
+  let doc = "bag-semantics conjunctive query containment toolbox (PODS 2024 reproduction)" in
+  Cmd.group
+    (Cmd.info "bagcq" ~version:"1.0.0" ~doc)
+    [ eval_cmd; contain_cmd; hunt_cmd; reduce_cmd; multiply_cmd; core_cmd; answers_cmd; hde_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

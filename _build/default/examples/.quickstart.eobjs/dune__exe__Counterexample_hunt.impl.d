@@ -1,0 +1,1 @@
+examples/counterexample_hunt.ml: Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_reduction Bagcq_relational Bagcq_search Build Encode List Printf Query String Structure

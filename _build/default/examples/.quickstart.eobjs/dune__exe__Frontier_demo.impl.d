@@ -1,0 +1,1 @@
+examples/frontier_demo.ml: Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_poly Bagcq_reduction Bagcq_relational Bagcq_search Build List Printf Query Schema Sigma Theorem1 Theorem3 Wells

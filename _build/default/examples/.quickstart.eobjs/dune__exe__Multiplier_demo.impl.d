@@ -1,0 +1,1 @@
+examples/multiplier_demo.ml: Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_reduction Bagcq_relational Bagcq_search Consts Cycliq Encode List Multiplier Printf Schema Structure Symbol Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_reduction Bagcq_relational Bagcq_search Encode Parse Printf Query

@@ -1,0 +1,1 @@
+examples/reduction_demo.ml: Arena Array Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_poly Bagcq_reduction Bagcq_relational Consts Delta List Printf Sigma String Structure Theorem1 Value Zeta

@@ -1,0 +1,1 @@
+examples/theorem5_demo.ml: Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_reduction Bagcq_relational Build Encode List Ops Printf Query Schema Structure Theorem5 Value

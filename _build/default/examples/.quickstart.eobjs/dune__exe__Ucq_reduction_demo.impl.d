@@ -1,0 +1,1 @@
+examples/ucq_reduction_demo.ml: Array Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_poly Bagcq_reduction Bagcq_relational Ioannidis Printf Query String Structure Ucq

@@ -1,0 +1,1 @@
+examples/ucq_reduction_demo.mli:

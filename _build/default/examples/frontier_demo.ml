@@ -1,0 +1,90 @@
+(* The frontier around the four steps: trivial databases and the well of
+   positivity, the Theorem 2 / Theorem 4 problem statements, the Section
+   2.3 constants ban, and the homomorphism domination exponent — the
+   contexts the paper's results sit inside.
+
+   Run with:  dune exec examples/frontier_demo.exe *)
+
+open Bagcq_relational
+open Bagcq_cq
+open Bagcq_reduction
+module Eval = Bagcq_hom.Eval
+module Nat = Bagcq_bignum.Nat
+module Domination = Bagcq_search.Domination
+
+let section title = Printf.printf "\n== %s ==\n" title
+let e = Build.sym "E" 2
+
+let () =
+  section "The well of positivity";
+  let edge = Build.(query [ atom e [ v "x"; v "y" ] ]) in
+  let big_query =
+    Build.(query [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "z" ]; atom e [ v "z"; v "x" ] ])
+  in
+  Printf.printf
+    "On the single-vertex structure where everything holds, every\n\
+     inequality-free CQ counts exactly 1:\n";
+  List.iter
+    (fun (name, q) ->
+      Printf.printf "  %s(well) = %s\n" name (Nat.to_string (Wells.count_on_well q)))
+    [ ("edge", edge); ("triangle", big_query) ];
+  let q_neq = Build.(query ~neqs:[ (v "x", v "y") ] [ atom e [ v "x"; v "y" ] ]) in
+  Printf.printf "  ...but with an inequality: %s(well) = %s\n" "edge&x!=y"
+    (Nat.to_string (Wells.count_on_well q_neq));
+
+  section "Why Theorem 1 needs non-triviality";
+  let t1 =
+    Theorem1.reduce
+      (Bagcq_poly.Lemma11.make_exn ~c:2 ~n_vars:1 ~monomials:[| [| 1; 1 |] |] ~cs:[| 1 |]
+         ~cb:[| 1 |])
+  in
+  let well = Wells.well_of_positivity (Sigma.sigma t1.Theorem1.instance) in
+  Printf.printf
+    "On the well: ℂ·φ_s = ℂ = %s but φ_b = 1 — the inequality FAILS there\n\
+     (holds_on: %b), so the theorem must exclude trivial databases.\n"
+    (Nat.to_string t1.Theorem1.cc) (Theorem1.holds_on t1 well);
+
+  section "Theorem 2: trading non-triviality for an additive constant";
+  Printf.printf
+    "The problem 'does c·φ_s(D) ≤ φ_b(D) + ℂ′ hold for ALL D' is also\n\
+     undecidable (proof deferred to the full paper).  The well shows what\n\
+     ℂ′ must at least absorb: for φ_s = φ_b = edge and c = 5 the required\n\
+     slack on the well is %s.\n"
+    (Nat.to_string (Wells.Theorem2.required_slack ~c:5 ~phi_s:edge ~phi_b:edge));
+
+  section "Theorem 4: the max{1,·} guard";
+  Printf.printf
+    "A b-query with an inequality can never contain an inequality-free\n\
+     s-query outright — on the well the s-query counts 1 and the b-query 0.\n\
+     Theorem 4's form ρ_s(D) ≤ max{1, ρ_b(D)} repairs exactly this:\n";
+  Printf.printf "  max{1,·} needed for (edge, edge&x!=y): %b\n"
+    (Wells.Theorem4.max1_needed ~rho_s:edge ~rho_b:q_neq);
+  Printf.printf "  Theorem-4 form holds on the well: %b\n"
+    (Wells.Theorem4.holds_on ~rho_s:edge ~rho_b:q_neq
+       (Wells.well_of_positivity (Schema.make [ e ])));
+
+  section "Section 2.3: banning constants";
+  let path = Build.(query [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "z" ] ]) in
+  let t3 = Theorem3.reduce_queries ~c:3 ~phi_s:edge ~phi_b:path in
+  let psi_s, psi_b = Theorem3.ban_constants t3 in
+  Printf.printf
+    "Theorem 3's queries survive the hard constants ban: ♥ and ♠ become\n\
+     existential variables and the s-query gains the inequality ♥ ≠ ♠.\n\
+     Result: ψ_s with %d atoms/%d inequality, ψ_b with %d atoms/%d inequality,\n\
+     constants: %d and %d.\n"
+    (Query.num_atoms psi_s) (Query.num_neqs psi_s) (Query.num_atoms psi_b)
+    (Query.num_neqs psi_b)
+    (List.length (Query.constants psi_s))
+    (List.length (Query.constants psi_b));
+
+  section "The domination exponent (Kopparty–Rossman)";
+  let est = Domination.estimate ~small:path ~big:edge () in
+  Printf.printf
+    "hde(2-path, edge) = 3/2 in theory; sampled lower bound: %.3f\n\
+     — any value above 1 refutes bag containment (refutes: %b).\n"
+    est.Domination.lower_bound
+    (Domination.refutes_containment est);
+  let loop = Build.(query [ atom e [ v "x"; v "x" ] ]) in
+  let est2 = Domination.estimate ~small:loop ~big:edge () in
+  Printf.printf "hde(loop, edge) ≤ 1 in theory; sampled lower bound: %.3f\n"
+    est2.Domination.lower_bound

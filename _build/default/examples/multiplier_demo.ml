@@ -1,0 +1,88 @@
+(* The Section 3 multiplier machinery: how a single inequality multiplies
+   a homomorphism count by an arbitrary constant c.
+
+   Run with:  dune exec examples/multiplier_demo.exe *)
+
+open Bagcq_relational
+open Bagcq_reduction
+module Eval = Bagcq_hom.Eval
+module Query = Bagcq_cq.Query
+module Sampler = Bagcq_search.Sampler
+module Nat = Bagcq_bignum.Nat
+module Rat = Bagcq_bignum.Rat
+
+let section title = Printf.printf "\n== %s ==\n" title
+
+let show_pair name (pair : Multiplier.t) =
+  let cs, cb = Multiplier.counts_on pair pair.Multiplier.witness in
+  Printf.printf "%s: ratio %s;  on its witness:  s-query = %s,  b-query = %s\n" name
+    (Rat.to_string pair.Multiplier.ratio)
+    (Nat.to_string cs) (Nat.to_string cb);
+  Printf.printf "   s-query: %d atoms, %d inequalities;  b-query: %d atoms, %d inequalities\n"
+    (Query.num_atoms pair.Multiplier.qs)
+    (Query.num_neqs pair.Multiplier.qs)
+    (Query.num_atoms pair.Multiplier.qb)
+    (Query.num_neqs pair.Multiplier.qb)
+
+let validate_le name (pair : Multiplier.t) =
+  (* condition (≤) of Definition 3 on random non-trivial databases; the
+     gadget relations have arity p, so the sampled domains must stay small
+     (a size-n domain has n^p potential atoms) *)
+  let schema =
+    Schema.union (Query.schema pair.Multiplier.qs) (Query.schema pair.Multiplier.qb)
+  in
+  let max_arity =
+    List.fold_left (fun acc sym -> max acc (Symbol.arity sym)) 1 (Schema.symbols schema)
+  in
+  let sizes = if max_arity >= 5 then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let samples = if max_arity >= 5 then 40 else 120 in
+  let config = { Sampler.default with Sampler.samples; Sampler.sizes } in
+  let outcome = Sampler.check_all ~config ~schema (fun d -> Multiplier.check_le_on pair d) in
+  match outcome.Sampler.witness with
+  | None -> Printf.printf "   (≤) survived %d random databases\n" outcome.Sampler.tested
+  | Some d ->
+      Printf.printf "   (≤) VIOLATED — this would disprove the paper!\n%s"
+        (Encode.to_string d);
+      ignore name
+
+let () =
+  section "The workhorse: β pair (Lemma 5) multiplies by (p+1)²/2p";
+  List.iter
+    (fun p ->
+      let pair = Multiplier.beta ~p in
+      show_pair (Printf.sprintf "β(p=%d)" p) pair;
+      validate_le "beta" pair)
+    [ 3; 5; 9 ];
+
+  section "Fine tuning: γ pair (Lemma 10) multiplies by (m−1)/m";
+  List.iter
+    (fun m ->
+      let pair = Multiplier.gamma ~m in
+      show_pair (Printf.sprintf "γ(m=%d)" m) pair;
+      validate_le "gamma" pair)
+    [ 2; 4; 10 ];
+
+  section "Composition (Lemma 4): α = β ∧̄ γ multiplies by exactly c";
+  List.iter
+    (fun c ->
+      let pair = Multiplier.alpha ~c in
+      show_pair (Printf.sprintf "α(c=%d)  [p=%d, m=%d]" c ((2 * c) - 1) (2 * c)) pair;
+      validate_le "alpha" pair)
+    [ 2; 3; 5 ];
+
+  section "Why non-triviality matters: the well of positivity";
+  let pair = Multiplier.beta ~p:3 in
+  (* one element carrying every atom, with ♥ and ♠ identified on it *)
+  let star = Value.int 1 in
+  let well =
+    let d = Structure.empty Schema.empty in
+    let d = Structure.add_fact d (Cycliq.r_symbol ~p:3) [ star; star; star ] in
+    let d = Structure.bind_constant d Consts.heart star in
+    Structure.bind_constant d Consts.spade star
+  in
+  let cs, cb = Multiplier.counts_on pair well in
+  Printf.printf
+    "On the single-vertex 'well of positivity' (♥ = ♠): β_s = %s but β_b = %s —\n\
+     the inequality x₁ ≠ y₁ can never fire, so no pair of CQs could multiply\n\
+     by c > 1 there.  Non-triviality is exactly what rules this out.\n"
+    (Nat.to_string cs) (Nat.to_string cb)

@@ -1,0 +1,64 @@
+(* Quickstart: conjunctive queries, bag-semantics evaluation, and the
+   set-vs-bag containment divergence that motivates the paper.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Bagcq_relational
+open Bagcq_cq
+module Eval = Bagcq_hom.Eval
+module Containment = Bagcq_reduction.Containment
+module Hunt = Bagcq_search.Hunt
+module Nat = Bagcq_bignum.Nat
+
+let section title = Printf.printf "\n== %s ==\n" title
+
+let () =
+  section "Parsing queries and databases";
+  (* a boolean CQ: "is there a directed 2-path?" *)
+  let path = Parse.parse_exn "E(x,y) & E(y,z)" in
+  let edge = Parse.parse_exn "E(x,y)" in
+  Printf.printf "path  = %s\n" (Query.to_string path);
+  Printf.printf "edge  = %s\n" (Query.to_string edge);
+  let d =
+    Encode.parse_exn
+      {|
+        E(1, 2).
+        E(2, 3).
+        E(3, 1).
+        E(1, 1).
+      |}
+  in
+  Printf.printf "database D:\n%s" (Encode.to_string d);
+
+  section "Bag semantics: answers are homomorphism counts";
+  Printf.printf "edge(D) = %s   (atoms of E)\n" (Nat.to_string (Eval.count edge d));
+  Printf.printf "path(D) = %s   (2-paths, including through the loop)\n"
+    (Nat.to_string (Eval.count path d));
+  Printf.printf "D |= path: %b\n" (Eval.satisfies d path);
+
+  section "Set semantics containment is decidable (Chandra-Merlin 1977)";
+  Printf.printf "path ⊆ edge under set semantics: %b\n"
+    (Containment.set_contains ~small:path ~big:edge);
+  Printf.printf "edge ⊆ path under set semantics: %b\n"
+    (Containment.set_contains ~small:edge ~big:path);
+
+  section "Bag semantics containment diverges";
+  Printf.printf
+    "Under bag semantics, path(D) ≤ edge(D) FAILS on dense graphs.\n\
+     Hunting for a counterexample (exhaustive then random):\n";
+  let report = Hunt.counterexample ~small:path ~big:edge () in
+  (match report.Hunt.witness with
+  | Some w ->
+      Printf.printf "found witness D' with path(D') = %s > edge(D') = %s:\n%s"
+        (Nat.to_string (Eval.count path w))
+        (Nat.to_string (Eval.count edge w))
+        (Encode.to_string w)
+  | None -> Printf.printf "no witness found (unexpected!)\n");
+
+  section "Bag equivalence is decidable (Chaudhuri-Vardi 1993)";
+  let renamed = Parse.parse_exn "E(u,v) & E(v,w)" in
+  Printf.printf "path ≡ renamed copy: %b\n" (Containment.bag_equivalent path renamed);
+  Printf.printf "path ≡ edge: %b\n" (Containment.bag_equivalent path edge);
+  Printf.printf
+    "\nWhether bag CONTAINMENT of CQs is decidable is open since 1993 —\n\
+     this library implements the undecidability frontier around it.\n"

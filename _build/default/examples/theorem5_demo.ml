@@ -1,0 +1,69 @@
+(* Theorem 5 / Lemmas 23–24: inequalities in the s-query add no power.
+
+   Given ψ_s (with inequalities) and ψ_b (without), any witness for the
+   inequality-stripped ψ_s' transfers to a witness for ψ_s itself, via
+   product amplification (Lemma 22) and a blow-up by 2 (Lemma 24).
+
+   Run with:  dune exec examples/theorem5_demo.exe *)
+
+open Bagcq_relational
+open Bagcq_cq
+open Bagcq_reduction
+module Eval = Bagcq_hom.Eval
+module Nat = Bagcq_bignum.Nat
+
+let section title = Printf.printf "\n== %s ==\n" title
+let e = Build.sym "E" 2
+
+let () =
+  section "The queries";
+  let psi_s =
+    Build.(
+      query
+        ~neqs:[ (v "x", v "y") ]
+        [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "x" ] ])
+  in
+  let psi_b = Build.(query [ atom e [ v "x"; v "x" ] ]) in
+  Printf.printf "ψ_s = %s\n" (Query.to_string psi_s);
+  Printf.printf "ψ_b = %s\n" (Query.to_string psi_b);
+  Printf.printf "ψ_s' (stripped) = %s\n" (Query.to_string (Query.strip_neqs psi_s));
+
+  section "A witness for the stripped query";
+  (* D₀: a 2-cycle plus a loop: ψ_s'(D₀) counts symmetric pairs = 2+1 = 3
+     (via loop: 1; via the 2-cycle: 2); ψ_b(D₀) = 1 loop *)
+  let d0 =
+    List.fold_left
+      (fun d (a, b) -> Structure.add_fact d e [ Value.int a; Value.int b ])
+      (Structure.empty Schema.empty)
+      [ (1, 2); (2, 1); (3, 3) ]
+  in
+  Printf.printf "D₀:\n%s" (Encode.to_string d0);
+  Printf.printf "ψ_s'(D₀) = %s > ψ_b(D₀) = %s\n"
+    (Nat.to_string (Eval.count (Query.strip_neqs psi_s) d0))
+    (Nat.to_string (Eval.count psi_b d0));
+  Printf.printf "but ψ_s(D₀) = %s — the inequality bites on the loop\n"
+    (Nat.to_string (Eval.count psi_s d0));
+
+  section "Lemma 24: blowing up by 2 repairs violated inequalities";
+  let blown = Ops.blowup d0 2 in
+  Printf.printf "ψ_s'(blowup(D₀,2)) = %s,  ψ_s(blowup(D₀,2)) = %s  (≥ half)\n"
+    (Nat.to_string (Eval.count (Query.strip_neqs psi_s) blown))
+    (Nat.to_string (Eval.count psi_s blown));
+  Printf.printf "bound verified: %b\n" (Theorem5.lemma24_lower_bound psi_s d0);
+
+  section "Lemma 23: the witness transfers";
+  (match Theorem5.transfer_witness ~psi_s ~psi_b d0 with
+  | Some d ->
+      Printf.printf "transferred witness: %d elements, %d atoms\n"
+        (Structure.domain_size d) (Structure.total_atoms d);
+      Printf.printf "ψ_s(D) = %s > ψ_b(D) = %s  — verified by exact counting\n"
+        (Nat.to_string (Eval.count psi_s d))
+        (Nat.to_string (Eval.count psi_b d))
+  | None -> Printf.printf "no transfer (unexpected)\n");
+
+  section "Consequence (Theorem 5)";
+  Printf.printf
+    "Bag containment 'ψ_s(D) ≤ ψ_b(D) for all D' with inequalities only in\n\
+     the s-query is exactly as hard as inequality-free bag containment —\n\
+     so adding s-side inequalities cannot be the road to undecidability,\n\
+     unlike the single b-side inequality of Theorem 3.\n"

@@ -1,0 +1,1 @@
+lib/bignum/rat.ml: Format Nat Printf Stdlib

@@ -1,0 +1,274 @@
+(* Little-endian arrays of 30-bit limbs; no trailing zero limb, so the
+   representation of every value is unique and structural equality of the
+   canonical form coincides with numeric equality. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let one : t = [| 1 |]
+let two : t = [| 2 |]
+
+(* Drop most-significant zero limbs.  Every constructor goes through this. *)
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let is_zero (a : t) = Array.length a = 0
+
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec limb_count acc n = if n = 0 then acc else limb_count (acc + 1) (n lsr base_bits) in
+    let len = limb_count 0 n in
+    let a = Array.make len 0 in
+    let rec fill i n =
+      if n <> 0 then begin
+        a.(i) <- n land mask;
+        fill (i + 1) (n lsr base_bits)
+      end
+    in
+    fill 0 n;
+    a
+  end
+
+let to_int_opt (a : t) =
+  (* 63-bit OCaml ints hold at most three limbs, the top one partial. *)
+  match Array.length a with
+  | 0 -> Some 0
+  | 1 -> Some a.(0)
+  | 2 -> Some ((a.(1) lsl base_bits) lor a.(0))
+  | 3 when a.(2) < 1 lsl (Sys.int_size - 1 - (2 * base_bits)) ->
+      Some ((a.(2) lsl (2 * base_bits)) lor (a.(1) lsl base_bits) lor a.(0))
+  | _ -> None
+
+let to_int a =
+  match to_int_opt a with
+  | Some n -> n
+  | None -> failwith "Nat.to_int: overflow"
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+let hash (a : t) = Hashtbl.hash a
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let lr = Stdlib.max la lb + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  normalize r
+
+let sub_exn msg (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if lb > la then invalid_arg msg;
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  if !borrow <> 0 then invalid_arg msg;
+  normalize r
+
+let sub a b = sub_exn "Nat.sub: negative result" a b
+
+let sub_saturating a b = if compare a b < 0 then zero else sub a b
+
+let succ a = add a one
+let pred a = sub_exn "Nat.pred: zero" a one
+
+let mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          (* ai·b.(j) < 2^60, plus two < 2^31 terms: fits in a 63-bit int. *)
+          let s = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- s land mask;
+          carry := s lsr base_bits
+        done;
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let s = r.(!k) + !carry in
+          r.(!k) <- s land mask;
+          carry := s lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    normalize r
+  end
+
+let mul_int a d =
+  if d < 0 then invalid_arg "Nat.mul_int: negative"
+  else if d < base then begin
+    if d = 0 || is_zero a then zero
+    else begin
+      let la = Array.length a in
+      let r = Array.make (la + 2) 0 in
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let s = (a.(i) * d) + !carry in
+        r.(i) <- s land mask;
+        carry := s lsr base_bits
+      done;
+      let k = ref la in
+      while !carry <> 0 do
+        r.(!k) <- !carry land mask;
+        carry := !carry lsr base_bits;
+        incr k
+      done;
+      normalize r
+    end
+  end
+  else mul a (of_int d)
+
+let add_int a d = if d = 0 then a else add a (of_int d)
+
+let pow b e =
+  if e < 0 then invalid_arg "Nat.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (if e > 1 then mul b b else b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let num_bits (a : t) =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1) in
+    ((la - 1) * base_bits) + bits 0 top
+  end
+
+let test_bit (a : t) i =
+  let limb = i / base_bits and off = i mod base_bits in
+  limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let divmod_int (a : t) d =
+  if d <= 0 || d >= base then invalid_arg "Nat.divmod_int: divisor out of range";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize q, !rem)
+
+(* Shift-subtract long division: O(bits(a) · limbs(a)).  The library only
+   divides numbers of a few hundred bits, so simplicity wins over speed. *)
+let divmod (a : t) (b : t) =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_int a b.(0) in
+    (q, of_int r)
+  end
+  else begin
+    let nb = num_bits a in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref zero in
+    for i = nb - 1 downto 0 do
+      let r2 = mul_int !r 2 in
+      let r2 = if test_bit a i then add r2 one else r2 in
+      if compare r2 b >= 0 then begin
+        r := sub r2 b;
+        q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+      end
+      else r := r2
+    done;
+    (normalize q, !r)
+  end
+
+let rec gcd a b = if is_zero b then a else gcd b (snd (divmod a b))
+
+let pow_nat b e =
+  if is_zero e then one
+  else if is_zero b then zero
+  else if equal b one then one
+  else pow b (match to_int_opt e with Some i -> i | None -> failwith "Nat.pow_nat: exponent too large")
+
+let to_string (a : t) =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let chunks = ref [] in
+    let cur = ref a in
+    while not (is_zero !cur) do
+      let q, r = divmod_int !cur 1_000_000_000 in
+      chunks := r :: !chunks;
+      cur := q
+    done;
+    (match !chunks with
+     | [] -> assert false
+     | first :: rest ->
+         Buffer.add_string buf (string_of_int first);
+         List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Nat.of_string: empty";
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Nat.of_string: not a digit";
+      acc := add_int (mul_int !acc 10) (Char.code c - Char.code '0'))
+    s;
+  !acc
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let sum l = List.fold_left add zero l
+let product l = List.fold_left mul one l
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( = ) = equal
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0

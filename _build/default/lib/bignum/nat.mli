@@ -1,0 +1,94 @@
+(** Arbitrary-precision natural numbers.
+
+    Bag-semantics query answers are homomorphism counts, and the paper's
+    constructions routinely exponentiate them ([Definition 2]: [(θ↑k)(D) =
+    θ(D)^k]) or multiply them by constants such as [C = c·ζ_b(D_Arena)],
+    which overflow machine integers almost immediately.  The sealed build
+    environment has no [zarith], so this module provides the naturals the
+    rest of the library computes with.
+
+    Representation: little-endian array of 30-bit limbs, no leading zero
+    limb; the canonical zero is the empty array.  All operations are exact.
+    Subtraction below zero and division by zero raise. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+val of_int : int -> t
+(** [of_int n] is [n] as a natural.  Raises [Invalid_argument] if [n < 0]. *)
+
+val to_int : t -> int
+(** [to_int n] is [n] as an OCaml [int].
+    Raises [Failure] if [n] exceeds [max_int]. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt n] is [Some i] when [n] fits in an OCaml [int]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val hash : t -> int
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val succ : t -> t
+val pred : t -> t
+(** Raises [Invalid_argument] on [pred zero]. *)
+
+val add : t -> t -> t
+val add_int : t -> int -> t
+
+val sub : t -> t -> t
+(** [sub a b] is [a - b].  Raises [Invalid_argument] if [b > a]. *)
+
+val sub_saturating : t -> t -> t
+(** [sub_saturating a b] is [a - b], or [zero] when [b > a]. *)
+
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+
+val pow : t -> int -> t
+(** [pow b e] is [b]{^ e} by binary exponentiation.
+    Raises [Invalid_argument] if [e < 0].  [pow zero 0 = one]. *)
+
+val pow_nat : t -> t -> t
+(** [pow_nat b e] with an arbitrary-precision exponent.  The result must
+    still be representable in memory, so this is only useful when [b] is
+    [zero] or [one], or [e] is small; otherwise it behaves as [pow b
+    (to_int e)] and raises [Failure] if [e] does not fit an [int]. *)
+
+val divmod_int : t -> int -> t * int
+(** [divmod_int a d] is [(a / d, a mod d)] for [0 < d ≤ 2^30 - 1].
+    Raises [Invalid_argument] otherwise. *)
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(a / b, a mod b)].  Raises [Division_by_zero] when
+    [b] is zero. *)
+
+val gcd : t -> t -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val sum : t list -> t
+val product : t list -> t
+
+val to_string : t -> string
+val of_string : string -> t
+(** Decimal conversion.  [of_string] raises [Invalid_argument] on anything
+    but a non-empty string of ASCII digits. *)
+
+val pp : Format.formatter -> t -> unit
+
+val num_bits : t -> int
+(** Position of the highest set bit plus one; [num_bits zero = 0]. *)

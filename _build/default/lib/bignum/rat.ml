@@ -1,0 +1,53 @@
+type t = { num : int; den : int }
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+let make num den =
+  if num < 0 then invalid_arg "Rat.make: negative numerator";
+  if den <= 0 then invalid_arg "Rat.make: non-positive denominator";
+  if num = 0 then { num = 0; den = 1 }
+  else begin
+    let g = gcd_int num den in
+    { num = num / g; den = den / g }
+  end
+
+let of_int n = make n 1
+let zero = { num = 0; den = 1 }
+let one = { num = 1; den = 1 }
+let num q = q.num
+let den q = q.den
+let equal a b = a.num = b.num && a.den = b.den
+
+(* a.num/a.den ? b.num/b.den  ⇔  a.num·b.den ? b.num·a.den; components stay
+   well under 2^31 in this library so the products cannot overflow. *)
+let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+
+let checked_mul_int a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    let p = a * b in
+    if p / b <> a then failwith "Rat: integer overflow";
+    p
+  end
+
+let add a b =
+  make
+    (checked_mul_int a.num b.den + checked_mul_int b.num a.den)
+    (checked_mul_int a.den b.den)
+
+let mul a b = make (checked_mul_int a.num b.num) (checked_mul_int a.den b.den)
+
+let inv q = if q.num = 0 then raise Division_by_zero else { num = q.den; den = q.num }
+
+let is_integer q = q.den = 1
+
+let to_int_exn q =
+  if q.den <> 1 then invalid_arg "Rat.to_int_exn: not an integer";
+  q.num
+
+let scale_nat q n = (Nat.mul_int n q.num, q.den)
+let le_scaled q a b = Nat.compare (Nat.mul_int a q.num) (Nat.mul_int b q.den) <= 0
+let eq_scaled q a b = Nat.equal (Nat.mul_int a q.num) (Nat.mul_int b q.den)
+
+let to_string q = if q.den = 1 then string_of_int q.num else Printf.sprintf "%d/%d" q.num q.den
+let pp fmt q = Format.pp_print_string fmt (to_string q)

@@ -1,0 +1,48 @@
+(** Non-negative rational numbers with machine-integer numerator and
+    denominator, always in lowest terms.
+
+    The paper's multiplier ratios (Definition 3) are small: [(p+1)²/2p]
+    (Lemma 5), [(m−1)/m] (Lemma 10) and their products, with [p = 2c−1] and
+    [m = p+1].  Machine integers are ample for the components; the *counts*
+    the ratios are compared against are {!Nat.t}, and the comparisons are
+    performed by exact cross-multiplication. *)
+
+type t
+
+val make : int -> int -> t
+(** [make num den] is [num/den] in lowest terms.
+    Raises [Invalid_argument] if [num < 0] or [den ≤ 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+
+val num : t -> int
+val den : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val mul : t -> t -> t
+(** Raise [Failure] on intermediate overflow (checked). *)
+
+val inv : t -> t
+(** Raises [Division_by_zero] on [inv zero]. *)
+
+val is_integer : t -> bool
+val to_int_exn : t -> int
+(** Raises [Invalid_argument] when the value is not an integer. *)
+
+val scale_nat : t -> Nat.t -> Nat.t * int
+(** [scale_nat q n] is [(num·n, den)]: the exact value [q·n] as an integer
+    pair, ready for cross-multiplied comparisons. *)
+
+val le_scaled : t -> Nat.t -> Nat.t -> bool
+(** [le_scaled q a b] is [q·a ≤ b], exactly: [num·a ≤ den·b]. *)
+
+val eq_scaled : t -> Nat.t -> Nat.t -> bool
+(** [eq_scaled q a b] is [q·a = b], exactly. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/cq/atom.ml: Array Bagcq_relational Format List Printf Set Stdlib Symbol Term

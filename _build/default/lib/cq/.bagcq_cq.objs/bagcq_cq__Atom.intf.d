@@ -1,0 +1,1 @@
+lib/cq/atom.mli: Bagcq_relational Format Set Symbol Term

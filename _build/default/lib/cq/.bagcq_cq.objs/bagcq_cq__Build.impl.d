@@ -1,0 +1,1 @@
+lib/cq/build.ml: Atom Bagcq_relational List Printf Query Symbol Term

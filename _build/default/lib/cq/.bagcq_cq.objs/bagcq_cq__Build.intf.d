@@ -1,0 +1,1 @@
+lib/cq/build.mli: Atom Bagcq_relational Query Symbol Term

@@ -1,0 +1,1 @@
+lib/cq/deconst.ml: Array Atom List Query Term

@@ -1,0 +1,1 @@
+lib/cq/deconst.mli: Query Term

@@ -1,0 +1,1 @@
+lib/cq/parse.ml: Atom Bagcq_relational Hashtbl List Printf Query Result String Symbol Term

@@ -1,0 +1,1 @@
+lib/cq/parse.mli: Query

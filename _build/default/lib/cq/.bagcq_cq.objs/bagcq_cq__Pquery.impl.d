@@ -1,0 +1,1 @@
+lib/cq/pquery.ml: Bagcq_bignum Format List Nat Query

@@ -1,0 +1,1 @@
+lib/cq/pquery.mli: Bagcq_bignum Format Nat Query

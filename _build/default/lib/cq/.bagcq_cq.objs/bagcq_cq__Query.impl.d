@@ -1,0 +1,1 @@
+lib/cq/query.ml: Array Atom Bagcq_relational Format Hashtbl List Printf Schema Set String Structure Symbol Term Value

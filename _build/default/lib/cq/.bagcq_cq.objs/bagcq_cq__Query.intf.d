@@ -1,0 +1,1 @@
+lib/cq/query.mli: Atom Bagcq_relational Format Schema Structure Term

@@ -1,0 +1,1 @@
+lib/cq/term.ml: Format Map Set String

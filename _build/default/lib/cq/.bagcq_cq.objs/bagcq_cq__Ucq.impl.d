@@ -1,0 +1,1 @@
+lib/cq/ucq.ml: Bagcq_relational Format List Query Schema

@@ -1,0 +1,1 @@
+lib/cq/ucq.mli: Bagcq_relational Format Query

@@ -1,0 +1,61 @@
+open Bagcq_relational
+
+type t = { sym : Symbol.t; args : Term.t array }
+
+let of_array sym args =
+  if Array.length args <> Symbol.arity sym then
+    invalid_arg
+      (Printf.sprintf "Atom: %s expects %d arguments, got %d" (Symbol.name sym)
+         (Symbol.arity sym) (Array.length args));
+  { sym; args }
+
+let make sym args = of_array sym (Array.of_list args)
+let sym a = a.sym
+let args a = a.args
+let arg a i = a.args.(i)
+
+let vars a =
+  Array.fold_left
+    (fun acc t -> match t with Term.Var x when not (List.mem x acc) -> x :: acc | _ -> acc)
+    [] a.args
+  |> List.rev
+
+let constants a =
+  Array.fold_left
+    (fun acc t -> match t with Term.Cst c when not (List.mem c acc) -> c :: acc | _ -> acc)
+    [] a.args
+  |> List.rev
+
+let rename f a = { a with args = Array.map (Term.rename f) a.args }
+let substitute f a = { a with args = Array.map (Term.substitute f) a.args }
+
+let compare a b =
+  match Symbol.compare a.sym b.sym with
+  | 0 ->
+      let la = Array.length a.args and lb = Array.length b.args in
+      if la <> lb then Stdlib.compare la lb
+      else begin
+        let rec go i =
+          if i = la then 0
+          else begin
+            match Term.compare a.args.(i) b.args.(i) with 0 -> go (i + 1) | c -> c
+          end
+        in
+        go 0
+      end
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp fmt a =
+  Format.fprintf fmt "%s(%a)" (Symbol.name a.sym)
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_char f ',') Term.pp)
+    (Array.to_list a.args)
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ordered)

@@ -1,0 +1,28 @@
+(** Relational atoms [R(t₁,…,t_k)]. *)
+
+open Bagcq_relational
+
+type t = private { sym : Symbol.t; args : Term.t array }
+
+val make : Symbol.t -> Term.t list -> t
+(** Raises [Invalid_argument] on an arity mismatch. *)
+
+val of_array : Symbol.t -> Term.t array -> t
+val sym : t -> Symbol.t
+val args : t -> Term.t array
+val arg : t -> int -> Term.t
+
+val vars : t -> string list
+(** Variables of the atom, each once, in order of first occurrence. *)
+
+val constants : t -> string list
+
+val rename : (string -> string) -> t -> t
+val substitute : (string -> Term.t option) -> t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

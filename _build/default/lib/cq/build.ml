@@ -1,0 +1,27 @@
+open Bagcq_relational
+
+let v = Term.var
+let c = Term.cst
+let sym = Symbol.make
+let atom = Atom.make
+let query ?neqs atoms = Query.make ?neqs atoms
+
+let path e ts =
+  if Symbol.arity e <> 2 then invalid_arg "Build.path: binary symbol expected";
+  let rec go = function
+    | a :: (b :: _ as rest) -> atom e [ a; b ] :: go rest
+    | [ _ ] | [] -> []
+  in
+  match ts with
+  | _ :: _ :: _ -> go ts
+  | _ -> invalid_arg "Build.path: need at least two terms"
+
+let cycle e ts =
+  match ts with
+  | [] -> invalid_arg "Build.cycle: empty"
+  | [ t ] -> [ atom e [ t; t ] ]
+  | first :: _ ->
+      let last = List.nth ts (List.length ts - 1) in
+      path e ts @ [ atom e [ last; first ] ]
+
+let vars stem n = List.init n (fun i -> Term.var (Printf.sprintf "%s%d" stem (i + 1)))

@@ -1,0 +1,27 @@
+(** A small DSL for writing queries inline, used throughout the reduction
+    modules, the examples and the tests:
+
+    {[
+      let e = Build.sym "E" 2 in
+      let q = Build.(query [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "x" ] ]
+                       ~neqs:[ (v "x", v "y") ])
+    ]} *)
+
+open Bagcq_relational
+
+val v : string -> Term.t
+val c : string -> Term.t
+val sym : string -> int -> Symbol.t
+val atom : Symbol.t -> Term.t list -> Atom.t
+val query : ?neqs:(Term.t * Term.t) list -> Atom.t list -> Query.t
+
+val path : Symbol.t -> Term.t list -> Atom.t list
+(** [path e [t₁;…;t_k]] is the chain [e(t₁,t₂) ∧ … ∧ e(t_{k−1},t_k)].
+    Requires a binary symbol and at least two terms. *)
+
+val cycle : Symbol.t -> Term.t list -> Atom.t list
+(** [cycle e [t₁;…;t_k]] is [path] closed with [e(t_k,t₁)] — the query
+    [δ_{b,l}] of Section 4.6 is [cycle e [z₁;…;z_l]]. *)
+
+val vars : string -> int -> Term.t list
+(** [vars "x" 4] is [[x1; x2; x3; x4]]. *)

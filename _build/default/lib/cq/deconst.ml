@@ -1,0 +1,24 @@
+type t = {
+  query : Query.t;
+  mapping : (string * string) list;
+}
+
+let fresh_var c = "k$" ^ c
+
+let generalize ?(keep = []) q =
+  let targets = List.filter (fun c -> not (List.mem c keep)) (Query.constants q) in
+  let mapping = List.map (fun c -> (c, fresh_var c)) targets in
+  let subst = function
+    | Term.Cst c when List.mem_assoc c mapping -> Term.var (List.assoc c mapping)
+    | t -> t
+  in
+  let atoms =
+    List.map
+      (fun a -> Atom.of_array (Atom.sym a) (Array.map subst (Atom.args a)))
+      (Query.atoms q)
+  in
+  let neqs = List.map (fun (x, y) -> (subst x, subst y)) (Query.neqs q) in
+  { query = Query.make ~neqs atoms; mapping }
+
+let var_head t = List.map (fun (_, v) -> Term.var v) t.mapping
+let cst_head t = List.map (fun (c, _) -> Term.cst c) t.mapping

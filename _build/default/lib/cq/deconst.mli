@@ -1,0 +1,31 @@
+(** Section 2.3: trading constants for free variables.
+
+    For boolean queries [φ_s, φ_b] mentioning a tuple [ā] of constants, let
+    [φ_s', φ_b'] be the syntactically same queries with [ā] read as a tuple
+    of {e free} variables.  Then [φ_b] contains [φ_s] (bag or set
+    semantics) iff [φ_b'] contains [φ_s'] as non-boolean queries — the
+    constants' interpretations become the answer tuple.
+
+    This module performs the rewriting; the multiplicity bookkeeping that
+    makes the observation checkable per-database lives in
+    {!Bagcq_hom.Answers}. *)
+
+type t = {
+  query : Query.t;  (** the generalised query — constants replaced by variables *)
+  mapping : (string * string) list;
+      (** constant name ↦ the fresh variable that replaced it, in sorted
+          constant order *)
+}
+
+val generalize : ?keep:string list -> Query.t -> t
+(** Replace every constant not in [keep] by a fresh variable.  The fresh
+    variable for constant [c] is [c] prefixed with ["k$"], guaranteed fresh
+    (["$"] cannot occur in source variables). *)
+
+val var_head : t -> Term.t list
+(** The fresh variables, as the head of the generalised query. *)
+
+val cst_head : t -> Term.t list
+(** The original constants, as the head of the boolean query — projecting
+    the boolean query to this head yields a bag concentrated on the tuple
+    of interpretations. *)

@@ -1,0 +1,100 @@
+open Bagcq_relational
+
+type token =
+  | Name of string
+  | Quoted of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Amp
+  | Neq
+
+exception Error of string
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '~' || c = '$'
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else begin
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '&' -> go (i + 1) (Amp :: acc)
+      | '!' when i + 1 < n && s.[i + 1] = '=' -> go (i + 2) (Neq :: acc)
+      | '\'' ->
+          let j = try String.index_from s (i + 1) '\'' with Not_found -> raise (Error "unterminated quote") in
+          go (j + 1) (Quoted (String.sub s (i + 1) (j - i - 1)) :: acc)
+      | c when is_name_char c ->
+          let j = ref i in
+          while !j < n && is_name_char s.[!j] do
+            incr j
+          done;
+          go !j (Name (String.sub s i (!j - i)) :: acc)
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c))
+    end
+  in
+  go 0 []
+
+let term_of = function
+  | Name x -> Term.var x
+  | Quoted c -> Term.cst c
+  | _ -> raise (Error "expected a term")
+
+(* conjunct ::= Name '(' terms ')' | term '!=' term *)
+let parse_conjuncts arities tokens =
+  let atoms = ref [] and neqs = ref [] in
+  let symbol name arity =
+    match Hashtbl.find_opt arities name with
+    | Some a when a <> arity ->
+        raise (Error (Printf.sprintf "%s used with arities %d and %d" name a arity))
+    | Some _ -> Symbol.make name arity
+    | None ->
+        Hashtbl.add arities name arity;
+        Symbol.make name arity
+  in
+  let rec terms acc = function
+    | (Name _ | Quoted _) as t :: Comma :: rest -> terms (term_of t :: acc) rest
+    | (Name _ | Quoted _) as t :: Rparen :: rest -> (List.rev (term_of t :: acc), rest)
+    | _ -> raise (Error "malformed argument list")
+  in
+  let rec conjunct = function
+    | Name r :: Lparen :: rest ->
+        let args, rest = terms [] rest in
+        atoms := Atom.make (symbol r (List.length args)) args :: !atoms;
+        continue rest
+    | ((Name _ | Quoted _) as a) :: Neq :: ((Name _ | Quoted _) as b) :: rest ->
+        neqs := (term_of a, term_of b) :: !neqs;
+        continue rest
+    | [] -> ()
+    | _ -> raise (Error "expected an atom or an inequality")
+  and continue = function
+    | [] -> ()
+    | (Amp | Comma) :: rest -> conjunct rest
+    | _ -> raise (Error "expected '&' between conjuncts")
+  in
+  conjunct tokens;
+  (List.rev !atoms, List.rev !neqs)
+
+let parse s =
+  let s = String.trim s in
+  if s = "" || s = "true" then Ok Query.true_query
+  else begin
+    try
+      let tokens = tokenize s in
+      let atoms, neqs = parse_conjuncts (Hashtbl.create 8) tokens in
+      Ok (Query.make ~neqs atoms)
+    with
+    | Error msg -> Result.Error msg
+    | Invalid_argument msg -> Result.Error msg
+  end
+
+let parse_exn s =
+  match parse s with Ok q -> q | Error msg -> invalid_arg ("Parse.parse: " ^ msg)

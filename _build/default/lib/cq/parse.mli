@@ -1,0 +1,15 @@
+(** Concrete syntax for conjunctive queries, used by the CLI and examples.
+
+    Grammar:
+    {v
+      query   ::= conjunct ('&' conjunct)*            (also ',' as separator)
+      conjunct ::= NAME '(' term (',' term)* ')'       an atom
+                 | term '!=' term                      an inequality
+      term    ::= NAME                                 a variable
+                 | '\'' NAME '\''                      a constant
+    v}
+    Relation arities are inferred and must be used consistently.  The empty
+    string (or the keyword [true]) denotes the empty conjunction. *)
+
+val parse : string -> (Query.t, string) result
+val parse_exn : string -> Query.t

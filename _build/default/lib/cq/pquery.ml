@@ -1,0 +1,41 @@
+open Bagcq_bignum
+
+type t = (Query.t * Nat.t) list
+
+let of_query q = [ (q, Nat.one) ]
+let one : t = []
+let factors t = t
+
+let dconj (a : t) (b : t) : t = a @ b
+
+let power (t : t) e =
+  if Nat.is_zero e then one else List.map (fun (q, k) -> (q, Nat.mul k e)) t
+
+let power_int t e =
+  if e < 0 then invalid_arg "Pquery.power_int: negative exponent";
+  power t (Nat.of_int e)
+
+let flatten (t : t) =
+  List.fold_left
+    (fun acc (q, e) -> Query.dconj acc (Query.power q (Nat.to_int e)))
+    Query.true_query t
+
+let total_vars (t : t) =
+  List.fold_left
+    (fun acc (q, e) -> Nat.add acc (Nat.mul e (Nat.of_int (Query.num_vars q))))
+    Nat.zero t
+
+let has_neqs t = List.exists (fun (q, _) -> Query.has_neqs q) t
+let strip_neqs t = List.map (fun (q, e) -> (Query.strip_neqs q, e)) t
+let map_queries f t = List.map (fun (q, e) -> (f q, e)) t
+
+let pp fmt (t : t) =
+  match t with
+  | [] -> Format.pp_print_string fmt "true"
+  | _ ->
+      Format.pp_print_list
+        ~pp_sep:(fun f () -> Format.fprintf f " @,*&* ")
+        (fun f (q, e) ->
+          if Nat.equal e Nat.one then Format.fprintf f "(%a)" Query.pp q
+          else Format.fprintf f "(%a)^%a" Query.pp q Nat.pp e)
+        fmt t

@@ -1,0 +1,47 @@
+(** Power-product queries: finite products [⋀̄ᵢ θᵢ ↑ eᵢ] with
+    arbitrary-precision exponents.
+
+    The paper's reductions build queries by disjoint conjunction and
+    exponentiation whose materialised size is exponential — e.g.
+    [δ_b = (⋀̄_{l∈L} δ_{b,l}) ↑ C] with [C = c·ζ_b(D_Arena)] astronomically
+    large (Section 4.6).  Since all the theorems speak only about counts,
+    and [(ρ ∧̄ ρ')(D) = ρ(D)·ρ'(D)] (Lemma 1) and [(θ↑k)(D) = θ(D)^k]
+    (Definition 2), a query in power-product form can be evaluated
+    factor-wise without ever materialising it. *)
+
+open Bagcq_bignum
+
+type t
+
+val of_query : Query.t -> t
+(** The trivial product [q ↑ 1]. *)
+
+val one : t
+(** The empty product — counts 1 on every database. *)
+
+val factors : t -> (Query.t * Nat.t) list
+
+val dconj : t -> t -> t
+(** Product of the two factor lists ([∧̄] on the underlying queries). *)
+
+val power : t -> Nat.t -> t
+(** [θ ↑ e]: multiplies every exponent by [e].  [power q Nat.zero = one]. *)
+
+val power_int : t -> int -> t
+
+val flatten : t -> Query.t
+(** Materialise as a plain CQ by [Query.power]-expanding every factor —
+    only possible for small exponents.  Raises [Failure] when an exponent
+    does not fit in an [int].  Used by tests to cross-check the factorised
+    evaluator against direct counting. *)
+
+val total_vars : t -> Nat.t
+(** Number of variables of the flattened query ([Σᵢ eᵢ·|Var(θᵢ)|]),
+    without flattening. *)
+
+val has_neqs : t -> bool
+val strip_neqs : t -> t
+
+val map_queries : (Query.t -> Query.t) -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+type t =
+  | Var of string
+  | Cst of string
+
+let var x = Var x
+let cst c = Cst c
+let is_var = function Var _ -> true | Cst _ -> false
+let is_cst = function Cst _ -> true | Var _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Var x, Var y -> String.compare x y
+  | Var _, Cst _ -> -1
+  | Cst _, Var _ -> 1
+  | Cst x, Cst y -> String.compare x y
+
+let equal a b = compare a b = 0
+
+let rename f = function Var x -> Var (f x) | Cst _ as t -> t
+
+let substitute f = function
+  | Var x as t -> ( match f x with Some t' -> t' | None -> t)
+  | Cst _ as t -> t
+
+let pp fmt = function
+  | Var x -> Format.pp_print_string fmt x
+  | Cst c -> Format.fprintf fmt "'%s'" c
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ordered)
+module Map = Map.Make (Ordered)

@@ -1,0 +1,26 @@
+(** Terms of a conjunctive query: variables and constants. *)
+
+type t =
+  | Var of string
+  | Cst of string
+
+val var : string -> t
+val cst : string -> t
+
+val is_var : t -> bool
+val is_cst : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val rename : (string -> string) -> t -> t
+(** Applies a renaming to variables; constants are untouched. *)
+
+val substitute : (string -> t option) -> t -> t
+(** Replaces variables for which the substitution is defined. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

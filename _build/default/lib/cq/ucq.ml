@@ -1,0 +1,28 @@
+open Bagcq_relational
+
+type t = Query.t list
+
+let of_disjuncts l = l
+let disjuncts t = t
+let num_disjuncts = List.length
+
+let scale c q =
+  if c < 0 then invalid_arg "Ucq.scale: negative coefficient";
+  List.init c (fun _ -> q)
+
+let union = ( @ )
+
+let schema t = List.fold_left (fun acc q -> Schema.union acc (Query.schema q)) Schema.empty t
+
+let has_neqs t = List.exists Query.has_neqs t
+
+let map = List.map
+
+let pp fmt t =
+  match t with
+  | [] -> Format.pp_print_string fmt "false"
+  | _ ->
+      Format.pp_print_list
+        ~pp_sep:(fun f () -> Format.fprintf f "@ | ")
+        (fun f q -> Format.fprintf f "(%a)" Query.pp q)
+        fmt t

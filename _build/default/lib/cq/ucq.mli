@@ -1,0 +1,31 @@
+(** Unions of conjunctive queries, under bag semantics.
+
+    The paper's Section 1.1 situates [QCP^bag_CQ] between the decidable
+    set-semantics problems and the undecidable [QCP^bag_UCQ] of
+    Ioannidis–Ramakrishnan [14].  Under bag semantics a union is a
+    {e multiset} union, so a boolean UCQ evaluates to the {e sum} of the
+    counts of its disjuncts — which is how a sum of monomials becomes a
+    polynomial in the [14] reduction (see
+    {!Bagcq_reduction.Ioannidis}). *)
+
+type t
+
+val of_disjuncts : Query.t list -> t
+(** Duplicates are kept: under bag semantics [q ∪ q] counts twice. *)
+
+val disjuncts : t -> Query.t list
+val num_disjuncts : t -> int
+
+val scale : int -> Query.t -> t
+(** [scale c q] is the union of [c] copies of [q] — coefficient [c] in the
+    polynomial reading.  Raises [Invalid_argument] if [c < 0]. *)
+
+val union : t -> t -> t
+
+val schema : t -> Bagcq_relational.Schema.t
+
+val has_neqs : t -> bool
+
+val map : (Query.t -> Query.t) -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/hom/answers.ml: Bagcq_bignum Bagcq_cq Bagcq_relational Format List Map Nat Option Query Set Solver String Structure Term Tuple Value

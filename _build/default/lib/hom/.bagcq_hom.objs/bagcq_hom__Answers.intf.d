@@ -1,0 +1,1 @@
+lib/hom/answers.mli: Bagcq_bignum Bagcq_cq Bagcq_relational Format Nat Query Structure Term Tuple

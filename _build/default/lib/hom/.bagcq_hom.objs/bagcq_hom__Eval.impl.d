@@ -1,0 +1,1 @@
+lib/hom/eval.ml: Bagcq_bignum Bagcq_cq Hashtbl List Map Nat Pquery Printf Query Solver Ucq

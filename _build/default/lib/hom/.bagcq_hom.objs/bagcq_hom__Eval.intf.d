@@ -1,0 +1,1 @@
+lib/hom/eval.mli: Bagcq_bignum Bagcq_cq Bagcq_relational Nat Pquery Query Structure Ucq

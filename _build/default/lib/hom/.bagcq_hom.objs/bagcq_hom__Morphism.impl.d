@@ -1,0 +1,1 @@
+lib/hom/morphism.ml: Atom Bagcq_cq Bagcq_relational List Map Query Solver String Symbol Term Value

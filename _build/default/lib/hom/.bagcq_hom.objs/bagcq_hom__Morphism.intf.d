@@ -1,0 +1,1 @@
+lib/hom/morphism.mli: Bagcq_cq Map Query String Term

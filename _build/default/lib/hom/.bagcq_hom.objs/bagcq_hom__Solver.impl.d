@@ -1,0 +1,1 @@
+lib/hom/solver.ml: Array Bagcq_cq Bagcq_relational Hashtbl List Map Set String Structure Tuple Value

@@ -1,0 +1,1 @@
+lib/hom/solver.mli: Bagcq_cq Bagcq_relational Map Query String Structure Value

@@ -1,0 +1,99 @@
+open Bagcq_bignum
+open Bagcq_cq
+
+(* A component with atoms or inequalities is counted by backtracking.  The
+   only other shape Query.components can emit is an all-constant atom or an
+   all-constant inequality, which the solver also handles (count 0 or 1). *)
+let count_component q d = Nat.of_int (Solver.count q d)
+
+(* Variables renamed by first occurrence, so that components that differ
+   only in variable names share one backtracking run per evaluation —
+   queries built with ∧̄ and ↑ consist of many such copies. *)
+let canonical_component q =
+  let table = Hashtbl.create 8 in
+  let next = ref 0 in
+  let rename x =
+    match Hashtbl.find_opt table x with
+    | Some y -> y
+    | None ->
+        incr next;
+        let y = Printf.sprintf "v%d" !next in
+        Hashtbl.add table x y;
+        y
+  in
+  Query.rename_vars rename q
+
+module QueryMap = Map.Make (Query)
+
+let count q d =
+  let memo = ref QueryMap.empty in
+  let count_memo comp =
+    let key = canonical_component comp in
+    match QueryMap.find_opt key !memo with
+    | Some c -> c
+    | None ->
+        let c = count_component key d in
+        memo := QueryMap.add key c !memo;
+        c
+  in
+  let rec go acc = function
+    | [] -> acc
+    | comp :: rest ->
+        let c = count_memo comp in
+        if Nat.is_zero c then Nat.zero else go (Nat.mul acc c) rest
+  in
+  go Nat.one (Query.components q)
+
+let count_int q d = Nat.to_int (count q d)
+
+let satisfies d q = List.for_all (fun comp -> Solver.exists comp d) (Query.components q)
+
+let count_pquery_factored pq d =
+  List.map (fun (q, e) -> (count q d, e)) (Pquery.factors pq)
+
+let count_pquery pq d =
+  List.fold_left
+    (fun acc (base, e) -> Nat.mul acc (Nat.pow_nat base e))
+    Nat.one
+    (count_pquery_factored pq d)
+
+let pquery_geq pq d bound =
+  if Nat.is_zero bound then true
+  else begin
+    let factored =
+      List.filter (fun (_, e) -> not (Nat.is_zero e)) (count_pquery_factored pq d)
+    in
+    if List.exists (fun (base, _) -> Nat.is_zero base) factored then false
+    else begin
+      (* b ≥ 2^{bits(b)−1}, so the product is at least 2^S with
+         S = Σ e·(bits(b)−1); factors with base 1 contribute nothing. *)
+      let s =
+        List.fold_left
+          (fun acc (base, e) ->
+            Nat.add acc (Nat.mul e (Nat.of_int (Nat.num_bits base - 1))))
+          Nat.zero factored
+      in
+      if Nat.compare s (Nat.of_int (Nat.num_bits bound)) >= 0 then true
+      else begin
+        (* S is small, hence every exponent of a base ≥ 2 factor is small:
+           materialise exactly. *)
+        let product =
+          List.fold_left
+            (fun acc (base, e) ->
+              if Nat.equal base Nat.one then acc else Nat.mul acc (Nat.pow_nat base e))
+            Nat.one factored
+        in
+        Nat.compare product bound >= 0
+      end
+    end
+  end
+
+let satisfies_pquery d pq =
+  List.for_all
+    (fun (q, e) -> Nat.is_zero e || satisfies d q)
+    (Pquery.factors pq)
+
+let count_ucq u d =
+  List.fold_left (fun acc q -> Nat.add acc (count q d)) Nat.zero (Ucq.disjuncts u)
+
+let ucq_contained_on ~small ~big d = Nat.compare (count_ucq small d) (count_ucq big d) <= 0

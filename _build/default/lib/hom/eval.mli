@@ -1,0 +1,47 @@
+(** Bag-semantics query evaluation: [ψ(D) = |Hom(ψ, D)|] (Section 2.1),
+    computed exactly as an arbitrary-precision natural.
+
+    Evaluation factorises across the connected components of the query —
+    the generalisation of Lemma 1 that keeps the reduction queries (stars
+    plus many disjoint cycles) tractable — and across the factors of a
+    power-product query, raising component counts to their exponents
+    instead of materialising [θ↑k]. *)
+
+open Bagcq_bignum
+open Bagcq_relational
+open Bagcq_cq
+
+val count : Query.t -> Structure.t -> Nat.t
+(** [count ψ D = ψ(D)]. *)
+
+val count_int : Query.t -> Structure.t -> int
+(** Convenience for tests; raises [Failure] if the count overflows. *)
+
+val satisfies : Structure.t -> Query.t -> bool
+(** [D ⊨ ψ]: [Hom(ψ,D)] is non-empty. *)
+
+val count_pquery : Pquery.t -> Structure.t -> Nat.t
+(** Counts a power-product query factor-wise: [∏ᵢ θᵢ(D)^{eᵢ}].  When a
+    factor count is ≥ 2 and its exponent exceeds [max_int] the result is
+    not representable; this raises [Failure] — use {!count_pquery_factored}
+    for symbolic reasoning about such counts. *)
+
+val count_pquery_factored : Pquery.t -> Structure.t -> (Nat.t * Nat.t) list
+(** Per-factor [(θᵢ(D), eᵢ)] pairs — the symbolic form of the count, never
+    materialised.  Anti-cheating arguments (Lemmas 18, 21) only need to
+    compare such products against bounds, which is possible without
+    expanding them. *)
+
+val pquery_geq : Pquery.t -> Structure.t -> Nat.t -> bool
+(** [pquery_geq ψ D bound]: decide [ψ(D) ≥ bound] without materialising the
+    count (factors with base ≥ 2 dominate their exponent:
+    [b^e ≥ 2^e ≥ e + 1]). *)
+
+val satisfies_pquery : Structure.t -> Pquery.t -> bool
+
+val count_ucq : Ucq.t -> Structure.t -> Nat.t
+(** Bag-semantics union: the sum of the disjunct counts. *)
+
+val ucq_contained_on : small:Ucq.t -> big:Ucq.t -> Structure.t -> bool
+(** One instance of [QCP^bag_UCQ] (undecidable in general —
+    Ioannidis–Ramakrishnan [14]): [small(D) ≤ big(D)]. *)

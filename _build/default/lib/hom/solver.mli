@@ -1,0 +1,33 @@
+(** Backtracking enumeration of the homomorphisms from a conjunctive query
+    to a structure.
+
+    A homomorphism is a map [h : Var(ψ) → V_D] such that every atom of ψ
+    maps to an atom of [D], every constant is sent to its interpretation in
+    [D] (so a query mentioning an uninterpreted constant has no
+    homomorphisms), and every inequality [t ≠ t'] of ψ has
+    [h(t) ≠ h(t')] — the virtual-relation semantics of Section 2.1.
+    Variables occurring only in inequalities range over the whole active
+    domain.
+
+    This module enumerates; callers that want the bag-semantics *count*
+    with cross-component factorisation should use {!Eval}. *)
+
+open Bagcq_relational
+open Bagcq_cq
+
+type assignment = Value.t Map.Make(String).t
+
+val count : Query.t -> Structure.t -> int
+(** [|Hom(ψ, D)|] by exhaustive backtracking.  Linear in the number of
+    homomorphisms, so only suitable per connected component — {!Eval.count}
+    multiplies component counts into a {!Bagcq_bignum.Nat.t}. *)
+
+val exists : Query.t -> Structure.t -> bool
+(** Early-exit satisfiability: [D ⊨ ψ]. *)
+
+val enumerate : ?limit:int -> Query.t -> Structure.t -> assignment list
+(** All homomorphisms (or the first [limit]). *)
+
+val iter : (assignment -> unit) -> Query.t -> Structure.t -> unit
+
+val fold : ('a -> assignment -> 'a) -> 'a -> Query.t -> Structure.t -> 'a

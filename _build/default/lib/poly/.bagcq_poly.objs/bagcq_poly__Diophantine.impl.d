@@ -1,0 +1,1 @@
+lib/poly/diophantine.ml: Array Polynomial Stdlib

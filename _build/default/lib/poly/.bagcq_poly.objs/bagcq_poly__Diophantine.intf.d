@@ -1,0 +1,1 @@
+lib/poly/diophantine.mli: Polynomial

@@ -1,0 +1,1 @@
+lib/poly/lemma11.ml: Array Bagcq_bignum Format List Monomial Nat Polynomial Printf

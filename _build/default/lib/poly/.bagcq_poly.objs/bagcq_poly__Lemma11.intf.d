@@ -1,0 +1,1 @@
+lib/poly/lemma11.mli: Bagcq_bignum Format Nat Polynomial

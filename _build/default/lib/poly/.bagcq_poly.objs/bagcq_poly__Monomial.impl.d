@@ -1,0 +1,1 @@
+lib/poly/monomial.ml: Format List Map Stdlib

@@ -1,0 +1,1 @@
+lib/poly/parse.ml: List Polynomial Printf String

@@ -1,0 +1,1 @@
+lib/poly/polynomial.ml: Format Int List Monomial Option Stdlib String

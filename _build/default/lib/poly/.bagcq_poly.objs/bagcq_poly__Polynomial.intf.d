@@ -1,0 +1,1 @@
+lib/poly/polynomial.mli: Format Monomial

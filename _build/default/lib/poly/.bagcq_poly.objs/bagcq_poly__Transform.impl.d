@@ -1,0 +1,1 @@
+lib/poly/transform.ml: Array Lemma11 List Monomial Polynomial Stdlib

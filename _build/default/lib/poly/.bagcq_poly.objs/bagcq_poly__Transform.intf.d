@@ -1,0 +1,1 @@
+lib/poly/transform.mli: Lemma11 Polynomial

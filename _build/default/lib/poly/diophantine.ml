@@ -1,0 +1,49 @@
+let x i = Polynomial.var i
+let ( + ) = Polynomial.add
+let ( - ) = Polynomial.sub
+let ( * ) = Polynomial.mul
+let k = Polynomial.const
+let sq p = Polynomial.square p
+
+let linear_solvable = x 1 - k 2
+let linear_unsolvable = x 1 + k 1
+let square_plus_one = sq (x 1) + k 1
+let difference_square = sq (x 1) - x 2
+let pell = sq (x 1) - (k 2 * sq (x 2)) - k 1
+let pythagoras = sq (x 1) + sq (x 2) - sq (x 3)
+let markov_like = sq (x 1) + sq (x 2) + sq (x 3) - (k 3 * (x 1 * x 2 * x 3))
+let sum_of_squares = sq (x 1) + sq (x 2)
+
+let all_named =
+  [
+    ("x - 2", linear_solvable, `Solvable [| 2 |]);
+    ("x + 1", linear_unsolvable, `Unsolvable);
+    ("x^2 + 1", square_plus_one, `Unsolvable);
+    ("x^2 - y", difference_square, `Solvable [| 3; 9 |]);
+    ("pell: x^2 - 2y^2 - 1", pell, `Solvable [| 3; 2 |]);
+    ("pythagoras: x^2 + y^2 - z^2", pythagoras, `Solvable [| 3; 4; 5 |]);
+    ("markov: x^2 + y^2 + z^2 - 3xyz", markov_like, `Solvable [| 1; 1; 1 |]);
+    ("x^2 + y^2", sum_of_squares, `Solvable [| 0; 0 |]);
+  ]
+
+let is_zero_at q z = Polynomial.eval (fun i -> z.(Stdlib.( - ) i 1)) q = 0
+
+let zero_search q ~bound =
+  let n = Stdlib.max 1 (Polynomial.max_var q) in
+  let z = Array.make n 0 in
+  let rec go i =
+    if i = n then if is_zero_at q z then Some (Array.copy z) else None
+    else begin
+      let rec try_value v =
+        if Stdlib.( > ) v bound then None
+        else begin
+          z.(i) <- v;
+          match go (Stdlib.( + ) i 1) with
+          | Some w -> Some w
+          | None -> try_value (Stdlib.( + ) v 1)
+        end
+      in
+      try_value 0
+    end
+  in
+  go 0

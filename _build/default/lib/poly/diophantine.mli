@@ -1,0 +1,43 @@
+(** A small library of Diophantine equations — the decidable instances on
+    which the (in general undecidable) reductions are exercised end to end.
+
+    Each value is a polynomial [Q]; the question of Hilbert's 10th problem
+    (Theorem 6 form) is whether [Q(Ξ) ≠ 0] for {e every} valuation into ℕ.
+    "Solvable" below means the equation [Q = 0] has a solution over ℕ. *)
+
+val linear_solvable : Polynomial.t
+(** [x₁ − 2]: zero at [x₁ = 2]. *)
+
+val linear_unsolvable : Polynomial.t
+(** [x₁ + 1]: positive on all of ℕ. *)
+
+val square_plus_one : Polynomial.t
+(** [x₁² + 1]: classic unsolvable instance. *)
+
+val difference_square : Polynomial.t
+(** [x₁² − x₂]: zeros at [(k, k²)]. *)
+
+val pell : Polynomial.t
+(** [x₁² − 2x₂² − 1]: the Pell equation, smallest non-trivial zero
+    [(3, 2)]. *)
+
+val pythagoras : Polynomial.t
+(** [x₁² + x₂² − x₃²]: zeros at [(0,0,0)], [(3,4,5)], …. *)
+
+val markov_like : Polynomial.t
+(** [x₁² + x₂² + x₃² − 3·x₁·x₂·x₃]: the Markov equation, zero at
+    [(1,1,1)]. *)
+
+val sum_of_squares : Polynomial.t
+(** [x₁² + x₂²]: only zero is [(0,0)] — solvable, but exactly once. *)
+
+val all_named : (string * Polynomial.t * [ `Solvable of int array | `Unsolvable ]) list
+(** Every instance above with its name and ground truth (a witness zero for
+    the solvable ones). *)
+
+val zero_search : Polynomial.t -> bound:int -> int array option
+(** Exhaustive grid search for a zero with entries in [0…bound]. *)
+
+val is_zero_at : Polynomial.t -> int array -> bool
+(** [Q(z) = 0] with [z] indexed by variable (entry [i] = value of
+    [x_{i+1}]). *)

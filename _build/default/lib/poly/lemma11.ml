@@ -1,0 +1,118 @@
+open Bagcq_bignum
+
+type t = {
+  c : int;
+  n_vars : int;
+  degree : int;
+  monomials : int array array;
+  cs : int array;
+  cb : int array;
+}
+
+let make ~c ~n_vars ~monomials ~cs ~cb =
+  let m = Array.length monomials in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if c < 2 then fail "c must be >= 2 (got %d)" c
+  else if n_vars < 1 then fail "need at least one variable"
+  else if m = 0 then fail "need at least one monomial"
+  else if Array.length cs <> m || Array.length cb <> m then
+    fail "coefficient arrays must match the number of monomials"
+  else begin
+    let d = Array.length monomials.(0) in
+    if d < 1 then fail "monomials must have degree >= 1"
+    else begin
+      let problem = ref None in
+      Array.iteri
+        (fun i mono ->
+          if !problem = None then begin
+            if Array.length mono <> d then
+              problem := Some (Printf.sprintf "monomial %d has degree %d, expected %d" (i + 1) (Array.length mono) d)
+            else if mono.(0) <> 1 then
+              problem := Some (Printf.sprintf "monomial %d does not start with x1" (i + 1))
+            else
+              Array.iter
+                (fun v ->
+                  if (v < 1 || v > n_vars) && !problem = None then
+                    problem := Some (Printf.sprintf "monomial %d mentions x%d, out of range" (i + 1) v))
+                mono
+          end)
+        monomials;
+      Array.iteri
+        (fun i csi ->
+          if !problem = None && not (1 <= csi && csi <= cb.(i)) then
+            problem :=
+              Some
+                (Printf.sprintf "coefficients for monomial %d violate 1 <= c_s <= c_b (%d, %d)"
+                   (i + 1) csi cb.(i)))
+        cs;
+      match !problem with
+      | Some msg -> Error msg
+      | None -> Ok { c; n_vars; degree = d; monomials; cs; cb }
+    end
+  end
+
+let make_exn ~c ~n_vars ~monomials ~cs ~cb =
+  match make ~c ~n_vars ~monomials ~cs ~cb with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Lemma11.make: " ^ msg)
+
+let num_monomials t = Array.length t.monomials
+
+let occurrences t =
+  let acc = ref [] in
+  Array.iteri
+    (fun mi mono ->
+      Array.iteri (fun di v -> acc := (v, di + 1, mi + 1) :: !acc) mono)
+    t.monomials;
+  List.rev !acc
+
+let poly_of coeffs t =
+  Array.to_list t.monomials
+  |> List.mapi (fun i mono -> (coeffs.(i), Monomial.of_list (Array.to_list mono)))
+  |> Polynomial.of_list
+
+let p_s t = poly_of t.cs t
+let p_b t = poly_of t.cb t
+
+let eval_monomial mono (xs : int array) =
+  Array.fold_left
+    (fun acc v ->
+      if xs.(v - 1) < 0 then invalid_arg "Lemma11: negative valuation";
+      Nat.mul_int acc xs.(v - 1))
+    Nat.one mono
+
+let eval_with coeffs t xs =
+  if Array.length xs <> t.n_vars then invalid_arg "Lemma11: valuation length mismatch";
+  let acc = ref Nat.zero in
+  Array.iteri
+    (fun i mono -> acc := Nat.add !acc (Nat.mul_int (eval_monomial mono xs) coeffs.(i)))
+    t.monomials;
+  !acc
+
+let eval_s t xs = eval_with t.cs t xs
+let eval_b t xs = eval_with t.cb t xs
+
+let rhs t xs = Nat.mul (Nat.pow (Nat.of_int xs.(0)) t.degree) (eval_b t xs)
+
+let holds_at t xs = Nat.compare (Nat.mul_int (eval_s t xs) t.c) (rhs t xs) <= 0
+
+let violation_search t ~max =
+  let xs = Array.make t.n_vars 0 in
+  let rec go i =
+    if i = t.n_vars then if holds_at t xs then None else Some (Array.copy xs)
+    else begin
+      let rec try_value v =
+        if v > max then None
+        else begin
+          xs.(i) <- v;
+          match go (i + 1) with Some w -> Some w | None -> try_value (v + 1)
+        end
+      in
+      try_value 0
+    end
+  in
+  go 0
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>c = %d@ P_s = %a@ P_b = %a@ (d = %d, n = %d)@]" t.c Polynomial.pp
+    (p_s t) Polynomial.pp (p_b t) t.degree t.n_vars

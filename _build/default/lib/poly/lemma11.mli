@@ -1,0 +1,65 @@
+(** Instances of the undecidable inequality problem of Lemma 11.
+
+    An instance is a triple [(c, P_s, P_b)] where [P_s = Σ_m c_{s,m}·T_m]
+    and [P_b = Σ_m c_{b,m}·T_m] share the same monomials [T_1 … T_m], all
+    of degree exactly [d], each starting with the variable [x₁], and
+    [1 ≤ c_{s,m} ≤ c_{b,m}] for every [m].  The undecidable question is
+    whether [c·P_s(Ξ) ≤ Ξ(x₁)^d·P_b(Ξ)] for every valuation
+    [Ξ : {x₁…x_n} → ℕ].
+
+    Monomials are stored {e positionally} (an array of variable indices of
+    length [d]) because the reduction of Section 4 needs the relation
+    [𝒫(n,d,m)] — "x_n is the d-th variable of T_m" (Section 4.4). *)
+
+open Bagcq_bignum
+
+type t = private {
+  c : int;  (** the multiplicative constant, ≥ 2 *)
+  n_vars : int;  (** n — variables are 1…n, with x₁ distinguished *)
+  degree : int;  (** d ≥ 1 *)
+  monomials : int array array;  (** m rows, each of length [degree] *)
+  cs : int array;  (** c_{s,m} *)
+  cb : int array;  (** c_{b,m} *)
+}
+
+val make :
+  c:int ->
+  n_vars:int ->
+  monomials:int array array ->
+  cs:int array ->
+  cb:int array ->
+  (t, string) result
+(** Checks every side condition of Lemma 11. *)
+
+val make_exn :
+  c:int -> n_vars:int -> monomials:int array array -> cs:int array -> cb:int array -> t
+
+val num_monomials : t -> int
+
+val occurrences : t -> (int * int * int) list
+(** The relation [𝒫 ⊆ {1…n}×{1…d}×{1…m}]: [(n,d,m)] ∈ 𝒫 iff [x_n] is the
+    [d]-th variable of [T_m].  One entry per position, so a variable
+    occurring twice in a monomial appears with two different [d]s. *)
+
+val p_s : t -> Polynomial.t
+val p_b : t -> Polynomial.t
+
+val eval_s : t -> int array -> Nat.t
+(** [P_s(Ξ)]; the valuation array has length [n_vars], entry [i] giving
+    [Ξ(x_{i+1})] (must be ≥ 0). *)
+
+val eval_b : t -> int array -> Nat.t
+
+val rhs : t -> int array -> Nat.t
+(** [Ξ(x₁)^d · P_b(Ξ)]. *)
+
+val holds_at : t -> int array -> bool
+(** [c·P_s(Ξ) ≤ Ξ(x₁)^d·P_b(Ξ)] at one valuation. *)
+
+val violation_search : t -> max:int -> int array option
+(** Exhaustive grid search over valuations with entries in [0…max] for a
+    valuation where the inequality fails.  The problem is undecidable in
+    general; on instances produced from a Diophantine equation with a known
+    zero this finds the violation the theory predicts. *)
+
+val pp : Format.formatter -> t -> unit

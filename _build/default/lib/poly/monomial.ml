@@ -1,0 +1,57 @@
+type t = int list (* sorted ascending, with multiplicity *)
+
+let one : t = []
+
+let var i =
+  if i < 1 then invalid_arg "Monomial.var: index must be >= 1";
+  [ i ]
+
+let of_list l =
+  List.iter (fun i -> if i < 1 then invalid_arg "Monomial.of_list: index must be >= 1") l;
+  List.sort Stdlib.compare l
+
+let to_list t = t
+let degree = List.length
+let mul a b = List.merge Stdlib.compare a b
+
+let pow m k =
+  if k < 0 then invalid_arg "Monomial.pow: negative";
+  let rec go acc k = if k = 0 then acc else go (mul acc m) (k - 1) in
+  go one k
+
+let vars t = List.sort_uniq Stdlib.compare t
+let max_var t = List.fold_left Stdlib.max 0 t
+
+let eval valuation t =
+  List.fold_left
+    (fun acc i ->
+      let v = valuation i in
+      if v < 0 then invalid_arg "Monomial.eval: negative value";
+      acc * v)
+    1 t
+
+let compare = List.compare Stdlib.compare
+let equal a b = compare a b = 0
+
+let pp fmt t =
+  if t = [] then Format.pp_print_string fmt "1"
+  else begin
+    let grouped =
+      List.fold_left
+        (fun acc i ->
+          match acc with (j, k) :: rest when j = i -> (j, k + 1) :: rest | _ -> (i, 1) :: acc)
+        [] t
+      |> List.rev
+    in
+    Format.pp_print_list
+      ~pp_sep:(fun f () -> Format.pp_print_string f "·")
+      (fun f (i, k) ->
+        if k = 1 then Format.fprintf f "x%d" i else Format.fprintf f "x%d^%d" i k)
+      fmt grouped
+  end
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,37 @@
+(** Monomials of multivariate polynomials, as multisets of variable
+    indices.  Variables are positive integers ([x₁] is [1]).  The constant
+    monomial is the empty multiset. *)
+
+type t
+
+val one : t
+(** The constant monomial. *)
+
+val var : int -> t
+(** Raises [Invalid_argument] on indices < 1. *)
+
+val of_list : int list -> t
+(** Multiset from a list of variable indices (order irrelevant). *)
+
+val to_list : t -> int list
+(** Sorted ascending, with multiplicity. *)
+
+val degree : t -> int
+val mul : t -> t -> t
+val pow : t -> int -> t
+
+val vars : t -> int list
+(** Distinct variables, ascending. *)
+
+val max_var : t -> int
+(** 0 for the constant monomial. *)
+
+val eval : (int -> int) -> t -> int
+(** Product of the variable values; raises [Invalid_argument] when a value
+    is negative (valuations range over ℕ). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t

@@ -1,0 +1,121 @@
+type token =
+  | Int of int
+  | Var of int
+  | Plus
+  | Minus
+  | Star
+  | Caret
+  | Lparen
+  | Rparen
+
+exception Parse_error of string
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else begin
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '+' -> go (i + 1) (Plus :: acc)
+      | '-' -> go (i + 1) (Minus :: acc)
+      | '*' -> go (i + 1) (Star :: acc)
+      (* the middle dot the printer uses, as the UTF-8 pair C2 B7 *)
+      | '\xc2' when i + 1 < n && s.[i + 1] = '\xb7' -> go (i + 2) (Star :: acc)
+      | '^' -> go (i + 1) (Caret :: acc)
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | c when c >= '0' && c <= '9' ->
+          let j = ref i in
+          while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+            incr j
+          done;
+          go !j (Int (int_of_string (String.sub s i (!j - i))) :: acc)
+      | ('x' | 'X' | 'y' | 'z') as v ->
+          (* x1, x2, … — and as a courtesy, bare x/y/z mean x1/x2/x3 *)
+          let j = ref (i + 1) in
+          while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+            incr j
+          done;
+          let index =
+            if !j > i + 1 then int_of_string (String.sub s (i + 1) (!j - i - 1))
+            else begin
+              match v with 'x' | 'X' -> 1 | 'y' -> 2 | _ -> 3
+            end
+          in
+          if index < 1 then raise (Parse_error "variable indices start at 1");
+          go !j (Var index :: acc)
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+    end
+  in
+  go 0 []
+
+(* recursive descent; returns (value, remaining tokens) *)
+let rec parse_poly tokens =
+  let first, rest =
+    match tokens with
+    | Minus :: rest ->
+        let t, rest = parse_term rest in
+        (Polynomial.neg t, rest)
+    | Plus :: rest -> parse_term rest
+    | _ -> parse_term tokens
+  in
+  let rec loop acc = function
+    | Plus :: rest ->
+        let t, rest = parse_term rest in
+        loop (Polynomial.add acc t) rest
+    | Minus :: rest ->
+        let t, rest = parse_term rest in
+        loop (Polynomial.sub acc t) rest
+    | rest -> (acc, rest)
+  in
+  loop first rest
+
+and parse_term tokens =
+  let first, rest = parse_factor tokens in
+  let rec loop acc = function
+    | Star :: rest ->
+        let f, rest = parse_factor rest in
+        loop (Polynomial.mul acc f) rest
+    | ((Int _ | Var _ | Lparen) :: _) as rest ->
+        (* juxtaposition: 2x1, x1x2, 3(x+1) *)
+        let f, rest = parse_factor rest in
+        loop (Polynomial.mul acc f) rest
+    | rest -> (acc, rest)
+  in
+  loop first rest
+
+and parse_factor tokens =
+  let base, rest =
+    match tokens with
+    | Int k :: rest -> (Polynomial.const k, rest)
+    | Var i :: rest -> (Polynomial.var i, rest)
+    | Lparen :: rest -> (
+        let p, rest = parse_poly rest in
+        match rest with
+        | Rparen :: rest -> (p, rest)
+        | _ -> raise (Parse_error "missing closing parenthesis"))
+    | _ -> raise (Parse_error "expected a number, variable or parenthesis")
+  in
+  match rest with
+  | Caret :: Int e :: rest ->
+      if e < 0 then raise (Parse_error "negative exponent");
+      (* polynomial powers grow multinomially; anything beyond this bound
+         is surely a typo and would stall the parser's caller *)
+      if e > 64 then raise (Parse_error "exponent too large (max 64)");
+      (Polynomial.pow base e, rest)
+  | Caret :: _ -> raise (Parse_error "expected an exponent after '^'")
+  | rest -> (base, rest)
+
+let parse s =
+  try
+    let tokens = tokenize s in
+    if tokens = [] then Error "empty polynomial"
+    else begin
+      let p, rest = parse_poly tokens in
+      if rest <> [] then Error "trailing tokens" else Ok p
+    end
+  with Parse_error msg -> Error msg
+
+let parse_exn s =
+  match parse s with Ok p -> p | Error msg -> invalid_arg ("Poly.Parse: " ^ msg)

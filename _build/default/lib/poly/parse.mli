@@ -1,0 +1,15 @@
+(** Concrete syntax for polynomials, used by the CLI:
+
+    {v
+      poly   ::= term (('+' | '-') term)*       leading '-' allowed
+      term   ::= factor ('*'? factor)*           juxtaposition multiplies
+      factor ::= INT | VAR ('^' INT)? | '(' poly ')'
+      VAR    ::= 'x' INT     (x1, x2, …)
+    v}
+
+    Examples: ["x1^2 - 2x2^2 - 1"], ["(x1 + x2)*(x1 - x2)"].
+    Exponents are capped at 64 (larger ones are surely typos and would
+    stall the caller on a multinomial blow-up). *)
+
+val parse : string -> (Polynomial.t, string) result
+val parse_exn : string -> Polynomial.t

@@ -1,0 +1,75 @@
+type t = int Monomial.Map.t (* no zero coefficients stored *)
+
+let normalize m = Monomial.Map.filter (fun _ c -> c <> 0) m
+let zero : t = Monomial.Map.empty
+let const c = normalize (Monomial.Map.singleton Monomial.one c)
+let one = const 1
+let monomial c m = normalize (Monomial.Map.singleton m c)
+let var i = monomial 1 (Monomial.var i)
+
+let add a b =
+  normalize
+    (Monomial.Map.union (fun _ c1 c2 -> Some (c1 + c2)) a b)
+
+let of_list l = List.fold_left (fun acc (c, m) -> add acc (monomial c m)) zero l
+
+let terms p = Monomial.Map.bindings p |> List.map (fun (m, c) -> (c, m))
+let coeff p m = Option.value ~default:0 (Monomial.Map.find_opt m p)
+let is_zero p = Monomial.Map.is_empty p
+let equal = Monomial.Map.equal Int.equal
+let neg p = Monomial.Map.map (fun c -> -c) p
+let sub a b = add a (neg b)
+let scale k p = if k = 0 then zero else Monomial.Map.map (fun c -> k * c) p
+
+let mul a b =
+  Monomial.Map.fold
+    (fun ma ca acc ->
+      Monomial.Map.fold
+        (fun mb cb acc -> add acc (monomial (ca * cb) (Monomial.mul ma mb)))
+        b acc)
+    a zero
+
+let square p = mul p p
+
+let pow p k =
+  if k < 0 then invalid_arg "Polynomial.pow: negative";
+  let rec go acc k = if k = 0 then acc else go (mul acc p) (k - 1) in
+  go one k
+
+let degree p = Monomial.Map.fold (fun m _ acc -> Stdlib.max acc (Monomial.degree m)) p 0
+let max_var p = Monomial.Map.fold (fun m _ acc -> Stdlib.max acc (Monomial.max_var m)) p 0
+let num_terms p = Monomial.Map.cardinal p
+let monomials p = List.map fst (Monomial.Map.bindings p)
+
+let eval valuation p =
+  Monomial.Map.fold (fun m c acc -> acc + (c * Monomial.eval valuation m)) p 0
+
+let is_nonneg p = Monomial.Map.for_all (fun _ c -> c >= 0) p
+
+let split_signs p =
+  let pos = Monomial.Map.filter (fun _ c -> c > 0) p in
+  let negs = Monomial.Map.filter_map (fun _ c -> if c < 0 then Some (-c) else None) p in
+  (pos, negs)
+
+let rename_vars f p =
+  Monomial.Map.fold
+    (fun m c acc ->
+      add acc (monomial c (Monomial.of_list (List.map f (Monomial.to_list m)))))
+    p zero
+
+let pp fmt p =
+  if is_zero p then Format.pp_print_string fmt "0"
+  else begin
+    let first = ref true in
+    Monomial.Map.iter
+      (fun m c ->
+        let sign = if c < 0 then "- " else if !first then "" else "+ " in
+        let c' = abs c in
+        first := false;
+        if Monomial.equal m Monomial.one then Format.fprintf fmt "%s%d " sign c'
+        else if c' = 1 then Format.fprintf fmt "%s%a " sign Monomial.pp m
+        else Format.fprintf fmt "%s%d·%a " sign c' Monomial.pp m)
+      p
+  end
+
+let to_string p = String.trim (Format.asprintf "%a" pp p)

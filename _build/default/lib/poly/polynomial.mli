@@ -1,0 +1,56 @@
+(** Multivariate polynomials with integer coefficients — the instances of
+    Hilbert's 10th problem (Theorem 6) and the intermediate objects of the
+    Appendix B pipeline. *)
+
+type t
+
+val zero : t
+val one : t
+val const : int -> t
+val var : int -> t
+val monomial : int -> Monomial.t -> t
+
+val of_list : (int * Monomial.t) list -> t
+(** Sums repeated monomials; drops zero coefficients. *)
+
+val terms : t -> (int * Monomial.t) list
+(** Coefficient–monomial pairs, monomials ascending, no zero
+    coefficients. *)
+
+val coeff : t -> Monomial.t -> int
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val square : t -> t
+val scale : int -> t -> t
+val pow : t -> int -> t
+
+val degree : t -> int
+(** Maximal monomial degree; [degree zero = 0]. *)
+
+val max_var : t -> int
+val num_terms : t -> int
+
+val monomials : t -> Monomial.t list
+
+val eval : (int -> int) -> t -> int
+(** Exact evaluation at a valuation into ℕ; machine-integer arithmetic
+    (the library's instances are small). *)
+
+val is_nonneg : t -> bool
+(** All coefficients ≥ 0 — required for [P_s] and [P_b] of Lemma 11. *)
+
+val split_signs : t -> t * t
+(** [(Q'₊, Q'₋)]: the positive part and the negated negative part, both
+    with natural coefficients, such that the polynomial equals
+    [Q'₊ − Q'₋] (Appendix B.2). *)
+
+val rename_vars : (int -> int) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

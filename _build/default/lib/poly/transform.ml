@@ -1,0 +1,48 @@
+type pipeline = {
+  input : Polynomial.t;
+  q_squared : Polynomial.t;
+  p1 : Polynomial.t;
+  p2 : Polynomial.t;
+  p1' : Polynomial.t;
+  p2' : Polynomial.t;
+  instance : Lemma11.t;
+}
+
+let run q0 =
+  begin
+    (* variables of the input become ξ₂…ξ_n; ξ₁ is reserved.  A constant
+       input is degenerate but still reduces soundly: the produced instance
+       is violated iff the constant is zero. *)
+    let q = Polynomial.rename_vars (fun i -> i + 1) q0 in
+    let n_vars = Stdlib.max 1 (Polynomial.max_var q) in
+    let q_squared = Polynomial.square q in
+    let qpos, qneg = Polynomial.split_signs q_squared in
+    let p1 = Polynomial.add qneg Polynomial.one in
+    let p2 = qpos in
+    (* the common monomial set T and the completion polynomial P *)
+    let t_set =
+      List.sort_uniq Monomial.compare (Polynomial.monomials p1 @ Polynomial.monomials p2)
+    in
+    let p = Polynomial.of_list (List.map (fun m -> (1, m)) t_set) in
+    let p1' = Polynomial.add p1 p and p2' = Polynomial.add p2 p in
+    (* homogenise: every monomial is padded with ξ₁ up to degree d *)
+    let d = 1 + List.fold_left (fun acc m -> Stdlib.max acc (Monomial.degree m)) 0 t_set in
+    let positional m =
+      let body = Monomial.to_list m in
+      Array.of_list (List.init (d - Monomial.degree m) (fun _ -> 1) @ body)
+    in
+    let monomials = Array.of_list (List.map positional t_set) in
+    let cs = Array.of_list (List.map (Polynomial.coeff p1') t_set) in
+    let cb_base = Array.of_list (List.map (Polynomial.coeff p2') t_set) in
+    let c' = Array.fold_left Stdlib.max 1 cs in
+    let cb = Array.map (fun cbi -> c' * cbi) cb_base in
+    let instance =
+      Lemma11.make_exn ~c:c' ~n_vars ~monomials ~cs ~cb
+    in
+    { input = q; q_squared; p1; p2; p1'; p2'; instance }
+  end
+
+let reduce q = (run q).instance
+
+let lift_zero z = Array.append [| 1 |] z
+let project_valuation xs = Array.sub xs 1 (Array.length xs - 1)

@@ -1,0 +1,44 @@
+(** The Appendix B pipeline: from an instance of Hilbert's 10th problem to
+    an instance of the Lemma 11 inequality problem.
+
+    Given a polynomial [Q] with integer coefficients over variables
+    [ξ₂…ξ_n] (the input's variables are renumbered from 1-based), the
+    pipeline computes
+    - [Q' = Q²] and its sign split [Q' = Q'₊ − Q'₋] (B.2),
+    - [P₁ = Q'₋ + 1], [P₂ = Q'₊] — so that [Q(Ξ) = 0 ⟺ P₁(Ξ) > P₂(Ξ)]
+      (Lemma 25),
+    - common monomials: [P₁' = P₁ + P], [P₂' = P₂ + P] with
+      [P = Σ_{t∈T} t] (B.3),
+    - homogenisation by the fresh variable [ξ₁]: degree [d = 1 + max dᵢ],
+      [tᵢ' = ξ₁^{d−dᵢ}·tᵢ] (B.4),
+    - coefficient domination: [c' = max coefficient of P₁''],
+      [P_s = P₁''], [P_b = c'·P₂''] (B.5).
+
+    Lemma 29: [Q] has a zero over ℕ iff the produced instance has a
+    violating valuation. *)
+
+type pipeline = {
+  input : Polynomial.t;  (** renamed input — variables 2…n *)
+  q_squared : Polynomial.t;
+  p1 : Polynomial.t;
+  p2 : Polynomial.t;
+  p1' : Polynomial.t;
+  p2' : Polynomial.t;
+  instance : Lemma11.t;
+}
+
+val run : Polynomial.t -> pipeline
+(** Total on all inputs; a constant [Q] is degenerate but reduces soundly
+    (the instance is violated iff the constant is zero). *)
+
+val reduce : Polynomial.t -> Lemma11.t
+(** [instance ∘ run]. *)
+
+val lift_zero : int array -> int array
+(** [lift_zero z] turns a zero [z] of the input [Q] (indexed by the
+    original 1-based variables) into the violating valuation
+    [Ξ' = (1, z)] of the produced instance (Lemma 29, first direction). *)
+
+val project_valuation : int array -> int array
+(** The other direction: drop [ξ₁] from an instance valuation to get a
+    valuation of the input's variables. *)

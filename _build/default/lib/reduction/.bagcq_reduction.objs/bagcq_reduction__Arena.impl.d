@@ -1,0 +1,1 @@
+lib/reduction/arena.ml: Atom Bagcq_cq Bagcq_hom Bagcq_poly Bagcq_relational Build Consts List Query Schema Sigma Structure Term Tuple Value

@@ -1,0 +1,1 @@
+lib/reduction/arena.mli: Bagcq_cq Bagcq_poly Bagcq_relational Query Structure

@@ -1,0 +1,1 @@
+lib/reduction/containment.ml: Bagcq_bignum Bagcq_cq Bagcq_hom Nat Query

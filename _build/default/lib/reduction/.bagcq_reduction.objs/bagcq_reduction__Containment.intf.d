@@ -1,0 +1,1 @@
+lib/reduction/containment.mli: Bagcq_bignum Bagcq_cq Bagcq_relational Nat Pquery Query Structure

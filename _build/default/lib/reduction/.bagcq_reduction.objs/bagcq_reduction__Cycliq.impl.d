@@ -1,0 +1,1 @@
+lib/reduction/cycliq.ml: Array Atom Bagcq_bignum Bagcq_cq Bagcq_relational Build Consts List Nat Query Rat Structure Symbol Term Tuple Value

@@ -1,0 +1,1 @@
+lib/reduction/delta.ml: Bagcq_cq Bagcq_hom Bagcq_poly Build List Pquery Query Sigma

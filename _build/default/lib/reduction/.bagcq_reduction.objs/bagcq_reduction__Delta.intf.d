@@ -1,0 +1,1 @@
+lib/reduction/delta.mli: Bagcq_bignum Bagcq_cq Bagcq_poly Bagcq_relational Nat Pquery Query

@@ -1,0 +1,1 @@
+lib/reduction/ioannidis.ml: Array Atom Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_poly Bagcq_relational List Nat Printf Query Schema Stdlib Structure Symbol Term Tuple Ucq Value

@@ -1,0 +1,1 @@
+lib/reduction/ioannidis.mli: Bagcq_bignum Bagcq_cq Bagcq_poly Bagcq_relational Nat Structure Ucq

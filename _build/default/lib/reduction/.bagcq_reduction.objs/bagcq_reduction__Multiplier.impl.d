@@ -1,0 +1,1 @@
+lib/reduction/multiplier.ml: Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_relational Cycliq Nat Query Rat Schema Structure Tuning

@@ -1,0 +1,1 @@
+lib/reduction/multiplier.mli: Bagcq_bignum Bagcq_cq Bagcq_relational Nat Query Rat Structure

@@ -1,0 +1,1 @@
+lib/reduction/pi.ml: Array Atom Bagcq_cq Bagcq_poly List Map Printf Query Sigma String Term

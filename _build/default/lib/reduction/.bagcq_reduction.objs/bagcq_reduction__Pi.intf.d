@@ -1,0 +1,1 @@
+lib/reduction/pi.mli: Bagcq_cq Bagcq_hom Bagcq_poly Query

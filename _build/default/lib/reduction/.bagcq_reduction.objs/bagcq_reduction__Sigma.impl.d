@@ -1,0 +1,1 @@
+lib/reduction/sigma.ml: Bagcq_poly Bagcq_relational Consts List Printf Schema Symbol

@@ -1,0 +1,1 @@
+lib/reduction/sigma.mli: Bagcq_poly Bagcq_relational Schema Symbol

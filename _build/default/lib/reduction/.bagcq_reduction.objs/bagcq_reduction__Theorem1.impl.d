@@ -1,0 +1,1 @@
+lib/reduction/theorem1.ml: Arena Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_poly Delta Nat Pi Pquery Query Valuation Zeta

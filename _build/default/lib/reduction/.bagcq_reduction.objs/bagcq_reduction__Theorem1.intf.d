@@ -1,0 +1,1 @@
+lib/reduction/theorem1.mli: Arena Bagcq_bignum Bagcq_cq Bagcq_poly Bagcq_relational Nat Pquery Query Structure Zeta

@@ -1,0 +1,1 @@
+lib/reduction/theorem3.ml: Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_relational Consts List Multiplier Nat Pquery Printf Query Schema Structure Symbol Theorem1

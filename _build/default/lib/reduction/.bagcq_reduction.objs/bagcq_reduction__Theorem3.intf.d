@@ -1,0 +1,1 @@
+lib/reduction/theorem3.mli: Bagcq_bignum Bagcq_cq Bagcq_relational Multiplier Pquery Query Structure Theorem1

@@ -1,0 +1,1 @@
+lib/reduction/theorem5.ml: Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_relational Nat Ops Query

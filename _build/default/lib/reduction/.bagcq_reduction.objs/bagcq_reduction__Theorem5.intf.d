@@ -1,0 +1,1 @@
+lib/reduction/theorem5.mli: Bagcq_cq Bagcq_relational Query Structure

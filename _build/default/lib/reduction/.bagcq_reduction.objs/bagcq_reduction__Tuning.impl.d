@@ -1,0 +1,1 @@
+lib/reduction/tuning.ml: Array Atom Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_relational Build Consts List Query Rat Schema Structure Symbol Term Tuple Value

@@ -1,0 +1,1 @@
+lib/reduction/tuning.mli: Bagcq_bignum Bagcq_cq Bagcq_relational Nat Query Rat Structure Symbol Term Tuple

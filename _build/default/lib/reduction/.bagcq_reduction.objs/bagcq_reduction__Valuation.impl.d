@@ -1,0 +1,1 @@
+lib/reduction/valuation.ml: Arena Array Bagcq_poly Bagcq_relational List Sigma Structure Tuple Value

@@ -1,0 +1,1 @@
+lib/reduction/valuation.mli: Bagcq_poly Bagcq_relational Structure

@@ -1,0 +1,1 @@
+lib/reduction/wells.ml: Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_relational Consts List Nat Query Schema String Structure Symbol Tuple Value

@@ -1,0 +1,1 @@
+lib/reduction/wells.mli: Bagcq_bignum Bagcq_cq Bagcq_relational Nat Pquery Query Schema Structure

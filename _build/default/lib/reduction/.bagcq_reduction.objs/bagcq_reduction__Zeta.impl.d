@@ -1,0 +1,1 @@
+lib/reduction/zeta.ml: Arena Atom Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_poly Bagcq_relational List Nat Pquery Query Sigma Stdlib Structure Term

@@ -1,0 +1,1 @@
+lib/reduction/zeta.mli: Bagcq_bignum Bagcq_cq Bagcq_poly Bagcq_relational Nat Pquery

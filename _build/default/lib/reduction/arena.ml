@@ -1,0 +1,88 @@
+open Bagcq_relational
+open Bagcq_cq
+module Lemma11 = Bagcq_poly.Lemma11
+module Eval = Bagcq_hom.Eval
+
+let cst = Term.cst
+
+let arena_pi (t : Lemma11.t) =
+  let m_count = Lemma11.num_monomials t in
+  let occurrence_atoms =
+    List.map
+      (fun (n, d, m) ->
+        Atom.make (Sigma.r_symbol d) [ cst (Sigma.am_const m); cst (Sigma.bn_const n) ])
+      (Lemma11.occurrences t)
+  in
+  let loop_atoms =
+    List.concat_map
+      (fun m ->
+        List.map
+          (fun m' -> Atom.make (Sigma.s_symbol m') [ cst (Sigma.am_const m); cst (Sigma.am_const m) ])
+          (List.init m_count (fun i -> i + 1)))
+      (List.init m_count (fun i -> i + 1))
+  in
+  let escape_atoms =
+    List.concat_map
+      (fun m ->
+        [
+          Atom.make (Sigma.s_symbol m) [ cst (Sigma.am_const m); cst Sigma.a_const ];
+          Atom.make (Sigma.s_symbol m) [ cst Sigma.a_const; cst Sigma.a_const ];
+        ])
+      (List.init m_count (fun i -> i + 1))
+  in
+  Query.make (occurrence_atoms @ loop_atoms @ escape_atoms)
+
+let cycle_constants (t : Lemma11.t) =
+  (cst Consts.spade :: cst Sigma.a_const
+   :: List.init (Lemma11.num_monomials t) (fun i -> cst (Sigma.am_const (i + 1))))
+  @ List.init t.Lemma11.n_vars (fun i -> cst (Sigma.bn_const (i + 1)))
+
+let arena_delta (t : Lemma11.t) =
+  let heart_loop = Atom.make Sigma.e_symbol [ cst Consts.heart; cst Consts.heart ] in
+  Query.make (heart_loop :: Build.cycle Sigma.e_symbol (cycle_constants t))
+
+let arena t = Query.conj (arena_pi t) (arena_delta t)
+
+let d_arena t = Query.canonical_structure (arena t)
+
+type status =
+  | Not_arena
+  | Correct
+  | Slightly_incorrect
+  | Seriously_incorrect
+
+let status_to_string = function
+  | Not_arena -> "not-arena"
+  | Correct -> "correct"
+  | Slightly_incorrect -> "slightly-incorrect"
+  | Seriously_incorrect -> "seriously-incorrect"
+
+let classify t d =
+  if not (Eval.satisfies d (arena t)) then Not_arena
+  else begin
+    (* D ⊨ Arena, so every Arena constant is interpreted in D *)
+    let consts = Schema.constants (Structure.schema (d_arena t)) in
+    let interp = List.map (fun c -> (c, Structure.interpret_exn d c)) consts in
+    let values = List.map snd interp in
+    let injective =
+      Value.Set.cardinal (Value.Set.of_list values) = List.length values
+    in
+    if not injective then Seriously_incorrect
+    else begin
+      (* the canonical hom D_Arena → D is injective; D is correct when its
+         Σ₀-part contains nothing beyond the image of D_Arena *)
+      let rename v =
+        match v with
+        | Value.Sym c -> (
+            match List.assoc_opt c interp with Some w -> w | None -> v)
+        | v -> v
+      in
+      let image = Structure.map_values rename (d_arena t) in
+      let exact =
+        List.for_all
+          (fun sym -> Tuple.Set.equal (Structure.tuple_set d sym) (Structure.tuple_set image sym))
+          (Sigma.e_symbol :: Sigma.sigma_rs t)
+      in
+      if exact then Correct else Slightly_incorrect
+    end
+  end

@@ -1,0 +1,43 @@
+(** The [Arena] query (Sections 4.4 and 4.6) and the correctness
+    classification of databases (Definition 13).
+
+    [Arena = Arena_π ∧ Arena_δ] mentions only constants, so
+    [Arena(D) ∈ {0,1}]:
+
+    - [Arena_π = ⋀_{(n,d,m)∈𝒫} R_d(a_m, b_n)
+                 ∧ ⋀_{m,m'} S_{m'}(a_m, a_m)
+                 ∧ ⋀_m (S_m(a_m, a) ∧ S_m(a, a))];
+    - [Arena_δ] is the self-loop [E(♥,♥)] plus the [E]-cycle
+      [♠ → a → a₁ → … → a_m → b₁ → … → b_n → ♠] of length [𝕝 = n+m+2].
+
+    A database [D ⊨ Arena] is {e correct} when (up to the naming of its
+    elements) it is exactly [D_Arena] plus [X]-atoms, {e slightly
+    incorrect} when it embeds [D_Arena] injectively but has extra
+    [Σ₀]-atoms, and {e seriously incorrect} when the canonical
+    homomorphism [D_Arena → D] identifies constants. *)
+
+open Bagcq_relational
+open Bagcq_cq
+module Lemma11 = Bagcq_poly.Lemma11
+
+val arena_pi : Lemma11.t -> Query.t
+val arena_delta : Lemma11.t -> Query.t
+val arena : Lemma11.t -> Query.t
+
+val d_arena : Lemma11.t -> Structure.t
+(** The canonical structure of [Arena] — all constants canonically
+    interpreted. *)
+
+type status =
+  | Not_arena  (** [D ⊭ Arena] — then [φ_s(D) = 0] and nothing to prove *)
+  | Correct
+  | Slightly_incorrect
+  | Seriously_incorrect
+
+val classify : Lemma11.t -> Structure.t -> status
+(** Classification is invariant under renaming of elements: [Correct] and
+    [Slightly_incorrect] compare the image of [D_Arena] under the
+    database's constant interpretation, which must be injective;
+    non-injective interpretations are [Seriously_incorrect]. *)
+
+val status_to_string : status -> string

@@ -1,0 +1,22 @@
+open Bagcq_bignum
+open Bagcq_cq
+module Eval = Bagcq_hom.Eval
+module Morphism = Bagcq_hom.Morphism
+
+let set_contains ~small ~big =
+  if Query.has_neqs small || Query.has_neqs big then
+    invalid_arg "Containment.set_contains: inequality-free CQs only";
+  (* Chandra–Merlin: the canonical structure of [small] satisfies [small];
+     containment holds iff it also satisfies [big] *)
+  Eval.satisfies (Query.canonical_structure small) big
+
+let bag_equivalent q1 q2 = Morphism.isomorphic q1 q2
+
+let bag_counts ~small ~big d = (Eval.count small d, Eval.count big d)
+
+let bag_violation ~small ~big d =
+  let cs, cb = bag_counts ~small ~big d in
+  Nat.compare cs cb > 0
+
+let bag_violation_pquery ~small ~big d =
+  not (Eval.pquery_geq big d (Eval.count_pquery small d))

@@ -1,0 +1,31 @@
+(** Query containment baselines: the decidable problems the paper's
+    undecidable ones generalise.
+
+    - Set semantics ([QCP^set_CQ]): Chandra–Merlin — [φ_s ⊆ φ_b] iff
+      [φ_b] has a homomorphism into the canonical structure of [φ_s]
+      (NP-complete, decidable).
+    - Bag {e equivalence} of CQs: Chaudhuri–Vardi — equal counts on every
+      database iff the queries are isomorphic.
+    - Bag containment ([QCP^bag_CQ]): open!  The best this library — or
+      anyone — can do is search for counterexamples ({!Bagcq_search}) and
+      verify candidate witnesses, which is what these helpers support. *)
+
+open Bagcq_bignum
+open Bagcq_relational
+open Bagcq_cq
+
+val set_contains : small:Query.t -> big:Query.t -> bool
+(** Chandra–Merlin containment test for boolean CQs without inequalities
+    ([D ⊨ small ⇒ D ⊨ big] for all [D]).  Raises [Invalid_argument] when
+    either query has inequalities. *)
+
+val bag_equivalent : Query.t -> Query.t -> bool
+(** Chaudhuri–Vardi: syntactic isomorphism. *)
+
+val bag_counts : small:Query.t -> big:Query.t -> Structure.t -> Nat.t * Nat.t
+
+val bag_violation : small:Query.t -> big:Query.t -> Structure.t -> bool
+(** [small(D) > big(D)] — a witness against bag containment. *)
+
+val bag_violation_pquery : small:Pquery.t -> big:Pquery.t -> Structure.t -> bool
+(** The power-product variant, decided without materialising counts. *)

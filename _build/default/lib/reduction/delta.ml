@@ -1,0 +1,20 @@
+open Bagcq_cq
+module Lemma11 = Bagcq_poly.Lemma11
+module Eval = Bagcq_hom.Eval
+
+let lengths t =
+  let l = Sigma.ell t in
+  List.init (l - 1) (fun i -> i + 1) @ [ l + 1 ]
+
+let delta_bl l =
+  if l < 1 then invalid_arg "Delta.delta_bl: length must be >= 1";
+  Query.make (Build.cycle Sigma.e_symbol (Build.vars "z" l))
+
+let base t =
+  List.fold_left
+    (fun acc l -> Pquery.dconj acc (Pquery.of_query (delta_bl l)))
+    Pquery.one (lengths t)
+
+let delta_b t ~cc = Pquery.power (base t) cc
+
+let base_count t d = Eval.count_pquery (base t) d

@@ -1,0 +1,36 @@
+(** The anti-cheating query [δ_b] punishing serious incorrectness
+    (Section 4.6).
+
+    With [𝕝 = n+m+2] and [L = {1,…,𝕝−1} ∪ {𝕝+1}], the query [δ_{b,l}] is
+    an [E]-cycle of length [l], and [δ_b = (⋀̄_{l∈L} δ_{b,l}) ↑ ℂ].
+    [Arena_δ] places exactly one [E]-self-loop (at ♥) and one [E]-cycle of
+    length [𝕝], so on a correct database every [δ_{b,l}] counts exactly 1
+    (Lemma 20) and [δ_b(D) = 1].  Identifying constants either merges ♥
+    into the long cycle (giving an [𝕝+1]-cycle through the self-loop) or
+    shortens the long cycle — either way some [l ∈ L] gains a second
+    homomorphic cycle image and [δ_b(D) ≥ 2^ℂ ≥ ℂ] (Lemma 21).
+
+    The exponent [ℂ] is far too large to materialise; [δ_b] is a
+    power-product query and all reasoning goes through
+    {!Bagcq_hom.Eval.pquery_geq} or the factored base count. *)
+
+open Bagcq_bignum
+open Bagcq_cq
+module Lemma11 = Bagcq_poly.Lemma11
+
+val lengths : Lemma11.t -> int list
+(** The set [L], ascending. *)
+
+val delta_bl : int -> Query.t
+(** [δ_{b,l}] — the [E]-cycle query of length [l ≥ 1] on variables
+    [z₁ … z_l]. *)
+
+val base : Lemma11.t -> Pquery.t
+(** [⋀̄_{l∈L} δ_{b,l}] — the inner product, exponent 1. *)
+
+val delta_b : Lemma11.t -> cc:Nat.t -> Pquery.t
+(** The full [δ_b], exponent [ℂ]. *)
+
+val base_count : Lemma11.t -> Bagcq_relational.Structure.t -> Nat.t
+(** [(⋀̄_{l∈L} δ_{b,l})(D)] — the paper's punishments only need this to be
+    [1] (correct) or [≥ 2] (seriously incorrect). *)

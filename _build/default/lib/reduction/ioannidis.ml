@@ -1,0 +1,84 @@
+open Bagcq_bignum
+open Bagcq_relational
+open Bagcq_cq
+module Polynomial = Bagcq_poly.Polynomial
+module Monomial = Bagcq_poly.Monomial
+module Eval = Bagcq_hom.Eval
+
+let x_symbol = Symbol.make "Xir" 2
+let b_const n = Printf.sprintf "bir%d" n
+
+(* x_{i₁}·…·x_{i_d} ↦ ⋀̄_j X(b_{i_j}, z_j); the constant monomial is the
+   empty conjunction, counting 1 *)
+let cq_of_monomial m =
+  let atoms =
+    List.mapi
+      (fun j i ->
+        Atom.make x_symbol [ Term.cst (b_const i); Term.var (Printf.sprintf "z%d" (j + 1)) ])
+      (Monomial.to_list m)
+  in
+  Query.make atoms
+
+let ucq_of_polynomial p =
+  List.fold_left
+    (fun acc (c, m) ->
+      if c < 0 then invalid_arg "Ioannidis.ucq_of_polynomial: negative coefficient";
+      Ucq.union acc (Ucq.scale c (cq_of_monomial m)))
+    (Ucq.of_disjuncts []) (Polynomial.terms p)
+
+let valuation_db xs =
+  let base = Structure.empty (Schema.make [ x_symbol ]) in
+  let fresh = ref 0 in
+  let add_edges d i count =
+    let d = Structure.bind_constant d (b_const (i + 1)) (Value.sym (b_const (i + 1))) in
+    let rec go d j =
+      if j = count then d
+      else begin
+        incr fresh;
+        go
+          (Structure.add_fact d x_symbol [ Value.sym (b_const (i + 1)); Value.int !fresh ])
+          (j + 1)
+      end
+    in
+    go d 0
+  in
+  Array.to_list xs
+  |> List.mapi (fun i v ->
+         if v < 0 then invalid_arg "Ioannidis.valuation_db: negative value";
+         (i, v))
+  |> List.fold_left (fun d (i, v) -> add_edges d i v) base
+
+let extract_valuation ~n_vars d =
+  Array.init n_vars (fun i ->
+      match Structure.interpretation d (b_const (i + 1)) with
+      | None -> 0
+      | Some source ->
+          List.length
+            (List.filter
+               (fun tup -> Value.equal (Tuple.get tup 0) source)
+               (Structure.tuples d x_symbol)))
+
+let count_equals_value p xs =
+  let d = valuation_db xs in
+  let counted = Eval.count_ucq (ucq_of_polynomial p) d in
+  let expected =
+    List.fold_left
+      (fun acc (c, m) ->
+        Nat.add acc (Nat.mul_int (Nat.of_int (Monomial.eval (fun i -> xs.(i - 1)) m)) c))
+      Nat.zero (Polynomial.terms p)
+  in
+  Nat.equal counted expected
+
+let reduce q =
+  let q_squared = Polynomial.square q in
+  let qpos, qneg = Polynomial.split_signs q_squared in
+  let p1 = Polynomial.add qneg Polynomial.one in
+  let p2 = qpos in
+  (ucq_of_polynomial p1, ucq_of_polynomial p2)
+
+let violation_db q ~zero =
+  let n = Stdlib.max (Polynomial.max_var q) (Array.length zero) in
+  let padded = Array.init n (fun i -> if i < Array.length zero then zero.(i) else 0) in
+  valuation_db padded
+
+let counts_on (small, big) d = (Eval.count_ucq small d, Eval.count_ucq big d)

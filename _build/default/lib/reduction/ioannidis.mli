@@ -1,0 +1,47 @@
+(** The Ioannidis–Ramakrishnan reduction [14]: undecidability of
+    [QCP^bag_UCQ], the first of the paper's "negative side" results
+    (Section 1.1).
+
+    A monomial translates into a CQ in the most natural way — a product of
+    out-degrees — and a sum of monomials into a union of CQs.  Fix
+    constants [b₁ … b_n] and one binary relation [X]; a database determines
+    the valuation [Ξ_D(x_i) =] number of [X]-edges leaving [b_i] (the same
+    encoding as Definition 14).  The monomial [x_{i₁}·…·x_{i_d}] becomes
+    [⋀̄_j ∃z X(b_{i_j}, z)], whose count is exactly the monomial's value at
+    [Ξ_D]; a coefficient [c] becomes [c] copies of the disjunct.  Hence for
+    polynomials [P_s, P_b] with natural coefficients:
+
+    [UCQ(P_s) ⊆_bag UCQ(P_b)]  ⟺  [∀Ξ ∈ ℕⁿ. P_s(Ξ) ≤ P_b(Ξ)],
+
+    with {e no} anti-cheating machinery needed — every database over the
+    schema denotes a valuation, and nothing else about it matters.  With
+    the Lemma 25 split ([P₁ = Q'₋+1], [P₂ = Q'₊]) this decides Hilbert's
+    10th problem, so [QCP^bag_UCQ] is undecidable. *)
+
+open Bagcq_bignum
+open Bagcq_relational
+open Bagcq_cq
+module Polynomial = Bagcq_poly.Polynomial
+
+val ucq_of_polynomial : Polynomial.t -> Ucq.t
+(** Raises [Invalid_argument] on negative coefficients. *)
+
+val valuation_db : int array -> Structure.t
+(** The database denoting a valuation (entry [i] = [Ξ(x_{i+1})] ≥ 0). *)
+
+val extract_valuation : n_vars:int -> Structure.t -> int array
+
+val count_equals_value : Polynomial.t -> int array -> bool
+(** The reduction invariant, checkable: [UCQ(P)(valuation_db Ξ) = P(Ξ)]. *)
+
+val reduce : Polynomial.t -> Ucq.t * Ucq.t
+(** The full chain from an instance [Q] of Hilbert's 10th problem:
+    [(UCQ(P₁), UCQ(P₂))] with [P₁ = Q'₋ + 1], [P₂ = Q'₊] (Lemma 25), such
+    that the containment [UCQ(P₁) ⊆_bag UCQ(P₂)] fails iff [Q] has a zero
+    over ℕ. *)
+
+val violation_db : Polynomial.t -> zero:int array -> Structure.t
+(** The valuation database witnessing the containment violation, from a
+    zero of [Q]. *)
+
+val counts_on : Ucq.t * Ucq.t -> Structure.t -> Nat.t * Nat.t

@@ -1,0 +1,57 @@
+open Bagcq_relational
+open Bagcq_cq
+open Bagcq_bignum
+module Eval = Bagcq_hom.Eval
+
+type t = {
+  qs : Query.t;
+  qb : Query.t;
+  ratio : Rat.t;
+  witness : Structure.t;
+}
+
+let counts_on t d = (Eval.count t.qs d, Eval.count t.qb d)
+
+let eq_holds ~qs ~qb ~ratio d =
+  let cs = Eval.count qs d and cb = Eval.count qb d in
+  (not (Nat.is_zero cs)) && Rat.eq_scaled (Rat.inv ratio) cs cb
+(* ϱ_s = q·ϱ_b  ⟺  (1/q)·ϱ_s = ϱ_b *)
+
+let make ~qs ~qb ~ratio ~witness =
+  if not (Structure.is_nontrivial witness) then
+    invalid_arg "Multiplier.make: witness must be non-trivial";
+  if not (eq_holds ~qs ~qb ~ratio witness) then
+    invalid_arg "Multiplier.make: witness does not realise condition (=)";
+  { qs; qb; ratio; witness }
+
+let beta ~p =
+  make ~qs:(Cycliq.beta_s ~p) ~qb:(Cycliq.beta_b ~p) ~ratio:(Cycliq.ratio ~p)
+    ~witness:(Cycliq.witness ~p)
+
+let gamma ~m =
+  make ~qs:(Tuning.gamma_s ~m) ~qb:(Tuning.gamma_b ~m) ~ratio:(Tuning.ratio ~m)
+    ~witness:(Tuning.witness ~m)
+
+let compose t1 t2 =
+  if not (Schema.disjoint (Query.schema t1.qs) (Query.schema t2.qs)) then
+    invalid_arg "Multiplier.compose: s-query schemas overlap";
+  if not (Schema.disjoint (Query.schema t1.qb) (Query.schema t2.qb)) then
+    invalid_arg "Multiplier.compose: b-query schemas overlap";
+  make ~qs:(Query.dconj t1.qs t2.qs) ~qb:(Query.dconj t1.qb t2.qb)
+    ~ratio:(Rat.mul t1.ratio t2.ratio)
+    ~witness:(Structure.union t1.witness t2.witness)
+
+let alpha ~c =
+  if c < 2 then invalid_arg "Multiplier.alpha: c must be >= 2";
+  let p = (2 * c) - 1 in
+  compose (beta ~p) (gamma ~m:(p + 1))
+
+let check_eq t = eq_holds ~qs:t.qs ~qb:t.qb ~ratio:t.ratio t.witness
+
+let check_le_on t d =
+  if not (Structure.is_nontrivial d) then true
+  else begin
+    let cs, cb = counts_on t d in
+    (* ϱ_s ≤ q·ϱ_b  ⟺  den·ϱ_s ≤ num·ϱ_b *)
+    Nat.compare (Nat.mul_int cs (Rat.den t.ratio)) (Nat.mul_int cb (Rat.num t.ratio)) <= 0
+  end

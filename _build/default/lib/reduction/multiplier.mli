@@ -1,0 +1,55 @@
+(** Multiplier pairs (Definition 3), their composition (Lemma 4), and the
+    Section 3.2 assembly [α_s, α_b] that multiplies by an arbitrary natural
+    number [c].
+
+    A pair of CQs [(ϱ_s, ϱ_b)] {e multiplies by} a rational [q > 0] when
+    - (=) some non-trivial database [D] has [ϱ_s(D) = q·ϱ_b(D) ≠ 0], and
+    - (≤) every non-trivial database [D] has [ϱ_s(D) ≤ q·ϱ_b(D)].
+
+    Condition (=) is decidable given the witness; condition (≤) quantifies
+    over all databases — it is the content of Lemmas 5 and 10 — and is
+    validated here by exhaustive enumeration on tiny domains plus random
+    sampling ({!Bagcq_reduction} tests). *)
+
+open Bagcq_relational
+open Bagcq_cq
+open Bagcq_bignum
+
+type t = private {
+  qs : Query.t;  (** the s-query — never has inequalities in the pairs built here *)
+  qb : Query.t;  (** the b-query — at most one inequality *)
+  ratio : Rat.t;
+  witness : Structure.t;  (** realises condition (=) *)
+}
+
+val make : qs:Query.t -> qb:Query.t -> ratio:Rat.t -> witness:Structure.t -> t
+(** Checks that the witness is non-trivial and satisfies (=); raises
+    [Invalid_argument] otherwise. *)
+
+val beta : p:int -> t
+(** Lemma 5's pair; multiplies by [(p+1)²/2p].  Requires [p ≥ 3]. *)
+
+val gamma : m:int -> t
+(** Lemma 10's pair; multiplies by [(m−1)/m].  Requires [m ≥ 2]. *)
+
+val compose : t -> t -> t
+(** Lemma 4: if the schemas are disjoint, the disjoint conjunctions
+    multiply by the product of the ratios.  The combined witness is the
+    union of the two witnesses (they share only ♥ and ♠).  Raises
+    [Invalid_argument] when the schemas overlap. *)
+
+val alpha : c:int -> t
+(** The Section 3.2 assembly: [β] with [p = 2c−1] composed with [γ] with
+    [m = p+1] multiplies by exactly [c].  [α_s] has no inequality, [α_b]
+    exactly one.  Requires [c ≥ 2]. *)
+
+val check_eq : t -> bool
+(** Re-verify condition (=) on the stored witness by exact counting. *)
+
+val check_le_on : t -> Structure.t -> bool
+(** Condition (≤) on one database: [ϱ_s(D) ≤ q·ϱ_b(D)].  Vacuously true on
+    trivial databases (the definition only quantifies over non-trivial
+    ones). *)
+
+val counts_on : t -> Structure.t -> Nat.t * Nat.t
+(** [(ϱ_s(D), ϱ_b(D))]. *)

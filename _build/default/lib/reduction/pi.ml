@@ -1,0 +1,80 @@
+open Bagcq_cq
+module Lemma11 = Bagcq_poly.Lemma11
+module StringMap = Map.Make (String)
+
+let x_var = Term.var "x"
+let ray_var m k = Term.var (Printf.sprintf "s%d_%d" m k)
+let y_var d = Term.var (Printf.sprintf "y%d" d)
+let z_var d = Term.var (Printf.sprintf "z%d" d)
+let yp_var d = Term.var (Printf.sprintf "yp%d" d)
+let zp_var d = Term.var (Printf.sprintf "zp%d" d)
+
+(* the S_m-loop plus a ray of c−1 edges hanging off x *)
+let monomial_star m c =
+  let loop = Atom.make (Sigma.s_symbol m) [ x_var; x_var ] in
+  let ray =
+    if c <= 1 then []
+    else begin
+      let first = Atom.make (Sigma.s_symbol m) [ x_var; ray_var m (c - 1) ] in
+      let chain =
+        List.init (c - 2) (fun i ->
+            let k = i + 1 in
+            Atom.make (Sigma.s_symbol m) [ ray_var m (k + 1); ray_var m k ])
+      in
+      first :: chain
+    end
+  in
+  loop :: ray
+
+let valuation_rays degree =
+  List.concat_map
+    (fun d ->
+      [
+        Atom.make (Sigma.r_symbol d) [ x_var; y_var d ];
+        Atom.make Sigma.x_symbol [ y_var d; z_var d ];
+      ])
+    (List.init degree (fun i -> i + 1))
+
+let pi_with coeffs (t : Lemma11.t) =
+  let stars =
+    List.concat
+      (List.mapi (fun i c -> monomial_star (i + 1) c) (Array.to_list coeffs))
+  in
+  Query.make (stars @ valuation_rays t.Lemma11.degree)
+
+let pi_s (t : Lemma11.t) = pi_with t.Lemma11.cs t
+
+let pi_b (t : Lemma11.t) =
+  let base = pi_with t.Lemma11.cb t in
+  let x1_rays =
+    List.concat_map
+      (fun d ->
+        [
+          Atom.make (Sigma.r_symbol 1) [ x_var; yp_var d ];
+          Atom.make Sigma.x_symbol [ yp_var d; zp_var d ];
+        ])
+      (List.init t.Lemma11.degree (fun i -> i + 1))
+  in
+  Query.make (Query.atoms base @ x1_rays)
+
+let onto_witness (t : Lemma11.t) =
+  let mapping = ref StringMap.empty in
+  let bind v image =
+    match v with Term.Var name -> mapping := StringMap.add name image !mapping | Term.Cst _ -> ()
+  in
+  bind x_var x_var;
+  List.iteri
+    (fun i cb ->
+      let m = i + 1 in
+      let cs = t.Lemma11.cs.(i) in
+      for k = 1 to cb - 1 do
+        bind (ray_var m k) (if k <= cs - 1 then ray_var m k else x_var)
+      done)
+    (Array.to_list t.Lemma11.cb);
+  for d = 1 to t.Lemma11.degree do
+    bind (y_var d) (y_var d);
+    bind (z_var d) (z_var d);
+    bind (yp_var d) (y_var 1);
+    bind (zp_var d) (z_var 1)
+  done;
+  !mapping

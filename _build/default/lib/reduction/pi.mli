@@ -1,0 +1,28 @@
+(** The polynomial-counting queries [π_s] and [π_b] of Section 4.3.
+
+    Both are stars centred at the variable [x].  For each monomial [T_m]
+    there is an [S_m]-loop at [x] and an [S_m]-ray of [c−1] edges, where
+    [c] is the monomial's coefficient ([c_{s,m}] in [π_s], [c_{b,m}] in
+    [π_b]) — on a correct database the ray can "escape" to the constant [a]
+    at any of its edges or not at all, contributing exactly [c] counting
+    options (Appendix A).  For each degree position [d] there is a ray
+    [R_d(x,y_d) ∧ X(y_d,z_d)] whose [X]-edge reads off one factor of the
+    monomial's value under the valuation [Ξ_D].  [π_b] additionally carries
+    [d] rays [R_1(x,y'_d) ∧ X(y'_d,z'_d)] computing [Ξ_D(x₁)^d].
+
+    Lemma 12: [π_s(D) ≤ π_b(D)] for {e every} database, witnessed by an
+    onto homomorphism [π_b → π_s].
+    Lemma 15: on a correct database, [π_s(D) = P_s(Ξ_D)] and
+    [π_b(D) = Ξ_D(x₁)^d·P_b(Ξ_D)]. *)
+
+open Bagcq_cq
+module Lemma11 = Bagcq_poly.Lemma11
+
+val pi_s : Lemma11.t -> Query.t
+val pi_b : Lemma11.t -> Query.t
+
+val onto_witness : Lemma11.t -> Bagcq_hom.Morphism.hom
+(** The explicit onto homomorphism [π_b → π_s] from the proof of Lemma 12:
+    identity on [Var(π_s)], surplus ray variables to [x], the [y'_d] to
+    [y₁] and the [z'_d] to [z₁].  Its existence implies
+    [π_s(D) ≤ π_b(D)] for every [D]. *)

@@ -1,0 +1,23 @@
+open Bagcq_relational
+module Lemma11 = Bagcq_poly.Lemma11
+
+let s_symbol m = Symbol.make (Printf.sprintf "S%d" m) 2
+let r_symbol d = Symbol.make (Printf.sprintf "R%d" d) 2
+let e_symbol = Symbol.make "E" 2
+let x_symbol = Symbol.make "X" 2
+let a_const = "a"
+let am_const m = Printf.sprintf "a%d" m
+let bn_const n = Printf.sprintf "b%d" n
+
+let sigma_rs (t : Lemma11.t) =
+  List.init (Lemma11.num_monomials t) (fun i -> s_symbol (i + 1))
+  @ List.init t.Lemma11.degree (fun i -> r_symbol (i + 1))
+
+let constants (t : Lemma11.t) =
+  [ Consts.heart; Consts.spade; a_const ]
+  @ List.init (Lemma11.num_monomials t) (fun i -> am_const (i + 1))
+  @ List.init t.Lemma11.n_vars (fun i -> bn_const (i + 1))
+
+let sigma0 t = Schema.make ~constants:(constants t) (e_symbol :: sigma_rs t)
+let sigma t = Schema.add_symbol (sigma0 t) x_symbol
+let ell (t : Lemma11.t) = t.Lemma11.n_vars + Lemma11.num_monomials t + 2

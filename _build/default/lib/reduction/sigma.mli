@@ -1,0 +1,38 @@
+(** The schemas of Section 4.3: [Σ₀] (relations [S_m], [R_d], [E]) and
+    [Σ = Σ₀ ∪ {X}], together with the Arena constants. *)
+
+open Bagcq_relational
+
+val s_symbol : int -> Symbol.t
+(** [S_m] — one binary relation per monomial. *)
+
+val r_symbol : int -> Symbol.t
+(** [R_d] — one binary relation per degree position. *)
+
+val e_symbol : Symbol.t
+(** [E] — the cycle relation of [Arena_δ]. *)
+
+val x_symbol : Symbol.t
+(** [X] — the valuation relation (Definition 14). *)
+
+val a_const : string
+(** The escape constant [a]. *)
+
+val am_const : int -> string
+(** [a_m] — one constant per monomial. *)
+
+val bn_const : int -> string
+(** [b_n] — one constant per numerical variable. *)
+
+val sigma0 : Bagcq_poly.Lemma11.t -> Schema.t
+(** [Σ₀] for an instance: its [S_m]s, [R_d]s and [E], with all Arena
+    constants (including ♥ and ♠). *)
+
+val sigma : Bagcq_poly.Lemma11.t -> Schema.t
+(** [Σ = Σ₀ ∪ {X}]. *)
+
+val sigma_rs : Bagcq_poly.Lemma11.t -> Symbol.t list
+(** [Σ_RS = {S₁,…,S_m, R₁,…,R_d}] (Section 4.5). *)
+
+val ell : Bagcq_poly.Lemma11.t -> int
+(** [𝕝 = n + m + 2] — the length of the [E]-cycle in [Arena_δ]. *)

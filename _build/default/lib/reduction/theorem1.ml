@@ -1,0 +1,34 @@
+open Bagcq_bignum
+open Bagcq_cq
+module Lemma11 = Bagcq_poly.Lemma11
+module Eval = Bagcq_hom.Eval
+
+type t = {
+  instance : Lemma11.t;
+  cc : Nat.t;
+  arena : Query.t;
+  pi_s : Query.t;
+  pi_b : Query.t;
+  zeta : Zeta.t;
+  delta_b : Pquery.t;
+  phi_s : Pquery.t;
+  phi_b : Pquery.t;
+}
+
+let reduce instance =
+  let arena = Arena.arena instance in
+  let pi_s = Pi.pi_s instance and pi_b = Pi.pi_b instance in
+  let zeta = Zeta.make instance in
+  let cc = zeta.Zeta.cc in
+  let delta_b = Delta.delta_b instance ~cc in
+  let phi_s = Pquery.dconj (Pquery.of_query arena) (Pquery.of_query pi_s) in
+  let phi_b = Pquery.dconj (Pquery.of_query pi_b) (Pquery.dconj zeta.Zeta.zeta_b delta_b) in
+  { instance; cc; arena; pi_s; pi_b; zeta; delta_b; phi_s; phi_b }
+
+let of_polynomial q = reduce (Bagcq_poly.Transform.reduce q)
+
+let phi_s_count t d = Eval.count_pquery t.phi_s d
+let lhs t d = Nat.mul t.cc (phi_s_count t d)
+let holds_on t d = Eval.pquery_geq t.phi_b d (lhs t d)
+let violating_db t xs = Valuation.correct_db t.instance xs
+let classify t d = Arena.classify t.instance d

@@ -1,0 +1,50 @@
+(** Theorem 1: the full reduction from the Lemma 11 inequality problem to
+    multiplicative-constant bag containment of inequality-free boolean
+    CQs.
+
+    Given an instance [(c, P_s, P_b)], the reduction outputs
+    [(ℂ, φ_s, φ_b)] with [φ_s = Arena ∧̄ π_s] and
+    [φ_b = π_b ∧̄ ζ_b ∧̄ δ_b], such that (Section 4.7):
+
+    - some valuation violates [c·P_s(Ξ) ≤ Ξ(x₁)^d·P_b(Ξ)]  ⟺
+    - some non-trivial database violates [ℂ·φ_s(D) ≤ φ_b(D)].
+
+    Since [δ_b]'s exponent is [ℂ] itself, [φ_b] is a power-product query;
+    its counts are compared, never materialised. *)
+
+open Bagcq_bignum
+open Bagcq_relational
+open Bagcq_cq
+module Lemma11 = Bagcq_poly.Lemma11
+
+type t = private {
+  instance : Lemma11.t;
+  cc : Nat.t;  (** ℂ = c·ℂ₁ *)
+  arena : Query.t;
+  pi_s : Query.t;
+  pi_b : Query.t;
+  zeta : Zeta.t;
+  delta_b : Pquery.t;
+  phi_s : Pquery.t;
+  phi_b : Pquery.t;
+}
+
+val reduce : Lemma11.t -> t
+
+val of_polynomial : Bagcq_poly.Polynomial.t -> t
+(** Chain the Appendix B pipeline and the reduction: from an instance of
+    Hilbert's 10th problem straight to queries. *)
+
+val holds_on : t -> Structure.t -> bool
+(** [ℂ·φ_s(D) ≤ φ_b(D)], decided exactly (factored comparison). *)
+
+val violating_db : t -> int array -> Structure.t
+(** The correct database encoding a valuation — when the valuation violates
+    the Lemma 11 inequality, this database violates the query inequality
+    (direction ℛ ⇒ ☆ of Section 4.7). *)
+
+val lhs : t -> Structure.t -> Nat.t
+(** [ℂ·φ_s(D)]. *)
+
+val phi_s_count : t -> Structure.t -> Nat.t
+val classify : t -> Structure.t -> Arena.status

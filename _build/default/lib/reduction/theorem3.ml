@@ -1,0 +1,68 @@
+open Bagcq_bignum
+open Bagcq_relational
+open Bagcq_cq
+module Eval = Bagcq_hom.Eval
+
+type t = {
+  c : int;
+  alpha : Multiplier.t;
+  psi_s : Pquery.t;
+  psi_b : Pquery.t;
+}
+
+let reserved = [ "Rcyc"; "Pcyc"; "Acyc"; "Bcyc" ]
+
+let check_schema pq =
+  List.iter
+    (fun (q, _) ->
+      if Query.has_neqs q then invalid_arg "Theorem3.reduce: φ must be inequality-free";
+      List.iter
+        (fun sym ->
+          if List.mem (Symbol.name sym) reserved then
+            invalid_arg
+              (Printf.sprintf "Theorem3.reduce: φ uses the reserved relation %s"
+                 (Symbol.name sym)))
+        (Schema.symbols (Query.schema q)))
+    (Pquery.factors pq)
+
+let reduce ~c ~phi_s ~phi_b =
+  check_schema phi_s;
+  check_schema phi_b;
+  let alpha = Multiplier.alpha ~c in
+  {
+    c;
+    alpha;
+    psi_s = Pquery.dconj (Pquery.of_query alpha.Multiplier.qs) phi_s;
+    psi_b = Pquery.dconj (Pquery.of_query alpha.Multiplier.qb) phi_b;
+  }
+
+let reduce_queries ~c ~phi_s ~phi_b =
+  reduce ~c ~phi_s:(Pquery.of_query phi_s) ~phi_b:(Pquery.of_query phi_b)
+
+let of_theorem1 (t1 : Theorem1.t) =
+  match Nat.to_int_opt t1.Theorem1.cc with
+  | None -> Error "Theorem 1 constant too large for a machine integer"
+  | Some c when c < 2 -> Error "Theorem 1 constant unexpectedly below 2"
+  | Some c -> Ok (reduce ~c ~phi_s:t1.Theorem1.phi_s ~phi_b:t1.Theorem1.phi_b)
+
+let combine_witness t d1 = Structure.union d1 t.alpha.Multiplier.witness
+
+let counts_on t d = (Eval.count_pquery t.psi_s d, Eval.count_pquery t.psi_b d)
+
+let holds_on t d =
+  Eval.pquery_geq t.psi_b d (Eval.count_pquery t.psi_s d)
+
+let ban_constants t =
+  let deconst q =
+    let g = Bagcq_cq.Deconst.generalize q in
+    (g.Bagcq_cq.Deconst.query, g.Bagcq_cq.Deconst.mapping)
+  in
+  let psi_s, map_s = deconst (Pquery.flatten t.psi_s) in
+  let psi_b, _ = deconst (Pquery.flatten t.psi_b) in
+  let hvar = List.assoc Consts.heart map_s and svar = List.assoc Consts.spade map_s in
+  let psi_s_hard =
+    Query.make
+      ~neqs:((Bagcq_cq.Term.var hvar, Bagcq_cq.Term.var svar) :: Query.neqs psi_s)
+      (Query.atoms psi_s)
+  in
+  (psi_s_hard, psi_b)

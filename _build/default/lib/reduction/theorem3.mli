@@ -1,0 +1,53 @@
+(** Theorem 3: absorbing the multiplicative constant into a single
+    inequality (Section 3).
+
+    Given [c] and inequality-free boolean CQs [φ_s, φ_b] whose schema is
+    disjoint from the multiplier gadget's, the assembly
+    [ψ_s = α_s ∧̄ φ_s] (no inequality) and [ψ_b = α_b ∧̄ φ_b] (exactly one
+    inequality) satisfies: some non-trivial [D] has [c·φ_s(D) > φ_b(D)]
+    iff some non-trivial [D] has [ψ_s(D) > ψ_b(D)].  This improves the
+    main result of Jayram–Kolaitis–Vee [15] from 59¹⁰ inequalities to
+    one. *)
+
+open Bagcq_relational
+open Bagcq_cq
+
+type t = private {
+  c : int;
+  alpha : Multiplier.t;
+  psi_s : Pquery.t;  (** [α_s ∧̄ φ_s] — inequality-free *)
+  psi_b : Pquery.t;  (** [α_b ∧̄ φ_b] — exactly one inequality *)
+}
+
+val reduce : c:int -> phi_s:Pquery.t -> phi_b:Pquery.t -> t
+(** Raises [Invalid_argument] when [c < 2], when either φ carries an
+    inequality, or when a φ uses one of the gadget's relation names
+    ([Rcyc], [Pcyc], [Acyc], [Bcyc]). *)
+
+val reduce_queries : c:int -> phi_s:Query.t -> phi_b:Query.t -> t
+
+val of_theorem1 : Theorem1.t -> (t, string) result
+(** Chain with Theorem 1's output: [c] must fit in a machine integer.
+    (It always does for the library's instances; the paper's ℂ is a
+    natural number with no size bound.) *)
+
+val combine_witness : t -> Structure.t -> Structure.t
+(** Direction (i) ⇒ (ii): a non-trivial [D₁] with [c·φ_s(D₁) > φ_b(D₁)]
+    extends, by union with the multiplier's witness, to a database where
+    [ψ_s > ψ_b]. *)
+
+val counts_on : t -> Structure.t -> Bagcq_bignum.Nat.t * Bagcq_bignum.Nat.t
+(** [(ψ_s(D), ψ_b(D))]. *)
+
+val holds_on : t -> Structure.t -> bool
+(** [ψ_s(D) ≤ ψ_b(D)]. *)
+
+val ban_constants : t -> Query.t * Query.t
+(** The "hard" constants ban of Section 2.3: every constant (♥ and ♠
+    included) is replaced by an existentially quantified variable, and the
+    s-query gains the single inequality [♥ ≠ ♠] that used to be the
+    non-triviality side condition.  The paper notes Theorem 3 survives in
+    this form — both queries then carry exactly one inequality and no
+    constants.  Requires the power-product queries to be flattenable
+    (always true for {!reduce_queries} outputs; raises [Failure] when an
+    exponent from a chained Theorem 1 is too large). *)

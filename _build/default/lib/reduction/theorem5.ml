@@ -1,0 +1,38 @@
+open Bagcq_bignum
+open Bagcq_relational
+open Bagcq_cq
+module Eval = Bagcq_hom.Eval
+
+let lemma24_lower_bound psi_s d =
+  let p = Query.num_neqs psi_s in
+  let blown = Ops.blowup d 2 in
+  let with_neqs = Eval.count psi_s blown in
+  let stripped = Eval.count (Query.strip_neqs psi_s) blown in
+  Nat.compare (Nat.mul (Nat.pow Nat.two p) with_neqs) stripped >= 0
+
+let transfer_witness ?(max_k = 6) ~psi_s ~psi_b d0 =
+  if Query.has_neqs psi_b then
+    invalid_arg "Theorem5.transfer_witness: ψ_b must be inequality-free";
+  let stripped = Query.strip_neqs psi_s in
+  if Nat.compare (Eval.count stripped d0) (Eval.count psi_b d0) <= 0 then None
+  else begin
+    let rec try_k k =
+      if k > max_k then None
+      else begin
+        let candidate = Ops.blowup (Ops.power d0 k) 2 in
+        if Nat.compare (Eval.count psi_s candidate) (Eval.count psi_b candidate) > 0 then
+          Some candidate
+        else try_k (k + 1)
+      end
+    in
+    try_k 1
+  end
+
+let equivalence_witnessed ~psi_s ~psi_b d0 =
+  let stripped = Query.strip_neqs psi_s in
+  if Nat.compare (Eval.count stripped d0) (Eval.count psi_b d0) <= 0 then true
+  else begin
+    match transfer_witness ~psi_s ~psi_b d0 with
+    | Some d -> Nat.compare (Eval.count psi_s d) (Eval.count psi_b d) > 0
+    | None -> false
+  end

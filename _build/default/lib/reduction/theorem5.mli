@@ -1,0 +1,36 @@
+(** Theorem 5 / Lemmas 23–24: inequalities in the s-query do not add
+    power.
+
+    Lemma 23: for [ψ_s] with inequalities and [ψ_b] without, a violation
+    [ψ_s(D) > ψ_b(D)] exists iff one exists for the inequality-stripped
+    [ψ_s'].  The constructive direction takes a witness [D₀] for [ψ_s'],
+    amplifies it with products ([ψ'_s/ψ_b] ratio grows as a power —
+    Lemma 22(ii)) and blows it up by 2 so that violated inequalities can
+    be repaired by flipping copies (Lemma 24:
+    [ψ_s(blowup(D,2)) ≥ ψ_s'(blowup(D,2)) / 2^p] for [p] inequalities). *)
+
+open Bagcq_relational
+open Bagcq_cq
+
+val lemma24_lower_bound : Query.t -> Structure.t -> bool
+(** Check [2^p·ψ_s(blowup(D,2)) ≥ ψ_s'(blowup(D,2))] by exact counting
+    ([p] = number of inequalities of the query). *)
+
+val transfer_witness :
+  ?max_k:int -> psi_s:Query.t -> psi_b:Query.t -> Structure.t -> Structure.t option
+(** [transfer_witness ~psi_s ~psi_b d0]: given [ψ_s'(D₀) > ψ_b(D₀)],
+    construct a database where [ψ_s] itself (inequalities included) beats
+    [ψ_b].  Tries [D = blowup(D₀^{×k}, 2)] for [k = 1, 2, …, max_k]
+    (default 6), verifying each candidate by exact counting; the paper's
+    bound guarantees success once [ψ_s'(D₀^{×k}) > 2^{j+p}·ψ_b(D₀^{×k})]
+    with [j = |Var(ψ_b)|] and [p] the number of inequalities.  Returns
+    [None] if [d0] is not actually a witness for the stripped query, or if
+    [max_k] is exhausted (never observed within the paper's bound).
+    Raises [Invalid_argument] when [ψ_b] has inequalities. *)
+
+val equivalence_witnessed :
+  psi_s:Query.t -> psi_b:Query.t -> Structure.t -> bool
+(** The checkable content of Lemma 23 at one structure: if [D₀] witnesses
+    [ψ_s'(D₀) > ψ_b(D₀)] then {!transfer_witness} produces a verified
+    witness for [ψ_s] — returns false only on a genuine failure, true when
+    [D₀] was no witness at all (nothing to transfer). *)

@@ -1,0 +1,97 @@
+open Bagcq_relational
+open Bagcq_cq
+open Bagcq_bignum
+
+let p_symbol ~m =
+  if m < 2 then invalid_arg "Tuning.p_symbol: m must be >= 2";
+  Symbol.make "Pcyc" m
+
+let a_symbol = Symbol.make "Acyc" 1
+let b_symbol = Symbol.make "Bcyc" 1
+
+let rotate_terms ts k =
+  let n = List.length ts in
+  let arr = Array.of_list ts in
+  List.init n (fun i -> arr.((i + k) mod n))
+
+let cycliq_u ~p ~u ts =
+  if List.length ts <> Symbol.arity p then invalid_arg "Tuning.cycliq_u: arity mismatch";
+  let n = List.length ts in
+  let rotations = List.init n (fun k -> Atom.make p (rotate_terms ts k)) in
+  let unary = List.map (fun t -> Atom.make u [ t ]) ts in
+  Query.make (rotations @ unary)
+
+let spade_heart_terms m =
+  Term.cst Consts.spade :: List.init (m - 1) (fun _ -> Term.cst Consts.heart)
+
+let gamma_s' ~m =
+  Query.conj
+    (cycliq_u ~p:(p_symbol ~m) ~u:a_symbol (spade_heart_terms m))
+    (Query.make [ Atom.make b_symbol [ Term.cst Consts.spade ] ])
+
+let gamma_s'' ~m =
+  let xs = Build.vars "x" m in
+  Query.conj
+    (cycliq_u ~p:(p_symbol ~m) ~u:b_symbol xs)
+    (Query.make [ Atom.make a_symbol [ List.hd xs ] ])
+
+let gamma_b' ~m =
+  let ys = Build.vars "y" m in
+  Query.conj
+    (cycliq_u ~p:(p_symbol ~m) ~u:a_symbol ys)
+    (Query.make [ Atom.make b_symbol [ List.hd ys ] ])
+
+let gamma_b'' ~m = cycliq_u ~p:(p_symbol ~m) ~u:b_symbol (Build.vars "x" m)
+
+let gamma_s ~m = Query.conj (gamma_s' ~m) (gamma_s'' ~m)
+
+(* γ_b' and γ_b'' use disjoint variables (y's vs x's), so ∧ and ∧̄ agree *)
+let gamma_b ~m = Query.conj (gamma_b' ~m) (gamma_b'' ~m)
+
+let ratio ~m = Rat.make (m - 1) m
+
+let witness ~m =
+  (* the second component: a B-cyclique on fresh elements, with A on all
+     heads but the last *)
+  let elems = List.init m (fun i -> Value.int (i + 1)) in
+  let rotate l k =
+    let arr = Array.of_list l in
+    let n = List.length l in
+    List.init n (fun i -> arr.((i + k) mod n))
+  in
+  let second =
+    let d = Structure.empty Schema.empty in
+    let d =
+      List.fold_left
+        (fun d k -> Structure.add_fact d (p_symbol ~m) (rotate elems k))
+        d
+        (List.init m (fun k -> k))
+    in
+    let d = List.fold_left (fun d v -> Structure.add_fact d b_symbol [ v ]) d elems in
+    List.fold_left
+      (fun d v -> Structure.add_fact d a_symbol [ v ])
+      d
+      (List.filteri (fun i _ -> i < m - 1) elems)
+  in
+  let first = Query.canonical_structure (gamma_s' ~m) in
+  let d = Structure.union first second in
+  let d = Structure.declare_constant d Consts.heart in
+  Structure.declare_constant d Consts.spade
+
+let cyclass tup =
+  let n = Tuple.arity tup in
+  Tuple.Set.elements (Tuple.Set.of_list (List.init n (fun k -> Tuple.rotate tup k)))
+
+let u_cycliques d ~p ~u =
+  List.filter
+    (fun tup ->
+      List.for_all (fun shift -> Structure.mem_atom d p shift) (cyclass tup)
+      && Array.for_all (fun v -> Structure.mem_atom d u (Tuple.make [ v ])) tup)
+    (Structure.tuples d p)
+
+let u_cycliques_v d ~p ~u ~v =
+  List.filter
+    (fun tup -> Structure.mem_atom d v (Tuple.make [ Tuple.get tup 0 ]))
+    (u_cycliques d ~p ~u)
+
+let count d q = Bagcq_hom.Eval.count q d

@@ -1,0 +1,49 @@
+(** The fine-tuning pair [γ_s, γ_b] of Section 3.2, multiplying by
+    [(m−1)/m] — strictly below 1, which is why no inequality is needed in
+    [γ_b].
+
+    Over an m-ary relation [P] and unary relations [A], [B]:
+    - [CYCLIQ_U(x₁,…,x_m)] is the [P]-cyclique condition plus [U(xᵢ)] for
+      every [i];
+    - [γ_s = γ_s' ∧ γ_s''] with [γ_s' = CYCLIQ_A(♠,♥̄) ∧ B(♠)] (constants
+      only) and [γ_s'' = CYCLIQ_B(x₁,x⃗) ∧ A(x₁)];
+    - [γ_b = γ_b' ∧ γ_b''] with [γ_b' = CYCLIQ_A(y₁,y⃗) ∧ B(y₁)] and
+      [γ_b'' = CYCLIQ_B(x₁,x⃗)].
+
+    Lemma 10: the pair multiplies by [(m−1)/m]; the witness is the disjoint
+    union of the canonical structure of [γ_s'] and of
+    [CYCLIQ_B(x₁,x⃗) ∧ A(x₁) ∧ … ∧ A(x_{m−1})]. *)
+
+open Bagcq_relational
+open Bagcq_cq
+open Bagcq_bignum
+
+val p_symbol : m:int -> Symbol.t
+(** The m-ary relation [P]; raises [Invalid_argument] when [m < 2]. *)
+
+val a_symbol : Symbol.t
+val b_symbol : Symbol.t
+
+val cycliq_u : p:Symbol.t -> u:Symbol.t -> Term.t list -> Query.t
+(** [CYCLIQ_U] for any m-ary [p] and unary [u]. *)
+
+val gamma_s : m:int -> Query.t
+val gamma_b : m:int -> Query.t
+val ratio : m:int -> Rat.t
+(** [(m−1)/m]. *)
+
+val witness : m:int -> Structure.t
+
+(** {2 U-cyclique analysis} *)
+
+val u_cycliques : Structure.t -> p:Symbol.t -> u:Symbol.t -> Tuple.t list
+(** Cycliques of [P] all of whose elements satisfy [U]. *)
+
+val u_cycliques_v :
+  Structure.t -> p:Symbol.t -> u:Symbol.t -> v:Symbol.t -> Tuple.t list
+(** U-cycliques whose head additionally satisfies [V] (the "U-cyclique^V"
+    of the proof of Lemma 10). *)
+
+val count : Structure.t -> Query.t -> Nat.t
+(** Convenience re-export of {!Bagcq_hom.Eval.count} with flipped argument
+    order, used by the examples. *)

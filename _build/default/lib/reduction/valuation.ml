@@ -1,0 +1,33 @@
+open Bagcq_relational
+module Lemma11 = Bagcq_poly.Lemma11
+
+let correct_db (t : Lemma11.t) xs =
+  if Array.length xs <> t.Lemma11.n_vars then
+    invalid_arg "Valuation.correct_db: valuation length mismatch";
+  Array.iter (fun v -> if v < 0 then invalid_arg "Valuation.correct_db: negative value") xs;
+  let d = Arena.d_arena t in
+  let fresh = ref 0 in
+  let add_edges d i count =
+    let source = Structure.interpret_exn d (Sigma.bn_const (i + 1)) in
+    let rec go d j =
+      if j = count then d
+      else begin
+        incr fresh;
+        go (Structure.add_fact d Sigma.x_symbol [ source; Value.int !fresh ]) (j + 1)
+      end
+    in
+    go d 0
+  in
+  Array.to_list xs
+  |> List.mapi (fun i v -> (i, v))
+  |> List.fold_left (fun d (i, v) -> add_edges d i v) d
+
+let extract (t : Lemma11.t) d =
+  Array.init t.Lemma11.n_vars (fun i ->
+      match Structure.interpretation d (Sigma.bn_const (i + 1)) with
+      | None -> invalid_arg "Valuation.extract: b_i not interpreted"
+      | Some source ->
+          List.length
+            (List.filter
+               (fun tup -> Value.equal (Tuple.get tup 0) source)
+               (Structure.tuples d Sigma.x_symbol)))

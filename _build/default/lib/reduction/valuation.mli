@@ -1,0 +1,19 @@
+(** Valuations of the numerical variables and their encoding as databases
+    (Definition 14).
+
+    The relation [X] encodes a valuation: [Ξ_D(x_i)] is the number of
+    [X]-edges leaving [b_i].  Every valuation is realised by a correct
+    database — [D_Arena] plus fresh [X]-targets — and conversely a correct
+    database determines its valuation. *)
+
+open Bagcq_relational
+module Lemma11 = Bagcq_poly.Lemma11
+
+val correct_db : Lemma11.t -> int array -> Structure.t
+(** [correct_db t Ξ] — the correct database realising [Ξ] (array entry
+    [i] is [Ξ(x_{i+1})], all entries ≥ 0; raises [Invalid_argument] on
+    length or sign mismatch). *)
+
+val extract : Lemma11.t -> Structure.t -> int array
+(** [Ξ_D] — requires every [b_i] to be interpreted in [D]; raises
+    [Invalid_argument] otherwise. *)

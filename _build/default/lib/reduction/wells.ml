@@ -1,0 +1,42 @@
+open Bagcq_bignum
+open Bagcq_relational
+open Bagcq_cq
+module Eval = Bagcq_hom.Eval
+
+let star = Value.int 1
+
+let well_of_positivity schema =
+  let with_atoms =
+    List.fold_left
+      (fun d sym ->
+        Structure.add_atom d sym (Tuple.make (List.init (Symbol.arity sym) (fun _ -> star))))
+      (Structure.empty schema) (Schema.symbols schema)
+  in
+  let constants =
+    Consts.heart :: Consts.spade :: Schema.constants schema
+    |> List.sort_uniq String.compare
+  in
+  List.fold_left (fun d c -> Structure.bind_constant d c star) with_atoms constants
+
+let count_on_well q = Eval.count q (well_of_positivity (Query.schema q))
+
+module Theorem2 = struct
+  let holds_on ~c ~c' ~phi_s ~phi_b d =
+    let lhs = Nat.mul_int (Eval.count_pquery phi_s d) c in
+    Eval.pquery_geq phi_b d (Nat.sub_saturating lhs c')
+
+  let required_slack ~c ~phi_s ~phi_b =
+    let schema = Schema.union (Query.schema phi_s) (Query.schema phi_b) in
+    let well = well_of_positivity schema in
+    Nat.sub_saturating (Nat.mul_int (Eval.count phi_s well) c) (Eval.count phi_b well)
+end
+
+module Theorem4 = struct
+  let holds_on ~rho_s ~rho_b d =
+    Nat.compare (Eval.count rho_s d) (Nat.max Nat.one (Eval.count rho_b d)) <= 0
+
+  let max1_needed ~rho_s ~rho_b =
+    let schema = Schema.union (Query.schema rho_s) (Query.schema rho_b) in
+    let well = well_of_positivity schema in
+    (not (Nat.is_zero (Eval.count rho_s well))) && Nat.is_zero (Eval.count rho_b well)
+end

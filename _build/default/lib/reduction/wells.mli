@@ -1,0 +1,57 @@
+(** Trivial databases, the "well of positivity", and the statements of
+    Theorems 2 and 4.
+
+    A database is {e trivial} when it does not interpret ♥ and ♠ as two
+    distinct elements.  The extreme case is the {e well of positivity}: a
+    single vertex on which every atomic formula holds and every constant is
+    interpreted.  On the well, every inequality-free boolean CQ counts
+    [exactly 1] (Section 1.2's footnote), which is why
+
+    - Theorem 1 needs the non-triviality side condition
+      (otherwise [ℂ·φ_s = ℂ > 1 = φ_b]);
+    - a b-query with an inequality can never contain an inequality-free
+      s-query outright — the remark before Theorem 4 — which is exactly
+      what the [max{1, ρ_b(D)}] in Theorem 4, and the additive constant ℂ'
+      in Theorem 2, compensate for.
+
+    The paper defers the *proofs* of Theorems 2 and 4 to its full version;
+    accordingly this module implements the {e problem statements} (exact
+    per-database checkers, and the trivial-database analysis showing what
+    the extra anti-cheating level must achieve), not a reduction. *)
+
+open Bagcq_bignum
+open Bagcq_relational
+open Bagcq_cq
+
+val well_of_positivity : Schema.t -> Structure.t
+(** One vertex; all atoms of every schema relation; every schema constant
+    (♥ and ♠ included, whether declared or not) interpreted by the
+    vertex. *)
+
+val count_on_well : Query.t -> Nat.t
+(** [ψ(well)] for the well over ψ's own schema: [1] if ψ has no
+    inequalities, else [0] — computed by counting, with the closed form as
+    a test oracle. *)
+
+(** {2 Theorem 2: [c·φ_s(D) ≤ φ_b(D) + c']} over all databases *)
+
+module Theorem2 : sig
+  val holds_on : c:int -> c':Nat.t -> phi_s:Pquery.t -> phi_b:Pquery.t -> Structure.t -> bool
+
+  val required_slack : c:int -> phi_s:Query.t -> phi_b:Query.t -> Nat.t
+  (** The additive constant the well of positivity alone forces:
+      [max(0, c·φ_s(well) − φ_b(well))] over the joint schema — [c − 1]
+      for inequality-free queries satisfied on the well. *)
+end
+
+(** {2 Theorem 4: [ρ_s(D) ≤ max\{1, ρ_b(D)\}]} over all databases *)
+
+module Theorem4 : sig
+  val holds_on : rho_s:Query.t -> rho_b:Query.t -> Structure.t -> bool
+
+  val max1_needed : rho_s:Query.t -> rho_b:Query.t -> bool
+  (** Whether the [max{1,·}] guard is doing work for this pair: true when
+      the well of positivity satisfies ρ_s but not ρ_b (the b-side
+      inequality blinds it there) — the "well of positivity argument"
+      before Theorem 4. *)
+end

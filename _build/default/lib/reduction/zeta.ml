@@ -1,0 +1,42 @@
+open Bagcq_bignum
+open Bagcq_relational
+open Bagcq_cq
+module Lemma11 = Bagcq_poly.Lemma11
+module Eval = Bagcq_hom.Eval
+
+type t = {
+  instance : Lemma11.t;
+  k : int;
+  j : int;
+  zeta_b : Pquery.t;
+  c1 : Nat.t;
+  cc : Nat.t;
+}
+
+let atoms_in_arena t sym = Structure.atom_count (Arena.d_arena t) sym
+
+(* the least 𝕜 with (𝕛+1)^𝕜 ≥ c·𝕛^𝕜, exactly *)
+let least_k ~j ~c =
+  let rec go k up low =
+    (* up = (j+1)^k, low = j^k *)
+    if Nat.compare up (Nat.mul_int low c) >= 0 then k
+    else go (k + 1) (Nat.mul_int up (j + 1)) (Nat.mul_int low j)
+  in
+  go 0 Nat.one Nat.one
+
+let edge_query sym = Query.make [ Atom.make sym [ Term.var "w"; Term.var "v" ] ]
+
+let make (instance : Lemma11.t) =
+  let syms = Sigma.sigma_rs instance in
+  let j = List.fold_left (fun acc sym -> Stdlib.max acc (atoms_in_arena instance sym)) 1 syms in
+  let k = least_k ~j ~c:instance.Lemma11.c in
+  let zeta_b =
+    List.fold_left
+      (fun acc sym -> Pquery.dconj acc (Pquery.power_int (Pquery.of_query (edge_query sym)) k))
+      Pquery.one syms
+  in
+  let c1 = Eval.count_pquery zeta_b (Arena.d_arena instance) in
+  let cc = Nat.mul_int c1 instance.Lemma11.c in
+  { instance; k; j; zeta_b; c1; cc }
+
+let count t d = Eval.count_pquery t.zeta_b d

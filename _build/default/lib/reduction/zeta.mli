@@ -1,0 +1,33 @@
+(** The anti-cheating query [ζ_b] punishing slight incorrectness
+    (Section 4.5).
+
+    For each relation [P ∈ Σ_RS], [ζ^P = P(w,v) ↑ 𝕜] counts the atoms of
+    [P] to the power [𝕜], and [ζ_b = ⋀̄_P ζ^P].  The exponent [𝕜] is the
+    least number with [((𝕛+1)/𝕛)^𝕜 ≥ c], where [𝕛] is the largest number
+    of atoms a [Σ_RS]-relation has in [Arena] — so one single extra atom
+    anywhere already inflates [ζ_b] by a factor ≥ [c] (Lemma 18).
+
+    On a correct database [ζ_b] is the constant
+    [ℂ₁ = ζ_b(D_Arena) = ∏_P (𝕛^P)^𝕜] (Lemma 17), and the reduction's
+    output constant is [ℂ = c·ℂ₁]. *)
+
+open Bagcq_bignum
+open Bagcq_cq
+module Lemma11 = Bagcq_poly.Lemma11
+
+type t = private {
+  instance : Lemma11.t;
+  k : int;  (** 𝕜 *)
+  j : int;  (** 𝕛 = max_P 𝕛^P *)
+  zeta_b : Pquery.t;
+  c1 : Nat.t;  (** ℂ₁ = ζ_b(D_Arena) *)
+  cc : Nat.t;  (** ℂ = c·ℂ₁ *)
+}
+
+val make : Lemma11.t -> t
+
+val atoms_in_arena : Lemma11.t -> Bagcq_relational.Symbol.t -> int
+(** [𝕛^P]: the number of atoms of [P] in [Arena]. *)
+
+val count : t -> Bagcq_relational.Structure.t -> Nat.t
+(** [ζ_b(D)], exactly. *)

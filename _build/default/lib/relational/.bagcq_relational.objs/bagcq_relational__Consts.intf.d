@@ -1,0 +1,1 @@
+lib/relational/consts.mli: Value

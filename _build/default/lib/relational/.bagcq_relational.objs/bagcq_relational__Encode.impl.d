@@ -1,0 +1,1 @@
+lib/relational/encode.ml: Buffer List Printf Schema String Structure Symbol Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/encode.mli: Structure Value

@@ -1,0 +1,1 @@
+lib/relational/generate.ml: Array Consts List Random Schema String Structure Symbol Tuple Value

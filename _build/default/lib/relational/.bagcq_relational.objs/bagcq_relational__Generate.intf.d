@@ -1,0 +1,1 @@
+lib/relational/generate.mli: Random Schema Structure Value

@@ -1,0 +1,1 @@
+lib/relational/iso.ml: Array Hashtbl List Map Option Schema Stdlib String Structure Symbol Tuple Value

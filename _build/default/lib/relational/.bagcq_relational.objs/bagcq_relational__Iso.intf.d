@@ -1,0 +1,1 @@
+lib/relational/iso.mli: Structure Value

@@ -1,0 +1,1 @@
+lib/relational/ops.ml: Array List Schema Structure Tuple Value

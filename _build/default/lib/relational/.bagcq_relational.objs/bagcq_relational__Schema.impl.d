@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Format List Map Printf Set String Symbol

@@ -1,0 +1,1 @@
+lib/relational/structure.ml: Array Consts Format List Map Option Printf Schema String Symbol Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/symbol.ml: Format Hashtbl Map Set Stdlib String

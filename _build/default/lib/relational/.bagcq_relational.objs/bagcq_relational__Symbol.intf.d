@@ -1,0 +1,1 @@
+lib/relational/symbol.mli: Format Map Set

@@ -1,0 +1,4 @@
+let heart = "heart"
+let spade = "spade"
+let heart_v = Value.sym heart
+let spade_v = Value.sym spade

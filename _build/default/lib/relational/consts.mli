@@ -1,0 +1,12 @@
+(** The two distinguished constants of the paper, written ♥ and ♠ there.
+
+    A database is {e non-trivial} when it interprets both and their
+    interpretations differ (Section 1.2). *)
+
+val heart : string
+val spade : string
+
+val heart_v : Value.t
+val spade_v : Value.t
+(** Their canonical interpretations, [Value.sym heart] and
+    [Value.sym spade]. *)

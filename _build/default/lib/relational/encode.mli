@@ -1,0 +1,21 @@
+(** A small textual format for structures, used by the CLI and examples.
+
+    Grammar (one item per line; [#] starts a comment):
+    {v
+      R(a, b).          fact — arguments that are all digits become
+                        anonymous elements #n, others named elements
+      const c := a.     bind constant c to element a
+      const c.          declare constant c with canonical interpretation
+    v}
+    The schema is inferred: each relation name gets the arity of its first
+    occurrence (a later occurrence with a different arity is an error). *)
+
+val value_of_token : string -> Value.t
+
+val parse : string -> (Structure.t, string) result
+val parse_exn : string -> Structure.t
+
+val to_string : Structure.t -> string
+(** Prints in the same format; [parse_exn (to_string d)] reconstructs the
+    atoms and bindings of [d] whenever all elements of [d] are [Sym] or
+    [Int] values. *)

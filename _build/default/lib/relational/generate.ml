@@ -1,0 +1,52 @@
+let all_tuples dom k =
+  let rec go k =
+    if k = 0 then [ [] ]
+    else begin
+      let rest = go (k - 1) in
+      List.concat_map (fun v -> List.map (fun tup -> v :: tup) rest) dom
+    end
+  in
+  go k
+
+let random ?(density = 0.3) ?(declare_constants = true) rng schema ~size =
+  if size < 1 then invalid_arg "Generate.random: size must be >= 1";
+  let dom = List.init size (fun i -> Value.int (i + 1)) in
+  let dom_arr = Array.of_list dom in
+  let base = Structure.empty schema in
+  let with_atoms =
+    List.fold_left
+      (fun acc sym ->
+        List.fold_left
+          (fun acc tup ->
+            if Random.State.float rng 1.0 < density then
+              Structure.add_atom acc sym (Tuple.make tup)
+            else acc)
+          acc
+          (all_tuples dom (Symbol.arity sym)))
+      base (Schema.symbols schema)
+  in
+  if not declare_constants then with_atoms
+  else
+    List.fold_left
+      (fun acc c ->
+        Structure.bind_constant acc c dom_arr.(Random.State.int rng size))
+      with_atoms (Schema.constants schema)
+
+let random_nontrivial ?density rng schema ~size =
+  let schema =
+    Schema.add_constant (Schema.add_constant schema Consts.heart) Consts.spade
+  in
+  let keep_other_constants c =
+    not (String.equal c Consts.heart || String.equal c Consts.spade)
+  in
+  let d = random ?density ~declare_constants:false rng schema ~size in
+  let d =
+    List.fold_left
+      (fun acc c ->
+        if keep_other_constants c then
+          Structure.bind_constant acc c (Value.int (1 + Random.State.int rng size))
+        else acc)
+      d (Schema.constants schema)
+  in
+  let d = Structure.bind_constant d Consts.heart Consts.heart_v in
+  Structure.bind_constant d Consts.spade Consts.spade_v

@@ -1,0 +1,27 @@
+(** Random structure generation for property tests and counterexample
+    hunting.  All generation is driven by an explicit [Random.State.t] so
+    test failures reproduce. *)
+
+val random :
+  ?density:float ->
+  ?declare_constants:bool ->
+  Random.State.t ->
+  Schema.t ->
+  size:int ->
+  Structure.t
+(** [random rng schema ~size] draws a structure whose anonymous domain is
+    [{#1 … #size}].  Each potential atom [R(v̄)] is included independently
+    with probability [density] (default [0.3]).  When [declare_constants]
+    is set (default [true]), every schema constant is bound to a uniformly
+    chosen domain element — so the result is usually "seriously incorrect"
+    in the sense of Definition 13, which is exactly what the punishment
+    lemmas need to be tested against. *)
+
+val random_nontrivial :
+  ?density:float -> Random.State.t -> Schema.t -> size:int -> Structure.t
+(** Like {!random} but ♥ and ♠ are bound to two distinct fresh elements, so
+    the result is non-trivial. *)
+
+val all_tuples : Value.t list -> int -> Value.t list list
+(** [all_tuples dom k] — every [k]-tuple over [dom], in lexicographic
+    order.  Exposed for exhaustive database enumeration. *)

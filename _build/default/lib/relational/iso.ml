@@ -1,0 +1,118 @@
+module ProfileMap = Map.Make (struct
+  type t = (string * int * int) list (* (symbol, position, count), sorted *)
+
+  let compare = Stdlib.compare
+end)
+
+(* occurrence profile of an element: how many times it appears at each
+   (relation, position) — an isomorphism invariant used for pruning *)
+let profiles d =
+  let table = Hashtbl.create 32 in
+  Structure.fold_atoms
+    (fun sym tup () ->
+      Array.iteri
+        (fun i v ->
+          let key = (v, Symbol.name sym, i) in
+          Hashtbl.replace table key (1 + Option.value ~default:0 (Hashtbl.find_opt table key)))
+        tup)
+    d ();
+  let profile v =
+    Hashtbl.fold
+      (fun (v', sym, i) count acc -> if Value.equal v v' then (sym, i, count) :: acc else acc)
+      table []
+    |> List.sort Stdlib.compare
+  in
+  List.map (fun v -> (v, profile v)) (Value.Set.elements (Structure.domain d))
+
+let find d1 d2 =
+  let dom1 = Value.Set.elements (Structure.domain d1) in
+  let dom2 = Value.Set.elements (Structure.domain d2) in
+  let syms1 = Schema.symbols (Structure.schema d1) in
+  let syms2 = Schema.symbols (Structure.schema d2) in
+  let counts_match =
+    List.for_all (fun sym -> Structure.atom_count d1 sym = Structure.atom_count d2 sym) syms1
+    && List.for_all (fun sym -> Structure.atom_count d1 sym = Structure.atom_count d2 sym) syms2
+  in
+  if List.length dom1 <> List.length dom2 || not counts_match then None
+  else begin
+    let prof1 = profiles d1 and prof2 = profiles d2 in
+    (* constants pin parts of the mapping *)
+    let consts1 = Schema.constants (Structure.schema d1) in
+    let consts2 = Schema.constants (Structure.schema d2) in
+    let bound c d = Structure.interpretation d c <> None in
+    let shared_ok =
+      List.for_all (fun c -> bound c d1 = bound c d2) (consts1 @ consts2)
+    in
+    if not shared_ok then None
+    else begin
+      let pinned =
+        List.filter_map
+          (fun c ->
+            match (Structure.interpretation d1 c, Structure.interpretation d2 c) with
+            | Some v1, Some v2 -> Some (v1, v2)
+            | _ -> None)
+          (List.sort_uniq String.compare (consts1 @ consts2))
+      in
+      let candidates v =
+        let p = List.assoc v prof1 in
+        List.filter_map (fun (w, q) -> if q = p then Some w else None) prof2
+      in
+      (* order unpinned elements by candidate-set size *)
+      let unpinned =
+        List.filter (fun v -> not (List.exists (fun (a, _) -> Value.equal a v) pinned)) dom1
+        |> List.sort (fun a b ->
+               Stdlib.compare (List.length (candidates a)) (List.length (candidates b)))
+      in
+      let check_atoms f =
+        try
+          Structure.fold_atoms
+            (fun sym tup () ->
+              if not (Structure.mem_atom d2 sym (Tuple.map f tup)) then raise_notrace Exit)
+            d1 ();
+          true
+        with Exit -> false
+      in
+      let rec backtrack assigned used = function
+        | [] ->
+            let f v =
+              match List.find_opt (fun (a, _) -> Value.equal a v) assigned with
+              | Some (_, w) -> w
+              | None -> v
+            in
+            if check_atoms f then Some f else None
+        | v :: rest ->
+            let rec try_candidates = function
+              | [] -> None
+              | w :: ws ->
+                  if Value.Set.mem w used then try_candidates ws
+                  else begin
+                    match backtrack ((v, w) :: assigned) (Value.Set.add w used) rest with
+                    | Some f -> Some f
+                    | None -> try_candidates ws
+                  end
+            in
+            try_candidates (candidates v)
+      in
+      (* pinned pairs must be consistent (two constants interpreted alike
+         on one side must be alike on the other) and injective *)
+      let consistent =
+        List.for_all
+          (fun (v, w) ->
+            List.for_all
+              (fun (v', w') -> not (Value.equal v v') || Value.equal w w')
+              pinned)
+          pinned
+      in
+      let distinct_pinned =
+        List.sort_uniq (fun (a, _) (b, _) -> Value.compare a b) pinned
+      in
+      let pinned_used =
+        List.fold_left (fun acc (_, w) -> Value.Set.add w acc) Value.Set.empty distinct_pinned
+      in
+      if (not consistent) || Value.Set.cardinal pinned_used <> List.length distinct_pinned
+      then None
+      else backtrack distinct_pinned pinned_used unpinned
+    end
+  end
+
+let isomorphic d1 d2 = find d1 d2 <> None

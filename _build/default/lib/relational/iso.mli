@@ -1,0 +1,14 @@
+(** Isomorphism of finite structures.
+
+    Used to state rename-invariance precisely: the correctness
+    classification of Definition 13 and all counting results are invariant
+    under isomorphism, and two CQs are bag-equivalent iff their canonical
+    structures are isomorphic (Chaudhuri–Vardi).  An isomorphism must match
+    atoms exactly and commute with the constant interpretations. *)
+
+val find : Structure.t -> Structure.t -> (Value.t -> Value.t) option
+(** A witnessing bijection on the active domains, if any.  Backtracking
+    with degree-profile pruning; intended for the library's small
+    structures. *)
+
+val isomorphic : Structure.t -> Structure.t -> bool

@@ -1,0 +1,55 @@
+let product d1 d2 =
+  let schema = Schema.union (Structure.schema d1) (Structure.schema d2) in
+  let base = Structure.empty schema in
+  let with_atoms =
+    List.fold_left
+      (fun acc sym ->
+        let t1 = Structure.tuples d1 sym and t2 = Structure.tuples d2 sym in
+        List.fold_left
+          (fun acc a ->
+            List.fold_left
+              (fun acc b ->
+                Structure.add_atom acc sym (Array.map2 (fun x y -> Value.pair x y) a b))
+              acc t2)
+          acc t1)
+      base (Schema.symbols schema)
+  in
+  List.fold_left
+    (fun acc c ->
+      match (Structure.interpretation d1 c, Structure.interpretation d2 c) with
+      | Some v1, Some v2 -> Structure.bind_constant acc c (Value.pair v1 v2)
+      | _ -> acc)
+    with_atoms (Schema.constants schema)
+
+let power d k =
+  if k < 1 then invalid_arg "Ops.power: k must be >= 1";
+  let rec go acc k = if k = 0 then acc else go (product acc d) (k - 1) in
+  go d (k - 1)
+
+let blowup d k =
+  if k < 1 then invalid_arg "Ops.blowup: k must be >= 1";
+  let base = Structure.empty (Structure.schema d) in
+  let indices = List.init k (fun i -> i + 1) in
+  (* all ways to pick a copy index per tuple position *)
+  let rec expand (tup : Tuple.t) i acc =
+    if i = Array.length tup then [ Array.of_list (List.rev acc) ]
+    else
+      List.concat_map (fun ix -> expand tup (i + 1) (Value.copy tup.(i) ix :: acc)) indices
+  in
+  let with_atoms =
+    Structure.fold_atoms
+      (fun sym tup acc ->
+        List.fold_left (fun acc t -> Structure.add_atom acc sym t) acc (expand tup 0 []))
+      d base
+  in
+  List.fold_left
+    (fun acc c ->
+      match Structure.interpretation d c with
+      | Some v -> Structure.bind_constant acc c (Value.copy v 1)
+      | None -> acc)
+    with_atoms
+    (Schema.constants (Structure.schema d))
+
+let tag d i = Structure.map_values (fun v -> Value.copy v i) d
+
+let disjoint_union d1 d2 = Structure.union (tag d1 1) (tag d2 2)

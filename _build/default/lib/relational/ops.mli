@@ -1,0 +1,31 @@
+(** The structure operations of Section 5.1, plus renaming helpers.
+
+    For CQs without inequalities, Lemma 22 gives the counting laws
+    [φ(blowup(D,k)) = k^{|Var(φ)|}·φ(D)] and [φ(D^{×k}) = φ(D)^k]; both are
+    exercised by property tests.  Constants are supported: in a product the
+    interpretation of [c] is the pair of interpretations (so that
+    [Hom(φ, D₁×D₂) ≅ Hom(φ,D₁) × Hom(φ,D₂)] still holds), and in a blow-up
+    it is copy 1 (so the count law holds with [j] the number of genuine
+    variables). *)
+
+val product : Structure.t -> Structure.t -> Structure.t
+(** [product d1 d2] — vertices are pairs, [R(ū,v̄)] holds iff it holds
+    component-wise.  A constant is interpreted only when both factors
+    interpret it. *)
+
+val power : Structure.t -> int -> Structure.t
+(** [power d k] is [d ×···× d] ([k] factors, left-associated).
+    Raises [Invalid_argument] if [k < 1]. *)
+
+val blowup : Structure.t -> int -> Structure.t
+(** [blowup d k] replaces every vertex by [k] indistinguishable copies.
+    Raises [Invalid_argument] if [k < 1]. *)
+
+val tag : Structure.t -> int -> Structure.t
+(** [tag d i] renames every element [v] to [Copy(v,i)] — used to make the
+    domains of two structures disjoint before a union. *)
+
+val disjoint_union : Structure.t -> Structure.t -> Structure.t
+(** Union after tagging the two sides apart (tags 1 and 2).  Constants
+    bound on either side follow their tagged interpretation; a constant
+    bound on both sides raises [Invalid_argument] (tag collision). *)

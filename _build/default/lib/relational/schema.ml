@@ -1,0 +1,53 @@
+module StringSet = Set.Make (String)
+module StringMap = Map.Make (String)
+
+type t = { symbols : Symbol.t StringMap.t; constants : StringSet.t }
+
+let empty = { symbols = StringMap.empty; constants = StringSet.empty }
+
+let add_symbol sch sym =
+  match StringMap.find_opt (Symbol.name sym) sch.symbols with
+  | Some existing when not (Symbol.equal existing sym) ->
+      invalid_arg
+        (Printf.sprintf "Schema.add_symbol: %s already present with arity %d"
+           (Symbol.name sym) (Symbol.arity existing))
+  | _ -> { sch with symbols = StringMap.add (Symbol.name sym) sym sch.symbols }
+
+let add_constant sch c = { sch with constants = StringSet.add c sch.constants }
+
+let make ?(constants = []) syms =
+  let sch = List.fold_left add_symbol empty syms in
+  List.fold_left add_constant sch constants
+
+let symbols sch = StringMap.bindings sch.symbols |> List.map snd
+let constants sch = StringSet.elements sch.constants
+let mem_symbol sch sym =
+  match StringMap.find_opt (Symbol.name sym) sch.symbols with
+  | Some s -> Symbol.equal s sym
+  | None -> false
+
+let mem_symbol_name sch name = StringMap.mem name sch.symbols
+let find_symbol sch name = StringMap.find_opt name sch.symbols
+let mem_constant sch c = StringSet.mem c sch.constants
+
+let union a b =
+  let sch = StringMap.fold (fun _ sym acc -> add_symbol acc sym) b.symbols a in
+  { sch with constants = StringSet.union sch.constants b.constants }
+
+let disjoint a b =
+  StringMap.for_all (fun name _ -> not (StringMap.mem name b.symbols)) a.symbols
+
+let restrict sch ~keep =
+  { sch with symbols = StringMap.filter (fun _ s -> keep s) sch.symbols }
+
+let equal a b =
+  StringMap.equal Symbol.equal a.symbols b.symbols
+  && StringSet.equal a.constants b.constants
+
+let pp fmt sch =
+  Format.fprintf fmt "{%a | %a}"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") Symbol.pp)
+    (symbols sch)
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+       Format.pp_print_string)
+    (constants sch)

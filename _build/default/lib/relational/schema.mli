@@ -1,0 +1,37 @@
+(** Relational schemas (signatures): a set of relation symbols plus a set of
+    constant names.
+
+    The paper manipulates schemas explicitly: [Σ₀] and [Σ = Σ₀ ∪ {X}]
+    (Section 4.3), restriction [D↾Σ₀] (Definition 13), and disjoint unions of
+    schemas when multiplier gadgets are composed (Lemma 4, Section 3). *)
+
+type t
+
+val empty : t
+val make : ?constants:string list -> Symbol.t list -> t
+
+val add_symbol : t -> Symbol.t -> t
+(** Raises [Invalid_argument] when a different symbol with the same name is
+    already present. *)
+
+val add_constant : t -> string -> t
+
+val symbols : t -> Symbol.t list
+val constants : t -> string list
+val mem_symbol : t -> Symbol.t -> bool
+val mem_symbol_name : t -> string -> bool
+val find_symbol : t -> string -> Symbol.t option
+val mem_constant : t -> string -> bool
+
+val union : t -> t -> t
+(** Raises [Invalid_argument] when the two schemas disagree on the arity of
+    a shared symbol name. *)
+
+val disjoint : t -> t -> bool
+(** True when the two schemas share no relation symbol name.  Constants may
+    be shared: the paper's gadgets deliberately reuse ♥ and ♠. *)
+
+val restrict : t -> keep:(Symbol.t -> bool) -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,133 @@
+module StringMap = Map.Make (String)
+
+type t = {
+  schema : Schema.t;
+  atoms : Tuple.Set.t Symbol.Map.t;
+  interp : Value.t StringMap.t;
+}
+
+let empty schema = { schema; atoms = Symbol.Map.empty; interp = StringMap.empty }
+
+let schema d = d.schema
+
+let bind_constant d c v =
+  match StringMap.find_opt c d.interp with
+  | Some v' when not (Value.equal v v') ->
+      invalid_arg
+        (Printf.sprintf "Structure.bind_constant: %s already bound to %s" c
+           (Value.to_string v'))
+  | Some _ -> d
+  | None ->
+      { d with schema = Schema.add_constant d.schema c; interp = StringMap.add c v d.interp }
+
+let declare_constant d c = bind_constant d c (Value.sym c)
+
+let rebind_constant d c v =
+  { d with schema = Schema.add_constant d.schema c; interp = StringMap.add c v d.interp }
+
+(* Schema constants mentioned in a tuple receive their canonical
+   interpretation unless already bound. *)
+let auto_bind d (tup : Tuple.t) =
+  Array.fold_left
+    (fun d v ->
+      match v with
+      | Value.Sym c when Schema.mem_constant d.schema c && not (StringMap.mem c d.interp) ->
+          bind_constant d c v
+      | _ -> d)
+    d tup
+
+let add_atom d sym tup =
+  if Tuple.arity tup <> Symbol.arity sym then
+    invalid_arg
+      (Printf.sprintf "Structure.add_atom: %s expects %d arguments, got %d"
+         (Symbol.name sym) (Symbol.arity sym) (Tuple.arity tup));
+  let d = { d with schema = Schema.add_symbol d.schema sym } in
+  let d = auto_bind d tup in
+  let existing = Option.value ~default:Tuple.Set.empty (Symbol.Map.find_opt sym d.atoms) in
+  { d with atoms = Symbol.Map.add sym (Tuple.Set.add tup existing) d.atoms }
+
+let add_fact d sym values = add_atom d sym (Tuple.make values)
+
+let interpretation d c = StringMap.find_opt c d.interp
+
+let interpret_exn d c =
+  match interpretation d c with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Structure.interpret_exn: %s not interpreted" c)
+
+let tuple_set d sym =
+  Option.value ~default:Tuple.Set.empty (Symbol.Map.find_opt sym d.atoms)
+
+let mem_atom d sym tup = Tuple.Set.mem tup (tuple_set d sym)
+let tuples d sym = Tuple.Set.elements (tuple_set d sym)
+let atom_count d sym = Tuple.Set.cardinal (tuple_set d sym)
+let total_atoms d = Symbol.Map.fold (fun _ s acc -> acc + Tuple.Set.cardinal s) d.atoms 0
+
+let fold_atoms f d init =
+  Symbol.Map.fold (fun sym set acc -> Tuple.Set.fold (fun tup acc -> f sym tup acc) set acc)
+    d.atoms init
+
+let domain d =
+  let from_atoms =
+    fold_atoms
+      (fun _ tup acc -> Array.fold_left (fun acc v -> Value.Set.add v acc) acc tup)
+      d Value.Set.empty
+  in
+  StringMap.fold (fun _ v acc -> Value.Set.add v acc) d.interp from_atoms
+
+let domain_size d = Value.Set.cardinal (domain d)
+
+let is_nontrivial d =
+  match (interpretation d Consts.heart, interpretation d Consts.spade) with
+  | Some h, Some s -> not (Value.equal h s)
+  | _ -> false
+
+let union a b =
+  let merged = StringMap.fold (fun c v acc -> bind_constant acc c v) b.interp a in
+  let merged = { merged with schema = Schema.union merged.schema b.schema } in
+  Symbol.Map.fold
+    (fun sym set acc -> Tuple.Set.fold (fun tup acc -> add_atom acc sym tup) set acc)
+    b.atoms merged
+
+let restrict d ~keep =
+  {
+    d with
+    schema = Schema.restrict d.schema ~keep;
+    atoms = Symbol.Map.filter (fun sym _ -> keep sym) d.atoms;
+  }
+
+let map_values f d =
+  {
+    d with
+    atoms = Symbol.Map.map (fun set -> Tuple.Set.map (Tuple.map f) set) d.atoms;
+    interp = StringMap.map f d.interp;
+  }
+
+let subsumes big small =
+  Symbol.Map.for_all (fun sym set -> Tuple.Set.subset set (tuple_set big sym)) small.atoms
+  && StringMap.for_all
+       (fun c v ->
+         match interpretation big c with Some v' -> Value.equal v v' | None -> false)
+       small.interp
+
+let equal_atoms a b =
+  Symbol.Map.equal Tuple.Set.equal
+    (Symbol.Map.filter (fun _ s -> not (Tuple.Set.is_empty s)) a.atoms)
+    (Symbol.Map.filter (fun _ s -> not (Tuple.Set.is_empty s)) b.atoms)
+  && StringMap.equal Value.equal a.interp b.interp
+
+let pp fmt d =
+  let pp_atom fmt (sym, tup) = Format.fprintf fmt "%s%a" (Symbol.name sym) Tuple.pp tup in
+  let atoms = fold_atoms (fun sym tup acc -> (sym, tup) :: acc) d [] in
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_atom)
+    (List.rev atoms);
+  let bindings = StringMap.bindings d.interp in
+  let noncanonical =
+    List.filter (fun (c, v) -> not (Value.equal v (Value.sym c))) bindings
+  in
+  if noncanonical <> [] then
+    Format.fprintf fmt "@ [%a]"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+         (fun f (c, v) -> Format.fprintf f "%s:=%a" c Value.pp v))
+      noncanonical

@@ -1,0 +1,75 @@
+(** Finite relational structures — the paper's databases.
+
+    A structure holds, per relation symbol, a set of tuples, together with
+    an interpretation of the schema's constants.  The active domain [V_D] is
+    the set of elements occurring in atoms plus the interpretations of
+    constants.  Constants interpret as themselves ([Value.Sym c]) unless
+    explicitly re-bound — re-binding two constants to one element is how the
+    "seriously incorrect" databases of Definition 13 are built. *)
+
+type t
+
+val empty : Schema.t -> t
+
+val schema : t -> Schema.t
+
+val add_atom : t -> Symbol.t -> Tuple.t -> t
+(** Adds a fact.  Extends the schema if the symbol is new; raises
+    [Invalid_argument] on an arity mismatch.  Any [Value.Sym c] appearing in
+    the tuple where [c] is a schema constant without an interpretation gets
+    the canonical interpretation [Value.Sym c]. *)
+
+val add_fact : t -> Symbol.t -> Value.t list -> t
+
+val bind_constant : t -> string -> Value.t -> t
+(** Interpret constant [c] as a given element (adding [c] to the schema).
+    Raises [Invalid_argument] if [c] is already bound to a different
+    element. *)
+
+val declare_constant : t -> string -> t
+(** [declare_constant d c] is [bind_constant d c (Value.sym c)]. *)
+
+val interpretation : t -> string -> Value.t option
+val interpret_exn : t -> string -> Value.t
+
+val mem_atom : t -> Symbol.t -> Tuple.t -> bool
+val tuples : t -> Symbol.t -> Tuple.t list
+val tuple_set : t -> Symbol.t -> Tuple.Set.t
+val atom_count : t -> Symbol.t -> int
+val total_atoms : t -> int
+val fold_atoms : (Symbol.t -> Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val domain : t -> Value.Set.t
+val domain_size : t -> int
+
+val is_nontrivial : t -> bool
+(** Both ♥ and ♠ ({!Consts}) are interpreted, by distinct elements. *)
+
+val union : t -> t -> t
+(** Union of atom sets and constant interpretations (schemas are merged).
+    Raises [Invalid_argument] when the interpretations conflict. *)
+
+val restrict : t -> keep:(Symbol.t -> bool) -> t
+(** [D↾Σ'] — drop the atoms of symbols not kept (Definition 13 uses this
+    with [Σ₀]).  Constant interpretations are kept. *)
+
+val map_values : (Value.t -> Value.t) -> t -> t
+(** Apply a function to every element, in atoms and interpretations.  Used
+    to rename apart, to quotient (identify elements), and by the product
+    and blow-up operations. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes big small]: every atom of [small] is an atom of [big] and
+    every constant bound in [small] is bound identically in [big] —
+    inclusion of relational structures, as in Definition 13. *)
+
+val equal_atoms : t -> t -> bool
+(** Same atom sets and same constant interpretations (schemas may differ on
+    unused symbols). *)
+
+val pp : Format.formatter -> t -> unit
+
+val rebind_constant : t -> string -> Value.t -> t
+(** Like {!bind_constant} but overrides an existing interpretation — used
+    when a database is re-read under a different choice of constants
+    (Section 2.3's trade between constants and free variables). *)

@@ -1,0 +1,25 @@
+type t = { name : string; arity : int }
+
+let make name arity =
+  if String.length name = 0 then invalid_arg "Symbol.make: empty name";
+  if arity < 0 then invalid_arg "Symbol.make: negative arity";
+  { name; arity }
+
+let name s = s.name
+let arity s = s.arity
+
+let compare a b =
+  match String.compare a.name b.name with 0 -> Stdlib.compare a.arity b.arity | c -> c
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+let pp fmt s = Format.fprintf fmt "%s/%d" s.name s.arity
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ordered)
+module Set = Set.Make (Ordered)

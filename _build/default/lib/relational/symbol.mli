@@ -1,0 +1,22 @@
+(** Relation symbols: a name paired with an arity.
+
+    The paper's schemas are built from binary symbols ([S_m], [R_d], [X],
+    [E]), unary ones ([A], [B], [U]) and the p-ary [R] of the [CYCLIQ]
+    construction (Section 3.1), so arities are arbitrary. *)
+
+type t = private { name : string; arity : int }
+
+val make : string -> int -> t
+(** Raises [Invalid_argument] if the name is empty or the arity negative. *)
+
+val name : t -> string
+val arity : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,47 @@
+type t = Value.t array
+
+let make l = Array.of_list l
+let of_array a = Array.copy a
+let arity = Array.length
+let get (t : t) i = t.(i)
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i = la then 0
+      else begin
+        match Value.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+      end
+    in
+    go 0
+  end
+
+let equal a b = compare a b = 0
+let map f (t : t) = Array.map f t
+let to_list = Array.to_list
+let mem_value v (t : t) = Array.exists (Value.equal v) t
+
+let rotate (t : t) k =
+  let n = Array.length t in
+  if n = 0 then [||]
+  else begin
+    let k = ((k mod n) + n) mod n in
+    Array.init n (fun i -> t.((i - k + n) mod n))
+  end
+
+let is_constant_tuple (t : t) =
+  Array.length t = 0 || Array.for_all (Value.equal t.(0)) t
+
+let pp fmt (t : t) =
+  Format.fprintf fmt "(%a)" (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_char f ',') Value.pp) (to_list t)
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ordered)
+module Map = Map.Make (Ordered)

@@ -1,0 +1,28 @@
+(** Tuples of domain elements — the rows of a relation. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val of_array : Value.t array -> t
+val arity : t -> int
+val get : t -> int -> Value.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val map : (Value.t -> Value.t) -> t -> t
+val to_list : t -> Value.t list
+val mem_value : Value.t -> t -> bool
+
+val rotate : t -> int -> t
+(** [rotate t k] is the cyclic k-shift of [t] (Definition 6): element [i]
+    moves to position [(i + k) mod n].  [rotate t 0 = t]. *)
+
+val is_constant_tuple : t -> bool
+(** True when all components are equal — the shape [\[s, s̄\]] used for
+    homogeneous cycliques (Definition 7). *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

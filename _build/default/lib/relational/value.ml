@@ -1,0 +1,46 @@
+type t =
+  | Sym of string
+  | Int of int
+  | Pair of t * t
+  | Copy of t * int
+
+let sym s = Sym s
+let int i = Int i
+let pair a b = Pair (a, b)
+let copy v i = Copy (v, i)
+let of_var x = Sym ("$" ^ x)
+
+let rec compare a b =
+  match (a, b) with
+  | Sym x, Sym y -> String.compare x y
+  | Sym _, _ -> -1
+  | _, Sym _ -> 1
+  | Int x, Int y -> Stdlib.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Pair (x1, x2), Pair (y1, y2) -> (
+      match compare x1 y1 with 0 -> compare x2 y2 | c -> c)
+  | Pair _, _ -> -1
+  | _, Pair _ -> 1
+  | Copy (x, i), Copy (y, j) -> (
+      match compare x y with 0 -> Stdlib.compare i j | c -> c)
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+let rec pp fmt = function
+  | Sym s -> Format.pp_print_string fmt s
+  | Int i -> Format.fprintf fmt "#%d" i
+  | Pair (a, b) -> Format.fprintf fmt "(%a,%a)" pp a pp b
+  | Copy (v, i) -> Format.fprintf fmt "%a@%d" pp v i
+
+let to_string v = Format.asprintf "%a" pp v
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ordered)
+module Set = Set.Make (Ordered)

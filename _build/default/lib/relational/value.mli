@@ -1,0 +1,35 @@
+(** Elements of the active domain of a structure.
+
+    Four constructors cover everything the paper builds:
+    - [Sym] — a named element; a constant [a] of the signature is by default
+      interpreted as the element [Sym "a"], and the canonical structure of a
+      query freezes a variable [x] as [Sym "$x"] (the ["$"] prefix keeps
+      frozen variables from colliding with constants);
+    - [Int] — an anonymous vertex, used for generated databases and for the
+      fresh [X]-targets that encode a valuation (Definition 14);
+    - [Pair] — a vertex of a product [D₁ × D₂] (Section 5.1);
+    - [Copy] — a vertex [(s, i)] of [blowup(D, k)] (Section 5.1). *)
+
+type t =
+  | Sym of string
+  | Int of int
+  | Pair of t * t
+  | Copy of t * int
+
+val sym : string -> t
+val int : int -> t
+val pair : t -> t -> t
+val copy : t -> int -> t
+
+val of_var : string -> t
+(** [of_var x] is the frozen-variable element [Sym ("$" ^ x)]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

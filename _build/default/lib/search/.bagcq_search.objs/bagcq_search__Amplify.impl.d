@@ -1,0 +1,1 @@
+lib/search/amplify.ml: Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_relational Nat Ops Query

@@ -1,0 +1,1 @@
+lib/search/amplify.mli: Bagcq_bignum Bagcq_cq Bagcq_relational Nat Query Structure

@@ -1,0 +1,1 @@
+lib/search/dbspace.ml: Array Bagcq_relational Generate List Printf Schema Structure Symbol Tuple Value

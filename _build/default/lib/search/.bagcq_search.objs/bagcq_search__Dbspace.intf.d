@@ -1,0 +1,1 @@
+lib/search/dbspace.mli: Bagcq_relational Schema Structure Symbol Tuple

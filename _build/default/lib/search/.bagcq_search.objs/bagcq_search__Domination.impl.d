@@ -1,0 +1,1 @@
+lib/search/domination.ml: Array Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_relational Generate List Ops Query Random Sampler Stdlib String Structure

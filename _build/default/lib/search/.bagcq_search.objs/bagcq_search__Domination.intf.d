@@ -1,0 +1,1 @@
+lib/search/domination.mli: Bagcq_cq Bagcq_relational Query Sampler Structure

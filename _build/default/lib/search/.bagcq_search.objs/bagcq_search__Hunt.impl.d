@@ -1,0 +1,1 @@
+lib/search/hunt.ml: Bagcq_reduction Bagcq_relational Dbspace Sampler Structure

@@ -1,0 +1,1 @@
+lib/search/hunt.mli: Bagcq_cq Bagcq_relational Query Sampler Structure

@@ -1,0 +1,1 @@
+lib/search/sampler.ml: Array Bagcq_cq Bagcq_hom Bagcq_reduction Bagcq_relational Generate List Pquery Query Random Schema Structure

@@ -1,0 +1,1 @@
+lib/search/sampler.mli: Bagcq_cq Bagcq_relational Pquery Query Schema Structure

@@ -1,0 +1,30 @@
+(** Witness amplification via the Lemma 22 counting laws.
+
+    For inequality-free CQs, passing from [D] to [D^{×k}] raises both
+    counts to the [k]-th power, so any strict separation
+    [small(D) > big(D)] grows exponentially — the trick behind the choice
+    of [k] in the proof of Lemma 23, exposed here as a standalone tool. *)
+
+open Bagcq_bignum
+open Bagcq_relational
+open Bagcq_cq
+
+val separation : small:Query.t -> big:Query.t -> Structure.t -> (Nat.t * Nat.t) option
+(** [(small(D), big(D))] when [small(D) > big(D)], else [None]. *)
+
+val boost_until :
+  ?max_k:int ->
+  small:Query.t ->
+  big:Query.t ->
+  factor:Nat.t ->
+  Structure.t ->
+  (Structure.t * int) option
+(** Find the least [k ≤ max_k] (default 10) with
+    [small(D^{×k}) ≥ factor·big(D^{×k})], verified by exact counting, and
+    return the amplified database with it.  [None] when [D] separates the
+    queries by no margin at all, or [max_k] is exhausted. *)
+
+val predicted_k : base_small:Nat.t -> base_big:Nat.t -> factor:Nat.t -> int option
+(** The analytic prediction: least [k] with
+    [small^k ≥ factor·big^k], computed by exact bignum iteration.
+    [None] when [small ≤ big] (no amplification possible). *)

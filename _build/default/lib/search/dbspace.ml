@@ -1,0 +1,75 @@
+open Bagcq_relational
+
+let max_potential_atoms = 22
+
+let potential_atoms schema ~size =
+  let dom = List.init size (fun i -> Value.int (i + 1)) in
+  List.concat_map
+    (fun sym ->
+      List.map
+        (fun args -> (sym, Tuple.make args))
+        (Generate.all_tuples dom (Symbol.arity sym)))
+    (Schema.symbols schema)
+
+let count_space schema ~size = List.length (potential_atoms schema ~size)
+
+exception Stop
+
+(* enumerate constant bindings: each constant to each domain element *)
+let fold_bindings schema ~size f init base =
+  let constants = Schema.constants schema in
+  let dom = Array.init size (fun i -> Value.int (i + 1)) in
+  let rec go cs d acc =
+    match cs with
+    | [] -> f acc d
+    | c :: rest ->
+        Array.fold_left (fun acc v -> go rest (Structure.bind_constant d c v) acc) acc dom
+  in
+  go constants base init
+
+let fold ?(with_constants = true) schema ~max_size f init =
+  let acc = ref init in
+  for size = 1 to max_size do
+    let atoms = Array.of_list (potential_atoms schema ~size) in
+    let n = Array.length atoms in
+    if n > max_potential_atoms then
+      invalid_arg
+        (Printf.sprintf "Dbspace.fold: %d potential atoms exceeds the cap of %d" n
+           max_potential_atoms);
+    let base = Structure.empty schema in
+    for mask = 0 to (1 lsl n) - 1 do
+      let d = ref base in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then begin
+          let sym, tup = atoms.(i) in
+          d := Structure.add_atom !d sym tup
+        end
+      done;
+      if with_constants then acc := fold_bindings schema ~size f !acc !d
+      else acc := f !acc !d
+    done
+  done;
+  !acc
+
+let exists ?with_constants schema ~max_size pred =
+  try
+    ignore
+      (fold ?with_constants schema ~max_size
+         (fun () d -> if pred d then raise_notrace Stop)
+         ());
+    false
+  with Stop -> true
+
+let find ?with_constants schema ~max_size pred =
+  let result = ref None in
+  (try
+     ignore
+       (fold ?with_constants schema ~max_size
+          (fun () d ->
+            if pred d then begin
+              result := Some d;
+              raise_notrace Stop
+            end)
+          ())
+   with Stop -> ());
+  !result

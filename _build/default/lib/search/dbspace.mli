@@ -1,0 +1,42 @@
+(** Exhaustive enumeration of all databases over a schema with a bounded
+    domain — the brute-force side of verifying universally quantified
+    statements such as condition (≤) of Definition 3 on small instances.
+
+    The space is every subset of the potential atoms over domains
+    [{#1}, {#1,#2}, …, {#1…#max_size}], crossed with every binding of the
+    schema's constants to domain elements.  The size is
+    [2^(Σ_R n^{arity R}) · n^{#constants}] per domain size [n]; enumeration
+    refuses to start when the total number of potential atoms exceeds
+    {!max_potential_atoms}. *)
+
+open Bagcq_relational
+
+val max_potential_atoms : int
+(** 22 — caps the enumeration at ~4M atom subsets per constant binding. *)
+
+val potential_atoms : Schema.t -> size:int -> (Symbol.t * Tuple.t) list
+
+val fold :
+  ?with_constants:bool ->
+  Schema.t ->
+  max_size:int ->
+  ('a -> Structure.t -> 'a) ->
+  'a ->
+  'a
+(** Folds over every database.  When [with_constants] (default true) every
+    assignment of the schema's constants to domain elements is enumerated
+    too; otherwise constants are left uninterpreted.
+    Raises [Invalid_argument] when the space is too large. *)
+
+val exists : ?with_constants:bool -> Schema.t -> max_size:int -> (Structure.t -> bool) -> bool
+
+val find :
+  ?with_constants:bool ->
+  Schema.t ->
+  max_size:int ->
+  (Structure.t -> bool) ->
+  Structure.t option
+
+val count_space : Schema.t -> size:int -> int
+(** Number of potential atoms at one domain size (not the number of
+    databases). *)

@@ -1,0 +1,45 @@
+open Bagcq_relational
+module Containment = Bagcq_reduction.Containment
+
+type strategy = {
+  exhaustive_max_size : int;
+  sampler : Sampler.config;
+}
+
+let default = { exhaustive_max_size = 2; sampler = Sampler.default }
+
+type report = {
+  witness : Structure.t option;
+  exhaustive_complete : bool;
+  tested_random : int;
+}
+
+let verified ~small ~big d = Containment.bag_violation ~small ~big d
+
+let counterexample ?(strategy = default) ~small ~big () =
+  let schema = Sampler.schema_of_pair small big in
+  let exhaustive_feasible size = Dbspace.count_space schema ~size <= Dbspace.max_potential_atoms in
+  let exhaustive_witness, exhaustive_complete =
+    if strategy.exhaustive_max_size < 1 then (None, false)
+    else begin
+      let size = ref strategy.exhaustive_max_size in
+      while !size >= 1 && not (exhaustive_feasible !size) do
+        decr size
+      done;
+      if !size < 1 then (None, false)
+      else
+        ( Dbspace.find schema ~max_size:!size (fun d ->
+              Containment.bag_violation ~small ~big d),
+          !size = strategy.exhaustive_max_size )
+    end
+  in
+  match exhaustive_witness with
+  | Some d -> { witness = Some d; exhaustive_complete; tested_random = 0 }
+  | None ->
+      let outcome = Sampler.hunt_queries ~config:strategy.sampler ~small ~big () in
+      let witness =
+        match outcome.Sampler.witness with
+        | Some d when verified ~small ~big d -> Some d
+        | _ -> None
+      in
+      { witness; exhaustive_complete; tested_random = outcome.Sampler.tested }

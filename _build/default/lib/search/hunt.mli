@@ -1,0 +1,32 @@
+(** Combined counterexample hunting: exhaustive on tiny domains, then
+    randomised — the practical front end used by the CLI and the
+    examples. *)
+
+open Bagcq_relational
+open Bagcq_cq
+
+type strategy = {
+  exhaustive_max_size : int;
+      (** try every database up to this domain size first (0 disables);
+          skipped automatically when the schema's potential-atom count
+          exceeds the {!Dbspace} cap *)
+  sampler : Sampler.config;
+}
+
+val default : strategy
+
+type report = {
+  witness : Structure.t option;
+  exhaustive_complete : bool;
+      (** the exhaustive phase ran to completion — so if [witness] is
+          [None], no counterexample exists up to [exhaustive_max_size] *)
+  tested_random : int;
+}
+
+val counterexample :
+  ?strategy:strategy -> small:Query.t -> big:Query.t -> unit -> report
+(** Hunt for [small(D) > big(D)].  The witness, if any, is re-verified by
+    exact counting before being returned. *)
+
+val verified : small:Query.t -> big:Query.t -> Structure.t -> bool
+(** Exact re-check of a candidate witness. *)

@@ -1,0 +1,69 @@
+open Bagcq_relational
+open Bagcq_cq
+module Eval = Bagcq_hom.Eval
+module Containment = Bagcq_reduction.Containment
+
+type config = {
+  sizes : int list;
+  densities : float list;
+  samples : int;
+  seed : int;
+  require_nontrivial : bool;
+}
+
+let default =
+  {
+    sizes = [ 1; 2; 3; 4 ];
+    densities = [ 0.15; 0.4; 0.8 ];
+    samples = 200;
+    seed = 0x5eed;
+    require_nontrivial = true;
+  }
+
+type outcome = {
+  witness : Structure.t option;
+  tested : int;
+}
+
+let sample_stream config schema f =
+  let rng = Random.State.make [| config.seed |] in
+  let sizes = Array.of_list config.sizes in
+  let densities = Array.of_list config.densities in
+  let tested = ref 0 in
+  let witness = ref None in
+  (try
+     for i = 0 to config.samples - 1 do
+       let size = sizes.(i mod Array.length sizes) in
+       let density = densities.(i / Array.length sizes mod Array.length densities) in
+       let d =
+         if config.require_nontrivial then
+           Generate.random_nontrivial ~density rng schema ~size
+         else Generate.random ~density rng schema ~size
+       in
+       incr tested;
+       if f d then begin
+         witness := Some d;
+         raise_notrace Exit
+       end
+     done
+   with Exit -> ());
+  { witness = !witness; tested = !tested }
+
+let schema_of_pair q1 q2 = Schema.union (Query.schema q1) (Query.schema q2)
+
+let hunt_queries ?(config = default) ~small ~big () =
+  sample_stream config (schema_of_pair small big) (fun d ->
+      Containment.bag_violation ~small ~big d)
+
+let pquery_schema pq =
+  List.fold_left
+    (fun acc (q, _) -> Schema.union acc (Query.schema q))
+    Schema.empty (Pquery.factors pq)
+
+let hunt_pqueries ?(config = default) ~small ~big () =
+  let schema = Schema.union (pquery_schema small) (pquery_schema big) in
+  sample_stream config schema (fun d ->
+      Containment.bag_violation_pquery ~small ~big d)
+
+let check_all ?(config = default) ~schema pred =
+  sample_stream config schema (fun d -> not (pred d))

@@ -1,0 +1,39 @@
+(** Randomised counterexample hunting for bag containment.
+
+    [QCP^bag_CQ] is not known to be decidable; what a tool {e can} do is
+    hunt for witnesses [small(D) > big(D)] over random databases, which is
+    exactly what the undecidability constructions predict must exist when
+    the encoded inequality is violable. *)
+
+open Bagcq_relational
+open Bagcq_cq
+
+type config = {
+  sizes : int list;  (** domain sizes to try, in order *)
+  densities : float list;  (** atom densities to cycle through *)
+  samples : int;  (** total number of random databases *)
+  seed : int;
+  require_nontrivial : bool;
+      (** bind ♥/♠ to two distinct fresh elements, as the non-triviality
+          side conditions of Theorems 1 and 3 require *)
+}
+
+val default : config
+
+type outcome = {
+  witness : Structure.t option;
+  tested : int;  (** databases actually evaluated *)
+}
+
+val hunt_queries : ?config:config -> small:Query.t -> big:Query.t -> unit -> outcome
+(** Search for [small(D) > big(D)]. *)
+
+val hunt_pqueries : ?config:config -> small:Pquery.t -> big:Pquery.t -> unit -> outcome
+
+val check_all :
+  ?config:config -> schema:Schema.t -> (Structure.t -> bool) -> outcome
+(** Dual use: sample databases and return the first {e failing} the
+    predicate (as [witness]) — for probabilistically validating universal
+    statements such as Definition 3 (≤). *)
+
+val schema_of_pair : Query.t -> Query.t -> Schema.t

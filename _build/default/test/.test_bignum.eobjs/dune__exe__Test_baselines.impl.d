@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_relational Bagcq_search Build Format Generate List Printf QCheck QCheck_alcotest Query Random Schema Structure Term Value

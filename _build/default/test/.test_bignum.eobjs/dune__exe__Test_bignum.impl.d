@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bagcq_bignum List QCheck QCheck_alcotest Stdlib

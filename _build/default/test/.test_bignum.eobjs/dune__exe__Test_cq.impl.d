@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Atom Bagcq_bignum Bagcq_cq Bagcq_relational Build List Parse Pquery Printf QCheck QCheck_alcotest Query Random Schema Structure Term Tuple Value

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bagcq_cq Bagcq_poly Bagcq_relational List Parse Printexc QCheck QCheck_alcotest Random String

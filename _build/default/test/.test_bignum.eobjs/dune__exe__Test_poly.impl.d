@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Bagcq_bignum Bagcq_poly Diophantine Lemma11 List Monomial Polynomial Printf QCheck QCheck_alcotest Random Stdlib String Transform

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Bagcq_relational Consts Encode Format Generate List Ops QCheck QCheck_alcotest Random Schema String Structure Symbol Tuple Value

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Amplify Bagcq_bignum Bagcq_cq Bagcq_hom Bagcq_reduction Bagcq_relational Bagcq_search Build Dbspace Hunt List Sampler Schema Structure Value

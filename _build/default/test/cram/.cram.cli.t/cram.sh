@@ -1,0 +1,20 @@
+  $ cat > db.txt <<DB
+  > E(1, 2).
+  > E(2, 3).
+  > E(3, 1).
+  > E(1, 1).
+  > DB
+  $ ../../bin/bagcq_cli.exe eval -q 'E(x,y) & E(y,z)' -d db.txt
+  $ ../../bin/bagcq_cli.exe eval -q 'E(x,y) & x != y' -d db.txt
+  $ ../../bin/bagcq_cli.exe contain --small 'E(x,y) & E(y,z)' --big 'E(x,y)'
+  $ ../../bin/bagcq_cli.exe hunt --small 'E(x,y) & E(y,z)' --big 'E(x,y)'
+  $ ../../bin/bagcq_cli.exe hunt --small 'E(x,x)' --big 'E(x,y)' --samples 50
+  $ ../../bin/bagcq_cli.exe reduce -p 'x1 - 2' --bound 4 | tail -n 3
+  $ ../../bin/bagcq_cli.exe reduce -p 'x1^2 + 1' --bound 3 | tail -n 2
+  $ ../../bin/bagcq_cli.exe multiply -c 2 --samples 20
+  $ ../../bin/bagcq_cli.exe eval -q 'E(x' -d db.txt
+  $ ../../bin/bagcq_cli.exe core -q 'E(x,y) & E(x,z) & E(x,w)'
+  $ printf 'E(1,1). E(1,2). E(2,1). E(2,2).\n' > k2.txt
+  $ ../../bin/bagcq_cli.exe answers -q 'E(x,y) & E(y,z)' --head x -d k2.txt
+  $ ../../bin/bagcq_cli.exe hde --small 'E(x,y) & E(y,z)' --big 'E(x,y)'
+  $ ../../bin/bagcq_cli.exe hde --small 'E(x,x)' --big 'E(x,y)'

@@ -1,0 +1,9 @@
+  $ ../../examples/quickstart.exe | grep -c 'decidable'
+  $ ../../examples/multiplier_demo.exe | grep -c 'survived'
+  $ ../../examples/multiplier_demo.exe | grep -c 'VIOLATED'
+  $ ../../examples/reduction_demo.exe | grep -c 'VIOLATED'
+  $ ../../examples/reduction_demo.exe | tail -n 1
+  $ ../../examples/theorem5_demo.exe | grep -c 'verified by exact counting'
+  $ ../../examples/counterexample_hunt.exe | grep -c 'BAG VIOLATION'
+  $ ../../examples/ucq_reduction_demo.exe | grep -c 'FAILS'
+  $ ../../examples/frontier_demo.exe | grep -c 'refutes: true'

@@ -1,0 +1,29 @@
+Every example must run to completion and reach its closing claim.
+
+  $ ../../examples/quickstart.exe | grep -c 'decidable'
+  3
+
+  $ ../../examples/multiplier_demo.exe | grep -c 'survived'
+  9
+
+  $ ../../examples/multiplier_demo.exe | grep -c 'VIOLATED'
+  0
+  [1]
+
+  $ ../../examples/reduction_demo.exe | grep -c 'VIOLATED'
+  1
+
+  $ ../../examples/reduction_demo.exe | tail -n 1
+  ℂ·φ_s(D) ≤ φ_b(D): true — no counterexample exists, matching the theory
+
+  $ ../../examples/theorem5_demo.exe | grep -c 'verified by exact counting'
+  1
+
+  $ ../../examples/counterexample_hunt.exe | grep -c 'BAG VIOLATION'
+  1
+
+  $ ../../examples/ucq_reduction_demo.exe | grep -c 'FAILS'
+  1
+
+  $ ../../examples/frontier_demo.exe | grep -c 'refutes: true'
+  1

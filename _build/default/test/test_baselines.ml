@@ -1,0 +1,284 @@
+(* Tests for the classical baselines around the paper: query cores and
+   set-semantics equivalence (Chandra–Merlin), and the empirical
+   homomorphism-domination-exponent estimator (Kopparty–Rossman [12]). *)
+
+open Bagcq_relational
+open Bagcq_cq
+module Morphism = Bagcq_hom.Morphism
+module Eval = Bagcq_hom.Eval
+module Domination = Bagcq_search.Domination
+module Sampler = Bagcq_search.Sampler
+module Nat = Bagcq_bignum.Nat
+
+let e = Build.sym "E" 2
+let query_t = Alcotest.testable Query.pp Query.equal
+
+let edge_q = Build.(query [ atom e [ v "x"; v "y" ] ])
+let path_q = Build.(query [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "z" ] ])
+let loop_q = Build.(query [ atom e [ v "x"; v "x" ] ])
+let triangle_q = Build.(query (cycle e (vars "t" 3)))
+
+(* ------------------------------------------------------------------ *)
+(* Cores                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_core_collapses_fan () =
+  (* E(x,y) ∧ E(x,z) retracts to a single edge *)
+  let fan = Build.(query [ atom e [ v "x"; v "y" ]; atom e [ v "x"; v "z" ] ]) in
+  let c = Morphism.core fan in
+  Alcotest.(check int) "core is one atom" 1 (Query.num_atoms c);
+  Alcotest.(check bool) "iso to edge" true (Morphism.isomorphic c edge_q)
+
+let test_core_of_rigid_queries () =
+  (* an edge, a directed triangle, and a 2-path are their own cores *)
+  List.iter
+    (fun q -> Alcotest.check query_t "is own core" q (Morphism.core q))
+    [ edge_q; path_q; triangle_q; loop_q ]
+
+let test_core_of_duplicated_query () =
+  (* q ∧̄ q collapses onto one copy: core iso to core q *)
+  let dup = Query.dconj path_q path_q in
+  Alcotest.(check bool) "core iso path" true (Morphism.isomorphic (Morphism.core dup) path_q)
+
+let test_core_loop_absorbs () =
+  (* a loop absorbs everything reachable: E(x,x) ∧ E(x,y) has core E(x,x) *)
+  let q = Build.(query [ atom e [ v "x"; v "x" ]; atom e [ v "x"; v "y" ] ]) in
+  Alcotest.(check bool) "core is the loop" true (Morphism.isomorphic (Morphism.core q) loop_q)
+
+let test_core_preserves_constants () =
+  (* constants are fixed by retractions: E('a',x) ∧ E('a',y) → E('a',x) *)
+  let q = Build.(query [ atom e [ c "a"; v "x" ]; atom e [ c "a"; v "y" ] ]) in
+  let core = Morphism.core q in
+  Alcotest.(check int) "one atom" 1 (Query.num_atoms core);
+  Alcotest.(check (list string)) "constant kept" [ "a" ] (Query.constants core)
+
+let test_retract_rejects_neqs () =
+  let q = Build.(query ~neqs:[ (v "x", v "y") ] [ atom e [ v "x"; v "y" ] ]) in
+  Alcotest.check_raises "neqs rejected"
+    (Invalid_argument "Morphism.retract: inequality-free CQs only") (fun () ->
+      ignore (Morphism.retract q))
+
+let test_set_equivalence () =
+  (* q and q ∧̄ q are set-equivalent but not bag-equivalent *)
+  let dup = Query.dconj path_q path_q in
+  Alcotest.(check bool) "set equivalent" true (Morphism.set_equivalent path_q dup);
+  Alcotest.(check bool) "not bag equivalent" false (Morphism.isomorphic path_q dup);
+  Alcotest.(check bool) "edge not equiv loop" false (Morphism.set_equivalent edge_q loop_q);
+  (* set equivalence via cores: cores isomorphic *)
+  Alcotest.(check bool) "cores isomorphic" true
+    (Morphism.isomorphic (Morphism.core path_q) (Morphism.core dup))
+
+let core_properties =
+  let arb_q =
+    QCheck.make ~print:Query.to_string (fun st ->
+        let var _ = Term.var (Printf.sprintf "v%d" (Random.State.int st 4)) in
+        Query.make
+          (List.init (1 + Random.State.int st 4) (fun _ -> Build.atom e [ var (); var () ])))
+  in
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"core is set-equivalent to the query" ~count:150 arb_q (fun q ->
+           Morphism.set_equivalent q (Morphism.core q)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"core is idempotent" ~count:150 arb_q (fun q ->
+           let c = Morphism.core q in
+           Query.equal c (Morphism.core c)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"core never grows" ~count:150 arb_q (fun q ->
+           let c = Morphism.core q in
+           Query.num_atoms c <= Query.num_atoms q && Query.num_vars c <= Query.num_vars q));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"core of q ∧̄ q iso to core of q" ~count:80 arb_q (fun q ->
+           Morphism.isomorphic (Morphism.core (Query.dconj q q)) (Morphism.core q)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Domination exponent estimation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_log_ratio_guard () =
+  (* counts below 2 yield no ratio *)
+  let single = Structure.add_fact (Structure.empty Schema.empty) e [ Value.int 1; Value.int 2 ] in
+  Alcotest.(check bool) "guarded" true
+    (Domination.log_ratio ~small:edge_q ~big:edge_q single = None);
+  (* on K3 both counts are 9: ratio 1 *)
+  let k3 =
+    List.fold_left
+      (fun d (a, b) -> Structure.add_fact d e [ Value.int a; Value.int b ])
+      (Structure.empty Schema.empty)
+      (List.concat_map (fun a -> List.map (fun b -> (a, b)) [ 1; 2; 3 ]) [ 1; 2; 3 ])
+  in
+  match Domination.log_ratio ~small:edge_q ~big:edge_q k3 with
+  | Some r -> Alcotest.(check bool) "ratio 1" true (abs_float (r -. 1.0) < 1e-9)
+  | None -> Alcotest.fail "expected a ratio"
+
+let test_domination_refutes_path_vs_edge () =
+  (* hde(path, edge) = 3/2: the estimator must exceed 1 and thereby refute
+     bag containment *)
+  let est = Domination.estimate ~small:path_q ~big:edge_q () in
+  Alcotest.(check bool) "exceeds 1" true (est.Domination.lower_bound > 1.0);
+  Alcotest.(check bool) "refutes" true (Domination.refutes_containment est);
+  Alcotest.(check bool) "stays below 3/2 + slack" true (est.Domination.lower_bound <= 1.6)
+
+let test_domination_contained_pair () =
+  (* loop ⊆ edge under bag semantics: the exponent cannot exceed 1 *)
+  let est = Domination.estimate ~small:loop_q ~big:edge_q () in
+  Alcotest.(check bool) "at most 1" true (est.Domination.lower_bound <= 1.0 +. 1e-9);
+  Alcotest.(check bool) "does not refute" false (Domination.refutes_containment est)
+
+let test_domination_rejects_neqs () =
+  let q = Build.(query ~neqs:[ (v "x", v "y") ] [ atom e [ v "x"; v "y" ] ]) in
+  Alcotest.check_raises "neqs rejected"
+    (Invalid_argument "Domination.estimate: inequality-free CQs only") (fun () ->
+      ignore (Domination.estimate ~small:q ~big:edge_q ()))
+
+let test_log_nat_precision () =
+  (* the bignum log underlying the estimator: 2^100 has log ≈ 69.31 *)
+  let est =
+    Domination.log_ratio ~small:edge_q ~big:edge_q
+      (Structure.empty Schema.empty)
+  in
+  Alcotest.(check bool) "empty db filtered" true (est = None)
+
+let domination_properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"self-domination ratio is exactly 1" ~count:60
+         (QCheck.make
+            ~print:(Format.asprintf "%a" Structure.pp)
+            (fun st ->
+              Generate.random
+                ~density:(0.4 +. Random.State.float st 0.5)
+                st (Schema.make [ e ]) ~size:(2 + Random.State.int st 2)))
+         (fun d ->
+           match Domination.log_ratio ~small:edge_q ~big:edge_q d with
+           | Some r -> abs_float (r -. 1.0) < 1e-9
+           | None -> true));
+  ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Structure isomorphism                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Iso = Bagcq_relational.Iso
+module Generate = Bagcq_relational.Generate
+module Ops = Bagcq_relational.Ops
+
+let test_iso_basic () =
+  let d1 =
+    List.fold_left
+      (fun d (a, b) -> Structure.add_fact d e [ Value.int a; Value.int b ])
+      (Structure.empty Schema.empty) [ (1, 2); (2, 3) ]
+  in
+  (* same shape on renamed elements *)
+  let d2 = Structure.map_values (fun v -> Value.copy v 7) d1 in
+  Alcotest.(check bool) "renamed iso" true (Iso.isomorphic d1 d2);
+  (* different shape: a 2-path vs two disjoint edges *)
+  let d3 =
+    List.fold_left
+      (fun d (a, b) -> Structure.add_fact d e [ Value.int a; Value.int b ])
+      (Structure.empty Schema.empty) [ (1, 2); (3, 4) ]
+  in
+  Alcotest.(check bool) "path not iso to matching" false (Iso.isomorphic d1 d3)
+
+let test_iso_respects_constants () =
+  let base =
+    List.fold_left
+      (fun d (a, b) -> Structure.add_fact d e [ Value.int a; Value.int b ])
+      (Structure.empty Schema.empty) [ (1, 2); (2, 1) ]
+  in
+  let d1 = Structure.bind_constant base "a" (Value.int 1) in
+  let d2 = Structure.bind_constant base "a" (Value.int 2) in
+  (* the 2-cycle is vertex-transitive, so these ARE isomorphic *)
+  Alcotest.(check bool) "symmetric binding iso" true (Iso.isomorphic d1 d2);
+  (* break the symmetry with a loop at 1 *)
+  let base' = Structure.add_fact base e [ Value.int 1; Value.int 1 ] in
+  let d1' = Structure.bind_constant base' "a" (Value.int 1) in
+  let d2' = Structure.bind_constant base' "a" (Value.int 2) in
+  Alcotest.(check bool) "asymmetric binding not iso" false (Iso.isomorphic d1' d2');
+  Alcotest.(check bool) "same binding iso" true (Iso.isomorphic d1' d1')
+
+let test_iso_witness_is_iso () =
+  let rng = Random.State.make [| 99 |] in
+  for _ = 1 to 30 do
+    let d = Generate.random ~density:0.4 rng (Schema.make [ e ]) ~size:4 in
+    let renamed = Structure.map_values (fun v -> Value.copy v 3) d in
+    match Iso.find d renamed with
+    | None -> Alcotest.fail "renamed copy must be isomorphic"
+    | Some f ->
+        (* the witness maps atoms to atoms *)
+        Structure.fold_atoms
+          (fun sym tup () ->
+            Alcotest.(check bool) "atom image present" true
+              (Structure.mem_atom renamed sym (Bagcq_relational.Tuple.map f tup)))
+          d ()
+  done
+
+let test_iso_blowup_symmetry () =
+  (* blowup(D,k) is iso to blowup of an isomorphic copy *)
+  let d =
+    List.fold_left
+      (fun d (a, b) -> Structure.add_fact d e [ Value.int a; Value.int b ])
+      (Structure.empty Schema.empty) [ (1, 2); (2, 2) ]
+  in
+  let d' = Structure.map_values (fun v -> Value.copy v 5) d in
+  Alcotest.(check bool) "blowups iso" true
+    (Iso.isomorphic (Ops.blowup d 2) (Ops.blowup d' 2))
+
+let iso_properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"iso is reflexive" ~count:60
+         (QCheck.make ~print:(Format.asprintf "%a" Structure.pp) (fun st ->
+              Generate.random ~density:(Random.State.float st 0.8) st
+                (Schema.make [ e ]) ~size:(1 + Random.State.int st 3)))
+         (fun d -> Iso.isomorphic d d));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"iso invariant under renaming" ~count:60
+         (QCheck.make ~print:(Format.asprintf "%a" Structure.pp) (fun st ->
+              Generate.random ~density:(Random.State.float st 0.8) st
+                (Schema.make [ e ]) ~size:(1 + Random.State.int st 4)))
+         (fun d -> Iso.isomorphic d (Structure.map_values (fun v -> Value.copy v 1) d)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"isomorphic structures have equal counts" ~count:60
+         (QCheck.make ~print:(Format.asprintf "%a" Structure.pp) (fun st ->
+              Generate.random ~density:(Random.State.float st 0.8) st
+                (Schema.make [ e ]) ~size:(1 + Random.State.int st 3)))
+         (fun d ->
+           let d' = Structure.map_values (fun v -> Value.copy v 2) d in
+           Nat.equal (Eval.count path_q d) (Eval.count path_q d')));
+  ]
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "cores",
+        [
+          Alcotest.test_case "collapses fan" `Quick test_core_collapses_fan;
+          Alcotest.test_case "rigid queries" `Quick test_core_of_rigid_queries;
+          Alcotest.test_case "duplicated query" `Quick test_core_of_duplicated_query;
+          Alcotest.test_case "loop absorbs" `Quick test_core_loop_absorbs;
+          Alcotest.test_case "constants preserved" `Quick test_core_preserves_constants;
+          Alcotest.test_case "rejects inequalities" `Quick test_retract_rejects_neqs;
+          Alcotest.test_case "set equivalence" `Quick test_set_equivalence;
+        ] );
+      ("core-properties", core_properties);
+      ( "domination",
+        [
+          Alcotest.test_case "log ratio guard" `Quick test_log_ratio_guard;
+          Alcotest.test_case "refutes path vs edge" `Quick test_domination_refutes_path_vs_edge;
+          Alcotest.test_case "contained pair" `Quick test_domination_contained_pair;
+          Alcotest.test_case "rejects inequalities" `Quick test_domination_rejects_neqs;
+          Alcotest.test_case "guards" `Quick test_log_nat_precision;
+        ] );
+      ("domination-properties", domination_properties);
+      ( "structure-iso",
+        [
+          Alcotest.test_case "basic" `Quick test_iso_basic;
+          Alcotest.test_case "constants" `Quick test_iso_respects_constants;
+          Alcotest.test_case "witness verification" `Quick test_iso_witness_is_iso;
+          Alcotest.test_case "blowup symmetry" `Quick test_iso_blowup_symmetry;
+        ] );
+      ("iso-properties", iso_properties);
+    ]

@@ -1,0 +1,294 @@
+(* Unit and property tests for the arbitrary-precision naturals and the
+   small rationals used for multiplier ratios. *)
+
+module Nat = Bagcq_bignum.Nat
+module Rat = Bagcq_bignum.Rat
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+let check_nat = Alcotest.check nat
+
+(* ------------------------------------------------------------------ *)
+(* Nat: unit tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (Nat.to_int (Nat.of_int n)))
+    [ 0; 1; 2; 42; 1 lsl 29; (1 lsl 30) - 1; 1 lsl 30; 1 lsl 31; max_int ]
+
+let test_of_int_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Nat.of_int: negative") (fun () ->
+      ignore (Nat.of_int (-1)))
+
+let test_zero_one () =
+  check_nat "zero" Nat.zero (Nat.of_int 0);
+  check_nat "one" Nat.one (Nat.of_int 1);
+  check_nat "two" Nat.two (Nat.of_int 2);
+  Alcotest.(check bool) "is_zero zero" true (Nat.is_zero Nat.zero);
+  Alcotest.(check bool) "is_zero one" false (Nat.is_zero Nat.one)
+
+let test_add_small () =
+  check_nat "2+3" (Nat.of_int 5) (Nat.add (Nat.of_int 2) (Nat.of_int 3));
+  check_nat "0+x" (Nat.of_int 7) (Nat.add Nat.zero (Nat.of_int 7));
+  check_nat "carry"
+    (Nat.of_string "2147483648")
+    (Nat.add (Nat.of_int 1073741824) (Nat.of_int 1073741824))
+
+let test_sub () =
+  check_nat "5-3" (Nat.of_int 2) (Nat.sub (Nat.of_int 5) (Nat.of_int 3));
+  check_nat "x-x" Nat.zero (Nat.sub (Nat.of_int 12345) (Nat.of_int 12345));
+  Alcotest.check_raises "underflow" (Invalid_argument "Nat.sub: negative result") (fun () ->
+      ignore (Nat.sub (Nat.of_int 3) (Nat.of_int 5)))
+
+let test_sub_saturating () =
+  check_nat "3 -sat 5" Nat.zero (Nat.sub_saturating (Nat.of_int 3) (Nat.of_int 5));
+  check_nat "5 -sat 3" (Nat.of_int 2) (Nat.sub_saturating (Nat.of_int 5) (Nat.of_int 3))
+
+let test_mul_small () =
+  check_nat "6*7" (Nat.of_int 42) (Nat.mul (Nat.of_int 6) (Nat.of_int 7));
+  check_nat "x*0" Nat.zero (Nat.mul (Nat.of_int 99) Nat.zero);
+  check_nat "x*1" (Nat.of_int 99) (Nat.mul (Nat.of_int 99) Nat.one)
+
+let test_mul_large () =
+  (* (2^62)² = 2^124, well beyond machine ints *)
+  let p62 = Nat.pow Nat.two 62 in
+  check_nat "2^62 * 2^62 = 2^124" (Nat.pow Nat.two 124) (Nat.mul p62 p62);
+  check_nat "10^20 as string"
+    (Nat.of_string "100000000000000000000")
+    (Nat.pow (Nat.of_int 10) 20)
+
+let test_pow () =
+  check_nat "x^0" Nat.one (Nat.pow (Nat.of_int 17) 0);
+  check_nat "0^0" Nat.one (Nat.pow Nat.zero 0);
+  check_nat "0^5" Nat.zero (Nat.pow Nat.zero 5);
+  check_nat "3^4" (Nat.of_int 81) (Nat.pow (Nat.of_int 3) 4);
+  check_nat "20^92 digits"
+    (Nat.of_string (Nat.to_string (Nat.pow (Nat.of_int 20) 92)))
+    (Nat.pow (Nat.of_int 20) 92)
+
+let test_pow_nat () =
+  let big = Nat.pow (Nat.of_int 10) 50 in
+  check_nat "1^huge" Nat.one (Nat.pow_nat Nat.one big);
+  check_nat "0^huge" Nat.zero (Nat.pow_nat Nat.zero big);
+  check_nat "x^0" Nat.one (Nat.pow_nat (Nat.of_int 9) Nat.zero);
+  check_nat "2^10" (Nat.of_int 1024) (Nat.pow_nat Nat.two (Nat.of_int 10))
+
+let test_divmod_int () =
+  let q, r = Nat.divmod_int (Nat.of_int 100) 7 in
+  check_nat "100/7" (Nat.of_int 14) q;
+  Alcotest.(check int) "100 mod 7" 2 r;
+  let big = Nat.pow (Nat.of_int 10) 30 in
+  let q, r = Nat.divmod_int big 999_999_937 in
+  check_nat "reconstruct" big (Nat.add_int (Nat.mul_int q 999_999_937) r)
+
+let test_divmod () =
+  let a = Nat.of_string "123456789012345678901234567890" in
+  let b = Nat.of_string "987654321987" in
+  let q, r = Nat.divmod a b in
+  check_nat "a = q*b + r" a (Nat.add (Nat.mul q b) r);
+  Alcotest.(check bool) "r < b" true (Nat.compare r b < 0);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Nat.divmod a Nat.zero))
+
+let test_gcd () =
+  check_nat "gcd(12,18)" (Nat.of_int 6) (Nat.gcd (Nat.of_int 12) (Nat.of_int 18));
+  check_nat "gcd(x,0)" (Nat.of_int 5) (Nat.gcd (Nat.of_int 5) Nat.zero);
+  check_nat "gcd coprime" Nat.one (Nat.gcd (Nat.of_int 35) (Nat.of_int 64))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Nat.to_string (Nat.of_string s)))
+    [ "0"; "1"; "999999999"; "1000000000"; "123456789012345678901234567890" ]
+
+let test_of_string_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Nat.of_string: empty") (fun () ->
+      ignore (Nat.of_string ""));
+  Alcotest.check_raises "junk" (Invalid_argument "Nat.of_string: not a digit") (fun () ->
+      ignore (Nat.of_string "12a3"))
+
+let test_compare () =
+  Alcotest.(check bool) "lt" true Nat.(of_int 3 < of_int 5);
+  Alcotest.(check bool) "gt" true Nat.(pow two 100 > pow two 99);
+  Alcotest.(check bool) "le refl" true Nat.(of_int 5 <= of_int 5);
+  check_nat "min" (Nat.of_int 3) (Nat.min (Nat.of_int 3) (Nat.of_int 5));
+  check_nat "max" (Nat.of_int 5) (Nat.max (Nat.of_int 3) (Nat.of_int 5))
+
+let test_succ_pred () =
+  check_nat "succ 0" Nat.one (Nat.succ Nat.zero);
+  check_nat "pred 1" Nat.zero (Nat.pred Nat.one);
+  (* carry across a limb boundary *)
+  let limb = Nat.pow Nat.two 30 in
+  check_nat "succ (2^30-1)" limb (Nat.succ (Nat.pred limb));
+  Alcotest.check_raises "pred 0" (Invalid_argument "Nat.pred: zero") (fun () ->
+      ignore (Nat.pred Nat.zero))
+
+let test_num_bits () =
+  Alcotest.(check int) "bits 0" 0 (Nat.num_bits Nat.zero);
+  Alcotest.(check int) "bits 1" 1 (Nat.num_bits Nat.one);
+  Alcotest.(check int) "bits 2^100" 101 (Nat.num_bits (Nat.pow Nat.two 100))
+
+let test_sum_product () =
+  check_nat "sum" (Nat.of_int 6) (Nat.sum [ Nat.one; Nat.two; Nat.of_int 3 ]);
+  check_nat "sum []" Nat.zero (Nat.sum []);
+  check_nat "product" (Nat.of_int 24) (Nat.product (List.map Nat.of_int [ 2; 3; 4 ]));
+  check_nat "product []" Nat.one (Nat.product [])
+
+(* ------------------------------------------------------------------ *)
+(* Nat: properties                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_small = QCheck.Gen.int_bound 1_000_000
+let gen_pair = QCheck.Gen.pair gen_small gen_small
+let arb_pair = QCheck.make ~print:QCheck.Print.(pair int int) gen_pair
+
+let nat_properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"add agrees with int" ~count:500 arb_pair (fun (a, b) ->
+           Nat.equal (Nat.of_int (a + b)) (Nat.add (Nat.of_int a) (Nat.of_int b))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mul agrees with int" ~count:500 arb_pair (fun (a, b) ->
+           Nat.equal (Nat.of_int (a * b)) (Nat.mul (Nat.of_int a) (Nat.of_int b))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"sub inverts add" ~count:500 arb_pair (fun (a, b) ->
+           Nat.equal (Nat.of_int a) (Nat.sub (Nat.add (Nat.of_int a) (Nat.of_int b)) (Nat.of_int b))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"compare agrees with int" ~count:500 arb_pair (fun (a, b) ->
+           Stdlib.compare a b = Nat.compare (Nat.of_int a) (Nat.of_int b)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"string roundtrip" ~count:300
+         (QCheck.make ~print:QCheck.Print.int gen_small)
+         (fun a -> Nat.equal (Nat.of_int a) (Nat.of_string (Nat.to_string (Nat.of_int a)))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"divmod reconstructs" ~count:300
+         (QCheck.make
+            ~print:QCheck.Print.(pair int int)
+            QCheck.Gen.(pair gen_small (int_range 1 100_000)))
+         (fun (a, b) ->
+           let q, r = Nat.divmod (Nat.of_int a) (Nat.of_int b) in
+           Nat.equal (Nat.of_int a) (Nat.add (Nat.mul q (Nat.of_int b)) r)
+           && Nat.compare r (Nat.of_int b) < 0));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"pow agrees with iterated mul" ~count:100
+         (QCheck.make
+            ~print:QCheck.Print.(pair int int)
+            QCheck.Gen.(pair (int_range 0 50) (int_range 0 8)))
+         (fun (b, e) ->
+           let rec iter acc n = if n = 0 then acc else iter (Nat.mul acc (Nat.of_int b)) (n - 1) in
+           Nat.equal (iter Nat.one e) (Nat.pow (Nat.of_int b) e)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"gcd divides both" ~count:300
+         (QCheck.make
+            ~print:QCheck.Print.(pair int int)
+            QCheck.Gen.(pair (int_range 1 1_000_000) (int_range 1 1_000_000)))
+         (fun (a, b) ->
+           let g = Nat.gcd (Nat.of_int a) (Nat.of_int b) in
+           let _, r1 = Nat.divmod (Nat.of_int a) g in
+           let _, r2 = Nat.divmod (Nat.of_int b) g in
+           Nat.is_zero r1 && Nat.is_zero r2));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rat                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let test_rat_normalisation () =
+  Alcotest.check rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  Alcotest.(check int) "num" 3 (Rat.num (Rat.make 6 4));
+  Alcotest.(check int) "den" 2 (Rat.den (Rat.make 6 4));
+  Alcotest.check rat "0/7 = 0" Rat.zero (Rat.make 0 7)
+
+let test_rat_invalid () =
+  Alcotest.check_raises "neg num" (Invalid_argument "Rat.make: negative numerator") (fun () ->
+      ignore (Rat.make (-1) 2));
+  Alcotest.check_raises "zero den" (Invalid_argument "Rat.make: non-positive denominator")
+    (fun () -> ignore (Rat.make 1 0))
+
+let test_rat_arith () =
+  Alcotest.check rat "1/2 + 1/3" (Rat.make 5 6) (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+  Alcotest.check rat "2/3 * 3/4" (Rat.make 1 2) (Rat.mul (Rat.make 2 3) (Rat.make 3 4));
+  Alcotest.check rat "inv 2/3" (Rat.make 3 2) (Rat.inv (Rat.make 2 3));
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Rat.inv Rat.zero))
+
+let test_rat_compare () =
+  Alcotest.(check bool) "1/2 < 2/3" true (Rat.compare (Rat.make 1 2) (Rat.make 2 3) < 0);
+  Alcotest.(check bool) "eq" true (Rat.equal (Rat.make 2 4) (Rat.make 1 2))
+
+let test_rat_integer () =
+  Alcotest.(check bool) "4/2 integer" true (Rat.is_integer (Rat.make 4 2));
+  Alcotest.(check int) "4/2 = 2" 2 (Rat.to_int_exn (Rat.make 4 2));
+  Alcotest.(check bool) "1/2 not integer" false (Rat.is_integer (Rat.make 1 2))
+
+let test_rat_scaled () =
+  (* q = 3/2, a = 10, b = 15: q·a = 15 = b *)
+  let q = Rat.make 3 2 in
+  Alcotest.(check bool) "eq_scaled" true (Rat.eq_scaled q (Nat.of_int 10) (Nat.of_int 15));
+  Alcotest.(check bool) "le_scaled" true (Rat.le_scaled q (Nat.of_int 10) (Nat.of_int 15));
+  Alcotest.(check bool) "le_scaled strict" true (Rat.le_scaled q (Nat.of_int 10) (Nat.of_int 16));
+  Alcotest.(check bool) "not le" false (Rat.le_scaled q (Nat.of_int 10) (Nat.of_int 14));
+  (* the Lemma 5 witness ratio: (p+1)²/2p with p = 5 → 36/10 = 18/5 *)
+  let lemma5 = Rat.make 36 10 in
+  Alcotest.(check bool) "lemma5 witness" true
+    (Rat.eq_scaled lemma5 (Nat.of_int 10) (Nat.of_int 36))
+
+let rat_properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"mul then inv is one" ~count:300
+         (QCheck.make
+            ~print:QCheck.Print.(pair int int)
+            QCheck.Gen.(pair (int_range 1 10_000) (int_range 1 10_000)))
+         (fun (n, d) ->
+           let q = Rat.make n d in
+           Rat.equal Rat.one (Rat.mul q (Rat.inv q))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"le_scaled is exact" ~count:300
+         (QCheck.make
+            ~print:QCheck.Print.(quad int int int int)
+            QCheck.Gen.(
+              quad (int_range 0 1000) (int_range 1 1000) (int_range 0 1000) (int_range 0 1000)))
+         (fun (n, d, a, b) ->
+           let q = Rat.make n d in
+           Rat.le_scaled q (Nat.of_int a) (Nat.of_int b) = (n * a <= d * b)));
+  ]
+
+let () =
+  Alcotest.run "bignum"
+    [
+      ( "nat-unit",
+        [
+          Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+          Alcotest.test_case "of_int negative" `Quick test_of_int_negative;
+          Alcotest.test_case "zero/one" `Quick test_zero_one;
+          Alcotest.test_case "add small" `Quick test_add_small;
+          Alcotest.test_case "sub" `Quick test_sub;
+          Alcotest.test_case "sub_saturating" `Quick test_sub_saturating;
+          Alcotest.test_case "mul small" `Quick test_mul_small;
+          Alcotest.test_case "mul large" `Quick test_mul_large;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "pow_nat" `Quick test_pow_nat;
+          Alcotest.test_case "divmod_int" `Quick test_divmod_int;
+          Alcotest.test_case "divmod" `Quick test_divmod;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "of_string invalid" `Quick test_of_string_invalid;
+          Alcotest.test_case "compare/min/max" `Quick test_compare;
+          Alcotest.test_case "succ/pred" `Quick test_succ_pred;
+          Alcotest.test_case "num_bits" `Quick test_num_bits;
+          Alcotest.test_case "sum/product" `Quick test_sum_product;
+        ] );
+      ("nat-prop", nat_properties);
+      ( "rat-unit",
+        [
+          Alcotest.test_case "normalisation" `Quick test_rat_normalisation;
+          Alcotest.test_case "invalid" `Quick test_rat_invalid;
+          Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+          Alcotest.test_case "compare" `Quick test_rat_compare;
+          Alcotest.test_case "integer" `Quick test_rat_integer;
+          Alcotest.test_case "scaled comparisons" `Quick test_rat_scaled;
+        ] );
+      ("rat-prop", rat_properties);
+    ]

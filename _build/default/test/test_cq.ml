@@ -1,0 +1,271 @@
+(* Tests for the conjunctive-query representation: terms, atoms, queries,
+   disjoint conjunction (Section 2.2), exponentiation (Definition 2),
+   canonical structures, components, power products, DSL and parser. *)
+
+open Bagcq_relational
+open Bagcq_cq
+module Nat = Bagcq_bignum.Nat
+
+let e = Build.sym "E" 2
+let u = Build.sym "U" 1
+let query_t = Alcotest.testable Query.pp Query.equal
+
+(* E(x,y) ∧ E(y,z) *)
+let path_q = Build.(query [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "z" ] ])
+
+let test_term () =
+  Alcotest.(check bool) "var" true (Term.is_var (Term.var "x"));
+  Alcotest.(check bool) "cst" true (Term.is_cst (Term.cst "a"));
+  Alcotest.(check bool) "var<>cst" false (Term.equal (Term.var "a") (Term.cst "a"));
+  Alcotest.(check string) "rename" "y"
+    (Term.to_string (Term.rename (fun _ -> "y") (Term.var "x")));
+  Alcotest.(check string) "rename keeps cst" "'a'"
+    (Term.to_string (Term.rename (fun _ -> "y") (Term.cst "a")))
+
+let test_atom () =
+  let a = Build.(atom e [ v "x"; c "a" ]) in
+  Alcotest.(check (list string)) "vars" [ "x" ] (Atom.vars a);
+  Alcotest.(check (list string)) "constants" [ "a" ] (Atom.constants a);
+  Alcotest.check_raises "arity" (Invalid_argument "Atom: E expects 2 arguments, got 1")
+    (fun () -> ignore (Build.(atom e [ v "x" ])))
+
+let test_query_basics () =
+  Alcotest.(check (list string)) "vars sorted" [ "x"; "y"; "z" ] (Query.vars path_q);
+  Alcotest.(check int) "atoms" 2 (Query.num_atoms path_q);
+  Alcotest.(check bool) "no neqs" false (Query.has_neqs path_q);
+  (* duplicate atoms collapse: a CQ is a set of atoms *)
+  let dup = Build.(query [ atom e [ v "x"; v "y" ]; atom e [ v "x"; v "y" ] ]) in
+  Alcotest.(check int) "set semantics of atoms" 1 (Query.num_atoms dup)
+
+let test_reflexive_neq_rejected () =
+  Alcotest.check_raises "x != x" (Invalid_argument "Query.make: reflexive inequality x != x")
+    (fun () -> ignore (Build.(query ~neqs:[ (v "x", v "x") ] [])))
+
+let test_neq_vars_counted () =
+  let q = Build.(query ~neqs:[ (v "p", v "q") ] [ atom u [ v "p" ] ]) in
+  Alcotest.(check (list string)) "neq-only var included" [ "p"; "q" ] (Query.vars q)
+
+let test_strip_neqs () =
+  let q = Build.(query ~neqs:[ (v "x", v "y") ] [ atom e [ v "x"; v "y" ] ]) in
+  Alcotest.(check bool) "stripped" false (Query.has_neqs (Query.strip_neqs q));
+  Alcotest.(check int) "atoms kept" 1 (Query.num_atoms (Query.strip_neqs q))
+
+let test_conj_shares_vars () =
+  let q1 = Build.(query [ atom e [ v "x"; v "y" ] ]) in
+  let q2 = Build.(query [ atom e [ v "y"; v "x" ] ]) in
+  let q = Query.conj q1 q2 in
+  Alcotest.(check (list string)) "shared" [ "x"; "y" ] (Query.vars q);
+  Alcotest.(check int) "atoms" 2 (Query.num_atoms q)
+
+let test_dconj_renames () =
+  let q = Query.dconj path_q path_q in
+  Alcotest.(check int) "vars doubled" 6 (Query.num_vars q);
+  Alcotest.(check int) "atoms doubled" 4 (Query.num_atoms q)
+
+let test_rename_apart_collisions () =
+  (* q2's fresh names must avoid both q1's and q2's own variables *)
+  let q1 = Build.(query [ atom e [ v "x"; v "x~1" ] ]) in
+  let q2 = Build.(query [ atom e [ v "x"; v "x~1" ] ]) in
+  let r = Query.rename_apart ~avoid:q1 q2 in
+  let shared =
+    List.filter (fun x -> List.mem x (Query.vars q1)) (Query.vars r)
+  in
+  Alcotest.(check (list string)) "no shared vars" [] shared;
+  Alcotest.(check int) "still two vars" 2 (Query.num_vars r)
+
+let test_power () =
+  Alcotest.check query_t "power 0" Query.true_query (Query.power path_q 0);
+  Alcotest.check query_t "power 1" path_q (Query.power path_q 1);
+  let p3 = Query.power path_q 3 in
+  Alcotest.(check int) "power 3 vars" 9 (Query.num_vars p3);
+  Alcotest.(check int) "power 3 atoms" 6 (Query.num_atoms p3);
+  Alcotest.check_raises "negative" (Invalid_argument "Query.power: negative exponent")
+    (fun () -> ignore (Query.power path_q (-1)))
+
+let test_canonical_structure () =
+  let q = Build.(query [ atom e [ v "x"; c "a" ] ]) in
+  let d = Query.canonical_structure q in
+  Alcotest.(check int) "one atom" 1 (Structure.atom_count d e);
+  Alcotest.(check bool) "frozen atom present" true
+    (Structure.mem_atom d e (Tuple.make [ Value.of_var "x"; Value.sym "a" ]));
+  Alcotest.(check bool) "constant interpreted" true
+    (Structure.interpretation d "a" <> None)
+
+let test_of_structure_roundtrip () =
+  let q = Build.(query [ atom e [ v "x"; c "a" ]; atom e [ c "a"; v "y" ] ]) in
+  Alcotest.check query_t "roundtrip" q (Query.of_structure (Query.canonical_structure q))
+
+let test_components () =
+  (* two disconnected edges + one constant-only atom *)
+  let q =
+    Build.(
+      query
+        [ atom e [ v "x"; v "y" ]; atom e [ v "p"; v "q" ]; atom e [ c "a"; c "b" ] ])
+  in
+  Alcotest.(check int) "three components" 3 (List.length (Query.components q));
+  (* constants do not connect: E(x,'a') and E(y,'a') are separate *)
+  let q2 = Build.(query [ atom e [ v "x"; c "a" ]; atom e [ v "y"; c "a" ] ]) in
+  Alcotest.(check int) "constants do not connect" 2 (List.length (Query.components q2));
+  (* an inequality connects its variables *)
+  let q3 =
+    Build.(
+      query
+        ~neqs:[ (v "x", v "p") ]
+        [ atom e [ v "x"; v "y" ]; atom e [ v "p"; v "q" ] ])
+  in
+  Alcotest.(check int) "neq connects" 1 (List.length (Query.components q3));
+  (* components partition atoms *)
+  let total =
+    List.fold_left (fun acc c -> acc + Query.num_atoms c) 0 (Query.components q)
+  in
+  Alcotest.(check int) "atoms partitioned" (Query.num_atoms q) total
+
+let test_schema_inference () =
+  let q = Build.(query [ atom e [ v "x"; c "a" ]; atom u [ v "x" ] ]) in
+  let sch = Query.schema q in
+  Alcotest.(check bool) "E" true (Schema.mem_symbol sch e);
+  Alcotest.(check bool) "U" true (Schema.mem_symbol sch u);
+  Alcotest.(check bool) "a" true (Schema.mem_constant sch "a")
+
+(* ------------------------------------------------------------------ *)
+(* Build helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_build_path_cycle () =
+  let ts = Build.vars "z" 3 in
+  Alcotest.(check int) "path atoms" 2 (List.length (Build.path e ts));
+  Alcotest.(check int) "cycle atoms" 3 (List.length (Build.cycle e ts));
+  (* cycle of length 1 is a self-loop *)
+  Alcotest.(check int) "loop" 1 (List.length (Build.cycle e [ Build.v "z" ]));
+  Alcotest.check_raises "path needs 2" (Invalid_argument "Build.path: need at least two terms")
+    (fun () -> ignore (Build.path e [ Build.v "z" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Pquery                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pquery () =
+  let pq = Pquery.of_query path_q in
+  let pq2 = Pquery.power_int (Pquery.dconj pq pq) 3 in
+  Alcotest.(check int) "two factors" 2 (List.length (Pquery.factors pq2));
+  List.iter
+    (fun (_, exp) -> Alcotest.(check bool) "exponent 3" true (Nat.equal exp (Nat.of_int 3)))
+    (Pquery.factors pq2);
+  let flat = Pquery.flatten pq2 in
+  Alcotest.(check int) "flattened atoms" 12 (Query.num_atoms flat);
+  Alcotest.(check bool) "total_vars" true
+    (Nat.equal (Nat.of_int 18) (Pquery.total_vars pq2));
+  Alcotest.(check int) "power zero collapses" 0
+    (List.length (Pquery.factors (Pquery.power pq2 Nat.zero)))
+
+let test_pquery_neqs () =
+  let q = Build.(query ~neqs:[ (v "x", v "y") ] [ atom e [ v "x"; v "y" ] ]) in
+  let pq = Pquery.of_query q in
+  Alcotest.(check bool) "has neqs" true (Pquery.has_neqs pq);
+  Alcotest.(check bool) "stripped" false (Pquery.has_neqs (Pquery.strip_neqs pq))
+
+(* ------------------------------------------------------------------ *)
+(* Parse                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_roundtrip () =
+  let q = Parse.parse_exn "E(x,y) & E(y,z) & U('a') & x != z" in
+  Alcotest.(check int) "atoms" 3 (Query.num_atoms q);
+  Alcotest.(check int) "neqs" 1 (Query.num_neqs q);
+  Alcotest.(check (list string)) "vars" [ "x"; "y"; "z" ] (Query.vars q);
+  (* printing then reparsing is stable *)
+  let q2 = Parse.parse_exn (Query.to_string q) in
+  Alcotest.check query_t "roundtrip" q q2
+
+let test_parse_true () =
+  Alcotest.check query_t "empty" Query.true_query (Parse.parse_exn "");
+  Alcotest.check query_t "true" Query.true_query (Parse.parse_exn "true")
+
+let test_parse_errors () =
+  let expect_error s =
+    match Parse.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("should not parse: " ^ s)
+  in
+  expect_error "E(x";
+  expect_error "E(x,y) E(y,z)";
+  expect_error "x !=";
+  expect_error "E(x,y) & E(x)";
+  expect_error "x != x"
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arb_query =
+  let gen st =
+    let n_atoms = 1 + Random.State.int st 4 in
+    let var _ = Term.var (Printf.sprintf "v%d" (Random.State.int st 4)) in
+    let atoms =
+      List.init n_atoms (fun _ ->
+          if Random.State.bool st then Build.atom e [ var (); var () ]
+          else Build.atom u [ var () ])
+    in
+    Query.make atoms
+  in
+  QCheck.make ~print:Query.to_string gen
+
+let properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"dconj var counts add" ~count:200
+         (QCheck.pair arb_query arb_query)
+         (fun (a, b) -> Query.num_vars (Query.dconj a b) = Query.num_vars a + Query.num_vars b));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"canonical structure roundtrips" ~count:200 arb_query
+         (fun q -> Query.equal q (Query.of_structure (Query.canonical_structure q))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"components partition vars" ~count:200 arb_query (fun q ->
+           let comp_vars = List.concat_map Query.vars (Query.components q) in
+           List.sort compare comp_vars = Query.vars q));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"print/parse roundtrip" ~count:200 arb_query (fun q ->
+           Query.equal q (Parse.parse_exn (Query.to_string q))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"power k has k times the atoms" ~count:100
+         (QCheck.pair arb_query (QCheck.int_range 0 4))
+         (fun (q, k) -> Query.num_atoms (Query.power q k) = k * Query.num_atoms q));
+  ]
+
+let () =
+  Alcotest.run "cq"
+    [
+      ( "terms-atoms",
+        [
+          Alcotest.test_case "term" `Quick test_term;
+          Alcotest.test_case "atom" `Quick test_atom;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "basics" `Quick test_query_basics;
+          Alcotest.test_case "reflexive neq" `Quick test_reflexive_neq_rejected;
+          Alcotest.test_case "neq vars" `Quick test_neq_vars_counted;
+          Alcotest.test_case "strip neqs" `Quick test_strip_neqs;
+          Alcotest.test_case "conj" `Quick test_conj_shares_vars;
+          Alcotest.test_case "dconj" `Quick test_dconj_renames;
+          Alcotest.test_case "rename_apart collisions" `Quick test_rename_apart_collisions;
+          Alcotest.test_case "power" `Quick test_power;
+          Alcotest.test_case "canonical structure" `Quick test_canonical_structure;
+          Alcotest.test_case "of_structure" `Quick test_of_structure_roundtrip;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "schema" `Quick test_schema_inference;
+        ] );
+      ("build", [ Alcotest.test_case "path/cycle" `Quick test_build_path_cycle ]);
+      ( "pquery",
+        [
+          Alcotest.test_case "factors" `Quick test_pquery;
+          Alcotest.test_case "neqs" `Quick test_pquery_neqs;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "true" `Quick test_parse_true;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ("properties", properties);
+    ]

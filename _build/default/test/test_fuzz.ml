@@ -1,0 +1,76 @@
+(* Fuzz tests: the three parsers must be total — any input string yields
+   [Ok] or [Error], never an escaped exception — and valid inputs
+   roundtrip. *)
+
+open Bagcq_cq
+module Encode = Bagcq_relational.Encode
+module PolyParse = Bagcq_poly.Parse
+module Polynomial = Bagcq_poly.Polynomial
+
+let total name parse =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:2000
+       (QCheck.make ~print:String.escaped QCheck.Gen.(string_size ~gen:printable (int_bound 40)))
+       (fun s ->
+         match parse s with
+         | Ok _ | Error _ -> true
+         | exception e ->
+             QCheck.Test.fail_reportf "escaped exception %s on %S" (Printexc.to_string e) s))
+
+(* structured noise: strings over the tokens the grammars actually use hit
+   far deeper parser states than raw printable noise *)
+let token_soup tokens =
+  QCheck.Gen.(
+    map (String.concat "")
+      (list_size (int_bound 15) (oneofl tokens)))
+
+let total_soup name parse tokens =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:2000
+       (QCheck.make ~print:String.escaped (token_soup tokens))
+       (fun s ->
+         match parse s with
+         | Ok _ | Error _ -> true
+         | exception e ->
+             QCheck.Test.fail_reportf "escaped exception %s on %S" (Printexc.to_string e) s))
+
+let query_tokens =
+  [ "E"; "R"; "("; ")"; ","; "&"; "x"; "y"; "'a'"; "'"; "!="; "!"; "="; " "; "true" ]
+
+let db_tokens =
+  [ "E"; "("; ")"; ","; "."; "1"; "2"; "a"; "const "; ":="; "#"; " "; "\n" ]
+
+let poly_tokens = [ "x1"; "x2"; "x"; "+"; "-"; "*"; "^"; "("; ")"; "2"; "13"; " " ]
+
+let valid_roundtrips =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"poly print/parse roundtrip" ~count:300
+         (QCheck.make ~print:Polynomial.to_string (fun st ->
+              Polynomial.of_list
+                (List.init
+                   (1 + Random.State.int st 4)
+                   (fun _ ->
+                     ( Random.State.int st 9 - 4,
+                       Bagcq_poly.Monomial.of_list
+                         (List.init (Random.State.int st 3) (fun _ ->
+                              1 + Random.State.int st 2)) )))))
+         (fun p ->
+           (* print uses the same surface syntax the parser accepts *)
+           Polynomial.equal p (PolyParse.parse_exn (Polynomial.to_string p))));
+  ]
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "totality",
+        [
+          total "Parse.parse total on printable noise" Parse.parse;
+          total "Encode.parse total on printable noise" Encode.parse;
+          total "Poly.Parse total on printable noise" PolyParse.parse;
+          total_soup "Parse.parse total on token soup" Parse.parse query_tokens;
+          total_soup "Encode.parse total on token soup" Encode.parse db_tokens;
+          total_soup "Poly.Parse total on token soup" PolyParse.parse poly_tokens;
+        ] );
+      ("roundtrips", valid_roundtrips);
+    ]

@@ -1,0 +1,343 @@
+(* Tests for the polynomial substrate and the Appendix B pipeline:
+   Lemma 25 (square-split), Lemmas 26–28 (homogenisation), Lemma 29 (the
+   zero ⟺ violation equivalence), and the Lemma 11 side conditions. *)
+
+open Bagcq_poly
+module Nat = Bagcq_bignum.Nat
+
+let poly_t = Alcotest.testable Polynomial.pp Polynomial.equal
+let x = Polynomial.var
+let k = Polynomial.const
+
+(* ------------------------------------------------------------------ *)
+(* Monomials                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_monomial_basics () =
+  let m = Monomial.of_list [ 2; 1; 2 ] in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 2 ] (Monomial.to_list m);
+  Alcotest.(check int) "degree" 3 (Monomial.degree m);
+  Alcotest.(check (list int)) "vars" [ 1; 2 ] (Monomial.vars m);
+  Alcotest.(check int) "max var" 2 (Monomial.max_var m);
+  Alcotest.(check int) "constant degree" 0 (Monomial.degree Monomial.one);
+  Alcotest.check_raises "bad index" (Invalid_argument "Monomial.var: index must be >= 1")
+    (fun () -> ignore (Monomial.var 0))
+
+let test_monomial_mul_eval () =
+  let m = Monomial.mul (Monomial.var 1) (Monomial.pow (Monomial.var 2) 2) in
+  Alcotest.(check (list int)) "x1·x2²" [ 1; 2; 2 ] (Monomial.to_list m);
+  (* at x1=3, x2=2: 3·4 = 12 *)
+  Alcotest.(check int) "eval" 12 (Monomial.eval (fun i -> if i = 1 then 3 else 2) m);
+  Alcotest.(check int) "eval constant" 1 (Monomial.eval (fun _ -> 0) Monomial.one)
+
+(* ------------------------------------------------------------------ *)
+(* Polynomials                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_poly_ring_laws () =
+  let p = Polynomial.add (x 1) (k 2) in
+  let q = Polynomial.sub (x 2) (x 1) in
+  Alcotest.check poly_t "add comm" (Polynomial.add p q) (Polynomial.add q p);
+  Alcotest.check poly_t "mul comm" (Polynomial.mul p q) (Polynomial.mul q p);
+  Alcotest.check poly_t "distributes"
+    (Polynomial.mul p (Polynomial.add q q))
+    (Polynomial.add (Polynomial.mul p q) (Polynomial.mul p q));
+  Alcotest.check poly_t "p - p = 0" Polynomial.zero (Polynomial.sub p p);
+  Alcotest.check poly_t "p * 0 = 0" Polynomial.zero (Polynomial.mul p Polynomial.zero);
+  Alcotest.check poly_t "p * 1 = p" p (Polynomial.mul p Polynomial.one)
+
+let test_poly_eval () =
+  (* (x1 + 2)(x2 - x1) at x1=1, x2=5: 3·4 = 12 *)
+  let p = Polynomial.mul (Polynomial.add (x 1) (k 2)) (Polynomial.sub (x 2) (x 1)) in
+  Alcotest.(check int) "eval" 12 (Polynomial.eval (fun i -> if i = 1 then 1 else 5) p);
+  Alcotest.(check int) "eval zero poly" 0 (Polynomial.eval (fun _ -> 9) Polynomial.zero)
+
+let test_poly_degree_vars () =
+  let p = Polynomial.add (Polynomial.mul (x 1) (x 3)) (k 7) in
+  Alcotest.(check int) "degree" 2 (Polynomial.degree p);
+  Alcotest.(check int) "max var" 3 (Polynomial.max_var p);
+  Alcotest.(check int) "terms" 2 (Polynomial.num_terms p)
+
+let test_split_signs () =
+  (* x1² - 2x2 + 3 *)
+  let p = Polynomial.add (Polynomial.sub (Polynomial.square (x 1)) (Polynomial.scale 2 (x 2))) (k 3) in
+  let pos, neg = Polynomial.split_signs p in
+  Alcotest.(check bool) "pos nonneg" true (Polynomial.is_nonneg pos);
+  Alcotest.(check bool) "neg nonneg" true (Polynomial.is_nonneg neg);
+  Alcotest.check poly_t "reconstruct" p (Polynomial.sub pos neg)
+
+let test_rename () =
+  let p = Polynomial.mul (x 1) (x 2) in
+  let r = Polynomial.rename_vars (fun i -> i + 1) p in
+  Alcotest.check poly_t "shifted" (Polynomial.mul (x 2) (x 3)) r
+
+(* ------------------------------------------------------------------ *)
+(* Diophantine instances                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ground_truth () =
+  List.iter
+    (fun (name, q, truth) ->
+      match truth with
+      | `Solvable z ->
+          Alcotest.(check bool) (name ^ " witness is a zero") true (Diophantine.is_zero_at q z)
+      | `Unsolvable ->
+          Alcotest.(check bool)
+            (name ^ " has no small zero")
+            true
+            (Diophantine.zero_search q ~bound:8 = None))
+    Diophantine.all_named
+
+let test_zero_search_finds () =
+  (match Diophantine.zero_search Diophantine.pell ~bound:4 with
+  | Some z -> Alcotest.(check bool) "pell zero" true (Diophantine.is_zero_at Diophantine.pell z)
+  | None -> Alcotest.fail "pell has a zero within bound 4");
+  Alcotest.(check bool) "x+1 has none" true
+    (Diophantine.zero_search Diophantine.linear_unsolvable ~bound:50 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 11 instances                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let valid_instance () =
+  (* c = 2, monomials x1·x1 and x1·x2, P_s = T1 + T2, P_b = 2T1 + 3T2 *)
+  Lemma11.make_exn ~c:2 ~n_vars:2
+    ~monomials:[| [| 1; 1 |]; [| 1; 2 |] |]
+    ~cs:[| 1; 1 |] ~cb:[| 2; 3 |]
+
+let test_lemma11_validation () =
+  let ok = valid_instance () in
+  Alcotest.(check int) "monomials" 2 (Lemma11.num_monomials ok);
+  let expect_error ~c ~n_vars ~monomials ~cs ~cb frag =
+    match Lemma11.make ~c ~n_vars ~monomials ~cs ~cb with
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error mentions %S (got %S)" frag msg)
+          true
+          (String.length msg > 0)
+    | Ok _ -> Alcotest.fail ("expected error about " ^ frag)
+  in
+  expect_error ~c:1 ~n_vars:2 ~monomials:[| [| 1; 1 |] |] ~cs:[| 1 |] ~cb:[| 1 |] "c";
+  expect_error ~c:2 ~n_vars:2 ~monomials:[| [| 2; 1 |] |] ~cs:[| 1 |] ~cb:[| 1 |] "x1 first";
+  expect_error ~c:2 ~n_vars:2
+    ~monomials:[| [| 1; 1 |]; [| 1 |] |]
+    ~cs:[| 1; 1 |] ~cb:[| 1; 1 |] "same degree";
+  expect_error ~c:2 ~n_vars:2 ~monomials:[| [| 1; 3 |] |] ~cs:[| 1 |] ~cb:[| 1 |] "range";
+  expect_error ~c:2 ~n_vars:2 ~monomials:[| [| 1; 1 |] |] ~cs:[| 2 |] ~cb:[| 1 |] "cs<=cb";
+  expect_error ~c:2 ~n_vars:2 ~monomials:[| [| 1; 1 |] |] ~cs:[| 0 |] ~cb:[| 1 |] "cs>=1"
+
+let test_lemma11_eval () =
+  let t = valid_instance () in
+  (* Ξ = (2, 3): P_s = 4 + 6 = 10; P_b = 8 + 18 = 26; x1² = 4 *)
+  let xs = [| 2; 3 |] in
+  Alcotest.(check bool) "P_s" true (Nat.equal (Nat.of_int 10) (Lemma11.eval_s t xs));
+  Alcotest.(check bool) "P_b" true (Nat.equal (Nat.of_int 26) (Lemma11.eval_b t xs));
+  Alcotest.(check bool) "rhs" true (Nat.equal (Nat.of_int 104) (Lemma11.rhs t xs));
+  (* 2·10 = 20 ≤ 104 *)
+  Alcotest.(check bool) "holds" true (Lemma11.holds_at t xs);
+  (* Ξ = (1, 1): 2·(1+1) = 4 > 1·(2+3) = 5? no: 4 ≤ 5 *)
+  Alcotest.(check bool) "holds at ones" true (Lemma11.holds_at t [| 1; 1 |])
+
+let test_lemma11_occurrences () =
+  let t = valid_instance () in
+  Alcotest.(check (list (triple int int int)))
+    "P relation"
+    [ (1, 1, 1); (1, 2, 1); (1, 1, 2); (2, 2, 2) ]
+    (Lemma11.occurrences t)
+
+let test_lemma11_violation_search () =
+  (* an instance with a violation: c=2, single monomial x1·x1, cs=1, cb=1:
+     2·Ξ(x1)² ≤ Ξ(x1)²·Ξ(x1)² fails at Ξ(x1)=1 *)
+  let t =
+    Lemma11.make_exn ~c:2 ~n_vars:1 ~monomials:[| [| 1; 1 |] |] ~cs:[| 1 |] ~cb:[| 1 |]
+  in
+  match Lemma11.violation_search t ~max:3 with
+  | Some xs -> Alcotest.(check bool) "violates" true (not (Lemma11.holds_at t xs))
+  | None -> Alcotest.fail "expected a violation"
+
+(* ------------------------------------------------------------------ *)
+(* The Appendix B pipeline                                             *)
+(* ------------------------------------------------------------------ *)
+
+let eval_at q z = Polynomial.eval (fun i -> z.(i - 1)) q
+
+let test_lemma25 () =
+  (* Q(Ξ)=0 ⟺ P1(Ξ) > P2(Ξ), on a grid, for each named instance *)
+  List.iter
+    (fun (name, q, _) ->
+      let pl = Transform.run q in
+      let n = Polynomial.max_var q in
+      let eval_shifted p z = Polynomial.eval (fun i -> z.(i - 2)) p in
+      let rec grid z i =
+        if i = n then begin
+          let qv = eval_at q z in
+          let p1v = eval_shifted pl.p1 z and p2v = eval_shifted pl.p2 z in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s lemma25 at %s" name
+               (String.concat "," (List.map string_of_int (Array.to_list z))))
+            (qv = 0) (p1v > p2v)
+        end
+        else
+          for v = 0 to 3 do
+            z.(i) <- v;
+            grid z (i + 1)
+          done
+      in
+      if n > 0 && n <= 3 then grid (Array.make n 0) 0)
+    Diophantine.all_named
+
+let test_pipeline_produces_valid_instances () =
+  List.iter
+    (fun (name, q, _) ->
+      let t = Transform.reduce q in
+      (* make_exn already validated; re-check the headline conditions *)
+      Alcotest.(check bool) (name ^ ": c >= 2") true (t.Lemma11.c >= 2);
+      Array.iter
+        (fun mono ->
+          Alcotest.(check int) (name ^ ": starts with x1") 1 mono.(0);
+          Alcotest.(check int) (name ^ ": degree d") t.Lemma11.degree (Array.length mono))
+        t.Lemma11.monomials)
+    Diophantine.all_named
+
+let test_lemma29_solvable_direction () =
+  (* a zero of Q lifts to a violating valuation of the instance *)
+  List.iter
+    (fun (name, q, truth) ->
+      match truth with
+      | `Unsolvable -> ()
+      | `Solvable z ->
+          let t = Transform.reduce q in
+          let xs = Transform.lift_zero z in
+          Alcotest.(check bool) (name ^ ": lifted zero violates") false (Lemma11.holds_at t xs))
+    Diophantine.all_named
+
+let test_lemma29_unsolvable_direction () =
+  (* no violation on a search grid when Q has no zero *)
+  List.iter
+    (fun (name, q, truth) ->
+      match truth with
+      | `Solvable _ -> ()
+      | `Unsolvable ->
+          let t = Transform.reduce q in
+          Alcotest.(check bool)
+            (name ^ ": no violation on grid")
+            true
+            (Lemma11.violation_search t ~max:4 = None))
+    Diophantine.all_named
+
+let test_violation_search_agrees_with_zero_search () =
+  List.iter
+    (fun (name, q, _) ->
+      let t = Transform.reduce q in
+      let zero = Diophantine.zero_search q ~bound:3 <> None in
+      (* a zero within the grid implies a violation within the lifted grid *)
+      let viol = Lemma11.violation_search t ~max:3 <> None in
+      if zero then Alcotest.(check bool) (name ^ ": zero -> violation") true viol)
+    Diophantine.all_named
+
+let test_constant_inputs () =
+  (* degenerate but sound: Q = 0 (solvable everywhere), Q = 1 (never) *)
+  let t0 = Transform.reduce Polynomial.zero in
+  Alcotest.(check bool) "Q=0 violated" true (Lemma11.violation_search t0 ~max:2 <> None);
+  let t1 = Transform.reduce Polynomial.one in
+  Alcotest.(check bool) "Q=1 not violated" true (Lemma11.violation_search t1 ~max:4 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let arb_poly =
+  let gen st =
+    let n_terms = 1 + Random.State.int st 4 in
+    Polynomial.of_list
+      (List.init n_terms (fun _ ->
+           let c = Random.State.int st 7 - 3 in
+           let deg = Random.State.int st 3 in
+           let m = Monomial.of_list (List.init deg (fun _ -> 1 + Random.State.int st 2)) in
+           (c, m)))
+  in
+  QCheck.make ~print:Polynomial.to_string gen
+
+let arb_val = QCheck.make ~print:QCheck.Print.(pair int int) QCheck.Gen.(pair (int_bound 4) (int_bound 4))
+
+let properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"eval is a ring hom (add)" ~count:200
+         (QCheck.triple arb_poly arb_poly arb_val)
+         (fun (p, q, (a, b)) ->
+           let v i = if i = 1 then a else b in
+           Polynomial.eval v (Polynomial.add p q) = Polynomial.eval v p + Polynomial.eval v q));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"eval is a ring hom (mul)" ~count:200
+         (QCheck.triple arb_poly arb_poly arb_val)
+         (fun (p, q, (a, b)) ->
+           let v i = if i = 1 then a else b in
+           Polynomial.eval v (Polynomial.mul p q) = Polynomial.eval v p * Polynomial.eval v q));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"split_signs reconstructs" ~count:200 arb_poly (fun p ->
+           let pos, neg = Polynomial.split_signs p in
+           Polynomial.equal p (Polynomial.sub pos neg)
+           && Polynomial.is_nonneg pos && Polynomial.is_nonneg neg));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"Lemma 29 on random polynomials (grid)" ~count:60 arb_poly
+         (fun q ->
+           let t = Transform.reduce q in
+           (* zero within [0..2]² lifts to a violation; and a violation with
+              x1 = 1 projects to a zero *)
+           let zero = Diophantine.zero_search q ~bound:2 in
+           (match zero with
+           | Some z when Polynomial.max_var q >= 1 ->
+               let padded =
+                 Array.init (Stdlib.max (Polynomial.max_var q) (Array.length z)) (fun i ->
+                     if i < Array.length z then z.(i) else 0)
+               in
+               not (Lemma11.holds_at t (Transform.lift_zero padded))
+           | _ -> true)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"square is nonneg at every valuation" ~count:200
+         (QCheck.pair arb_poly arb_val)
+         (fun (p, (a, b)) ->
+           let v i = if i = 1 then a else b in
+           Polynomial.eval v (Polynomial.square p) >= 0));
+  ]
+
+let () =
+  Alcotest.run "poly"
+    [
+      ( "monomial",
+        [
+          Alcotest.test_case "basics" `Quick test_monomial_basics;
+          Alcotest.test_case "mul/eval" `Quick test_monomial_mul_eval;
+        ] );
+      ( "polynomial",
+        [
+          Alcotest.test_case "ring laws" `Quick test_poly_ring_laws;
+          Alcotest.test_case "eval" `Quick test_poly_eval;
+          Alcotest.test_case "degree/vars" `Quick test_poly_degree_vars;
+          Alcotest.test_case "split signs" `Quick test_split_signs;
+          Alcotest.test_case "rename" `Quick test_rename;
+        ] );
+      ( "diophantine",
+        [
+          Alcotest.test_case "ground truth" `Quick test_ground_truth;
+          Alcotest.test_case "zero search" `Quick test_zero_search_finds;
+        ] );
+      ( "lemma11",
+        [
+          Alcotest.test_case "validation" `Quick test_lemma11_validation;
+          Alcotest.test_case "evaluation" `Quick test_lemma11_eval;
+          Alcotest.test_case "occurrences" `Quick test_lemma11_occurrences;
+          Alcotest.test_case "violation search" `Quick test_lemma11_violation_search;
+        ] );
+      ( "appendix-b",
+        [
+          Alcotest.test_case "Lemma 25" `Quick test_lemma25;
+          Alcotest.test_case "valid instances" `Quick test_pipeline_produces_valid_instances;
+          Alcotest.test_case "Lemma 29 solvable" `Quick test_lemma29_solvable_direction;
+          Alcotest.test_case "Lemma 29 unsolvable" `Quick test_lemma29_unsolvable_direction;
+          Alcotest.test_case "searches agree" `Quick test_violation_search_agrees_with_zero_search;
+          Alcotest.test_case "constant inputs" `Quick test_constant_inputs;
+        ] );
+      ("properties", properties);
+    ]

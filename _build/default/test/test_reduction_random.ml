@@ -1,0 +1,154 @@
+(* Randomised whole-reduction invariants: every property proved in
+   Section 4 is tested over randomly generated Lemma 11 instances (random
+   monomials, coefficients and constants), not just the hand-picked ones.
+   This is the test-suite counterpart of "the construction works for every
+   input", the quantifier the undecidability argument needs. *)
+
+open Bagcq_relational
+open Bagcq_reduction
+module Nat = Bagcq_bignum.Nat
+module Eval = Bagcq_hom.Eval
+module Morphism = Bagcq_hom.Morphism
+module Lemma11 = Bagcq_poly.Lemma11
+module Query = Bagcq_cq.Query
+
+(* a random valid Lemma 11 instance: up to 3 monomials of degree up to 3
+   over up to 3 variables, coefficients up to 4, c up to 4 *)
+let gen_instance st =
+  let n_vars = 1 + Random.State.int st 2 in
+  let degree = 2 + Random.State.int st 2 in
+  let m_count = 1 + Random.State.int st 2 in
+  let monomials =
+    Array.init m_count (fun _ ->
+        Array.init degree (fun i ->
+            if i = 0 then 1 else 1 + Random.State.int st n_vars))
+  in
+  let cs = Array.init m_count (fun _ -> 1 + Random.State.int st 3) in
+  let cb = Array.init m_count (fun i -> cs.(i) + Random.State.int st 3) in
+  let c = 2 + Random.State.int st 3 in
+  Lemma11.make_exn ~c ~n_vars ~monomials ~cs ~cb
+
+let gen_valuation st n = Array.init n (fun _ -> Random.State.int st 4)
+
+let arb_instance_and_valuation =
+  QCheck.make
+    ~print:(fun (t, xs) ->
+      Format.asprintf "%a at (%s)" Lemma11.pp t
+        (String.concat "," (Array.to_list (Array.map string_of_int xs))))
+    (fun st ->
+      let t = gen_instance st in
+      (t, gen_valuation st t.Lemma11.n_vars))
+
+let arb_instance =
+  QCheck.make ~print:(Format.asprintf "%a" Lemma11.pp) gen_instance
+
+let properties =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"Lemma 15 exact on random instances" ~count:60
+         arb_instance_and_valuation
+         (fun (t, xs) ->
+           let d = Valuation.correct_db t xs in
+           Nat.equal (Eval.count (Pi.pi_s t) d) (Lemma11.eval_s t xs)
+           && Nat.equal (Eval.count (Pi.pi_b t) d) (Lemma11.rhs t xs)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"Lemma 12 onto witness on random instances" ~count:60
+         arb_instance
+         (fun t ->
+           let h = Pi.onto_witness t in
+           Morphism.is_hom h (Pi.pi_b t) (Pi.pi_s t)
+           && Morphism.is_onto h (Pi.pi_b t) (Pi.pi_s t)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"valuation roundtrip on random instances" ~count:60
+         arb_instance_and_valuation
+         (fun (t, xs) -> Valuation.extract t (Valuation.correct_db t xs) = xs));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"zeta: C1 on correct, punished on slight" ~count:40 arb_instance
+         (fun t ->
+           let z = Zeta.make t in
+           let d0 = Arena.d_arena t in
+           Nat.equal (Zeta.count z d0) z.Zeta.c1
+           && List.for_all
+                (fun sym ->
+                  let d = Structure.add_fact d0 sym [ Value.int 900; Value.int 901 ] in
+                  Nat.compare (Zeta.count z d) (Nat.mul_int z.Zeta.c1 t.Lemma11.c) >= 0)
+                (Sigma.sigma_rs t)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"zeta exponent is minimal" ~count:60 arb_instance (fun t ->
+           let z = Zeta.make t in
+           let holds k =
+             Nat.compare
+               (Nat.pow (Nat.of_int (z.Zeta.j + 1)) k)
+               (Nat.mul_int (Nat.pow (Nat.of_int z.Zeta.j) k) t.Lemma11.c)
+             >= 0
+           in
+           holds z.Zeta.k && (z.Zeta.k = 0 || not (holds (z.Zeta.k - 1)))));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"delta: 1 on correct, >=2 on any identification" ~count:25
+         arb_instance
+         (fun t ->
+           let d0 = Arena.d_arena t in
+           if not (Nat.equal (Delta.base_count t d0) Nat.one) then false
+           else begin
+             let consts = Schema.constants (Structure.schema d0) in
+             List.for_all
+               (fun c1 ->
+                 List.for_all
+                   (fun c2 ->
+                     if c1 >= c2 then true
+                     else begin
+                       let v1 = Structure.interpret_exn d0 c1 in
+                       let v2 = Structure.interpret_exn d0 c2 in
+                       let d =
+                         Structure.map_values
+                           (fun v -> if Value.equal v v1 then v2 else v)
+                           d0
+                       in
+                       (not (Structure.is_nontrivial d))
+                       || Nat.compare (Delta.base_count t d) Nat.two >= 0
+                     end)
+                   consts)
+               consts
+           end));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"Theorem 1 agrees with Lemma 11 pointwise" ~count:40
+         arb_instance_and_valuation
+         (fun (t, xs) ->
+           let t1 = Theorem1.reduce t in
+           let d = Theorem1.violating_db t1 xs in
+           Theorem1.holds_on t1 d = Lemma11.holds_at t xs));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"Theorem 1 never violated off the correct path" ~count:25
+         (QCheck.make ~print:(fun _ -> "instance+db") (fun st ->
+              let t = gen_instance st in
+              let schema = Sigma.sigma t in
+              let d =
+                Generate.random
+                  ~density:(0.2 +. Random.State.float st 0.5)
+                  st schema ~size:(2 + Random.State.int st 2)
+              in
+              (t, d)))
+         (fun (t, d) ->
+           (* a random database essentially never satisfies Arena, and when
+              it does it is punished — either way the inequality holds
+              unless D is a genuine violating correct database, which a
+              random draw cannot produce when the instance has no small
+              violating valuation *)
+           let t1 = Theorem1.reduce t in
+           match Theorem1.classify t1 d with
+           | Arena.Not_arena -> Theorem1.holds_on t1 d
+           | Arena.Slightly_incorrect | Arena.Seriously_incorrect ->
+               (not (Structure.is_nontrivial d)) || Theorem1.holds_on t1 d
+           | Arena.Correct ->
+               Theorem1.holds_on t1 d = Lemma11.holds_at t (Valuation.extract t d)));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"classification invariant under renaming" ~count:40
+         arb_instance_and_valuation
+         (fun (t, xs) ->
+           let d = Valuation.correct_db t xs in
+           let renamed = Structure.map_values (fun v -> Value.copy v 4) d in
+           Arena.classify t renamed = Arena.Correct
+           && Bagcq_relational.Iso.isomorphic d renamed));
+  ]
+
+let () = Alcotest.run "reduction-random" [ ("properties", properties) ]

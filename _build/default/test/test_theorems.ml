@@ -1,0 +1,445 @@
+(* End-to-end tests for the paper's theorems: Theorem 1 (Section 4.7
+   assembly), Theorem 3 (Section 3 assembly), Theorem 5 / Lemmas 23–24,
+   and the decidable containment baselines. *)
+
+open Bagcq_relational
+open Bagcq_cq
+open Bagcq_reduction
+module Nat = Bagcq_bignum.Nat
+module Eval = Bagcq_hom.Eval
+module Lemma11 = Bagcq_poly.Lemma11
+module Diophantine = Bagcq_poly.Diophantine
+module Transform = Bagcq_poly.Transform
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+let vi = Value.int
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The ℛ ⇒ ☆ direction: a violating valuation yields a violating correct
+   database — for each solvable Diophantine instance. *)
+let test_theorem1_violation_transfer () =
+  List.iter
+    (fun (name, q, truth) ->
+      match truth with
+      | `Unsolvable -> ()
+      | `Solvable z ->
+          let t1 = Theorem1.of_polynomial q in
+          let xs = Transform.lift_zero z in
+          Alcotest.(check bool) (name ^ ": valuation violates Lemma 11") false
+            (Lemma11.holds_at t1.Theorem1.instance xs);
+          let d = Theorem1.violating_db t1 xs in
+          Alcotest.(check bool) (name ^ ": db is non-trivial") true (Structure.is_nontrivial d);
+          Alcotest.(check string) (name ^ ": db is correct") "correct"
+            (Arena.status_to_string (Theorem1.classify t1 d));
+          Alcotest.(check bool) (name ^ ": C·φ_s(D) > φ_b(D)") false (Theorem1.holds_on t1 d))
+    Diophantine.all_named
+
+(* The ☆ ⇒ ℛ contrapositive on correct databases: when the Lemma 11
+   inequality holds at a valuation, the inequality of queries holds on the
+   encoding database. *)
+let test_theorem1_holds_transfer () =
+  let t1 = Theorem1.of_polynomial Diophantine.linear_unsolvable in
+  for x1 = 0 to 2 do
+    for x2 = 0 to 2 do
+      let xs = [| x1; x2 |] in
+      Alcotest.(check bool)
+        (Printf.sprintf "Lemma 11 inequality holds at (%d,%d)" x1 x2)
+        true
+        (Lemma11.holds_at t1.Theorem1.instance xs);
+      Alcotest.(check bool)
+        (Printf.sprintf "query inequality holds at (%d,%d)" x1 x2)
+        true
+        (Theorem1.holds_on t1 (Theorem1.violating_db t1 xs))
+    done
+  done
+
+(* Lemma 16 both ways at grid valuations, for a solvable instance *)
+let test_theorem1_lemma16_grid () =
+  let t1 = Theorem1.of_polynomial Diophantine.linear_solvable in
+  let t = t1.Theorem1.instance in
+  let n = t.Lemma11.n_vars in
+  Alcotest.(check int) "two numerical variables" 2 n;
+  for x1 = 0 to 3 do
+    for x2 = 0 to 3 do
+      let xs = [| x1; x2 |] in
+      let d = Theorem1.violating_db t1 xs in
+      Alcotest.(check bool)
+        (Printf.sprintf "agreement at (%d,%d)" x1 x2)
+        (Lemma11.holds_at t xs) (Theorem1.holds_on t1 d)
+    done
+  done
+
+(* the anti-cheating assembly: slightly and seriously incorrect databases
+   always satisfy the inequality (Section 4.7, second direction) *)
+let test_theorem1_punishes_incorrect () =
+  let t1 = Theorem1.of_polynomial Diophantine.linear_solvable in
+  let t = t1.Theorem1.instance in
+  (* start from the *violating* correct database — punishment must
+     overcome even the worst case *)
+  (match Lemma11.violation_search t ~max:3 with
+  | None -> Alcotest.fail "expected a violating valuation"
+  | Some xs ->
+      let d0 = Theorem1.violating_db t1 xs in
+      Alcotest.(check bool) "violates while correct" false (Theorem1.holds_on t1 d0);
+      (* slight: add one atom of each Σ_RS relation in turn *)
+      List.iter
+        (fun sym ->
+          let d = Structure.add_fact d0 sym [ vi 800; vi 801 ] in
+          Alcotest.(check string) "slight" "slightly-incorrect"
+            (Arena.status_to_string (Theorem1.classify t1 d));
+          Alcotest.(check bool)
+            (Printf.sprintf "slight punished via %s" (Symbol.name sym))
+            true (Theorem1.holds_on t1 d))
+        (Sigma.sigma_rs t);
+      (* serious: identify a₁ with a *)
+      let a1 = Structure.interpret_exn d0 (Sigma.am_const 1) in
+      let av = Structure.interpret_exn d0 Sigma.a_const in
+      let d_serious =
+        Structure.map_values (fun v -> if Value.equal v a1 then av else v) d0
+      in
+      Alcotest.(check string) "serious" "seriously-incorrect"
+        (Arena.status_to_string (Theorem1.classify t1 d_serious));
+      Alcotest.(check bool) "serious punished" true (Theorem1.holds_on t1 d_serious));
+  (* not-arena: φ_s(D) = 0 *)
+  let empty = Structure.empty Schema.empty in
+  Alcotest.check nat "φ_s = 0 off-arena" Nat.zero (Theorem1.phi_s_count t1 empty);
+  Alcotest.(check bool) "holds trivially off-arena" true (Theorem1.holds_on t1 empty)
+
+let test_theorem1_unsolvable_sampled () =
+  (* x²+1 = 0 has no solution: no sampled database of any kind violates *)
+  let t1 = Theorem1.of_polynomial Diophantine.square_plus_one in
+  let rng = Random.State.make [| 2024 |] in
+  let schema = Sigma.sigma t1.Theorem1.instance in
+  for _ = 1 to 30 do
+    let size = 2 + Random.State.int rng 3 in
+    let d = Generate.random ~density:(Random.State.float rng 0.8) rng schema ~size in
+    Alcotest.(check bool) "random db satisfies inequality" true (Theorem1.holds_on t1 d)
+  done;
+  (* and no violation on correct databases from a grid of valuations *)
+  for x1 = 0 to 2 do
+    for x2 = 0 to 2 do
+      Alcotest.(check bool) "correct db holds" true
+        (Theorem1.holds_on t1 (Theorem1.violating_db t1 [| x1; x2 |]))
+    done
+  done
+
+let test_theorem1_output_shape () =
+  let t1 = Theorem1.of_polynomial Diophantine.linear_solvable in
+  (* φ_s and φ_b are inequality-free (the whole point of Theorem 1) *)
+  Alcotest.(check bool) "φ_s ineq-free" false (Pquery.has_neqs t1.Theorem1.phi_s);
+  Alcotest.(check bool) "φ_b ineq-free" false (Pquery.has_neqs t1.Theorem1.phi_b);
+  (* ℂ = c·ℂ₁ *)
+  Alcotest.check nat "C = c·C1"
+    (Nat.mul_int t1.Theorem1.zeta.Zeta.c1 t1.Theorem1.instance.Lemma11.c)
+    t1.Theorem1.cc;
+  (* Arena mentions only constants: its count on any db is 0 or 1 *)
+  Alcotest.(check int) "Arena has no variables" 0 (Query.num_vars t1.Theorem1.arena)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 3                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let g_sym = Build.sym "G" 2
+
+let edge_q = Build.(query [ atom g_sym [ v "x"; v "y" ] ])
+let path_q = Build.(query [ atom g_sym [ v "x"; v "y" ]; atom g_sym [ v "y"; v "z" ] ])
+
+let single_edge =
+  Structure.add_fact (Structure.empty Schema.empty) g_sym [ vi 1; vi 2 ]
+
+let clique3 =
+  List.fold_left
+    (fun d (a, b) -> Structure.add_fact d g_sym [ vi a; vi b ])
+    (Structure.empty Schema.empty)
+    (List.concat_map (fun a -> List.map (fun b -> (a, b)) [ 1; 2; 3 ]) [ 1; 2; 3 ])
+
+let test_theorem3_shape () =
+  let t3 = Theorem3.reduce_queries ~c:3 ~phi_s:edge_q ~phi_b:path_q in
+  Alcotest.(check bool) "ψ_s ineq-free" false (Pquery.has_neqs t3.Theorem3.psi_s);
+  (* ψ_b has exactly one inequality in total *)
+  let neq_count =
+    List.fold_left
+      (fun acc (q, e) -> acc + (Query.num_neqs q * Nat.to_int e))
+      0
+      (Pquery.factors t3.Theorem3.psi_b)
+  in
+  Alcotest.(check int) "ψ_b one inequality" 1 neq_count
+
+let test_theorem3_i_implies_ii () =
+  (* (i): 3·edge(D₁) > path(D₁) on the single edge (3 > 0); the combined
+     witness must then violate ψ_s ≤ ψ_b *)
+  let t3 = Theorem3.reduce_queries ~c:3 ~phi_s:edge_q ~phi_b:path_q in
+  let d = Theorem3.combine_witness t3 single_edge in
+  Alcotest.(check bool) "non-trivial" true (Structure.is_nontrivial d);
+  let cs, cb = Theorem3.counts_on t3 d in
+  Alcotest.(check bool) "ψ_s(D) > ψ_b(D)" true (Nat.compare cs cb > 0)
+
+let test_theorem3_not_i_implies_not_ii () =
+  (* on the 3-clique with loops, 3·edge = 27 ≤ path = 27: no violation,
+     and the assembled queries also satisfy ψ_s ≤ ψ_b there *)
+  let t3 = Theorem3.reduce_queries ~c:3 ~phi_s:edge_q ~phi_b:path_q in
+  Alcotest.(check bool) "3·φ_s ≤ φ_b on clique" true
+    (Nat.compare
+       (Nat.mul_int (Eval.count edge_q clique3) 3)
+       (Eval.count path_q clique3)
+    <= 0);
+  let d = Theorem3.combine_witness t3 clique3 in
+  Alcotest.(check bool) "ψ_s ≤ ψ_b" true (Theorem3.holds_on t3 d)
+
+let test_theorem3_rejects_bad_inputs () =
+  let with_neq = Build.(query ~neqs:[ (v "x", v "y") ] [ atom g_sym [ v "x"; v "y" ] ]) in
+  Alcotest.(check bool) "rejects inequalities" true
+    (try
+       ignore (Theorem3.reduce_queries ~c:2 ~phi_s:with_neq ~phi_b:path_q);
+       false
+     with Invalid_argument _ -> true);
+  let clash = Build.(query [ atom (sym "Rcyc" 3) [ v "x"; v "y"; v "z" ] ]) in
+  Alcotest.(check bool) "rejects reserved relations" true
+    (try
+       ignore (Theorem3.reduce_queries ~c:2 ~phi_s:clash ~phi_b:path_q);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "rejects c < 2" true
+    (try
+       ignore (Theorem3.reduce_queries ~c:1 ~phi_s:edge_q ~phi_b:path_q);
+       false
+     with Invalid_argument _ -> true)
+
+let test_theorem1_then_theorem3 () =
+  (* the full chain: Lemma 11 instance → Theorem 1 queries → Theorem 3
+     single-inequality queries.  The constant ℂ must fit a machine integer
+     for the α gadget to be built, so this uses the minimal instance
+     (one monomial, unit coefficients): ℂ = 2·(3³) = 54, giving an α over
+     a 107-ary relation. *)
+  let tiny =
+    Lemma11.make_exn ~c:2 ~n_vars:1 ~monomials:[| [| 1; 1 |] |] ~cs:[| 1 |] ~cb:[| 1 |]
+  in
+  let t1 = Theorem1.reduce tiny in
+  match Theorem3.of_theorem1 t1 with
+  | Error msg -> Alcotest.fail msg
+  | Ok t3 ->
+      (match Lemma11.violation_search t1.Theorem1.instance ~max:2 with
+      | None -> Alcotest.fail "expected violation"
+      | Some xs ->
+          let d1 = Theorem1.violating_db t1 xs in
+          let d = Theorem3.combine_witness t3 d1 in
+          let cs, cb = Theorem3.counts_on t3 d in
+          Alcotest.(check bool) "chained violation" true (Nat.compare cs cb > 0));
+      (* and without a violation, the chained queries hold *)
+      let ok_xs = [| 2 |] in
+      if Lemma11.holds_at t1.Theorem1.instance ok_xs then begin
+        let d = Theorem3.combine_witness t3 (Theorem1.violating_db t1 ok_xs) in
+        Alcotest.(check bool) "chained holds" true (Theorem3.holds_on t3 d)
+      end
+
+
+let test_theorem3_ban_constants () =
+  (* Section 2.3 hard version: no constants at all, one inequality each
+     side, the s-side inequality being the old non-triviality condition *)
+  let t3 = Theorem3.reduce_queries ~c:3 ~phi_s:edge_q ~phi_b:path_q in
+  let psi_s, psi_b = Theorem3.ban_constants t3 in
+  Alcotest.(check (list string)) "no constants in psi_s" [] (Query.constants psi_s);
+  Alcotest.(check (list string)) "no constants in psi_b" [] (Query.constants psi_b);
+  Alcotest.(check int) "one inequality in psi_s" 1 (Query.num_neqs psi_s);
+  Alcotest.(check int) "one inequality in psi_b" 1 (Query.num_neqs psi_b);
+  (* the violation still transfers to the constant-free form *)
+  let d = Theorem3.combine_witness t3 single_edge in
+  Alcotest.(check bool) "violation survives the ban" true
+    (Nat.compare (Eval.count psi_s d) (Eval.count psi_b d) > 0);
+  (* and the non-violating side is not spuriously violated: whenever the
+     hard pair is violated, some binding of the constants violates the
+     original pair *)
+  let rng = Random.State.make [| 31 |] in
+  let schema = Schema.union (Query.schema psi_s) (Query.schema psi_b) in
+  let orig_s = Pquery.flatten t3.Theorem3.psi_s in
+  let orig_b = Pquery.flatten t3.Theorem3.psi_b in
+  for _ = 1 to 60 do
+    let d = Generate.random ~density:(Random.State.float rng 0.7) rng schema ~size:2 in
+    let hard_viol = Nat.compare (Eval.count psi_s d) (Eval.count psi_b d) > 0 in
+    if hard_viol then begin
+      let dom = Value.Set.elements (Structure.domain d) in
+      let some_binding_violates =
+        List.exists
+          (fun h ->
+            List.exists
+              (fun s ->
+                (not (Value.equal h s))
+                && begin
+                     let d' =
+                       Structure.rebind_constant
+                         (Structure.rebind_constant d Consts.heart h)
+                         Consts.spade s
+                     in
+                     Nat.compare (Eval.count orig_s d') (Eval.count orig_b d') > 0
+                   end)
+              dom)
+          dom
+      in
+      Alcotest.(check bool) "hard violation implies a binding violation" true
+        some_binding_violates
+    end
+  done
+
+let test_of_theorem1_rejects_huge_constant () =
+  (* for typical instances ℂ is astronomical and the α gadget cannot be
+     materialised — of_theorem1 must say so rather than loop forever *)
+  let t1 = Theorem1.of_polynomial Diophantine.linear_solvable in
+  match Theorem3.of_theorem1 t1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection of a 33-digit constant"
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5 / Lemmas 23–24                                            *)
+(* ------------------------------------------------------------------ *)
+
+let loop_q = Build.(query [ atom g_sym [ v "x"; v "x" ] ])
+let edge_neq_q = Build.(query ~neqs:[ (v "x", v "y") ] [ atom g_sym [ v "x"; v "y" ] ])
+
+let loop_plus_edge =
+  let d = Structure.add_fact (Structure.empty Schema.empty) g_sym [ vi 1; vi 1 ] in
+  Structure.add_fact d g_sym [ vi 1; vi 2 ]
+
+let lemma24_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"Lemma 24: 2^p·ψ_s(blowup(D,2)) >= ψ_s'(blowup(D,2))" ~count:80
+       (QCheck.make ~print:(fun _ -> "db") (fun st ->
+            let size = 1 + Random.State.int st 3 in
+            Generate.random
+              ~density:(0.2 +. Random.State.float st 0.6)
+              st
+              (Schema.make [ g_sym ])
+              ~size))
+       (fun d -> Theorem5.lemma24_lower_bound edge_neq_q d))
+
+let test_theorem5_transfer () =
+  (* ψ'_s = edge counts 2 on loop+edge, ψ_b = loop counts 1: witness for
+     the stripped query; transfer must produce one for ψ_s itself *)
+  (match Theorem5.transfer_witness ~psi_s:edge_neq_q ~psi_b:loop_q loop_plus_edge with
+  | None -> Alcotest.fail "expected a transferred witness"
+  | Some d ->
+      Alcotest.(check bool) "transferred witness verifies" true
+        (Nat.compare (Eval.count edge_neq_q d) (Eval.count loop_q d) > 0));
+  Alcotest.(check bool) "equivalence witnessed" true
+    (Theorem5.equivalence_witnessed ~psi_s:edge_neq_q ~psi_b:loop_q loop_plus_edge)
+
+let test_theorem5_no_witness_to_transfer () =
+  (* when D₀ does not witness the stripped violation, nothing transfers *)
+  let only_loop = Structure.add_fact (Structure.empty Schema.empty) g_sym [ vi 1; vi 1 ] in
+  Alcotest.(check bool) "no transfer" true
+    (Theorem5.transfer_witness ~psi_s:edge_neq_q ~psi_b:loop_q only_loop = None);
+  Alcotest.(check bool) "vacuously witnessed" true
+    (Theorem5.equivalence_witnessed ~psi_s:edge_neq_q ~psi_b:loop_q only_loop)
+
+let test_theorem5_rejects_neq_in_b () =
+  Alcotest.check_raises "ψ_b must be ineq-free"
+    (Invalid_argument "Theorem5.transfer_witness: ψ_b must be inequality-free") (fun () ->
+      ignore
+        (Theorem5.transfer_witness ~psi_s:edge_neq_q ~psi_b:edge_neq_q loop_plus_edge))
+
+let test_theorem5_multiple_inequalities () =
+  (* two inequalities: x≠y, y≠z over a path query *)
+  let psi_s =
+    Build.(
+      query
+        ~neqs:[ (v "x", v "y"); (v "y", v "z") ]
+        [ atom g_sym [ v "x"; v "y" ]; atom g_sym [ v "y"; v "z" ] ])
+  in
+  let psi_b = loop_q in
+  (* D₀: path 1→1→2 gives stripped-count ≥ ... check and transfer *)
+  let d0 = loop_plus_edge in
+  let stripped = Query.strip_neqs psi_s in
+  if Nat.compare (Eval.count stripped d0) (Eval.count psi_b d0) > 0 then begin
+    match Theorem5.transfer_witness ~psi_s ~psi_b d0 with
+    | None -> Alcotest.fail "expected transfer with two inequalities"
+    | Some d ->
+        Alcotest.(check bool) "verified" true
+          (Nat.compare (Eval.count psi_s d) (Eval.count psi_b d) > 0)
+  end
+
+let lemma23_equivalence_property =
+  (* Lemma 23 checked constructively on random witnesses *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"Lemma 23: stripped witness transfers" ~count:40
+       (QCheck.make ~print:(fun _ -> "db") (fun st ->
+            let size = 1 + Random.State.int st 3 in
+            Generate.random
+              ~density:(0.3 +. Random.State.float st 0.6)
+              st
+              (Schema.make [ g_sym ])
+              ~size))
+       (fun d0 -> Theorem5.equivalence_witnessed ~psi_s:edge_neq_q ~psi_b:loop_q d0))
+
+(* ------------------------------------------------------------------ *)
+(* Containment baselines                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_set_containment () =
+  (* a 2-path implies an edge, not conversely *)
+  Alcotest.(check bool) "path ⊆ edge" true (Containment.set_contains ~small:path_q ~big:edge_q);
+  Alcotest.(check bool) "edge ⊄ path" false (Containment.set_contains ~small:edge_q ~big:path_q);
+  (* reflexivity and the true query *)
+  Alcotest.(check bool) "refl" true (Containment.set_contains ~small:path_q ~big:path_q);
+  Alcotest.(check bool) "anything ⊆ true" true
+    (Containment.set_contains ~small:edge_q ~big:Query.true_query);
+  (* loop ⊆ edge (a loop is an edge) *)
+  Alcotest.(check bool) "loop ⊆ edge" true (Containment.set_contains ~small:loop_q ~big:edge_q);
+  Alcotest.check_raises "rejects inequalities"
+    (Invalid_argument "Containment.set_contains: inequality-free CQs only") (fun () ->
+      ignore (Containment.set_contains ~small:edge_neq_q ~big:edge_q))
+
+let test_set_vs_bag_divergence () =
+  (* the Chaudhuri–Vardi phenomenon: path ⊆ edge under set semantics but
+     NOT under bag semantics — a long path has more 2-paths than edges *)
+  Alcotest.(check bool) "set-contained" true
+    (Containment.set_contains ~small:path_q ~big:edge_q);
+  let dense = clique3 in
+  Alcotest.(check bool) "bag-violated on the clique" true
+    (Containment.bag_violation ~small:path_q ~big:edge_q dense)
+
+let test_bag_equivalence () =
+  let renamed = Query.rename_vars (fun v -> v ^ "'") path_q in
+  Alcotest.(check bool) "renamed equivalent" true (Containment.bag_equivalent path_q renamed);
+  Alcotest.(check bool) "different not equivalent" false
+    (Containment.bag_equivalent path_q edge_q)
+
+let () =
+  Alcotest.run "theorems"
+    [
+      ( "theorem1",
+        [
+          Alcotest.test_case "violation transfer (ℛ⇒☆)" `Quick test_theorem1_violation_transfer;
+          Alcotest.test_case "holds transfer" `Quick test_theorem1_holds_transfer;
+          Alcotest.test_case "Lemma 16 grid" `Quick test_theorem1_lemma16_grid;
+          Alcotest.test_case "punishes incorrect" `Quick test_theorem1_punishes_incorrect;
+          Alcotest.test_case "unsolvable sampled" `Quick test_theorem1_unsolvable_sampled;
+          Alcotest.test_case "output shape" `Quick test_theorem1_output_shape;
+        ] );
+      ( "theorem3",
+        [
+          Alcotest.test_case "shape" `Quick test_theorem3_shape;
+          Alcotest.test_case "(i) ⇒ (ii)" `Quick test_theorem3_i_implies_ii;
+          Alcotest.test_case "¬(i) ⇒ ¬(ii)" `Quick test_theorem3_not_i_implies_not_ii;
+          Alcotest.test_case "input validation" `Quick test_theorem3_rejects_bad_inputs;
+          Alcotest.test_case "chained with theorem 1" `Slow test_theorem1_then_theorem3;
+          Alcotest.test_case "of_theorem1 rejects huge ℂ" `Quick test_of_theorem1_rejects_huge_constant;
+          Alcotest.test_case "hard constants ban (Section 2.3)" `Quick test_theorem3_ban_constants;
+        ] );
+      ( "theorem5",
+        [
+          lemma24_property;
+          Alcotest.test_case "witness transfer" `Quick test_theorem5_transfer;
+          Alcotest.test_case "nothing to transfer" `Quick test_theorem5_no_witness_to_transfer;
+          Alcotest.test_case "rejects ineq in ψ_b" `Quick test_theorem5_rejects_neq_in_b;
+          Alcotest.test_case "two inequalities" `Quick test_theorem5_multiple_inequalities;
+          lemma23_equivalence_property;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "set semantics (Chandra–Merlin)" `Quick test_set_containment;
+          Alcotest.test_case "set vs bag divergence" `Quick test_set_vs_bag_divergence;
+          Alcotest.test_case "bag equivalence (Chaudhuri–Vardi)" `Quick test_bag_equivalence;
+        ] );
+    ]
