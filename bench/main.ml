@@ -18,6 +18,8 @@ module Lemma11 = Bagcq_poly.Lemma11
 module Diophantine = Bagcq_poly.Diophantine
 module Transform = Bagcq_poly.Transform
 module Sampler = Bagcq_search.Sampler
+module Budget = Bagcq_guard.Budget
+module Outcome = Bagcq_guard.Outcome
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
@@ -379,7 +381,7 @@ let exp_set_vs_bag () =
   row "  %-18s %-10s %-14s %s\n" "pair" "set sub" "bag violated" "witness size";
   List.iter
     (fun (name, small, big) ->
-      let set = Containment.set_contains ~small ~big in
+      let set = Containment.set_contains ~small ~big () in
       let report = Bagcq_search.Hunt.counterexample ~small ~big () in
       row "  %-18s %-10b %-14b %s\n" name set
         (report.Bagcq_search.Hunt.witness <> None)
@@ -434,6 +436,43 @@ let exp_core () =
     (Morphism.set_equivalent path_q dup)
     (Morphism.isomorphic path_q dup)
     (ok (Morphism.set_equivalent path_q dup && not (Morphism.isomorphic path_q dup)))
+
+let exp_guard () =
+  header "EXP-GUARD - budgeted execution: transparency and graceful degradation";
+  (* transparency: a guarded hunt run to Complete returns exactly the
+     unguarded report *)
+  let module Hunt = Bagcq_search.Hunt in
+  let loop_q = Build.(query [ atom e_sym [ v "x"; v "x" ] ]) in
+  let pairs = [ ("2-path vs edge", path_q, edge_q); ("loop vs edge", loop_q, edge_q) ] in
+  List.iter
+    (fun (name, small, big) ->
+      let unguarded = Hunt.counterexample ~small ~big () in
+      let budget = Budget.unlimited () in
+      match Hunt.counterexample_guarded ~budget ~small ~big () with
+      | Outcome.Exhausted _ -> row "  %-18s unlimited budget exhausted?!  [FAIL]\n" name
+      | Outcome.Complete (report, progress) ->
+          let same =
+            (report.Hunt.witness <> None) = (unguarded.Hunt.witness <> None)
+            && report.Hunt.tested_random = unguarded.Hunt.tested_random
+          in
+          row "  %-18s guarded = unguarded %s | %7d ticks, %4d databases  [%s]\n" name
+            (ok same) progress.Hunt.ticks_spent progress.Hunt.databases_tested (ok same))
+    pairs;
+  (* degradation: fuel caps are exact and the partial stats survive *)
+  List.iter
+    (fun fuel ->
+      let budget = Budget.create ~fuel () in
+      match Hunt.counterexample_guarded ~budget ~small:loop_q ~big:edge_q () with
+      | Outcome.Complete (_, progress) ->
+          row "  fuel %-8d completed in %d ticks  [ok]\n" fuel progress.Hunt.ticks_spent
+      | Outcome.Exhausted ((_, progress), reason) ->
+          row "  fuel %-8d exhausted (%s): %d ticks, %d databases, size %d complete  [%s]\n"
+            fuel
+            (Budget.reason_to_string reason)
+            progress.Hunt.ticks_spent progress.Hunt.databases_tested
+            progress.Hunt.largest_size_completed
+            (ok (progress.Hunt.ticks_spent <= fuel)))
+    [ 100; 10_000 ]
 
 let exp_hde () =
   header "EXP-HDE - homomorphism domination exponent (Kopparty-Rossman [12])";
@@ -516,6 +555,19 @@ let bench_tests () =
            Test.make ~name:"3 components raw (one run of 16^3)"
              (Staged.stage (fun () -> Bagcq_hom.Solver.count disconnected k4)));
         ];
+      Test.make_grouped ~name:"guard"
+        [
+          (* the budget tick is one compare + one increment per
+             backtracking node: the overhead must stay in the noise *)
+          Test.make ~name:"path on K6 unguarded"
+            (Staged.stage (fun () -> Eval.count path_q k6));
+          (let budget = Budget.unlimited () in
+           Test.make ~name:"path on K6 guarded"
+             (Staged.stage (fun () -> Eval.count ~budget path_q k6)));
+          (let budget = Budget.create ~timeout_ms:3_600_000 () in
+           Test.make ~name:"path on K6 guarded+deadline"
+             (Staged.stage (fun () -> Eval.count ~budget path_q k6)));
+        ];
       Test.make_grouped ~name:"bignum"
         [
           Test.make ~name:"Nat.mul (400 bits)"
@@ -570,6 +622,7 @@ let () =
   exp_b ();
   exp_ir ();
   exp_core ();
+  exp_guard ();
   exp_hde ();
   exp_set_vs_bag ();
   run_benchmarks ();

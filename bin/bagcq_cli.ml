@@ -5,13 +5,21 @@
      contain   decidable containment checks (set semantics, bag equivalence)
      hunt      search for a bag-containment counterexample
      reduce    run the Theorem 1 reduction on a Diophantine polynomial
-     multiply  build and validate the Theorem 3 multiplier gadget *)
+     multiply  build and validate the Theorem 3 multiplier gadget
+
+   The semi-decision searches (eval, contain, hunt) accept --fuel and
+   --timeout-ms budgets and degrade gracefully: exit code 0 means a
+   witness/result was produced, 1 means the search completed empty, 2 means
+   the budget was exhausted (best-so-far statistics are printed), 3 means
+   the input could not be read. *)
 
 open Cmdliner
 open Bagcq_relational
 open Bagcq_cq
 open Bagcq_reduction
 module Nat = Bagcq_bignum.Nat
+module Budget = Bagcq_guard.Budget
+module Outcome = Bagcq_guard.Outcome
 module Eval = Bagcq_hom.Eval
 module Hunt = Bagcq_search.Hunt
 module Sampler = Bagcq_search.Sampler
@@ -28,12 +36,59 @@ let poly_conv =
   Arg.conv (parse, Bagcq_poly.Polynomial.pp)
 
 let read_database path =
-  let text =
+  match
     match path with
     | "-" -> In_channel.input_all In_channel.stdin
     | path -> In_channel.with_open_text path In_channel.input_all
+  with
+  | text -> Encode.parse text
+  | exception Sys_error e -> Error e
+
+(* ---------------- budgets and exit codes ---------------- *)
+
+let exit_found = 0
+let exit_none = 1
+let exit_exhausted = 2
+let exit_input = 3
+
+let budget_term =
+  let nonneg_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 0 -> Ok n
+      | Ok _ -> Error (`Msg (Printf.sprintf "invalid value '%s', expected a non-negative integer" s))
+      | Error _ ->
+          Error (`Msg (Printf.sprintf "invalid value '%s', expected a non-negative integer" s))
+    in
+    Arg.conv ~docv:"N" (parse, Arg.conv_printer Arg.int)
   in
-  Encode.parse text
+  let fuel =
+    Arg.(value & opt (some nonneg_int) None & info [ "fuel" ] ~docv:"N"
+           ~doc:"Deterministic execution budget: at most $(docv) engine ticks \
+                 (backtracking nodes, candidate databases, random samples). \
+                 Exhaustion exits with code 2 and prints progress statistics.")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some nonneg_int) None & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Wall-clock deadline in milliseconds; checked every few \
+                 thousand ticks. Exhaustion exits with code 2.")
+  in
+  Cmdliner.Term.(
+    const (fun fuel timeout_ms -> Budget.create ?fuel ?timeout_ms ()) $ fuel $ timeout_ms)
+
+let budget_exits =
+  [
+    Cmd.Exit.info exit_found ~doc:"the computation completed (hunt: a counterexample was found).";
+    Cmd.Exit.info exit_none ~doc:"the search completed without finding a counterexample.";
+    Cmd.Exit.info exit_exhausted ~doc:"the $(b,--fuel) or $(b,--timeout-ms) budget was exhausted.";
+    Cmd.Exit.info exit_input ~doc:"the input database could not be read or parsed.";
+    Cmd.Exit.info Cmd.Exit.cli_error ~doc:"command line parsing error.";
+    Cmd.Exit.info Cmd.Exit.internal_error ~doc:"unexpected internal error.";
+  ]
+
+let print_exhausted budget reason =
+  Printf.printf "budget exhausted (%s) after %d ticks\n"
+    (Budget.reason_to_string reason) (Budget.ticks budget)
 
 (* ---------------- eval ---------------- *)
 
@@ -46,18 +101,32 @@ let eval_cmd =
     Arg.(value & opt string "-" & info [ "d"; "database" ] ~docv:"FILE"
            ~doc:"Database file in fact-list syntax ('-' for stdin).")
   in
-  let run q path =
+  let run q path budget =
     match read_database path with
-    | Error e -> `Error (false, e)
-    | Ok d ->
+    | Error e ->
+        Printf.eprintf "bagcq: %s\n" e;
+        exit_input
+    | Ok d -> (
         Printf.printf "query: %s\n" (Query.to_string q);
-        Printf.printf "bag count  ψ(D) = %s\n" (Nat.to_string (Eval.count q d));
-        Printf.printf "satisfied  D ⊨ ψ: %b\n" (Eval.satisfies d q);
-        `Ok ()
+        match
+          Outcome.guard
+            ~partial:(fun () -> ())
+            (fun () ->
+              let count = Eval.count ~budget q d in
+              (count, Eval.satisfies ~budget d q))
+        with
+        | Outcome.Complete (count, sat) ->
+            Printf.printf "bag count  ψ(D) = %s\n" (Nat.to_string count);
+            Printf.printf "satisfied  D ⊨ ψ: %b\n" sat;
+            exit_found
+        | Outcome.Exhausted ((), reason) ->
+            print_exhausted budget reason;
+            exit_exhausted)
   in
   Cmd.v
-    (Cmd.info "eval" ~doc:"Evaluate a query on a database under bag semantics.")
-    Cmdliner.Term.(ret (const run $ query $ db))
+    (Cmd.info "eval" ~exits:budget_exits
+       ~doc:"Evaluate a query on a database under bag semantics.")
+    Cmdliner.Term.(const run $ query $ db $ budget_term)
 
 (* ---------------- contain ---------------- *)
 
@@ -70,22 +139,32 @@ let contain_cmd =
     Arg.(required & opt (some query_conv) None & info [ "big" ] ~docv:"QUERY"
            ~doc:"The b-query (candidate container).")
   in
-  let run small big =
-    (try
-       Printf.printf "set-semantics containment (Chandra–Merlin): %b\n"
-         (Containment.set_contains ~small ~big)
-     with Invalid_argument _ ->
-       Printf.printf "set-semantics containment: n/a (inequalities present)\n");
-    Printf.printf "bag equivalence (Chaudhuri–Vardi, isomorphism): %b\n"
-      (Containment.bag_equivalent small big);
-    Printf.printf
-      "bag containment: decidability open — use 'bagcq hunt' to search for\n\
-       a counterexample database.\n";
-    `Ok ()
+  let run small big budget =
+    match
+      Outcome.guard
+        ~partial:(fun () -> ())
+        (fun () ->
+          try Some (Containment.set_contains ~budget ~small ~big ())
+          with Invalid_argument _ -> None)
+    with
+    | Outcome.Complete set ->
+        (match set with
+        | Some v -> Printf.printf "set-semantics containment (Chandra–Merlin): %b\n" v
+        | None -> Printf.printf "set-semantics containment: n/a (inequalities present)\n");
+        Printf.printf "bag equivalence (Chaudhuri–Vardi, isomorphism): %b\n"
+          (Containment.bag_equivalent small big);
+        Printf.printf
+          "bag containment: decidability open — use 'bagcq hunt' to search for\n\
+           a counterexample database.\n";
+        exit_found
+    | Outcome.Exhausted ((), reason) ->
+        print_exhausted budget reason;
+        exit_exhausted
   in
   Cmd.v
-    (Cmd.info "contain" ~doc:"Run the decidable containment checks on a pair of queries.")
-    Cmdliner.Term.(ret (const run $ small $ big))
+    (Cmd.info "contain" ~exits:budget_exits
+       ~doc:"Run the decidable containment checks on a pair of queries.")
+    Cmdliner.Term.(const run $ small $ big $ budget_term)
 
 (* ---------------- hunt ---------------- *)
 
@@ -104,28 +183,52 @@ let hunt_cmd =
            ~doc:"Exhaustively enumerate databases up to this many elements first.")
   in
   let seed = Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
-  let run small big samples max_size seed =
+  let print_witness small big d =
+    let cs, cb = Containment.bag_counts ~small ~big d in
+    Printf.printf "VIOLATED: small(D) = %s > big(D) = %s on:\n%s"
+      (Nat.to_string cs) (Nat.to_string cb) (Encode.to_string d)
+  in
+  let run small big samples max_size seed budget =
     let strategy =
       {
         Hunt.exhaustive_max_size = max_size;
         Hunt.sampler = { Sampler.default with Sampler.samples; Sampler.seed };
       }
     in
-    let report = Hunt.counterexample ~strategy ~small ~big () in
-    (match report.Hunt.witness with
-    | Some d ->
-        let cs, cb = Containment.bag_counts ~small ~big d in
-        Printf.printf "VIOLATED: small(D) = %s > big(D) = %s on:\n%s"
-          (Nat.to_string cs) (Nat.to_string cb) (Encode.to_string d)
-    | None ->
+    match Hunt.counterexample_guarded ~strategy ~budget ~small ~big () with
+    | Outcome.Complete (report, _) -> (
+        match report.Hunt.witness with
+        | Some d ->
+            print_witness small big d;
+            exit_found
+        | None ->
+            (match report.Hunt.unverified with
+            | Some d ->
+                Printf.eprintf
+                  "bagcq: INCONSISTENCY: sampler reported a witness that failed \
+                   re-verification:\n%s"
+                  (Encode.to_string d)
+            | None -> ());
+            Printf.printf
+              "no counterexample found (exhaustive to size %d complete: %b; %d random samples)\n"
+              max_size report.Hunt.exhaustive_complete report.Hunt.tested_random;
+            exit_none)
+    | Outcome.Exhausted ((report, progress), reason) ->
+        (match report.Hunt.witness with
+        | Some d -> print_witness small big d
+        | None -> ());
         Printf.printf
-          "no counterexample found (exhaustive to size %d complete: %b; %d random samples)\n"
-          max_size report.Hunt.exhaustive_complete report.Hunt.tested_random);
-    `Ok ()
+          "budget exhausted (%s): %d ticks spent, %d databases tested \
+           (exhaustive complete to size %d; %d random samples)\n"
+          (Budget.reason_to_string reason)
+          progress.Hunt.ticks_spent progress.Hunt.databases_tested
+          progress.Hunt.largest_size_completed report.Hunt.tested_random;
+        exit_exhausted
   in
   Cmd.v
-    (Cmd.info "hunt" ~doc:"Hunt for a database witnessing small(D) > big(D).")
-    Cmdliner.Term.(ret (const run $ small $ big $ samples $ max_size $ seed))
+    (Cmd.info "hunt" ~exits:budget_exits
+       ~doc:"Hunt for a database witnessing small(D) > big(D).")
+    Cmdliner.Term.(const run $ small $ big $ samples $ max_size $ seed $ budget_term)
 
 (* ---------------- reduce ---------------- *)
 
@@ -167,7 +270,7 @@ let reduce_cmd =
           "no violating valuation with entries ≤ %d — if Q has no zero at all,\n\
            the containment ℂ·φ_s(D) ≤ φ_b(D) holds for every non-trivial D\n"
           bound);
-    `Ok ()
+    `Ok 0
   in
   Cmd.v
     (Cmd.info "reduce"
@@ -209,7 +312,7 @@ let multiply_cmd =
           Printf.printf "condition (≤) survived %d random non-trivial databases\n"
             outcome.Sampler.tested
       | Some _ -> Printf.printf "condition (≤) VIOLATED — please report this!\n");
-      `Ok ()
+      `Ok 0
     end
   in
   Cmd.v
@@ -232,7 +335,7 @@ let core_cmd =
       Printf.printf "core : %s\n" (Query.to_string c);
       Printf.printf "minimised: %d -> %d atoms, %d -> %d variables\n"
         (Query.num_atoms q) (Query.num_atoms c) (Query.num_vars q) (Query.num_vars c);
-      `Ok ()
+      `Ok 0
     end
   in
   Cmd.v
@@ -268,7 +371,7 @@ let answers_cmd =
               (Format.asprintf "%a" Tuple.pp tup)
               (Nat.to_string (Bagcq_hom.Answers.multiplicity bag tup)))
           (Bagcq_hom.Answers.support bag);
-        `Ok ()
+        `Ok 0
   in
   Cmd.v
     (Cmd.info "answers" ~doc:"Evaluate a non-boolean CQ to its bag of answer tuples.")
@@ -291,7 +394,7 @@ let hde_cmd =
         if Bagcq_search.Domination.refutes_containment est then
           Printf.printf "> 1: bag containment small <= big is REFUTED\n"
         else Printf.printf "<= 1: no refutation from the exponent\n";
-        `Ok ()
+        `Ok 0
     | exception Invalid_argument msg -> `Error (false, msg)
   in
   Cmd.v
@@ -305,4 +408,4 @@ let main_cmd =
     (Cmd.info "bagcq" ~version:"1.0.0" ~doc)
     [ eval_cmd; contain_cmd; hunt_cmd; reduce_cmd; multiply_cmd; core_cmd; answers_cmd; hde_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+let () = exit (Cmd.eval' main_cmd)

@@ -20,7 +20,7 @@ let investigate name small big =
   Printf.printf "  small = %s\n  big   = %s\n" (Query.to_string small) (Query.to_string big);
   (if (not (Query.has_neqs small)) && not (Query.has_neqs big) then
      Printf.printf "  set-semantics containment: %b\n"
-       (Containment.set_contains ~small ~big));
+       (Containment.set_contains ~small ~big ()));
   Printf.printf "  bag equivalence: %b\n" (Containment.bag_equivalent small big);
   let report = Hunt.counterexample ~small ~big () in
   match report.Hunt.witness with

@@ -1,0 +1,65 @@
+type reason =
+  | Fuel
+  | Deadline
+
+let reason_to_string = function Fuel -> "fuel" | Deadline -> "deadline"
+
+(* [fuel = max_int] and [deadline = infinity] encode "no limit"; [fault]
+   is the test-only injection point. *)
+type t = {
+  mutable ticks : int;
+  mutable tripped : reason option;
+  fuel : int;
+  deadline : float;
+  fault : (int * reason) option;
+}
+
+exception Exhausted_ of reason
+
+let clock_check_period = 1024
+let clock_mask = clock_check_period - 1
+
+let unlimited () =
+  { ticks = 0; tripped = None; fuel = max_int; deadline = infinity; fault = None }
+
+let create ?fuel ?timeout_ms () =
+  let fuel =
+    match fuel with
+    | None -> max_int
+    | Some f when f >= 0 -> f
+    | Some f -> invalid_arg (Printf.sprintf "Budget.create: negative fuel %d" f)
+  in
+  let deadline =
+    match timeout_ms with
+    | None -> infinity
+    | Some ms when ms >= 0 -> Unix.gettimeofday () +. (float_of_int ms /. 1000.)
+    | Some ms -> invalid_arg (Printf.sprintf "Budget.create: negative timeout %dms" ms)
+  in
+  { ticks = 0; tripped = None; fuel; deadline; fault = None }
+
+let fault_at ?(reason = Fuel) ~tick () =
+  if tick < 1 then invalid_arg "Budget.fault_at: tick must be >= 1";
+  { ticks = 0; tripped = None; fuel = max_int; deadline = infinity; fault = Some (tick, reason) }
+
+let ticks t = t.ticks
+let tripped t = t.tripped
+let is_unlimited t = t.fuel = max_int && t.deadline = infinity && t.fault = None
+
+let trip t reason =
+  t.tripped <- Some reason;
+  raise_notrace (Exhausted_ reason)
+
+let tick t =
+  (match t.tripped with Some r -> raise_notrace (Exhausted_ r) | None -> ());
+  if t.ticks >= t.fuel then trip t Fuel;
+  t.ticks <- t.ticks + 1;
+  (match t.fault with
+  | Some (at, reason) when t.ticks >= at -> trip t reason
+  | _ -> ());
+  if
+    t.deadline < infinity
+    && t.ticks land clock_mask = 0
+    && Unix.gettimeofday () > t.deadline
+  then trip t Deadline
+
+let protect _t f = match f () with v -> Ok v | exception Exhausted_ r -> Error r

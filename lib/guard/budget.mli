@@ -1,0 +1,70 @@
+(** Deterministic execution budgets for the semi-decision search loops.
+
+    [QCP^bag] containment is undecidable (Theorem 1), so every search the
+    engine runs — homomorphism backtracking, exhaustive database
+    enumeration, random sampling — is potentially unbounded.  A budget is a
+    mutable tick counter with an optional {e fuel} limit (a deterministic
+    cap on the number of ticks) and an optional wall-clock {e deadline}.
+    Hot loops call {!tick} once per unit of work (one backtracking node,
+    one candidate database, one random sample); when the budget trips, the
+    internal {!Exhausted_} exception unwinds to the nearest
+    {!Outcome.guard}, which converts it into a structured
+    [Exhausted] outcome instead of an infinite hang.
+
+    Fuel is fully deterministic — the same inputs with the same fuel trip
+    at the same tick on any machine — which is what the replay-style tests
+    rely on.  Deadlines poll the clock only every {!clock_check_period}
+    ticks so that guarded hot paths stay cheap. *)
+
+type reason =
+  | Fuel  (** the deterministic tick limit was spent *)
+  | Deadline  (** the wall-clock deadline passed *)
+
+val reason_to_string : reason -> string
+
+type t
+
+exception Exhausted_ of reason
+(** Control-flow exception raised by {!tick} when the budget trips.  It is
+    meant to be caught by {!Outcome.guard} (or {!protect}); letting it
+    escape to the user is a bug in the caller. *)
+
+val unlimited : unit -> t
+(** A budget that never trips; ticks are still counted, so unlimited
+    budgets double as work meters. *)
+
+val create : ?fuel:int -> ?timeout_ms:int -> unit -> t
+(** [create ?fuel ?timeout_ms ()] — [fuel] is the number of ticks allowed
+    (the [fuel+1]-th tick trips; 0 means the very first tick trips);
+    [timeout_ms] is a wall-clock deadline measured from now.  Omitting both
+    yields an unlimited budget.  Raises [Invalid_argument] on negative
+    values. *)
+
+val fault_at : ?reason:reason -> tick:int -> unit -> t
+(** Fault injection for tests: a budget that trips exactly when the
+    [tick]-th tick is consumed, reporting [reason] (default {!Fuel}).
+    [~reason:Deadline] exercises deadline unwinding deterministically,
+    without any clock. *)
+
+val tick : t -> unit
+(** Consume one tick.  Raises {!Exhausted_} if the budget is already spent
+    (a tripping call does not inflate {!ticks} past the fuel limit); once
+    tripped, every subsequent [tick] raises again, so a budget cannot be
+    accidentally reused to continue a spent search. *)
+
+val ticks : t -> int
+(** Ticks consumed so far — the work meter reported in CLI output. *)
+
+val tripped : t -> reason option
+(** [Some r] once the budget has tripped. *)
+
+val is_unlimited : t -> bool
+
+val clock_check_period : int
+(** Deadline budgets poll the clock once per this many ticks (a power of
+    two), bounding the guard overhead on hot paths. *)
+
+val protect : t -> (unit -> 'a) -> ('a, reason) result
+(** [protect b f] runs [f], converting an escaped {!Exhausted_} into
+    [Error reason].  Lower-level than {!Outcome.guard}; useful when there
+    is no meaningful partial result. *)

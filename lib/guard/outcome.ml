@@ -1,0 +1,18 @@
+type ('a, 'p) t =
+  | Complete of 'a
+  | Exhausted of 'p * Budget.reason
+
+let guard ~partial f =
+  match f () with
+  | v -> Complete v
+  | exception Budget.Exhausted_ r -> Exhausted (partial (), r)
+
+let is_complete = function Complete _ -> true | Exhausted _ -> false
+let complete = function Complete v -> Some v | Exhausted _ -> None
+let map f = function Complete v -> Complete (f v) | Exhausted (p, r) -> Exhausted (p, r)
+
+let map_partial f = function
+  | Complete v -> Complete v
+  | Exhausted (p, r) -> Exhausted (f p, r)
+
+let value ~default = function Complete v -> v | Exhausted (p, r) -> default p r

@@ -1,0 +1,26 @@
+(** Structured results of budgeted computations.
+
+    A guarded search either runs to completion — and then must agree
+    exactly with the unguarded search — or exhausts its budget and
+    surrenders a typed partial result (best-so-far witness, progress
+    statistics) together with the {!Budget.reason} it stopped. *)
+
+type ('a, 'p) t =
+  | Complete of 'a
+  | Exhausted of 'p * Budget.reason
+      (** best-so-far partial result, and why the search stopped *)
+
+val guard : partial:(unit -> 'p) -> (unit -> 'a) -> ('a, 'p) t
+(** [guard ~partial f] runs [f]; if a {!Budget.tick} inside it trips the
+    budget, the escaped {!Budget.Exhausted_} is converted into
+    [Exhausted (partial (), reason)].  [partial] typically reads
+    best-so-far state out of mutable accumulators that [f] updated. *)
+
+val is_complete : ('a, 'p) t -> bool
+val complete : ('a, 'p) t -> 'a option
+val map : ('a -> 'b) -> ('a, 'p) t -> ('b, 'p) t
+val map_partial : ('p -> 'q) -> ('a, 'p) t -> ('a, 'q) t
+
+val value : default:('p -> Budget.reason -> 'a) -> ('a, 'p) t -> 'a
+(** Collapse an outcome, synthesising a value from the partial result when
+    the budget ran out. *)

@@ -4,7 +4,7 @@ open Bagcq_cq
 (* A component with atoms or inequalities is counted by backtracking.  The
    only other shape Query.components can emit is an all-constant atom or an
    all-constant inequality, which the solver also handles (count 0 or 1). *)
-let count_component q d = Nat.of_int (Solver.count q d)
+let count_component ?budget q d = Nat.of_int (Solver.count ?budget q d)
 
 (* Variables renamed by first occurrence, so that components that differ
    only in variable names share one backtracking run per evaluation —
@@ -25,14 +25,14 @@ let canonical_component q =
 
 module QueryMap = Map.Make (Query)
 
-let count q d =
+let count ?budget q d =
   let memo = ref QueryMap.empty in
   let count_memo comp =
     let key = canonical_component comp in
     match QueryMap.find_opt key !memo with
     | Some c -> c
     | None ->
-        let c = count_component key d in
+        let c = count_component ?budget key d in
         memo := QueryMap.add key c !memo;
         c
   in
@@ -44,24 +44,25 @@ let count q d =
   in
   go Nat.one (Query.components q)
 
-let count_int q d = Nat.to_int (count q d)
+let count_int ?budget q d = Nat.to_int (count ?budget q d)
 
-let satisfies d q = List.for_all (fun comp -> Solver.exists comp d) (Query.components q)
+let satisfies ?budget d q =
+  List.for_all (fun comp -> Solver.exists ?budget comp d) (Query.components q)
 
-let count_pquery_factored pq d =
-  List.map (fun (q, e) -> (count q d, e)) (Pquery.factors pq)
+let count_pquery_factored ?budget pq d =
+  List.map (fun (q, e) -> (count ?budget q d, e)) (Pquery.factors pq)
 
-let count_pquery pq d =
+let count_pquery ?budget pq d =
   List.fold_left
     (fun acc (base, e) -> Nat.mul acc (Nat.pow_nat base e))
     Nat.one
-    (count_pquery_factored pq d)
+    (count_pquery_factored ?budget pq d)
 
-let pquery_geq pq d bound =
+let pquery_geq ?budget pq d bound =
   if Nat.is_zero bound then true
   else begin
     let factored =
-      List.filter (fun (_, e) -> not (Nat.is_zero e)) (count_pquery_factored pq d)
+      List.filter (fun (_, e) -> not (Nat.is_zero e)) (count_pquery_factored ?budget pq d)
     in
     if List.exists (fun (base, _) -> Nat.is_zero base) factored then false
     else begin
@@ -88,12 +89,13 @@ let pquery_geq pq d bound =
     end
   end
 
-let satisfies_pquery d pq =
+let satisfies_pquery ?budget d pq =
   List.for_all
-    (fun (q, e) -> Nat.is_zero e || satisfies d q)
+    (fun (q, e) -> Nat.is_zero e || satisfies ?budget d q)
     (Pquery.factors pq)
 
-let count_ucq u d =
-  List.fold_left (fun acc q -> Nat.add acc (count q d)) Nat.zero (Ucq.disjuncts u)
+let count_ucq ?budget u d =
+  List.fold_left (fun acc q -> Nat.add acc (count ?budget q d)) Nat.zero (Ucq.disjuncts u)
 
-let ucq_contained_on ~small ~big d = Nat.compare (count_ucq small d) (count_ucq big d) <= 0
+let ucq_contained_on ?budget ~small ~big d =
+  Nat.compare (count_ucq ?budget small d) (count_ucq ?budget big d) <= 0

@@ -52,7 +52,12 @@ let order_atoms atoms counts =
   done;
   List.rev !plan
 
-let fold_internal (f : assignment -> unit) q d =
+let fold_internal ?budget (f : assignment -> unit) q d =
+  let tick =
+    match budget with
+    | None -> fun () -> ()
+    | Some b -> fun () -> Bagcq_guard.Budget.tick b
+  in
   try
     let atoms =
       List.map
@@ -142,7 +147,9 @@ let fold_internal (f : assignment -> unit) q d =
         | [] -> f env
         | x :: rest ->
             List.iter
-              (fun v -> if neq_ok env x v then assign_free rest (StringMap.add x v env))
+              (fun v ->
+                tick ();
+                if neq_ok env x v then assign_free rest (StringMap.add x v env))
               domain
       in
       (* when every slot of the atom is already determined, the atom is a
@@ -169,6 +176,7 @@ let fold_internal (f : assignment -> unit) q d =
         go 0
       in
       let rec assign_atoms plan env =
+        tick ();
         match plan with
         | [] -> assign_free free_vars env
         | (sym, slots) :: rest -> (
@@ -177,6 +185,7 @@ let fold_internal (f : assignment -> unit) q d =
             | None ->
                 Tuple.Set.iter
                   (fun tup ->
+                    tick ();
                     match match_tuple slots tup 0 env [] with
                     | Some (env', _) -> assign_atoms rest env'
                     | None -> ())
@@ -185,21 +194,21 @@ let fold_internal (f : assignment -> unit) q d =
       assign_atoms plan StringMap.empty
   with No_hom -> ()
 
-let count q d =
+let count ?budget q d =
   let n = ref 0 in
-  fold_internal (fun _ -> incr n) q d;
+  fold_internal ?budget (fun _ -> incr n) q d;
   !n
 
-let exists q d =
+let exists ?budget q d =
   try
-    fold_internal (fun _ -> raise_notrace Stop) q d;
+    fold_internal ?budget (fun _ -> raise_notrace Stop) q d;
     false
   with Stop -> true
 
-let enumerate ?limit q d =
+let enumerate ?budget ?limit q d =
   let out = ref [] and n = ref 0 in
   (try
-     fold_internal
+     fold_internal ?budget
        (fun env ->
          out := env :: !out;
          incr n;
@@ -208,9 +217,9 @@ let enumerate ?limit q d =
    with Stop -> ());
   List.rev !out
 
-let iter f q d = fold_internal f q d
+let iter ?budget f q d = fold_internal ?budget f q d
 
-let fold f init q d =
+let fold ?budget f init q d =
   let acc = ref init in
-  fold_internal (fun env -> acc := f !acc env) q d;
+  fold_internal ?budget (fun env -> acc := f !acc env) q d;
   !acc

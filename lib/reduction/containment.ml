@@ -3,20 +3,26 @@ open Bagcq_cq
 module Eval = Bagcq_hom.Eval
 module Morphism = Bagcq_hom.Morphism
 
-let set_contains ~small ~big =
+let set_contains ?budget ~small ~big () =
   if Query.has_neqs small || Query.has_neqs big then
     invalid_arg "Containment.set_contains: inequality-free CQs only";
   (* Chandra–Merlin: the canonical structure of [small] satisfies [small];
      containment holds iff it also satisfies [big] *)
-  Eval.satisfies (Query.canonical_structure small) big
+  Eval.satisfies ?budget (Query.canonical_structure small) big
 
 let bag_equivalent q1 q2 = Morphism.isomorphic q1 q2
 
-let bag_counts ~small ~big d = (Eval.count small d, Eval.count big d)
+let bag_counts ?budget ~small ~big d =
+  (Eval.count ?budget small d, Eval.count ?budget big d)
 
-let bag_violation ~small ~big d =
-  let cs, cb = bag_counts ~small ~big d in
+let bag_violation ?budget ~small ~big d =
+  let cs, cb = bag_counts ?budget ~small ~big d in
   Nat.compare cs cb > 0
 
-let bag_violation_pquery ~small ~big d =
-  not (Eval.pquery_geq big d (Eval.count_pquery small d))
+let bag_violation_guarded ~budget ~small ~big d =
+  Bagcq_guard.Outcome.guard
+    ~partial:(fun () -> ())
+    (fun () -> bag_violation ~budget ~small ~big d)
+
+let bag_violation_pquery ?budget ~small ~big d =
+  not (Eval.pquery_geq ?budget big d (Eval.count_pquery ?budget small d))

@@ -14,18 +14,39 @@ open Bagcq_bignum
 open Bagcq_relational
 open Bagcq_cq
 
-val set_contains : small:Query.t -> big:Query.t -> bool
+val set_contains :
+  ?budget:Bagcq_guard.Budget.t -> small:Query.t -> big:Query.t -> unit -> bool
 (** Chandra–Merlin containment test for boolean CQs without inequalities
     ([D ⊨ small ⇒ D ⊨ big] for all [D]).  Raises [Invalid_argument] when
-    either query has inequalities. *)
+    either query has inequalities.  The homomorphism check is NP-hard, so a
+    [?budget] bounds it like every other search in the engine. *)
 
 val bag_equivalent : Query.t -> Query.t -> bool
 (** Chaudhuri–Vardi: syntactic isomorphism. *)
 
-val bag_counts : small:Query.t -> big:Query.t -> Structure.t -> Nat.t * Nat.t
+val bag_counts :
+  ?budget:Bagcq_guard.Budget.t ->
+  small:Query.t ->
+  big:Query.t ->
+  Structure.t ->
+  Nat.t * Nat.t
 
-val bag_violation : small:Query.t -> big:Query.t -> Structure.t -> bool
-(** [small(D) > big(D)] — a witness against bag containment. *)
+val bag_violation :
+  ?budget:Bagcq_guard.Budget.t -> small:Query.t -> big:Query.t -> Structure.t -> bool
+(** [small(D) > big(D)] — a witness against bag containment.  With
+    [?budget] the two exact counts tick it; the call unwinds with
+    {!Bagcq_guard.Budget.Exhausted_} when it trips. *)
 
-val bag_violation_pquery : small:Pquery.t -> big:Pquery.t -> Structure.t -> bool
+val bag_violation_guarded :
+  budget:Bagcq_guard.Budget.t ->
+  small:Query.t ->
+  big:Query.t ->
+  Structure.t ->
+  (bool, unit) Bagcq_guard.Outcome.t
+(** Structured variant of {!bag_violation}: [Complete verdict], or
+    [Exhausted ((), reason)] if the budget tripped mid-count — ticks spent
+    remain readable from the budget itself. *)
+
+val bag_violation_pquery :
+  ?budget:Bagcq_guard.Budget.t -> small:Pquery.t -> big:Pquery.t -> Structure.t -> bool
 (** The power-product variant, decided without materialising counts. *)

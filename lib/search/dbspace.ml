@@ -1,4 +1,6 @@
 open Bagcq_relational
+module Budget = Bagcq_guard.Budget
+module Outcome = Bagcq_guard.Outcome
 
 let max_potential_atoms = 22
 
@@ -27,44 +29,65 @@ let fold_bindings schema ~size f init base =
   in
   go constants base init
 
-let fold ?(with_constants = true) schema ~max_size f init =
-  let acc = ref init in
-  for size = 1 to max_size do
-    let atoms = Array.of_list (potential_atoms schema ~size) in
-    let n = Array.length atoms in
-    if n > max_potential_atoms then
-      invalid_arg
-        (Printf.sprintf "Dbspace.fold: %d potential atoms exceeds the cap of %d" n
-           max_potential_atoms);
-    let base = Structure.empty schema in
-    for mask = 0 to (1 lsl n) - 1 do
-      let d = ref base in
-      for i = 0 to n - 1 do
-        if mask land (1 lsl i) <> 0 then begin
-          let sym, tup = atoms.(i) in
-          d := Structure.add_atom !d sym tup
-        end
-      done;
-      if with_constants then acc := fold_bindings schema ~size f !acc !d
-      else acc := f !acc !d
-    done
+(* one domain size: every subset of the potential atoms (crossed with the
+   constant bindings).  The budget, when present, is ticked once per
+   candidate database *before* the callback runs, so enumeration can never
+   outrun its fuel even when the callback is cheap. *)
+let fold_size ?budget ~with_constants schema ~size f acc0 =
+  let atoms = Array.of_list (potential_atoms schema ~size) in
+  let n = Array.length atoms in
+  if n > max_potential_atoms then
+    invalid_arg
+      (Printf.sprintf "Dbspace.fold: %d potential atoms exceeds the cap of %d" n
+         max_potential_atoms);
+  let tick =
+    match budget with None -> fun () -> () | Some b -> fun () -> Budget.tick b
+  in
+  let base = Structure.empty schema in
+  let acc = ref acc0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let d = ref base in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        let sym, tup = atoms.(i) in
+        d := Structure.add_atom !d sym tup
+      end
+    done;
+    if with_constants then
+      acc :=
+        fold_bindings schema ~size
+          (fun acc d ->
+            tick ();
+            f acc d)
+          !acc !d
+    else begin
+      tick ();
+      acc := f !acc !d
+    end
   done;
   !acc
 
-let exists ?with_constants schema ~max_size pred =
+let fold ?budget ?(with_constants = true) schema ~max_size f init =
+  let acc = ref init in
+  for size = 1 to max_size do
+    acc := fold_size ?budget ~with_constants schema ~size f !acc
+  done;
+  !acc
+
+let exists ?budget ?with_constants schema ~max_size pred =
   try
     ignore
-      (fold ?with_constants schema ~max_size
+      (fold ?budget ?with_constants schema ~max_size
          (fun () d -> if pred d then raise_notrace Stop)
          ());
     false
   with Stop -> true
 
-let find ?with_constants schema ~max_size pred =
+let find ?budget ?with_constants schema ~max_size pred =
   let result = ref None in
   (try
      ignore
-       (fold ?with_constants schema ~max_size
+       (fold ?budget ?with_constants schema ~max_size
           (fun () d ->
             if pred d then begin
               result := Some d;
@@ -73,3 +96,28 @@ let find ?with_constants schema ~max_size pred =
           ())
    with Stop -> ());
   !result
+
+type stats = {
+  databases_tested : int;
+  largest_size_completed : int;
+}
+
+let find_guarded ~budget ?(with_constants = true) schema ~max_size pred =
+  let tested = ref 0 and completed = ref 0 and result = ref None in
+  let stats () = { databases_tested = !tested; largest_size_completed = !completed } in
+  Outcome.guard ~partial:stats (fun () ->
+      (try
+         for size = 1 to max_size do
+           ignore
+             (fold_size ~budget ~with_constants schema ~size
+                (fun () d ->
+                  incr tested;
+                  if pred d then begin
+                    result := Some d;
+                    raise_notrace Stop
+                  end)
+                ());
+           completed := size
+         done
+       with Stop -> ());
+      (!result, stats ()))

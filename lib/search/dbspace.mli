@@ -17,6 +17,7 @@ val max_potential_atoms : int
 val potential_atoms : Schema.t -> size:int -> (Symbol.t * Tuple.t) list
 
 val fold :
+  ?budget:Bagcq_guard.Budget.t ->
   ?with_constants:bool ->
   Schema.t ->
   max_size:int ->
@@ -26,16 +27,44 @@ val fold :
 (** Folds over every database.  When [with_constants] (default true) every
     assignment of the schema's constants to domain elements is enumerated
     too; otherwise constants are left uninterpreted.
-    Raises [Invalid_argument] when the space is too large. *)
+    Raises [Invalid_argument] when the space is too large.  A [?budget] is
+    ticked once per candidate database; when it trips, the fold unwinds
+    with {!Bagcq_guard.Budget.Exhausted_}. *)
 
-val exists : ?with_constants:bool -> Schema.t -> max_size:int -> (Structure.t -> bool) -> bool
+val exists :
+  ?budget:Bagcq_guard.Budget.t ->
+  ?with_constants:bool ->
+  Schema.t ->
+  max_size:int ->
+  (Structure.t -> bool) ->
+  bool
 
 val find :
+  ?budget:Bagcq_guard.Budget.t ->
   ?with_constants:bool ->
   Schema.t ->
   max_size:int ->
   (Structure.t -> bool) ->
   Structure.t option
+
+type stats = {
+  databases_tested : int;  (** candidate databases handed to the predicate *)
+  largest_size_completed : int;
+      (** every database of this domain size (and below) was enumerated *)
+}
+
+val find_guarded :
+  budget:Bagcq_guard.Budget.t ->
+  ?with_constants:bool ->
+  Schema.t ->
+  max_size:int ->
+  (Structure.t -> bool) ->
+  (Structure.t option * stats, stats) Bagcq_guard.Outcome.t
+(** Budgeted {!find} with progress reporting: [Complete (witness, stats)]
+    when the enumeration ran to the end (or found a witness), or
+    [Exhausted (stats, reason)] with best-so-far statistics when the budget
+    tripped mid-enumeration — including trips inside the predicate, when it
+    shares the same budget. *)
 
 val count_space : Schema.t -> size:int -> int
 (** Number of potential atoms at one domain size (not the number of

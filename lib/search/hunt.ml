@@ -1,5 +1,7 @@
 open Bagcq_relational
 module Containment = Bagcq_reduction.Containment
+module Budget = Bagcq_guard.Budget
+module Outcome = Bagcq_guard.Outcome
 
 type strategy = {
   exhaustive_max_size : int;
@@ -12,34 +14,91 @@ type report = {
   witness : Structure.t option;
   exhaustive_complete : bool;
   tested_random : int;
+  unverified : Structure.t option;
+}
+
+type progress = {
+  databases_tested : int;
+  ticks_spent : int;
+  largest_size_completed : int;
 }
 
 let verified ~small ~big d = Containment.bag_violation ~small ~big d
 
-let counterexample ?(strategy = default) ~small ~big () =
+(* Largest domain size whose potential-atom count fits under the Dbspace
+   cap, at most the requested size; 0 when even size 1 is infeasible. *)
+let feasible_size schema requested =
+  let feasible size = Dbspace.count_space schema ~size <= Dbspace.max_potential_atoms in
+  let size = ref requested in
+  while !size >= 1 && not (feasible !size) do
+    decr size
+  done;
+  Stdlib.max 0 !size
+
+let counterexample_guarded ?(strategy = default) ~budget ~small ~big () =
   let schema = Sampler.schema_of_pair small big in
-  let exhaustive_feasible size = Dbspace.count_space schema ~size <= Dbspace.max_potential_atoms in
-  let exhaustive_witness, exhaustive_complete =
-    if strategy.exhaustive_max_size < 1 then (None, false)
-    else begin
-      let size = ref strategy.exhaustive_max_size in
-      while !size >= 1 && not (exhaustive_feasible !size) do
-        decr size
-      done;
-      if !size < 1 then (None, false)
-      else
-        ( Dbspace.find schema ~max_size:!size (fun d ->
-              Containment.bag_violation ~small ~big d),
-          !size = strategy.exhaustive_max_size )
-    end
+  let witness = ref None in
+  let exhaustive_complete = ref false in
+  let tested_exhaustive = ref 0 in
+  let largest = ref 0 in
+  let tested_random = ref 0 in
+  let unverified = ref None in
+  let report () =
+    {
+      witness = !witness;
+      exhaustive_complete = !exhaustive_complete;
+      tested_random = !tested_random;
+      unverified = !unverified;
+    }
   in
-  match exhaustive_witness with
-  | Some d -> { witness = Some d; exhaustive_complete; tested_random = 0 }
-  | None ->
-      let outcome = Sampler.hunt_queries ~config:strategy.sampler ~small ~big () in
-      let witness =
-        match outcome.Sampler.witness with
-        | Some d when verified ~small ~big d -> Some d
-        | _ -> None
-      in
-      { witness; exhaustive_complete; tested_random = outcome.Sampler.tested }
+  let progress () =
+    {
+      databases_tested = !tested_exhaustive + !tested_random;
+      ticks_spent = Budget.ticks budget;
+      largest_size_completed = !largest;
+    }
+  in
+  Outcome.guard
+    ~partial:(fun () -> (report (), progress ()))
+    (fun () ->
+      let size = feasible_size schema strategy.exhaustive_max_size in
+      if size >= 1 then begin
+        match
+          Dbspace.find_guarded ~budget schema ~max_size:size (fun d ->
+              Containment.bag_violation ~budget ~small ~big d)
+        with
+        | Outcome.Complete (w, stats) ->
+            tested_exhaustive := stats.Dbspace.databases_tested;
+            largest := stats.Dbspace.largest_size_completed;
+            witness := w;
+            exhaustive_complete := size = strategy.exhaustive_max_size
+        | Outcome.Exhausted (stats, reason) ->
+            (* record best-so-far, then let the outer guard shape the
+               partial outcome *)
+            tested_exhaustive := stats.Dbspace.databases_tested;
+            largest := stats.Dbspace.largest_size_completed;
+            raise_notrace (Budget.Exhausted_ reason)
+      end;
+      (match !witness with
+      | Some _ -> ()
+      | None ->
+          let outcome =
+            Sampler.sample_stream ~budget strategy.sampler schema (fun d ->
+                incr tested_random;
+                Containment.bag_violation ~budget ~small ~big d)
+          in
+          tested_random := outcome.Sampler.tested;
+          (* re-verify with exact, unbudgeted counting: a candidate the
+             sampler reported but the verifier rejects is an engine
+             inconsistency and is surfaced, never silently dropped *)
+          (match outcome.Sampler.witness with
+          | Some d when verified ~small ~big d -> witness := Some d
+          | Some d -> unverified := Some d
+          | None -> ()));
+      (report (), progress ()))
+
+let counterexample ?(strategy = default) ~small ~big () =
+  let budget = Budget.unlimited () in
+  match counterexample_guarded ~strategy ~budget ~small ~big () with
+  | Outcome.Complete (report, _) -> report
+  | Outcome.Exhausted _ -> assert false (* an unlimited budget never trips *)

@@ -1,6 +1,11 @@
 (** Combined counterexample hunting: exhaustive on tiny domains, then
     randomised — the practical front end used by the CLI and the
-    examples. *)
+    examples.
+
+    Bag containment is undecidable, so this search is a permanent
+    semi-decision loop; the guarded entry point bounds it with a
+    {!Bagcq_guard.Budget.t} and degrades gracefully into best-so-far
+    statistics instead of hanging. *)
 
 open Bagcq_relational
 open Bagcq_cq
@@ -21,12 +26,45 @@ type report = {
       (** the exhaustive phase ran to completion — so if [witness] is
           [None], no counterexample exists up to [exhaustive_max_size] *)
   tested_random : int;
+  unverified : Structure.t option;
+      (** a candidate the sampler reported as violating but exact
+          re-verification rejected.  This cannot happen unless the engine
+          is inconsistent; it is surfaced here (instead of being silently
+          dropped) so tests and callers can fail loudly on it. *)
+}
+
+type progress = {
+  databases_tested : int;  (** exhaustive candidates plus random samples *)
+  ticks_spent : int;  (** budget ticks consumed across all phases *)
+  largest_size_completed : int;
+      (** every database up to this domain size was exhaustively tested *)
 }
 
 val counterexample :
   ?strategy:strategy -> small:Query.t -> big:Query.t -> unit -> report
-(** Hunt for [small(D) > big(D)].  The witness, if any, is re-verified by
+(** Hunt for [small(D) > big(D)] without a budget (runs to completion; may
+    effectively diverge on adversarial inputs — prefer
+    {!counterexample_guarded}).  The witness, if any, is re-verified by
     exact counting before being returned. *)
+
+val counterexample_guarded :
+  ?strategy:strategy ->
+  budget:Bagcq_guard.Budget.t ->
+  small:Query.t ->
+  big:Query.t ->
+  unit ->
+  (report * progress, report * progress) Bagcq_guard.Outcome.t
+(** Budgeted hunt.  [Complete (report, progress)] is bit-for-bit the report
+    the unguarded {!counterexample} produces; [Exhausted ((report,
+    progress), reason)] carries everything learned before the budget
+    tripped: databases tested, ticks spent, the largest domain size whose
+    exhaustive sweep finished, and any witness found (which always
+    re-verifies). *)
 
 val verified : small:Query.t -> big:Query.t -> Structure.t -> bool
 (** Exact re-check of a candidate witness. *)
+
+val feasible_size : Schema.t -> int -> int
+(** [feasible_size schema requested] — the largest domain size [≤
+    requested] whose potential-atom space fits under
+    {!Dbspace.max_potential_atoms} (0 if none). *)

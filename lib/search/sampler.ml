@@ -25,7 +25,12 @@ type outcome = {
   tested : int;
 }
 
-let sample_stream config schema f =
+let sample_stream ?budget config schema f =
+  let tick =
+    match budget with
+    | None -> fun () -> ()
+    | Some b -> fun () -> Bagcq_guard.Budget.tick b
+  in
   let rng = Random.State.make [| config.seed |] in
   let sizes = Array.of_list config.sizes in
   let densities = Array.of_list config.densities in
@@ -33,6 +38,7 @@ let sample_stream config schema f =
   let witness = ref None in
   (try
      for i = 0 to config.samples - 1 do
+       tick ();
        let size = sizes.(i mod Array.length sizes) in
        let density = densities.(i / Array.length sizes mod Array.length densities) in
        let d =
@@ -49,21 +55,36 @@ let sample_stream config schema f =
    with Exit -> ());
   { witness = !witness; tested = !tested }
 
+(* The ref cell outlives the budget trip, so the partial outcome still
+   reports how many samples were completed before exhaustion. *)
+let sample_stream_guarded ~budget config schema f =
+  let tested = ref 0 in
+  Bagcq_guard.Outcome.guard
+    ~partial:(fun () -> { witness = None; tested = !tested })
+    (fun () ->
+      sample_stream ~budget config schema (fun d ->
+          incr tested;
+          f d))
+
 let schema_of_pair q1 q2 = Schema.union (Query.schema q1) (Query.schema q2)
 
-let hunt_queries ?(config = default) ~small ~big () =
-  sample_stream config (schema_of_pair small big) (fun d ->
-      Containment.bag_violation ~small ~big d)
+let hunt_queries ?(config = default) ?budget ~small ~big () =
+  sample_stream ?budget config (schema_of_pair small big) (fun d ->
+      Containment.bag_violation ?budget ~small ~big d)
+
+let hunt_queries_guarded ?(config = default) ~budget ~small ~big () =
+  sample_stream_guarded ~budget config (schema_of_pair small big) (fun d ->
+      Containment.bag_violation ~budget ~small ~big d)
 
 let pquery_schema pq =
   List.fold_left
     (fun acc (q, _) -> Schema.union acc (Query.schema q))
     Schema.empty (Pquery.factors pq)
 
-let hunt_pqueries ?(config = default) ~small ~big () =
+let hunt_pqueries ?(config = default) ?budget ~small ~big () =
   let schema = Schema.union (pquery_schema small) (pquery_schema big) in
-  sample_stream config schema (fun d ->
-      Containment.bag_violation_pquery ~small ~big d)
+  sample_stream ?budget config schema (fun d ->
+      Containment.bag_violation_pquery ?budget ~small ~big d)
 
-let check_all ?(config = default) ~schema pred =
-  sample_stream config schema (fun d -> not (pred d))
+let check_all ?(config = default) ?budget ~schema pred =
+  sample_stream ?budget config schema (fun d -> not (pred d))

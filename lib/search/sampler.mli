@@ -25,13 +25,58 @@ type outcome = {
   tested : int;  (** databases actually evaluated *)
 }
 
-val hunt_queries : ?config:config -> small:Query.t -> big:Query.t -> unit -> outcome
+val sample_stream :
+  ?budget:Bagcq_guard.Budget.t ->
+  config ->
+  Schema.t ->
+  (Structure.t -> bool) ->
+  outcome
+(** The underlying loop: generate [config.samples] random databases and
+    return the first for which the predicate holds.  A [?budget] is ticked
+    once per sample; when it trips the stream unwinds with
+    {!Bagcq_guard.Budget.Exhausted_} — use {!sample_stream_guarded} to keep
+    the partial progress instead. *)
+
+val sample_stream_guarded :
+  budget:Bagcq_guard.Budget.t ->
+  config ->
+  Schema.t ->
+  (Structure.t -> bool) ->
+  (outcome, outcome) Bagcq_guard.Outcome.t
+(** Budgeted sampling with graceful degradation: [Exhausted] carries the
+    number of samples completed before the budget tripped. *)
+
+val hunt_queries :
+  ?config:config ->
+  ?budget:Bagcq_guard.Budget.t ->
+  small:Query.t ->
+  big:Query.t ->
+  unit ->
+  outcome
 (** Search for [small(D) > big(D)]. *)
 
-val hunt_pqueries : ?config:config -> small:Pquery.t -> big:Pquery.t -> unit -> outcome
+val hunt_queries_guarded :
+  ?config:config ->
+  budget:Bagcq_guard.Budget.t ->
+  small:Query.t ->
+  big:Query.t ->
+  unit ->
+  (outcome, outcome) Bagcq_guard.Outcome.t
+
+val hunt_pqueries :
+  ?config:config ->
+  ?budget:Bagcq_guard.Budget.t ->
+  small:Pquery.t ->
+  big:Pquery.t ->
+  unit ->
+  outcome
 
 val check_all :
-  ?config:config -> schema:Schema.t -> (Structure.t -> bool) -> outcome
+  ?config:config ->
+  ?budget:Bagcq_guard.Budget.t ->
+  schema:Schema.t ->
+  (Structure.t -> bool) ->
+  outcome
 (** Dual use: sample databases and return the first {e failing} the
     predicate (as [witness]) — for probabilistically validating universal
     statements such as Definition 3 (≤). *)

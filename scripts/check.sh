@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 verification in a single command:
+#   build + full test suite (unit + cram), plus a formatting check when
+#   an ocamlformat binary and a .ocamlformat config are present.
+#
+# Usage: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @check (build + runtest) =="
+dune build @check
+
+if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
+  echo "== dune fmt --check =="
+  if ! dune build @fmt >/dev/null 2>&1; then
+    echo "formatting check failed: run 'dune fmt' to fix" >&2
+    exit 1
+  fi
+else
+  echo "== formatting check skipped (ocamlformat or .ocamlformat missing) =="
+fi
+
+echo "All tier-1 checks passed."

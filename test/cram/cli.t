@@ -36,10 +36,52 @@ Hunting finds the classic set-contained-but-bag-violated witness:
   E(1, 2).
   E(2, 1).
 
-And correctly reports containment when there is nothing to find:
+And correctly reports containment when there is nothing to find — exit
+code 1 distinguishes "searched and found nothing" from a found witness (0):
 
   $ ../../bin/bagcq_cli.exe hunt --small 'E(x,x)' --big 'E(x,y)' --samples 50
   no counterexample found (exhaustive to size 2 complete: true; 50 random samples)
+  [1]
+
+Budgets bound every semi-decision search: a tiny --fuel makes the hunt
+degrade gracefully into best-so-far statistics with exit code 2:
+
+  $ ../../bin/bagcq_cli.exe hunt --small 'E(x,x)' --big 'E(x,y)' --fuel 100
+  budget exhausted (fuel): 100 ticks spent, 13 databases tested (exhaustive complete to size 1; 0 random samples)
+  [2]
+
+while ample fuel changes nothing — same witness, exit code 0:
+
+  $ ../../bin/bagcq_cli.exe hunt --small 'E(x,y) & E(y,z)' --big 'E(x,y)' --fuel 100000
+  VIOLATED: small(D) = 5 > big(D) = 3 on:
+  E(1, 1).
+  E(1, 2).
+  E(2, 1).
+
+eval and contain take the same flags:
+
+  $ ../../bin/bagcq_cli.exe eval -q 'E(x,y) & E(y,z)' -d db.txt --fuel 2
+  query: E(x,y) & E(y,z)
+  budget exhausted (fuel) after 2 ticks
+  [2]
+
+  $ ../../bin/bagcq_cli.exe contain --small 'E(x,y) & E(y,z)' --big 'E(x,y)' --fuel 1
+  budget exhausted (fuel) after 1 ticks
+  [2]
+
+Negative budgets are rejected at parse time:
+
+  $ ../../bin/bagcq_cli.exe hunt --small 'E(x,x)' --big 'E(x,y)' --fuel=-5
+  bagcq: option '--fuel': invalid value '-5', expected a non-negative integer
+  Usage: bagcq hunt [OPTION]…
+  Try 'bagcq hunt --help' or 'bagcq --help' for more information.
+  [124]
+
+An unreadable database is an input error, exit code 3:
+
+  $ ../../bin/bagcq_cli.exe eval -q 'E(x,y)' -d does-not-exist.txt
+  bagcq: does-not-exist.txt: No such file or directory
+  [3]
 
 The Theorem 1 reduction on a solvable equation:
 
@@ -66,7 +108,7 @@ Errors are reported helpfully:
 
   $ ../../bin/bagcq_cli.exe eval -q 'E(x' -d db.txt
   bagcq: option '-q': malformed argument list
-  Usage: bagcq eval [--database=FILE] [--query=QUERY] [OPTION]…
+  Usage: bagcq eval [OPTION]…
   Try 'bagcq eval --help' or 'bagcq --help' for more information.
   [124]
 

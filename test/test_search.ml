@@ -178,7 +178,7 @@ let test_hunt_set_contained_but_bag_violated () =
   (* the motivating example: path ⊆ edge under set semantics, violated
      under bag semantics *)
   Alcotest.(check bool) "set contained" true
-    (Bagcq_reduction.Containment.set_contains ~small:path_q ~big:edge_q);
+    (Bagcq_reduction.Containment.set_contains ~small:path_q ~big:edge_q ());
   let report = Hunt.counterexample ~small:path_q ~big:edge_q () in
   Alcotest.(check bool) "bag witness exists" true (report.Hunt.witness <> None)
 

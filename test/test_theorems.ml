@@ -378,23 +378,23 @@ let lemma23_equivalence_property =
 
 let test_set_containment () =
   (* a 2-path implies an edge, not conversely *)
-  Alcotest.(check bool) "path ⊆ edge" true (Containment.set_contains ~small:path_q ~big:edge_q);
-  Alcotest.(check bool) "edge ⊄ path" false (Containment.set_contains ~small:edge_q ~big:path_q);
+  Alcotest.(check bool) "path ⊆ edge" true (Containment.set_contains ~small:path_q ~big:edge_q ());
+  Alcotest.(check bool) "edge ⊄ path" false (Containment.set_contains ~small:edge_q ~big:path_q ());
   (* reflexivity and the true query *)
-  Alcotest.(check bool) "refl" true (Containment.set_contains ~small:path_q ~big:path_q);
+  Alcotest.(check bool) "refl" true (Containment.set_contains ~small:path_q ~big:path_q ());
   Alcotest.(check bool) "anything ⊆ true" true
-    (Containment.set_contains ~small:edge_q ~big:Query.true_query);
+    (Containment.set_contains ~small:edge_q ~big:Query.true_query ());
   (* loop ⊆ edge (a loop is an edge) *)
-  Alcotest.(check bool) "loop ⊆ edge" true (Containment.set_contains ~small:loop_q ~big:edge_q);
+  Alcotest.(check bool) "loop ⊆ edge" true (Containment.set_contains ~small:loop_q ~big:edge_q ());
   Alcotest.check_raises "rejects inequalities"
     (Invalid_argument "Containment.set_contains: inequality-free CQs only") (fun () ->
-      ignore (Containment.set_contains ~small:edge_neq_q ~big:edge_q))
+      ignore (Containment.set_contains ~small:edge_neq_q ~big:edge_q ()))
 
 let test_set_vs_bag_divergence () =
   (* the Chaudhuri–Vardi phenomenon: path ⊆ edge under set semantics but
      NOT under bag semantics — a long path has more 2-paths than edges *)
   Alcotest.(check bool) "set-contained" true
-    (Containment.set_contains ~small:path_q ~big:edge_q);
+    (Containment.set_contains ~small:path_q ~big:edge_q ());
   let dense = clique3 in
   Alcotest.(check bool) "bag-violated on the clique" true
     (Containment.bag_violation ~small:path_q ~big:edge_q dense)
