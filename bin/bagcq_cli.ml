@@ -23,6 +23,7 @@ module Outcome = Bagcq_guard.Outcome
 module Eval = Bagcq_hom.Eval
 module Hunt = Bagcq_search.Hunt
 module Sampler = Bagcq_search.Sampler
+module Pool = Bagcq_parallel.Pool
 module Lemma11 = Bagcq_poly.Lemma11
 
 let query_conv =
@@ -183,19 +184,41 @@ let hunt_cmd =
            ~doc:"Exhaustively enumerate databases up to this many elements first.")
   in
   let seed = Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"N" ~doc:"Random seed.") in
+  let jobs =
+    let pos_int =
+      let parse s =
+        match Arg.conv_parser Arg.int s with
+        | Ok n when n >= 1 -> Ok n
+        | Ok _ | Error _ ->
+            Error (`Msg (Printf.sprintf "invalid value '%s', expected a positive integer" s))
+      in
+      Arg.conv ~docv:"N" (parse, Arg.conv_printer Arg.int)
+    in
+    Arg.(value & opt (some pos_int) None & info [ "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the exhaustive sweep and the random                  sampling phase. Defaults to $(b,BAGCQ_JOBS) if set, else the                  number of cores. The witness found is independent of $(docv).")
+  in
   let print_witness small big d =
     let cs, cb = Containment.bag_counts ~small ~big d in
     Printf.printf "VIOLATED: small(D) = %s > big(D) = %s on:\n%s"
       (Nat.to_string cs) (Nat.to_string cb) (Encode.to_string d)
   in
-  let run small big samples max_size seed budget =
+  let run small big samples max_size seed jobs budget =
+    let jobs =
+      match jobs with
+      | Some j -> j
+      | None -> (
+          try Pool.default_jobs ()
+          with Invalid_argument msg ->
+            Printf.eprintf "bagcq: %s\n" msg;
+            exit exit_input)
+    in
     let strategy =
       {
         Hunt.exhaustive_max_size = max_size;
         Hunt.sampler = { Sampler.default with Sampler.samples; Sampler.seed };
       }
     in
-    match Hunt.counterexample_guarded ~strategy ~budget ~small ~big () with
+    match Hunt.counterexample_guarded ~strategy ~jobs ~budget ~small ~big () with
     | Outcome.Complete (report, _) -> (
         match report.Hunt.witness with
         | Some d ->
@@ -228,7 +251,7 @@ let hunt_cmd =
   Cmd.v
     (Cmd.info "hunt" ~exits:budget_exits
        ~doc:"Hunt for a database witnessing small(D) > big(D).")
-    Cmdliner.Term.(const run $ small $ big $ samples $ max_size $ seed $ budget_term)
+    Cmdliner.Term.(const run $ small $ big $ samples $ max_size $ seed $ jobs $ budget_term)
 
 (* ---------------- reduce ---------------- *)
 

@@ -4,14 +4,26 @@ type reason =
 
 let reason_to_string = function Fuel -> "fuel" | Deadline -> "deadline"
 
+(* A shared fuel pool for parallel sweeps: shards draw allowance from
+   [remaining] in blocks of [block] ticks with a CAS loop, so the only
+   cross-domain traffic on the hot path is one atomic operation per block. *)
+type pool = {
+  remaining : int Atomic.t option;  (* [None] — unlimited fuel *)
+  block : int;
+  pool_deadline : float;
+  pool_fault : (int * reason) option;
+}
+
 (* [fuel = max_int] and [deadline = infinity] encode "no limit"; [fault]
-   is the test-only injection point. *)
+   is the test-only injection point.  [fuel] is the local allowance: fixed
+   at creation for ordinary budgets, topped up from [source] for shards. *)
 type t = {
   mutable ticks : int;
   mutable tripped : reason option;
-  fuel : int;
+  mutable fuel : int;
   deadline : float;
   fault : (int * reason) option;
+  source : pool option;
 }
 
 exception Exhausted_ of reason
@@ -20,7 +32,14 @@ let clock_check_period = 1024
 let clock_mask = clock_check_period - 1
 
 let unlimited () =
-  { ticks = 0; tripped = None; fuel = max_int; deadline = infinity; fault = None }
+  {
+    ticks = 0;
+    tripped = None;
+    fuel = max_int;
+    deadline = infinity;
+    fault = None;
+    source = None;
+  }
 
 let create ?fuel ?timeout_ms () =
   let fuel =
@@ -35,23 +54,48 @@ let create ?fuel ?timeout_ms () =
     | Some ms when ms >= 0 -> Unix.gettimeofday () +. (float_of_int ms /. 1000.)
     | Some ms -> invalid_arg (Printf.sprintf "Budget.create: negative timeout %dms" ms)
   in
-  { ticks = 0; tripped = None; fuel; deadline; fault = None }
+  { ticks = 0; tripped = None; fuel; deadline; fault = None; source = None }
 
 let fault_at ?(reason = Fuel) ~tick () =
   if tick < 1 then invalid_arg "Budget.fault_at: tick must be >= 1";
-  { ticks = 0; tripped = None; fuel = max_int; deadline = infinity; fault = Some (tick, reason) }
+  {
+    ticks = 0;
+    tripped = None;
+    fuel = max_int;
+    deadline = infinity;
+    fault = Some (tick, reason);
+    source = None;
+  }
 
 let ticks t = t.ticks
 let tripped t = t.tripped
-let is_unlimited t = t.fuel = max_int && t.deadline = infinity && t.fault = None
+
+let is_unlimited t =
+  t.fuel = max_int && t.deadline = infinity && t.fault = None && t.source = None
 
 let trip t reason =
   t.tripped <- Some reason;
   raise_notrace (Exhausted_ reason)
 
+(* Draw up to [block] ticks of allowance; 0 means the pool is dry. *)
+let rec draw a block =
+  let cur = Atomic.get a in
+  if cur <= 0 then 0
+  else
+    let take = min block cur in
+    if Atomic.compare_and_set a cur (cur - take) then take else draw a block
+
+let refill_or_trip t =
+  match t.source with
+  | None -> trip t Fuel
+  | Some { remaining = None; _ } -> assert false
+  | Some { remaining = Some a; block; _ } ->
+      let granted = draw a block in
+      if granted = 0 then trip t Fuel else t.fuel <- t.fuel + granted
+
 let tick t =
   (match t.tripped with Some r -> raise_notrace (Exhausted_ r) | None -> ());
-  if t.ticks >= t.fuel then trip t Fuel;
+  if t.ticks >= t.fuel then refill_or_trip t;
   t.ticks <- t.ticks + 1;
   (match t.fault with
   | Some (at, reason) when t.ticks >= at -> trip t reason
@@ -63,3 +107,46 @@ let tick t =
   then trip t Deadline
 
 let protect _t f = match f () with v -> Ok v | exception Exhausted_ r -> Error r
+
+let default_shard_block = 512
+
+let shard_pool ?(block = default_shard_block) parent =
+  if block < 1 then invalid_arg "Budget.shard_pool: block must be >= 1";
+  if parent.source <> None then invalid_arg "Budget.shard_pool: cannot shard a shard";
+  let remaining =
+    if parent.fuel = max_int then None
+    else Some (Atomic.make (max 0 (parent.fuel - parent.ticks)))
+  in
+  {
+    remaining;
+    block;
+    pool_deadline = parent.deadline;
+    pool_fault = parent.fault;
+  }
+
+let shard pool =
+  match pool.remaining with
+  | None ->
+      {
+        ticks = 0;
+        tripped = None;
+        fuel = max_int;
+        deadline = pool.pool_deadline;
+        fault = pool.pool_fault;
+        source = None;
+      }
+  | Some _ ->
+      {
+        ticks = 0;
+        tripped = None;
+        fuel = 0;
+        deadline = pool.pool_deadline;
+        fault = pool.pool_fault;
+        source = Some pool;
+      }
+
+let absorb child ~into =
+  into.ticks <- into.ticks + child.ticks;
+  match child.tripped with
+  | Some r when into.tripped = None -> into.tripped <- Some r
+  | _ -> ()

@@ -68,3 +68,36 @@ val protect : t -> (unit -> 'a) -> ('a, reason) result
 (** [protect b f] runs [f], converting an escaped {!Exhausted_} into
     [Error reason].  Lower-level than {!Outcome.guard}; useful when there
     is no meaningful partial result. *)
+
+(** {2 Budget sharding for parallel sweeps}
+
+    A parallel sweep gives each worker domain its own shard so the hot
+    {!tick} path stays un-synchronised.  Shards draw fuel from the parent's
+    remaining allowance in blocks through one shared atomic counter:
+    exhaustion of the pool trips every shard (at its next block boundary),
+    and after the sweep each shard is {!absorb}ed back into the parent, so
+    the parent's {!ticks} is the total work done and its {!tripped} reflects
+    any shard's exhaustion.  The total ticks a sharded sweep can spend
+    before tripping differs from the serial figure by at most one
+    (partially-unused) block per worker.
+
+    Deadlines and fault injection are inherited by every shard; a shard's
+    fault trips at the shard's {e local} tick count. *)
+
+type pool
+
+val default_shard_block : int
+(** 512 ticks per draw. *)
+
+val shard_pool : ?block:int -> t -> pool
+(** Snapshot the parent's remaining fuel into a shared pool.  Raises
+    [Invalid_argument] on [block < 1] or when the parent is itself a shard.
+    The parent should not be ticked while the pool is live — resharding
+    later is fine, because the pool snapshots [fuel - ticks] at creation. *)
+
+val shard : pool -> t
+(** A fresh worker budget drawing on the pool. *)
+
+val absorb : t -> into:t -> unit
+(** [absorb child ~into:parent] adds the child's ticks to the parent and
+    propagates the child's tripped state (first one wins). *)

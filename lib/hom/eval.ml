@@ -1,11 +1,6 @@
 open Bagcq_bignum
 open Bagcq_cq
 
-(* A component with atoms or inequalities is counted by backtracking.  The
-   only other shape Query.components can emit is an all-constant atom or an
-   all-constant inequality, which the solver also handles (count 0 or 1). *)
-let count_component ?budget q d = Nat.of_int (Solver.count ?budget q d)
-
 (* Variables renamed by first occurrence, so that components that differ
    only in variable names share one backtracking run per evaluation —
    queries built with ∧̄ and ↑ consist of many such copies. *)
@@ -25,15 +20,57 @@ let canonical_component q =
 
 module QueryMap = Map.Make (Query)
 
-let count ?budget q d =
-  let memo = ref QueryMap.empty in
+(* The evaluation cache.  [plans] maps a canonical component to its
+   compiled plan and is never invalidated (plans depend only on the query);
+   [counts] memoises per-component counts against [counts_for], compared by
+   physical identity — a hunt switches structures thousands of times, and
+   re-keying on the structure pointer makes the table a cheap per-database
+   memo that still amortises across repeated components (∧̄ / ↑ powers).
+   Without a caller-supplied cache every [count] call gets a fresh one, so
+   the memoisation scope is exactly the seed behaviour. *)
+type cache = {
+  plans : Plan.t QueryMap.t ref;
+  counts : Nat.t QueryMap.t ref;
+  mutable counts_for : Bagcq_relational.Structure.t option;
+}
+
+let create_cache () =
+  { plans = ref QueryMap.empty; counts = ref QueryMap.empty; counts_for = None }
+
+let plan_for cache key =
+  match QueryMap.find_opt key !(cache.plans) with
+  | Some p -> p
+  | None ->
+      let p = Plan.compile key in
+      cache.plans := QueryMap.add key p !(cache.plans);
+      p
+
+let sync_structure cache d =
+  match cache.counts_for with
+  | Some d' when d' == d -> ()
+  | _ ->
+      cache.counts := QueryMap.empty;
+      cache.counts_for <- Some d
+
+let with_cache cache d =
+  match cache with
+  | Some c ->
+      sync_structure c d;
+      c
+  | None -> create_cache ()
+
+(* A component with atoms or inequalities is counted by backtracking.  The
+   only other shape Query.components can emit is an all-constant atom or an
+   all-constant inequality, which the solver also handles (count 0 or 1). *)
+let count ?budget ?cache q d =
+  let cache = with_cache cache d in
   let count_memo comp =
     let key = canonical_component comp in
-    match QueryMap.find_opt key !memo with
+    match QueryMap.find_opt key !(cache.counts) with
     | Some c -> c
     | None ->
-        let c = count_component ?budget key d in
-        memo := QueryMap.add key c !memo;
+        let c = Nat.of_int (Solver.count_plan ?budget (plan_for cache key) d) in
+        cache.counts := QueryMap.add key c !(cache.counts);
         c
   in
   let rec go acc = function
@@ -44,25 +81,30 @@ let count ?budget q d =
   in
   go Nat.one (Query.components q)
 
-let count_int ?budget q d = Nat.to_int (count ?budget q d)
+let count_int ?budget ?cache q d = Nat.to_int (count ?budget ?cache q d)
 
-let satisfies ?budget d q =
-  List.for_all (fun comp -> Solver.exists ?budget comp d) (Query.components q)
+let satisfies ?budget ?cache d q =
+  let cache = with_cache cache d in
+  List.for_all
+    (fun comp ->
+      Solver.exists_plan ?budget (plan_for cache (canonical_component comp)) d)
+    (Query.components q)
 
-let count_pquery_factored ?budget pq d =
-  List.map (fun (q, e) -> (count ?budget q d, e)) (Pquery.factors pq)
+let count_pquery_factored ?budget ?cache pq d =
+  List.map (fun (q, e) -> (count ?budget ?cache q d, e)) (Pquery.factors pq)
 
-let count_pquery ?budget pq d =
+let count_pquery ?budget ?cache pq d =
   List.fold_left
     (fun acc (base, e) -> Nat.mul acc (Nat.pow_nat base e))
     Nat.one
-    (count_pquery_factored ?budget pq d)
+    (count_pquery_factored ?budget ?cache pq d)
 
-let pquery_geq ?budget pq d bound =
+let pquery_geq ?budget ?cache pq d bound =
   if Nat.is_zero bound then true
   else begin
     let factored =
-      List.filter (fun (_, e) -> not (Nat.is_zero e)) (count_pquery_factored ?budget pq d)
+      List.filter (fun (_, e) -> not (Nat.is_zero e))
+        (count_pquery_factored ?budget ?cache pq d)
     in
     if List.exists (fun (base, _) -> Nat.is_zero base) factored then false
     else begin
@@ -89,13 +131,15 @@ let pquery_geq ?budget pq d bound =
     end
   end
 
-let satisfies_pquery ?budget d pq =
+let satisfies_pquery ?budget ?cache d pq =
   List.for_all
-    (fun (q, e) -> Nat.is_zero e || satisfies ?budget d q)
+    (fun (q, e) -> Nat.is_zero e || satisfies ?budget ?cache d q)
     (Pquery.factors pq)
 
-let count_ucq ?budget u d =
-  List.fold_left (fun acc q -> Nat.add acc (count ?budget q d)) Nat.zero (Ucq.disjuncts u)
+let count_ucq ?budget ?cache u d =
+  List.fold_left
+    (fun acc q -> Nat.add acc (count ?budget ?cache q d))
+    Nat.zero (Ucq.disjuncts u)
 
-let ucq_contained_on ?budget ~small ~big d =
-  Nat.compare (count_ucq ?budget small d) (count_ucq ?budget big d) <= 0
+let ucq_contained_on ?budget ?cache ~small ~big d =
+  Nat.compare (count_ucq ?budget ?cache small d) (count_ucq ?budget ?cache big d) <= 0

@@ -11,41 +11,65 @@ open Bagcq_bignum
 open Bagcq_relational
 open Bagcq_cq
 
-val count : ?budget:Bagcq_guard.Budget.t -> Query.t -> Structure.t -> Nat.t
+type cache
+(** An evaluation cache: compiled plans per canonical component (kept for
+    the cache's lifetime — plans depend only on the query) plus component
+    counts for the most recent structure (invalidated whenever evaluation
+    moves to a structure that is not physically the same).  One cache
+    serves one domain: share nothing, shard everything — parallel sweeps
+    allocate one per worker. *)
+
+val create_cache : unit -> cache
+
+val count : ?budget:Bagcq_guard.Budget.t -> ?cache:cache -> Query.t -> Structure.t -> Nat.t
 (** [count ψ D = ψ(D)].  With [?budget], the underlying backtracking ticks
     the budget and the call unwinds with {!Bagcq_guard.Budget.Exhausted_}
-    if it trips (same for every [?budget] below). *)
+    if it trips (same for every [?budget] below).  With [?cache], plan
+    compilation and per-component counts are shared across calls; without
+    it each call memoises only within itself (the seed behaviour). *)
 
-val count_int : ?budget:Bagcq_guard.Budget.t -> Query.t -> Structure.t -> int
+val count_int : ?budget:Bagcq_guard.Budget.t -> ?cache:cache -> Query.t -> Structure.t -> int
 (** Convenience for tests; raises [Failure] if the count overflows. *)
 
-val satisfies : ?budget:Bagcq_guard.Budget.t -> Structure.t -> Query.t -> bool
+val satisfies : ?budget:Bagcq_guard.Budget.t -> ?cache:cache -> Structure.t -> Query.t -> bool
 (** [D ⊨ ψ]: [Hom(ψ,D)] is non-empty. *)
 
-val count_pquery : ?budget:Bagcq_guard.Budget.t -> Pquery.t -> Structure.t -> Nat.t
+val count_pquery :
+  ?budget:Bagcq_guard.Budget.t -> ?cache:cache -> Pquery.t -> Structure.t -> Nat.t
 (** Counts a power-product query factor-wise: [∏ᵢ θᵢ(D)^{eᵢ}].  When a
     factor count is ≥ 2 and its exponent exceeds [max_int] the result is
     not representable; this raises [Failure] — use {!count_pquery_factored}
     for symbolic reasoning about such counts. *)
 
 val count_pquery_factored :
-  ?budget:Bagcq_guard.Budget.t -> Pquery.t -> Structure.t -> (Nat.t * Nat.t) list
+  ?budget:Bagcq_guard.Budget.t ->
+  ?cache:cache ->
+  Pquery.t ->
+  Structure.t ->
+  (Nat.t * Nat.t) list
 (** Per-factor [(θᵢ(D), eᵢ)] pairs — the symbolic form of the count, never
     materialised.  Anti-cheating arguments (Lemmas 18, 21) only need to
     compare such products against bounds, which is possible without
     expanding them. *)
 
-val pquery_geq : ?budget:Bagcq_guard.Budget.t -> Pquery.t -> Structure.t -> Nat.t -> bool
+val pquery_geq :
+  ?budget:Bagcq_guard.Budget.t -> ?cache:cache -> Pquery.t -> Structure.t -> Nat.t -> bool
 (** [pquery_geq ψ D bound]: decide [ψ(D) ≥ bound] without materialising the
     count (factors with base ≥ 2 dominate their exponent:
     [b^e ≥ 2^e ≥ e + 1]). *)
 
-val satisfies_pquery : ?budget:Bagcq_guard.Budget.t -> Structure.t -> Pquery.t -> bool
+val satisfies_pquery :
+  ?budget:Bagcq_guard.Budget.t -> ?cache:cache -> Structure.t -> Pquery.t -> bool
 
-val count_ucq : ?budget:Bagcq_guard.Budget.t -> Ucq.t -> Structure.t -> Nat.t
+val count_ucq : ?budget:Bagcq_guard.Budget.t -> ?cache:cache -> Ucq.t -> Structure.t -> Nat.t
 (** Bag-semantics union: the sum of the disjunct counts. *)
 
 val ucq_contained_on :
-  ?budget:Bagcq_guard.Budget.t -> small:Ucq.t -> big:Ucq.t -> Structure.t -> bool
+  ?budget:Bagcq_guard.Budget.t ->
+  ?cache:cache ->
+  small:Ucq.t ->
+  big:Ucq.t ->
+  Structure.t ->
+  bool
 (** One instance of [QCP^bag_UCQ] (undecidable in general —
     Ioannidis–Ramakrishnan [14]): [small(D) ≤ big(D)]. *)

@@ -1,0 +1,87 @@
+open Bagcq_relational
+
+module ValueTbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+module TupleTbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash (t : Tuple.t) = Array.fold_left (fun h v -> (h * 31) + Value.hash v) 17 t
+end)
+
+type sym_index = {
+  tuples : Tuple.t array;
+  by_pos : Tuple.t array ValueTbl.t array;
+  members : unit TupleTbl.t;
+}
+
+type t = { by_sym : sym_index Symbol.Map.t; domain : Value.t array }
+
+let no_tuples : Tuple.t array = [||]
+
+let empty_sym_index arity =
+  {
+    tuples = no_tuples;
+    by_pos = Array.init arity (fun _ -> ValueTbl.create 1);
+    members = TupleTbl.create 1;
+  }
+
+let build_sym_index sym tuples =
+  let arity = Symbol.arity sym in
+  let n = Array.length tuples in
+  let members = TupleTbl.create (max 16 n) in
+  Array.iter (fun tup -> TupleTbl.replace members tup ()) tuples;
+  let by_pos =
+    Array.init arity (fun pos ->
+        let buckets : Tuple.t list ValueTbl.t = ValueTbl.create (max 16 n) in
+        (* Fold right so each bucket lists tuples in enumeration order. *)
+        for i = n - 1 downto 0 do
+          let tup = tuples.(i) in
+          let v = tup.(pos) in
+          let tail = Option.value ~default:[] (ValueTbl.find_opt buckets v) in
+          ValueTbl.replace buckets v (tup :: tail)
+        done;
+        let packed = ValueTbl.create (ValueTbl.length buckets) in
+        ValueTbl.iter (fun v ts -> ValueTbl.replace packed v (Array.of_list ts)) buckets;
+        packed)
+  in
+  { tuples; by_pos; members }
+
+let build d =
+  let by_sym =
+    List.fold_left
+      (fun acc sym ->
+        let tuples = Array.of_list (Tuple.Set.elements (Structure.tuple_set d sym)) in
+        Symbol.Map.add sym (build_sym_index sym tuples) acc)
+      Symbol.Map.empty
+      (Schema.symbols (Structure.schema d))
+  in
+  (* Symbols present in the atom map but absent from the schema cannot occur
+     ([add_atom] extends the schema), so the schema fold is exhaustive. *)
+  let domain = Array.of_list (Value.Set.elements (Structure.domain d)) in
+  { by_sym; domain }
+
+type Structure.memo += Indexed of t
+
+let get d =
+  match Structure.memo_find d (function Indexed i -> Some i | _ -> None) with
+  | Some i -> i
+  | None ->
+      let i = build d in
+      Structure.memo_store d (Indexed i);
+      i
+
+let sym_index idx sym =
+  match Symbol.Map.find_opt sym idx.by_sym with
+  | Some si -> si
+  | None -> empty_sym_index (Symbol.arity sym)
+
+let domain idx = idx.domain
+let all si = si.tuples
+let candidates si ~pos v = Option.value ~default:no_tuples (ValueTbl.find_opt si.by_pos.(pos) v)
+let mem si tup = TupleTbl.mem si.members tup

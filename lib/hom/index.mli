@@ -1,0 +1,39 @@
+(** Lazily-built join indexes over a {!Bagcq_relational.Structure.t}.
+
+    The compiled kernel ({!Plan}, {!Solver}) looks tuples up three ways:
+    scan all tuples of a symbol, probe the tuples whose position [p] holds a
+    given element, and test membership of a fully-determined tuple.  This
+    module precomputes all three as arrays and hash tables, and memoises the
+    result on the structure itself (through {!Structure.memo_store}), so the
+    index is built at most once per structure no matter how many queries are
+    evaluated against it.  Structures are immutable, hence so is the index;
+    concurrent domains racing to build it merely duplicate work. *)
+
+open Bagcq_relational
+
+type t
+(** The full index of one structure. *)
+
+type sym_index
+(** The index of a single relation symbol. *)
+
+val get : Structure.t -> t
+(** Fetch the memoised index, building it on first use. *)
+
+val build : Structure.t -> t
+(** Build without consulting or filling the memo slot (for tests). *)
+
+val sym_index : t -> Symbol.t -> sym_index
+(** Total: a symbol with no atoms yields an empty index. *)
+
+val domain : t -> Value.t array
+(** The active domain, in {!Value.compare} order. *)
+
+val all : sym_index -> Tuple.t array
+(** Every tuple of the symbol, in {!Tuple.compare} order. *)
+
+val candidates : sym_index -> pos:int -> Value.t -> Tuple.t array
+(** The tuples holding the given element at position [pos], in
+    {!Tuple.compare} order.  Shared — do not mutate. *)
+
+val mem : sym_index -> Tuple.t -> bool

@@ -1,214 +1,189 @@
 open Bagcq_relational
 module StringMap = Map.Make (String)
-module StringSet = Set.Make (String)
 
 type assignment = Value.t StringMap.t
 
-(* A query argument after resolving constants against D's interpretation. *)
-type slot =
-  | Fixed of Value.t
-  | V of string
-
-exception No_hom
 exception Stop
 
-let resolve_term d = function
-  | Bagcq_cq.Term.Var x -> V x
-  | Bagcq_cq.Term.Cst c -> (
-      match Structure.interpretation d c with
-      | Some v -> Fixed v
-      | None -> raise No_hom)
+(* A plan instantiated against one structure: constants resolved, the join
+   indexes fetched, probes specialised, and the mutable environment
+   allocated.  [Unsat] signals zero homomorphisms discovered statically —
+   an uninterpreted constant or an inequality between equally-interpreted
+   constants. *)
+exception Unsat
 
-(* Greedy join order: always process next the atom with the most
-   already-determined positions, breaking ties towards fewer candidate
-   tuples.  This keeps the backtracking tree close to the join tree of the
-   query and is what makes the star-shaped reduction queries cheap. *)
-let order_atoms atoms counts =
-  let remaining = ref atoms and bound = ref StringSet.empty and plan = ref [] in
-  let determined (_, slots) =
-    Array.fold_left
-      (fun acc s ->
-        match s with
-        | Fixed _ -> acc + 1
-        | V x -> if StringSet.mem x !bound then acc + 1 else acc)
-      0 slots
+type inst_probe =
+  | I_scan of Tuple.t array
+  | I_var of int * int  (* position, variable id *)
+  | I_mem
+
+type inst_node = {
+  ops : Plan.op array;
+  si : Index.sym_index;
+  probe : inst_probe;
+  scratch : Value.t array;  (* reused tuple buffer for I_mem *)
+}
+
+type inst = {
+  plan : Plan.t;
+  cvals : Value.t array;
+  nodes : inst_node array;
+  domain : Value.t array;
+  env : Value.t array;
+}
+
+let instantiate (plan : Plan.t) d =
+  let cvals =
+    Array.map
+      (fun c ->
+        match Structure.interpretation d c with
+        | Some v -> v
+        | None -> raise_notrace Unsat)
+      plan.consts
   in
-  while !remaining <> [] do
-    let best =
-      List.fold_left
-        (fun best atom ->
-          let score = (determined atom, -counts (fst atom)) in
-          match best with
-          | Some (_, best_score) when best_score >= score -> best
-          | _ -> Some (atom, score))
-        None !remaining
-    in
-    match best with
-    | None -> assert false
-    | Some (((_, slots) as atom), _) ->
-        plan := atom :: !plan;
-        remaining := List.filter (fun a -> a != atom) !remaining;
-        Array.iter (function V x -> bound := StringSet.add x !bound | Fixed _ -> ()) slots
-  done;
-  List.rev !plan
+  List.iter
+    (fun (i, j) -> if Value.equal cvals.(i) cvals.(j) then raise_notrace Unsat)
+    plan.cst_cst_neqs;
+  let idx = Index.get d in
+  let nodes =
+    Array.map
+      (fun (nd : Plan.node) ->
+        let si = Index.sym_index idx nd.sym in
+        let probe =
+          match nd.probe with
+          | Plan.Probe_mem -> I_mem
+          | Plan.Probe_all -> I_scan (Index.all si)
+          | Plan.Probe_cst (pos, c) -> I_scan (Index.candidates si ~pos cvals.(c))
+          | Plan.Probe_var (pos, v) -> I_var (pos, v)
+        in
+        { ops = nd.ops; si; probe; scratch = Array.make (Array.length nd.ops) (Value.int 0) })
+      plan.nodes
+  in
+  {
+    plan;
+    cvals;
+    nodes;
+    domain = Index.domain idx;
+    env = Array.make (max 1 plan.nvars) (Value.int 0);
+  }
 
-let fold_internal ?budget (f : assignment -> unit) q d =
+(* The kernel.  Tick discipline mirrors the seed solver: one tick per
+   backtracking node entered (including the leaf), one per candidate tuple
+   tried at a node, one per domain value tried for a free variable —
+   indexed probes try fewer candidates, so indexed runs also tick less. *)
+let run ?budget inst emit =
   let tick =
     match budget with
     | None -> fun () -> ()
     | Some b -> fun () -> Bagcq_guard.Budget.tick b
   in
-  try
-    let atoms =
-      List.map
-        (fun a ->
-          (Bagcq_cq.Atom.sym a, Array.map (resolve_term d) (Bagcq_cq.Atom.args a)))
-        (Bagcq_cq.Query.atoms q)
-    in
-    let neqs =
-      List.map
-        (fun (a, b) -> (resolve_term d a, resolve_term d b))
-        (Bagcq_cq.Query.neqs q)
-    in
-      (* an inequality between two fixed values either always holds (drop
-         it) or never does (no homomorphisms at all) *)
-      let neqs =
-        List.filter
-          (fun (a, b) ->
-            match (a, b) with
-            | Fixed x, Fixed y -> if Value.equal x y then raise_notrace No_hom else false
-            | _ -> true)
-          neqs
-      in
-      let neqs_of x =
-        List.filter_map
-          (fun (a, b) ->
-            match (a, b) with
-            | V y, other when String.equal x y -> Some other
-            | other, V y when String.equal x y -> Some other
-            | _ -> None)
-          neqs
-      in
-      let atom_vars =
-        List.fold_left
-          (fun acc (_, slots) ->
-            Array.fold_left
-              (fun acc s -> match s with V x -> StringSet.add x acc | Fixed _ -> acc)
-              acc slots)
-          StringSet.empty atoms
-      in
-      let neq_vars =
-        List.fold_left
-          (fun acc (a, b) ->
-            let add s acc = match s with V x -> StringSet.add x acc | Fixed _ -> acc in
-            add a (add b acc))
-          StringSet.empty neqs
-      in
-      let free_vars = StringSet.elements (StringSet.diff neq_vars atom_vars) in
-      let plan = order_atoms atoms (fun sym -> Structure.atom_count d sym) in
-      let domain = Value.Set.elements (Structure.domain d) in
-      let neq_adj = Hashtbl.create 16 in
-      StringSet.iter (fun x -> Hashtbl.add neq_adj x (neqs_of x)) neq_vars;
-      let neq_ok env x v =
-        match Hashtbl.find_opt neq_adj x with
-        | None -> true
-        | Some others ->
-            List.for_all
-              (fun other ->
-                match other with
-                | Fixed w -> not (Value.equal v w)
-                | V y -> (
-                    match StringMap.find_opt y env with
-                    | Some w -> not (Value.equal v w)
-                    | None -> true))
-              others
-      in
-      let rec match_tuple slots (tup : Tuple.t) i env acc_new =
-        if i = Array.length slots then Some (env, acc_new)
-        else begin
-          match slots.(i) with
-          | Fixed v ->
-              if Value.equal v tup.(i) then match_tuple slots tup (i + 1) env acc_new
-              else None
-          | V x -> (
-              match StringMap.find_opt x env with
-              | Some v ->
-                  if Value.equal v tup.(i) then match_tuple slots tup (i + 1) env acc_new
-                  else None
-              | None ->
-                  let v = tup.(i) in
-                  if neq_ok env x v then
-                    match_tuple slots tup (i + 1) (StringMap.add x v env) (x :: acc_new)
-                  else None)
-        end
-      in
-      let rec assign_free vars env =
-        match vars with
-        | [] -> f env
-        | x :: rest ->
-            List.iter
-              (fun v ->
-                tick ();
-                if neq_ok env x v then assign_free rest (StringMap.add x v env))
-              domain
-      in
-      (* when every slot of the atom is already determined, the atom is a
-         membership test — crucial for rotation-heavy queries (CYCLIQ),
-         where the first atom binds every variable of the component *)
-      let determined slots env =
-        let n = Array.length slots in
-        let tup = Array.make n (Value.int 0) in
-        let rec go i =
-          if i = n then Some tup
-          else begin
-            match slots.(i) with
-            | Fixed v ->
-                tup.(i) <- v;
-                go (i + 1)
-            | V x -> (
-                match StringMap.find_opt x env with
-                | Some v ->
-                    tup.(i) <- v;
-                    go (i + 1)
-                | None -> None)
-          end
-        in
-        go 0
-      in
-      let rec assign_atoms plan env =
-        tick ();
-        match plan with
-        | [] -> assign_free free_vars env
-        | (sym, slots) :: rest -> (
-            match determined slots env with
-            | Some tup -> if Structure.mem_atom d sym tup then assign_atoms rest env
-            | None ->
-                Tuple.Set.iter
-                  (fun tup ->
-                    tick ();
-                    match match_tuple slots tup 0 env [] with
-                    | Some (env', _) -> assign_atoms rest env'
-                    | None -> ())
-                  (Structure.tuple_set d sym))
-      in
-      assign_atoms plan StringMap.empty
-  with No_hom -> ()
+  let env = inst.env and cvals = inst.cvals in
+  let nodes = inst.nodes and free = inst.plan.free in
+  let nn = Array.length nodes and nf = Array.length free in
+  let domain = inst.domain in
+  let check_ok checks x =
+    List.for_all
+      (function
+        | Plan.Neq_cst c -> not (Value.equal x cvals.(c))
+        | Plan.Neq_var w -> not (Value.equal x env.(w)))
+      checks
+  in
+  let rec match_ops ops (tup : Tuple.t) i =
+    i = Array.length ops
+    ||
+    match ops.(i) with
+    | Plan.Check_cst c -> Value.equal tup.(i) cvals.(c) && match_ops ops tup (i + 1)
+    | Plan.Check_var v -> Value.equal tup.(i) env.(v) && match_ops ops tup (i + 1)
+    | Plan.Bind (v, checks) ->
+        let x = tup.(i) in
+        check_ok checks x
+        && begin
+             env.(v) <- x;
+             match_ops ops tup (i + 1)
+           end
+  in
+  let rec free_loop k =
+    if k = nf then emit ()
+    else begin
+      let v, checks = free.(k) in
+      Array.iter
+        (fun x ->
+          tick ();
+          if check_ok checks x then begin
+            env.(v) <- x;
+            free_loop (k + 1)
+          end)
+        domain
+    end
+  in
+  let rec node_loop k =
+    tick ();
+    if k = nn then free_loop 0
+    else begin
+      let nd = nodes.(k) in
+      match nd.probe with
+      | I_mem ->
+          Array.iteri
+            (fun i op ->
+              nd.scratch.(i) <-
+                (match op with
+                | Plan.Check_cst c -> cvals.(c)
+                | Plan.Check_var v -> env.(v)
+                | Plan.Bind _ -> assert false))
+            nd.ops;
+          if Index.mem nd.si nd.scratch then node_loop (k + 1)
+      | I_scan tuples ->
+          Array.iter
+            (fun tup ->
+              tick ();
+              if match_ops nd.ops tup 0 then node_loop (k + 1))
+            tuples
+      | I_var (pos, v) ->
+          Array.iter
+            (fun tup ->
+              tick ();
+              if match_ops nd.ops tup 0 then node_loop (k + 1))
+            (Index.candidates nd.si ~pos env.(v))
+    end
+  in
+  node_loop 0
 
-let count ?budget q d =
-  let n = ref 0 in
-  fold_internal ?budget (fun _ -> incr n) q d;
-  !n
+let count_plan ?budget plan d =
+  match instantiate plan d with
+  | exception Unsat -> 0
+  | inst ->
+      let n = ref 0 in
+      run ?budget inst (fun () -> incr n);
+      !n
 
-let exists ?budget q d =
-  try
-    fold_internal ?budget (fun _ -> raise_notrace Stop) q d;
-    false
-  with Stop -> true
+let exists_plan ?budget plan d =
+  match instantiate plan d with
+  | exception Unsat -> false
+  | inst -> (
+      try
+        run ?budget inst (fun () -> raise_notrace Stop);
+        false
+      with Stop -> true)
+
+let assignment_of inst =
+  let names = inst.plan.Plan.var_names in
+  let m = ref StringMap.empty in
+  Array.iteri (fun i x -> m := StringMap.add x inst.env.(i) !m) names;
+  !m
+
+let iter_plan ?budget f plan d =
+  match instantiate plan d with
+  | exception Unsat -> ()
+  | inst -> run ?budget inst (fun () -> f (assignment_of inst))
+
+let count ?budget q d = count_plan ?budget (Plan.compile q) d
+let exists ?budget q d = exists_plan ?budget (Plan.compile q) d
+let iter ?budget f q d = iter_plan ?budget f (Plan.compile q) d
 
 let enumerate ?budget ?limit q d =
   let out = ref [] and n = ref 0 in
   (try
-     fold_internal ?budget
+     iter ?budget
        (fun env ->
          out := env :: !out;
          incr n;
@@ -217,9 +192,7 @@ let enumerate ?budget ?limit q d =
    with Stop -> ());
   List.rev !out
 
-let iter ?budget f q d = fold_internal ?budget f q d
-
 let fold ?budget f init q d =
   let acc = ref init in
-  fold_internal ?budget (fun env -> acc := f !acc env) q d;
+  iter ?budget (fun env -> acc := f !acc env) q d;
   !acc

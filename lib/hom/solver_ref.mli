@@ -1,10 +1,5 @@
-(** Backtracking enumeration of the homomorphisms from a conjunctive query
-    to a structure, through the compiled kernel: queries are compiled once
-    into a {!Plan.t} (static join order, int-numbered variables, precompiled
-    inequality checks), which is then instantiated against a structure's
-    lazily-built join {!Index}.  The environment is a mutable
-    [Value.t array]; candidate tuples at each atom come from a
-    per-(symbol, position, value) index instead of a full-relation scan.
+(** The seed backtracking kernel, kept as a reference implementation for
+    differential testing and benchmarking of the compiled {!Solver}.
 
     A homomorphism is a map [h : Var(ψ) → V_D] such that every atom of ψ
     maps to an atom of [D], every constant is sent to its interpretation in
@@ -50,15 +45,3 @@ val fold :
   Query.t ->
   Structure.t ->
   'a
-
-(** {2 Pre-compiled entry points}
-
-    [count q d] is [count_plan (Plan.compile q) d]; callers evaluating one
-    query against many structures (every hunt does) should compile once —
-    {!Eval} caches plans per canonical component for exactly this reason. *)
-
-val count_plan : ?budget:Bagcq_guard.Budget.t -> Plan.t -> Structure.t -> int
-val exists_plan : ?budget:Bagcq_guard.Budget.t -> Plan.t -> Structure.t -> bool
-
-val iter_plan :
-  ?budget:Bagcq_guard.Budget.t -> (assignment -> unit) -> Plan.t -> Structure.t -> unit

@@ -1,0 +1,65 @@
+let jobs_env_var = "BAGCQ_JOBS"
+
+let default_jobs () =
+  match Sys.getenv_opt jobs_env_var with
+  | None | Some "" -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "%s: expected a positive integer, got %S" jobs_env_var s))
+
+let default_chunk = 64
+
+(* Shared sweep state: [next] hands out chunk numbers, [stop] is polled
+   between chunks.  Chunks are claimed in increasing order and each claimed
+   chunk runs to completion, which is what makes min-index witnesses
+   deterministic across job counts (see [Dbspace.find_guarded_par]). *)
+let sweep ?(chunk = default_chunk) ~n ~workers ~body () =
+  let jobs = Array.length workers in
+  if jobs < 1 then invalid_arg "Pool.sweep: need at least one worker";
+  if chunk < 1 then invalid_arg "Pool.sweep: chunk must be >= 1";
+  if n > 0 then begin
+    let nchunks = ((n - 1) / chunk) + 1 in
+    let next = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let run w =
+      try
+        let continue = ref true in
+        while !continue && not (Atomic.get stop) do
+          let c = Atomic.fetch_and_add next 1 in
+          if c >= nchunks then continue := false
+          else begin
+            let lo = c * chunk and hi = min n ((c + 1) * chunk) in
+            match body w lo hi with
+            | `Continue -> ()
+            | `Stop ->
+                Atomic.set stop true;
+                continue := false
+          end
+        done;
+        None
+      with e ->
+        Atomic.set stop true;
+        Some e
+    in
+    (* Never spawn more domains than there are chunks; with one worker the
+       sweep runs inline on the calling domain, in serial chunk order. *)
+    let spawned = min jobs nchunks in
+    let first_exn =
+      if spawned <= 1 then run workers.(0)
+      else begin
+        let doms =
+          Array.init (spawned - 1) (fun i ->
+              Domain.spawn (fun () -> run workers.(i + 1)))
+        in
+        let here = run workers.(0) in
+        let rest = Array.map Domain.join doms in
+        Array.fold_left
+          (fun acc e -> match acc with Some _ -> acc | None -> e)
+          here rest
+      end
+    in
+    match first_exn with Some e -> raise e | None -> ()
+  end

@@ -1,0 +1,41 @@
+(** A dependency-free Domain pool for chunked sweeps over integer ranges.
+
+    The container ships no [domainslib]; this is the minimal substitute the
+    search layer needs.  [sweep] splits [0 .. n-1] into fixed-size chunks
+    and lets the worker domains claim chunks through one atomic counter —
+    cheap dynamic load balancing without per-item synchronisation.  Three
+    properties the callers rely on:
+
+    - chunk numbers are claimed in increasing order, and a claimed chunk is
+      always scanned to completion, so "first hit in the lowest chunk each
+      worker saw" is well-defined regardless of scheduling;
+    - with one worker nothing is spawned: the sweep runs inline on the
+      calling domain and visits the range in exactly serial order;
+    - a [`Stop] from any worker (or an exception) halts the sweep at the
+      next chunk boundary of every other worker.
+
+    Worker state (budget shards, per-worker caches, result slots) is
+    allocated by the caller and passed in [workers]; the pool never touches
+    it beyond handing element [i] to worker [i]. *)
+
+val jobs_env_var : string
+(** ["BAGCQ_JOBS"]. *)
+
+val default_jobs : unit -> int
+(** The value of [BAGCQ_JOBS] when set (raising [Invalid_argument] if it is
+    not a positive integer), else [Domain.recommended_domain_count ()]. *)
+
+val default_chunk : int
+
+val sweep :
+  ?chunk:int ->
+  n:int ->
+  workers:'w array ->
+  body:('w -> int -> int -> [ `Continue | `Stop ]) ->
+  unit ->
+  unit
+(** [sweep ~n ~workers ~body ()] calls [body w lo hi] for consecutive
+    chunks [\[lo, hi)] of [0 .. n-1].  [Array.length workers] is the number
+    of domains (the calling domain counts as one; at most one domain per
+    chunk is ever spawned).  The first exception raised by any worker is
+    re-raised after all domains joined. *)

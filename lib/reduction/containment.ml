@@ -12,17 +12,17 @@ let set_contains ?budget ~small ~big () =
 
 let bag_equivalent q1 q2 = Morphism.isomorphic q1 q2
 
-let bag_counts ?budget ~small ~big d =
-  (Eval.count ?budget small d, Eval.count ?budget big d)
+let bag_counts ?budget ?cache ~small ~big d =
+  (Eval.count ?budget ?cache small d, Eval.count ?budget ?cache big d)
 
-let bag_violation ?budget ~small ~big d =
-  let cs, cb = bag_counts ?budget ~small ~big d in
+let bag_violation ?budget ?cache ~small ~big d =
+  let cs, cb = bag_counts ?budget ?cache ~small ~big d in
   Nat.compare cs cb > 0
 
-let bag_violation_guarded ~budget ~small ~big d =
+let bag_violation_guarded ?cache ~budget ~small ~big d =
   Bagcq_guard.Outcome.guard
     ~partial:(fun () -> ())
-    (fun () -> bag_violation ~budget ~small ~big d)
+    (fun () -> bag_violation ~budget ?cache ~small ~big d)
 
-let bag_violation_pquery ?budget ~small ~big d =
-  not (Eval.pquery_geq ?budget big d (Eval.count_pquery ?budget small d))
+let bag_violation_pquery ?budget ?cache ~small ~big d =
+  not (Eval.pquery_geq ?budget ?cache big d (Eval.count_pquery ?budget ?cache small d))

@@ -26,18 +26,27 @@ val bag_equivalent : Query.t -> Query.t -> bool
 
 val bag_counts :
   ?budget:Bagcq_guard.Budget.t ->
+  ?cache:Bagcq_hom.Eval.cache ->
   small:Query.t ->
   big:Query.t ->
   Structure.t ->
   Nat.t * Nat.t
+(** With [?cache], plans for [small] and [big] compile once across the
+    thousands of candidate databases a hunt checks. *)
 
 val bag_violation :
-  ?budget:Bagcq_guard.Budget.t -> small:Query.t -> big:Query.t -> Structure.t -> bool
+  ?budget:Bagcq_guard.Budget.t ->
+  ?cache:Bagcq_hom.Eval.cache ->
+  small:Query.t ->
+  big:Query.t ->
+  Structure.t ->
+  bool
 (** [small(D) > big(D)] — a witness against bag containment.  With
     [?budget] the two exact counts tick it; the call unwinds with
     {!Bagcq_guard.Budget.Exhausted_} when it trips. *)
 
 val bag_violation_guarded :
+  ?cache:Bagcq_hom.Eval.cache ->
   budget:Bagcq_guard.Budget.t ->
   small:Query.t ->
   big:Query.t ->
@@ -48,5 +57,10 @@ val bag_violation_guarded :
     remain readable from the budget itself. *)
 
 val bag_violation_pquery :
-  ?budget:Bagcq_guard.Budget.t -> small:Pquery.t -> big:Pquery.t -> Structure.t -> bool
+  ?budget:Bagcq_guard.Budget.t ->
+  ?cache:Bagcq_hom.Eval.cache ->
+  small:Pquery.t ->
+  big:Pquery.t ->
+  Structure.t ->
+  bool
 (** The power-product variant, decided without materialising counts. *)

@@ -1,12 +1,26 @@
 module StringMap = Map.Make (String)
 
+(* Derived read-only views (e.g. the join indexes of [Bagcq_hom.Index]) are
+   memoised on the structure itself, in a single mutable slot of an
+   extensible type so that downstream libraries can cache without this
+   module depending on them.  Every function that produces a modified
+   structure allocates a fresh (empty) slot — a stale index can never be
+   observed through the new value. *)
+type memo = ..
+
 type t = {
   schema : Schema.t;
   atoms : Tuple.Set.t Symbol.Map.t;
   interp : Value.t StringMap.t;
+  memo_slot : memo option ref;
 }
 
-let empty schema = { schema; atoms = Symbol.Map.empty; interp = StringMap.empty }
+let fresh_slot () = ref None
+let memo_find d pick = match !(d.memo_slot) with None -> None | Some m -> pick m
+let memo_store d m = d.memo_slot := Some m
+
+let empty schema =
+  { schema; atoms = Symbol.Map.empty; interp = StringMap.empty; memo_slot = fresh_slot () }
 
 let schema d = d.schema
 
@@ -18,12 +32,22 @@ let bind_constant d c v =
            (Value.to_string v'))
   | Some _ -> d
   | None ->
-      { d with schema = Schema.add_constant d.schema c; interp = StringMap.add c v d.interp }
+      {
+        d with
+        schema = Schema.add_constant d.schema c;
+        interp = StringMap.add c v d.interp;
+        memo_slot = fresh_slot ();
+      }
 
 let declare_constant d c = bind_constant d c (Value.sym c)
 
 let rebind_constant d c v =
-  { d with schema = Schema.add_constant d.schema c; interp = StringMap.add c v d.interp }
+  {
+    d with
+    schema = Schema.add_constant d.schema c;
+    interp = StringMap.add c v d.interp;
+    memo_slot = fresh_slot ();
+  }
 
 (* Schema constants mentioned in a tuple receive their canonical
    interpretation unless already bound. *)
@@ -41,10 +65,14 @@ let add_atom d sym tup =
     invalid_arg
       (Printf.sprintf "Structure.add_atom: %s expects %d arguments, got %d"
          (Symbol.name sym) (Symbol.arity sym) (Tuple.arity tup));
-  let d = { d with schema = Schema.add_symbol d.schema sym } in
+  let d = { d with schema = Schema.add_symbol d.schema sym; memo_slot = fresh_slot () } in
   let d = auto_bind d tup in
   let existing = Option.value ~default:Tuple.Set.empty (Symbol.Map.find_opt sym d.atoms) in
-  { d with atoms = Symbol.Map.add sym (Tuple.Set.add tup existing) d.atoms }
+  {
+    d with
+    atoms = Symbol.Map.add sym (Tuple.Set.add tup existing) d.atoms;
+    memo_slot = fresh_slot ();
+  }
 
 let add_fact d sym values = add_atom d sym (Tuple.make values)
 
@@ -84,7 +112,9 @@ let is_nontrivial d =
 
 let union a b =
   let merged = StringMap.fold (fun c v acc -> bind_constant acc c v) b.interp a in
-  let merged = { merged with schema = Schema.union merged.schema b.schema } in
+  let merged =
+    { merged with schema = Schema.union merged.schema b.schema; memo_slot = fresh_slot () }
+  in
   Symbol.Map.fold
     (fun sym set acc -> Tuple.Set.fold (fun tup acc -> add_atom acc sym tup) set acc)
     b.atoms merged
@@ -94,6 +124,7 @@ let restrict d ~keep =
     d with
     schema = Schema.restrict d.schema ~keep;
     atoms = Symbol.Map.filter (fun sym _ -> keep sym) d.atoms;
+    memo_slot = fresh_slot ();
   }
 
 let map_values f d =
@@ -101,6 +132,7 @@ let map_values f d =
     d with
     atoms = Symbol.Map.map (fun set -> Tuple.Set.map (Tuple.map f) set) d.atoms;
     interp = StringMap.map f d.interp;
+    memo_slot = fresh_slot ();
   }
 
 let subsumes big small =

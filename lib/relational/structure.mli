@@ -73,3 +73,24 @@ val rebind_constant : t -> string -> Value.t -> t
 (** Like {!bind_constant} but overrides an existing interpretation — used
     when a database is re-read under a different choice of constants
     (Section 2.3's trade between constants and free variables). *)
+
+(** {2 Derived-view memoisation}
+
+    Downstream libraries attach lazily-built read-only views (join indexes,
+    in particular) to a structure through a single extensible slot.  The
+    slot is cleared on every modifying operation ({!add_atom},
+    {!bind_constant}, {!map_values}, …) because those return structures
+    with a fresh slot — cached views can never go stale.  The slot holds
+    immutable data built from an immutable structure, so concurrent domains
+    racing to fill it at worst duplicate work. *)
+
+type memo = ..
+(** Extend with your own constructor to memoise a derived view. *)
+
+val memo_find : t -> (memo -> 'a option) -> 'a option
+(** [memo_find d pick] applies [pick] to the cached value, if any. *)
+
+val memo_store : t -> memo -> unit
+(** [memo_store d m] (re)fills the slot.  Later stores overwrite earlier
+    ones — the slot is a one-element cache, by design: each evaluation
+    pipeline attaches exactly one view kind. *)

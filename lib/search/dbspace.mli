@@ -69,3 +69,47 @@ val find_guarded :
 val count_space : Schema.t -> size:int -> int
 (** Number of potential atoms at one domain size (not the number of
     databases). *)
+
+(** {2 Parallel sweeps}
+
+    The mask enumeration fanned over a {!Bagcq_parallel.Pool.sweep}: each
+    worker domain gets its own {!Bagcq_guard.Budget} shard drawn from the
+    caller's budget (exhaustion in any shard stops the sweep; ticks are
+    summed back into the parent before returning), and the predicate
+    receives the worker's shard so its own backtracking ticks the right
+    budget.  With [jobs = 1] nothing is spawned and the caller's budget is
+    used directly — candidate order, tick placement and statistics then
+    match {!find_guarded} exactly. *)
+
+val find_guarded_par :
+  budget:Bagcq_guard.Budget.t ->
+  ?jobs:int ->
+  ?chunk:int ->
+  ?with_constants:bool ->
+  Schema.t ->
+  max_size:int ->
+  (budget:Bagcq_guard.Budget.t -> Structure.t -> bool) ->
+  (Structure.t option * stats, stats) Bagcq_guard.Outcome.t
+(** Parallel {!find_guarded}.  The witness returned is the {e first} one in
+    the serial enumeration order regardless of [jobs] (workers cooperate on
+    a lowest-witness bound rather than stopping at the first hit), so
+    seeded hunts are reproducible across job counts. *)
+
+val fold_par :
+  ?budget:Bagcq_guard.Budget.t ->
+  ?jobs:int ->
+  ?chunk:int ->
+  ?with_constants:bool ->
+  Schema.t ->
+  max_size:int ->
+  worker:(unit -> 'w) ->
+  f:(budget:Bagcq_guard.Budget.t -> 'w -> Structure.t -> unit) ->
+  unit ->
+  'w array
+(** Parallel {!fold} with per-worker mutable state: [worker ()] allocates
+    each worker's accumulator, [f] folds a candidate database into it, and
+    the per-worker states come back for the caller to merge (order across
+    workers is scheduling-dependent — merge with a commutative operation).
+    When a [?budget] is given and any shard trips, the sweep stops, shards
+    are absorbed, and {!Bagcq_guard.Budget.Exhausted_} is re-raised like
+    the serial {!fold}. *)

@@ -1,5 +1,6 @@
 open Bagcq_relational
 module Containment = Bagcq_reduction.Containment
+module Eval = Bagcq_hom.Eval
 module Budget = Bagcq_guard.Budget
 module Outcome = Bagcq_guard.Outcome
 
@@ -35,8 +36,14 @@ let feasible_size schema requested =
   done;
   Stdlib.max 0 !size
 
-let counterexample_guarded ?(strategy = default) ~budget ~small ~big () =
+(* One evaluation cache per domain: worker predicates running on spawned
+   domains each get their own (plans compile once per domain, counts
+   memoise per structure), with no cross-domain sharing to synchronise. *)
+let dls_cache : Eval.cache Domain.DLS.key = Domain.DLS.new_key Eval.create_cache
+
+let serial_guarded ~strategy ~budget ~small ~big () =
   let schema = Sampler.schema_of_pair small big in
+  let cache = Eval.create_cache () in
   let witness = ref None in
   let exhaustive_complete = ref false in
   let tested_exhaustive = ref 0 in
@@ -65,7 +72,7 @@ let counterexample_guarded ?(strategy = default) ~budget ~small ~big () =
       if size >= 1 then begin
         match
           Dbspace.find_guarded ~budget schema ~max_size:size (fun d ->
-              Containment.bag_violation ~budget ~small ~big d)
+              Containment.bag_violation ~budget ~cache ~small ~big d)
         with
         | Outcome.Complete (w, stats) ->
             tested_exhaustive := stats.Dbspace.databases_tested;
@@ -85,7 +92,7 @@ let counterexample_guarded ?(strategy = default) ~budget ~small ~big () =
           let outcome =
             Sampler.sample_stream ~budget strategy.sampler schema (fun d ->
                 incr tested_random;
-                Containment.bag_violation ~budget ~small ~big d)
+                Containment.bag_violation ~budget ~cache ~small ~big d)
           in
           tested_random := outcome.Sampler.tested;
           (* re-verify with exact, unbudgeted counting: a candidate the
@@ -97,8 +104,78 @@ let counterexample_guarded ?(strategy = default) ~budget ~small ~big () =
           | None -> ()));
       (report (), progress ()))
 
-let counterexample ?(strategy = default) ~small ~big () =
+(* The parallel path shares no phase code with [serial_guarded]: its two
+   phases return structured outcomes (shards are absorbed inside
+   [Dbspace.find_guarded_par] / [Sampler.sample_batches_guarded]), so no
+   [Exhausted_] unwinds through here and there is no outer guard. *)
+let parallel_guarded ~strategy ~jobs ~budget ~small ~big () =
+  if jobs < 1 then invalid_arg "Hunt.counterexample_guarded: jobs must be >= 1";
+  let schema = Sampler.schema_of_pair small big in
+  let pred ~budget d =
+    let cache = Domain.DLS.get dls_cache in
+    Containment.bag_violation ~budget ~cache ~small ~big d
+  in
+  let witness = ref None in
+  let exhaustive_complete = ref false in
+  let tested_exhaustive = ref 0 in
+  let largest = ref 0 in
+  let tested_random = ref 0 in
+  let unverified = ref None in
+  let report () =
+    {
+      witness = !witness;
+      exhaustive_complete = !exhaustive_complete;
+      tested_random = !tested_random;
+      unverified = !unverified;
+    }
+  in
+  let progress () =
+    {
+      databases_tested = !tested_exhaustive + !tested_random;
+      ticks_spent = Budget.ticks budget;
+      largest_size_completed = !largest;
+    }
+  in
+  let size = feasible_size schema strategy.exhaustive_max_size in
+  let exhaustive =
+    if size >= 1 then Dbspace.find_guarded_par ~budget ~jobs schema ~max_size:size pred
+    else
+      Outcome.Complete (None, Dbspace.{ databases_tested = 0; largest_size_completed = 0 })
+  in
+  match exhaustive with
+  | Outcome.Exhausted (stats, reason) ->
+      tested_exhaustive := stats.Dbspace.databases_tested;
+      largest := stats.Dbspace.largest_size_completed;
+      Outcome.Exhausted ((report (), progress ()), reason)
+  | Outcome.Complete (w, stats) -> (
+      tested_exhaustive := stats.Dbspace.databases_tested;
+      largest := stats.Dbspace.largest_size_completed;
+      witness := w;
+      exhaustive_complete := size = strategy.exhaustive_max_size;
+      match w with
+      | Some _ -> Outcome.Complete (report (), progress ())
+      | None -> (
+          match
+            Sampler.sample_batches_guarded ~budget ~jobs strategy.sampler schema pred
+          with
+          | Outcome.Exhausted (outcome, reason) ->
+              tested_random := outcome.Sampler.tested;
+              Outcome.Exhausted ((report (), progress ()), reason)
+          | Outcome.Complete outcome ->
+              tested_random := outcome.Sampler.tested;
+              (match outcome.Sampler.witness with
+              | Some d when verified ~small ~big d -> witness := Some d
+              | Some d -> unverified := Some d
+              | None -> ());
+              Outcome.Complete (report (), progress ())))
+
+let counterexample_guarded ?(strategy = default) ?jobs ~budget ~small ~big () =
+  match jobs with
+  | None -> serial_guarded ~strategy ~budget ~small ~big ()
+  | Some jobs -> parallel_guarded ~strategy ~jobs ~budget ~small ~big ()
+
+let counterexample ?(strategy = default) ?jobs ~small ~big () =
   let budget = Budget.unlimited () in
-  match counterexample_guarded ~strategy ~budget ~small ~big () with
+  match counterexample_guarded ~strategy ?jobs ~budget ~small ~big () with
   | Outcome.Complete (report, _) -> report
   | Outcome.Exhausted _ -> assert false (* an unlimited budget never trips *)

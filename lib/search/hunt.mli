@@ -41,7 +41,7 @@ type progress = {
 }
 
 val counterexample :
-  ?strategy:strategy -> small:Query.t -> big:Query.t -> unit -> report
+  ?strategy:strategy -> ?jobs:int -> small:Query.t -> big:Query.t -> unit -> report
 (** Hunt for [small(D) > big(D)] without a budget (runs to completion; may
     effectively diverge on adversarial inputs — prefer
     {!counterexample_guarded}).  The witness, if any, is re-verified by
@@ -49,6 +49,7 @@ val counterexample :
 
 val counterexample_guarded :
   ?strategy:strategy ->
+  ?jobs:int ->
   budget:Bagcq_guard.Budget.t ->
   small:Query.t ->
   big:Query.t ->
@@ -59,7 +60,18 @@ val counterexample_guarded :
     progress), reason)] carries everything learned before the budget
     tripped: databases tested, ticks spent, the largest domain size whose
     exhaustive sweep finished, and any witness found (which always
-    re-verifies). *)
+    re-verifies).
+
+    Without [?jobs] the hunt runs the seed's serial phases on the calling
+    domain.  With [~jobs:n] it runs the chunked parallel phases
+    ({!Dbspace.find_guarded_par} and {!Sampler.sample_batches_guarded})
+    over [n] worker domains, each with its own budget shard and evaluation
+    cache; ticks are summed back into [budget], exhaustion in any shard
+    stops the hunt, and the witness (lowest candidate index) is the same
+    for every [n].  [~jobs:1] uses the same chunked phases inline — note
+    its random phase draws a {e different} (equally deterministic) sample
+    sequence than the serial path, so pass [?jobs] for jobs-count
+    comparisons and omit it for seed-compatible behaviour. *)
 
 val verified : small:Query.t -> big:Query.t -> Structure.t -> bool
 (** Exact re-check of a candidate witness. *)

@@ -82,3 +82,24 @@ val check_all :
     statements such as Definition 3 (≤). *)
 
 val schema_of_pair : Query.t -> Query.t -> Schema.t
+
+(** {2 Parallel batches} *)
+
+val default_batch : int
+(** Samples per worker chunk (16). *)
+
+val sample_batches_guarded :
+  budget:Bagcq_guard.Budget.t ->
+  ?jobs:int ->
+  ?chunk:int ->
+  config ->
+  Schema.t ->
+  (budget:Bagcq_guard.Budget.t -> Structure.t -> bool) ->
+  (outcome, outcome) Bagcq_guard.Outcome.t
+(** Batched, parallel variant of {!sample_stream_guarded}: sample chunks
+    are fanned over [jobs] worker domains, each with its own budget shard
+    absorbed back into [budget] on return.  The i-th candidate database
+    depends only on [(config.seed, i)] — not on [jobs] — and the witness
+    returned is the lowest-index one, so results are reproducible across
+    job counts.  The sample sequence intentionally differs from
+    {!sample_stream} (per-chunk RNGs instead of one stream). *)

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Tier-1 verification in a single command:
-#   build + full test suite (unit + cram), plus a formatting check when
-#   an ocamlformat binary and a .ocamlformat config are present.
+#   build + full test suite (unit + cram), the parallel test binary under
+#   both one and two worker domains, a benchmark-schema check, plus a
+#   formatting check when an ocamlformat binary and a .ocamlformat config
+#   are present.
 #
 # Usage: scripts/check.sh
 set -eu
@@ -10,6 +12,19 @@ cd "$(dirname "$0")/.."
 
 echo "== dune build @check (build + runtest) =="
 dune build @check
+
+# dune caches test results per binary, not per environment, so the two
+# jobs settings are exercised by running the parallel suite directly.
+for jobs in 1 2; do
+  echo "== test_parallel under BAGCQ_JOBS=$jobs =="
+  BAGCQ_JOBS=$jobs ./_build/default/test/test_parallel.exe >/dev/null
+done
+
+echo "== BENCH_PR2.json schema =="
+dune exec bench/main.exe -- --json-only >/dev/null
+grep -o '"[a-z_0-9]*":' BENCH_PR2.json | sort -u | tr -d '":' \
+  | diff scripts/bench_pr2_keys.txt - \
+  || { echo "BENCH_PR2.json keys drifted from scripts/bench_pr2_keys.txt" >&2; exit 1; }
 
 if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
   echo "== dune fmt --check =="

@@ -58,6 +58,35 @@ while ample fuel changes nothing — same witness, exit code 0:
   E(1, 2).
   E(2, 1).
 
+The sweep can be fanned over worker domains; the witness (and every line
+of output) is independent of the jobs count:
+
+  $ ../../bin/bagcq_cli.exe hunt --small 'E(x,y) & E(y,z)' --big 'E(x,y)' --jobs 2
+  VIOLATED: small(D) = 5 > big(D) = 3 on:
+  E(1, 1).
+  E(1, 2).
+  E(2, 1).
+
+  $ ../../bin/bagcq_cli.exe hunt --small 'E(x,y) & E(y,z)' --big 'E(x,y)' --jobs 4
+  VIOLATED: small(D) = 5 > big(D) = 3 on:
+  E(1, 1).
+  E(1, 2).
+  E(2, 1).
+
+A jobs count below 1 is rejected at parse time:
+
+  $ ../../bin/bagcq_cli.exe hunt --small 'E(x,x)' --big 'E(x,y)' --jobs 0
+  bagcq: option '--jobs': invalid value '0', expected a positive integer
+  Usage: bagcq hunt [OPTION]…
+  Try 'bagcq hunt --help' or 'bagcq --help' for more information.
+  [124]
+
+as is a malformed BAGCQ_JOBS environment default:
+
+  $ BAGCQ_JOBS=three ../../bin/bagcq_cli.exe hunt --small 'E(x,x)' --big 'E(x,y)'
+  bagcq: BAGCQ_JOBS: expected a positive integer, got "three"
+  [3]
+
 eval and contain take the same flags:
 
   $ ../../bin/bagcq_cli.exe eval -q 'E(x,y) & E(y,z)' -d db.txt --fuel 2
