@@ -481,30 +481,30 @@ let exp_guard () =
 (* Bechamel: the JSON must be producible in the --json-only fast mode.  *)
 (* ------------------------------------------------------------------ *)
 
-(* rows destined for BENCH_PR2.json: (name, fields), field = key * json *)
-type json_field = string * [ `Int of int | `Float of float | `Str of string ]
+(* rows destined for the benchmark JSON file; built as Wire.Json values and
+   printed by the wire layer's own printer, so the bench output is also a
+   round-trip test of the serialiser *)
+module Json = Bagcq_wire.Json
 
-let bench_rows : (string * json_field list) list ref = ref []
+let bench_rows : (string * (string * Json.t) list) list ref = ref []
 let emit name fields = bench_rows := (name, fields) :: !bench_rows
 
 let write_bench_json path =
-  let oc = open_out path in
-  let field (k, v) =
-    match v with
-    | `Int i -> Printf.sprintf "\"%s\": %d" k i
-    | `Float f -> Printf.sprintf "\"%s\": %.6f" k f
-    | `Str s -> Printf.sprintf "\"%s\": \"%s\"" k s
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "BENCH_PR3");
+        ("jobs_available", Json.Int (Domain.recommended_domain_count ()));
+        ( "experiments",
+          Json.List
+            (List.rev_map
+               (fun (name, fields) ->
+                 Json.Obj (("name", Json.Str name) :: fields))
+               !bench_rows) );
+      ]
   in
-  Printf.fprintf oc "{\n  \"bench\": \"BENCH_PR2\",\n  \"jobs_available\": %d,\n  \"experiments\": [\n"
-    (Domain.recommended_domain_count ());
-  List.iteri
-    (fun i (name, fields) ->
-      Printf.fprintf oc "    {\"name\": \"%s\", %s}%s\n" name
-        (String.concat ", " (List.map field fields))
-        (if i = List.length !bench_rows - 1 then "" else ","))
-    (List.rev !bench_rows);
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.to_string_pretty doc))
 
 let wall f =
   let t0 = Unix.gettimeofday () in
@@ -542,13 +542,13 @@ let exp_kernel () =
       (ok (c_compiled = c_ref));
     emit name
       [
-        ("reps", `Int reps);
-        ("hom_count", `Int c_compiled);
-        ("compiled_wall_s", `Float t_compiled);
-        ("ref_wall_s", `Float t_ref);
-        ("compiled_counts_per_s", `Float (per_sec t_compiled));
-        ("ref_counts_per_s", `Float (per_sec t_ref));
-        ("speedup", `Float speedup);
+        ("reps", Json.Int reps);
+        ("hom_count", Json.Int c_compiled);
+        ("compiled_wall_s", Json.Float t_compiled);
+        ("ref_wall_s", Json.Float t_ref);
+        ("compiled_counts_per_s", Json.Float (per_sec t_compiled));
+        ("ref_counts_per_s", Json.Float (per_sec t_ref));
+        ("speedup", Json.Float speedup);
       ]
   in
   (* CYCLIQ-style rotation query: the paper's R-atom cycle over all p
@@ -590,12 +590,79 @@ let exp_parallel_sweep () =
       row "  jobs %d: %6d databases, %5d violations, %.3fs wall\n" jobs tested violations t;
       emit (Printf.sprintf "sweep-path-vs-edge-jobs-%d" jobs)
         [
-          ("jobs", `Int jobs);
-          ("databases", `Int tested);
-          ("violations", `Int violations);
-          ("wall_s", `Float t);
+          ("jobs", Json.Int jobs);
+          ("databases", Json.Int tested);
+          ("violations", Json.Int violations);
+          ("wall_s", Json.Float t);
         ])
     [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* EXP-SERVE: the NDJSON service end to end.  A server runs its stdio   *)
+(* loop in a spawned domain over a pipe pair; the scripted load driver  *)
+(* talks to it in lockstep exactly as a cram test or a human would, so  *)
+(* the measured path includes framing, decoding and response printing.  *)
+(* ------------------------------------------------------------------ *)
+
+let exp_serve () =
+  header "EXP-SERVE - NDJSON service: throughput, latency, cache hit rate";
+  let module Router = Bagcq_server.Router in
+  let module Serve = Bagcq_server.Serve in
+  let module Load = Bagcq_server.Load in
+  row "  %-24s %8s %10s %10s %9s %s\n" "scenario" "req" "req/s" "ms/req"
+    "hit rate" "ok/err/exh";
+  List.iter
+    (fun (label, n, malformed_every) ->
+      let router = Router.create () in
+      let req_r, req_w = Unix.pipe () in
+      let resp_r, resp_w = Unix.pipe () in
+      let server =
+        Domain.spawn (fun () ->
+            let ic = Unix.in_channel_of_descr req_r in
+            let oc = Unix.out_channel_of_descr resp_w in
+            Serve.stdio router ic oc;
+            In_channel.close ic;
+            Out_channel.close oc)
+      in
+      let oc = Unix.out_channel_of_descr req_w in
+      let ic = Unix.in_channel_of_descr resp_r in
+      let s = Load.drive oc ic (Load.script ~malformed_every ~n ()) in
+      Out_channel.close oc;
+      Domain.join server;
+      In_channel.close ic;
+      let stats = Bagcq_server.Cache.stats (Router.cache router) in
+      let lookups = stats.Bagcq_server.Cache.result_hits + stats.Bagcq_server.Cache.result_misses in
+      let hit_rate =
+        if lookups = 0 then 0.0
+        else float_of_int stats.Bagcq_server.Cache.result_hits /. float_of_int lookups
+      in
+      let req_per_s =
+        if s.Load.wall_s > 0.0 then float_of_int n /. s.Load.wall_s else 0.0
+      in
+      let mean_latency_ms =
+        if n > 0 then 1000.0 *. s.Load.wall_s /. float_of_int n else 0.0
+      in
+      row "  %-24s %8d %10.1f %10.3f %9.2f %d/%d/%d  [%s]\n" label n req_per_s
+        mean_latency_ms hit_rate s.Load.ok s.Load.errors s.Load.exhausted
+        (ok (s.Load.unparsed = 0 && s.Load.requests = n));
+      emit label
+        [
+          ("requests", Json.Int n);
+          ("wall_s", Json.Float s.Load.wall_s);
+          ("req_per_s", Json.Float req_per_s);
+          ("mean_latency_ms", Json.Float mean_latency_ms);
+          ("ok", Json.Int s.Load.ok);
+          ("errors", Json.Int s.Load.errors);
+          ("exhausted", Json.Int s.Load.exhausted);
+          ("cached", Json.Int s.Load.cached);
+          ("result_hits", Json.Int stats.Bagcq_server.Cache.result_hits);
+          ("result_misses", Json.Int stats.Bagcq_server.Cache.result_misses);
+          ("hit_rate", Json.Float hit_rate);
+        ])
+    [
+      ("serve-mixed-ops", 120, 0);
+      ("serve-with-malformed", 60, 8);
+    ]
 
 let exp_hde () =
   header "EXP-HDE - homomorphism domination exponent (Kopparty-Rossman [12])";
@@ -723,13 +790,24 @@ let run_benchmarks () =
       | _ -> Printf.printf "  %-42s (no estimate)\n" name)
     (List.sort compare rows)
 
-let bench_json_path = "BENCH_PR2.json"
+let default_bench_json_path = "BENCH_PR3.json"
+
+(* minimal flag parsing: --json PATH overrides where the row file lands *)
+let bench_json_path =
+  let path = ref default_bench_json_path in
+  Array.iteri
+    (fun i arg ->
+      if arg = "--json" && i + 1 < Array.length Sys.argv then
+        path := Sys.argv.(i + 1))
+    Sys.argv;
+  !path
 
 let () =
   if Array.exists (( = ) "--json-only") Sys.argv then begin
-    (* fast mode for CI: just the kernel/parallel rows and the JSON file *)
+    (* fast mode for CI: just the kernel/parallel/serve rows and the JSON file *)
     exp_kernel ();
     exp_parallel_sweep ();
+    exp_serve ();
     write_bench_json bench_json_path;
     Printf.printf "\nwrote %s\n" bench_json_path;
     exit 0
@@ -758,6 +836,7 @@ let () =
   exp_guard ();
   exp_kernel ();
   exp_parallel_sweep ();
+  exp_serve ();
   exp_hde ();
   exp_set_vs_bag ();
   run_benchmarks ();

@@ -425,10 +425,139 @@ let hde_cmd =
        ~doc:"Estimate the homomorphism domination exponent (Kopparty-Rossman).")
     Cmdliner.Term.(ret (const run $ small $ big))
 
+(* ---------------- serve ---------------- *)
+
+module Router = Bagcq_server.Router
+module Serve = Bagcq_server.Serve
+module Load = Bagcq_server.Load
+
+let serve_cmd =
+  let stdio =
+    Arg.(value & flag & info [ "stdio" ]
+           ~doc:"Serve NDJSON requests on stdin/stdout — one request per line, \
+                 one response per line. This is the default when no $(b,--port) \
+                 is given.")
+  in
+  let port =
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+           ~doc:"Listen on 127.0.0.1:$(docv) instead of stdio (0 picks a free \
+                 port; the actual port is printed to stderr).")
+  in
+  let max_fuel =
+    Arg.(value & opt int 50_000_000 & info [ "max-fuel" ] ~docv:"N"
+           ~doc:"Server-wide cap on per-request fuel; a request asking for more \
+                 (or for none) is clamped to $(docv). 0 removes the cap.")
+  in
+  let max_timeout =
+    Arg.(value & opt int 10_000 & info [ "max-timeout-ms" ] ~docv:"MS"
+           ~doc:"Server-wide cap on per-request wall-clock budget. 0 removes \
+                 the cap.")
+  in
+  let pipeline =
+    Arg.(value & opt int 1 & info [ "pipeline" ] ~docv:"N"
+           ~doc:"Stdio mode: read up to $(docv) lines ahead and answer them as \
+                 one concurrent batch. Responses are still written in request \
+                 order, so the protocol is unchanged.")
+  in
+  let jobs =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Worker domains executing a pipelined batch.")
+  in
+  let hunt_jobs =
+    Arg.(value & opt int 1 & info [ "hunt-jobs" ] ~docv:"N"
+           ~doc:"Worker domains inside a single hunt request.")
+  in
+  let max_connections =
+    Arg.(value & opt (some int) None & info [ "max-connections" ] ~docv:"N"
+           ~doc:"TCP mode: exit after serving $(docv) connections (for tests \
+                 and demos; the default is to serve forever).")
+  in
+  let run stdio port max_fuel max_timeout pipeline jobs hunt_jobs max_conns =
+    ignore stdio;
+    if max_fuel < 0 || max_timeout < 0 then
+      `Error (false, "--max-fuel and --max-timeout-ms must be non-negative")
+    else if pipeline < 1 || jobs < 1 || hunt_jobs < 1 then
+      `Error (false, "--pipeline, --jobs and --hunt-jobs must be positive")
+    else begin
+      let caps =
+        {
+          Router.max_fuel = (if max_fuel = 0 then None else Some max_fuel);
+          Router.max_timeout_ms =
+            (if max_timeout = 0 then None else Some max_timeout);
+        }
+      in
+      let router = Router.create ~caps ~hunt_jobs () in
+      (match port with
+      | None -> Serve.stdio ~pipeline ~jobs router stdin stdout
+      | Some p ->
+          Serve.tcp ?max_connections:max_conns
+            ~on_listen:(fun actual ->
+              Printf.eprintf "bagcq: listening on 127.0.0.1:%d\n%!" actual)
+            router ~port:p ());
+      `Ok 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve eval/contain/hunt/ping/stats requests over NDJSON, with \
+             per-request budgets clamped by server-wide caps and a shared \
+             result cache.")
+    Cmdliner.Term.(
+      ret
+        (const run $ stdio $ port $ max_fuel $ max_timeout $ pipeline $ jobs
+        $ hunt_jobs $ max_connections))
+
+(* ---------------- client ---------------- *)
+
+let client_cmd =
+  let port =
+    Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT"
+           ~doc:"Connect to a bagcq server on 127.0.0.1:$(docv).")
+  in
+  let n =
+    Arg.(value & opt int 40 & info [ "n"; "requests" ] ~docv:"N"
+           ~doc:"Number of scripted requests to send.")
+  in
+  let malformed =
+    Arg.(value & opt int 0 & info [ "malformed-every" ] ~docv:"K"
+           ~doc:"Make every $(docv)-th line deliberately malformed, checking \
+                 the server answers with a structured error and keeps going.")
+  in
+  let run port n malformed =
+    if n < 0 || malformed < 0 then
+      `Error (false, "--requests and --malformed-every must be non-negative")
+    else
+      match
+        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        sock
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+          `Error
+            ( false,
+              Printf.sprintf "cannot connect to 127.0.0.1:%d: %s" port
+                (Unix.error_message e) )
+      | sock ->
+          let ic = Unix.in_channel_of_descr sock in
+          let oc = Unix.out_channel_of_descr sock in
+          let summary =
+            Load.drive oc ic (Load.script ~malformed_every:malformed ~n ())
+          in
+          (try Unix.close sock with Unix.Unix_error _ -> ());
+          print_endline (Load.summary_to_string summary);
+          if summary.Load.unparsed = 0 then `Ok 0
+          else `Error (false, "server returned unparseable responses")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Drive a scripted request mix against a TCP bagcq server and \
+             report throughput and response statistics.")
+    Cmdliner.Term.(ret (const run $ port $ n $ malformed))
+
 let main_cmd =
   let doc = "bag-semantics conjunctive query containment toolbox (PODS 2024 reproduction)" in
   Cmd.group
     (Cmd.info "bagcq" ~version:"1.0.0" ~doc)
-    [ eval_cmd; contain_cmd; hunt_cmd; reduce_cmd; multiply_cmd; core_cmd; answers_cmd; hde_cmd ]
+    [ eval_cmd; contain_cmd; hunt_cmd; reduce_cmd; multiply_cmd; core_cmd; answers_cmd; hde_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -28,19 +28,49 @@ module QueryMap = Map.Make (Query)
    memo that still amortises across repeated components (∧̄ / ↑ powers).
    Without a caller-supplied cache every [count] call gets a fresh one, so
    the memoisation scope is exactly the seed behaviour. *)
+type cache_stats = {
+  plan_hits : int;
+  plan_misses : int;
+  count_hits : int;
+  count_misses : int;
+}
+
 type cache = {
   plans : Plan.t QueryMap.t ref;
   counts : Nat.t QueryMap.t ref;
   mutable counts_for : Bagcq_relational.Structure.t option;
+  mutable plan_hits : int;
+  mutable plan_misses : int;
+  mutable count_hits : int;
+  mutable count_misses : int;
 }
 
 let create_cache () =
-  { plans = ref QueryMap.empty; counts = ref QueryMap.empty; counts_for = None }
+  {
+    plans = ref QueryMap.empty;
+    counts = ref QueryMap.empty;
+    counts_for = None;
+    plan_hits = 0;
+    plan_misses = 0;
+    count_hits = 0;
+    count_misses = 0;
+  }
+
+let cache_stats c =
+  {
+    plan_hits = c.plan_hits;
+    plan_misses = c.plan_misses;
+    count_hits = c.count_hits;
+    count_misses = c.count_misses;
+  }
 
 let plan_for cache key =
   match QueryMap.find_opt key !(cache.plans) with
-  | Some p -> p
+  | Some p ->
+      cache.plan_hits <- cache.plan_hits + 1;
+      p
   | None ->
+      cache.plan_misses <- cache.plan_misses + 1;
       let p = Plan.compile key in
       cache.plans := QueryMap.add key p !(cache.plans);
       p
@@ -67,8 +97,11 @@ let count ?budget ?cache q d =
   let count_memo comp =
     let key = canonical_component comp in
     match QueryMap.find_opt key !(cache.counts) with
-    | Some c -> c
+    | Some c ->
+        cache.count_hits <- cache.count_hits + 1;
+        c
     | None ->
+        cache.count_misses <- cache.count_misses + 1;
         let c = Nat.of_int (Solver.count_plan ?budget (plan_for cache key) d) in
         cache.counts := QueryMap.add key c !(cache.counts);
         c

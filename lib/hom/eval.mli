@@ -21,6 +21,20 @@ type cache
 
 val create_cache : unit -> cache
 
+type cache_stats = {
+  plan_hits : int;  (** plan lookups answered from the cache *)
+  plan_misses : int;  (** plan compilations *)
+  count_hits : int;  (** component counts answered from the memo *)
+  count_misses : int;  (** component counts computed by the solver *)
+}
+(** Hit/miss counters since the cache was created.  The count memo is
+    flushed whenever evaluation moves to a different structure, so on a
+    workload that alternates databases the plan counters measure the
+    long-lived sharing and the count counters the within-database
+    sharing — the split the server's [stats] endpoint reports. *)
+
+val cache_stats : cache -> cache_stats
+
 val count : ?budget:Bagcq_guard.Budget.t -> ?cache:cache -> Query.t -> Structure.t -> Nat.t
 (** [count ψ D = ψ(D)].  With [?budget], the underlying backtracking ticks
     the budget and the call unwinds with {!Bagcq_guard.Budget.Exhausted_}

@@ -1,0 +1,62 @@
+module Eval = Bagcq_hom.Eval
+module Json = Bagcq_wire.Json
+
+type t = {
+  mutex : Mutex.t;
+  eval_cache : Eval.cache;
+  results : (string, (string * Json.t) list) Hashtbl.t;
+  mutable result_hits : int;
+  mutable result_misses : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    eval_cache = Eval.create_cache ();
+    results = Hashtbl.create 64;
+    result_hits = 0;
+    result_misses = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let with_eval t f = locked t (fun () -> f t.eval_cache)
+
+let find_result t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.results key with
+      | Some fields ->
+          t.result_hits <- t.result_hits + 1;
+          Some fields
+      | None ->
+          t.result_misses <- t.result_misses + 1;
+          None)
+
+let store_result t key fields =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.results key) then Hashtbl.add t.results key fields)
+
+type stats = {
+  result_hits : int;
+  result_misses : int;
+  result_entries : int;
+  plan_hits : int;
+  plan_misses : int;
+  count_hits : int;
+  count_misses : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      let e = Eval.cache_stats t.eval_cache in
+      {
+        result_hits = t.result_hits;
+        result_misses = t.result_misses;
+        result_entries = Hashtbl.length t.results;
+        plan_hits = e.Eval.plan_hits;
+        plan_misses = e.Eval.plan_misses;
+        count_hits = e.Eval.count_hits;
+        count_misses = e.Eval.count_misses;
+      })

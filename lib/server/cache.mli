@@ -1,0 +1,43 @@
+(** The process-wide cache a long-lived query service amortises across
+    requests — the whole point of not being a one-shot CLI process.
+
+    Two layers, both behind one mutex (OCaml 5 [Mutex] is domain-safe, so
+    the cache can be shared by the concurrent request executor):
+
+    - a {e result} memo: canonical request key ({!Bagcq_wire.Proto.cache_key})
+      to the core response fields.  Only [Complete] results are stored —
+      an [Exhausted] response depends on how far a budget got, so caching
+      it would break the per-request budget contract;
+    - a shared {!Bagcq_hom.Eval.cache}: compiled plans live for the process
+      lifetime, so a repeated query shape — even against a fresh database —
+      skips compilation.  [Eval]'s caches are share-nothing by design, so
+      evaluation against this shared one runs under the mutex; hunts keep
+      allocating their own per-worker caches and are not serialised.
+
+    Every counter the cache keeps is surfaced by the [stats] endpoint. *)
+
+type t
+
+val create : unit -> t
+
+val with_eval : t -> (Bagcq_hom.Eval.cache -> 'a) -> 'a
+(** Run an evaluation against the shared plan/count cache, holding the
+    cache mutex for the duration.  The callback must not re-enter the
+    cache. *)
+
+val find_result : t -> string -> (string * Bagcq_wire.Json.t) list option
+(** Look up a canonical request key, bumping the hit/miss counters. *)
+
+val store_result : t -> string -> (string * Bagcq_wire.Json.t) list -> unit
+
+type stats = {
+  result_hits : int;
+  result_misses : int;
+  result_entries : int;
+  plan_hits : int;
+  plan_misses : int;
+  count_hits : int;
+  count_misses : int;
+}
+
+val stats : t -> stats

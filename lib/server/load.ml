@@ -1,0 +1,117 @@
+module Json = Bagcq_wire.Json
+
+let queries =
+  [| "E(x,y)"; "E(x,y) & E(y,z)"; "E(x,y) & E(y,x)"; "E(x,y) & E(y,z) & E(z,x)" |]
+
+let dbs =
+  [| "E(1,2). E(2,3). E(3,1)."; "E(1,1)."; "E(1,2). E(2,1). E(1,3). E(3,2)." |]
+
+(* Small fixed budgets so a scripted run is fast and deterministic; the
+   corpus is tiny, so these never exhaust. *)
+let fuel = 200_000
+
+let obj fields = Json.to_string (Json.Obj fields)
+
+let eval_line ~id ~combo =
+  obj
+    [
+      ("op", Json.Str "eval");
+      ("id", Json.Int id);
+      ("query", Json.Str queries.(combo mod Array.length queries));
+      ("db", Json.Str dbs.(combo mod Array.length dbs));
+      ("fuel", Json.Int fuel);
+    ]
+
+let contain_pairs = [| (0, 1); (1, 0); (3, 2) |]
+
+let contain_line ~id ~combo =
+  let s, b = contain_pairs.(combo mod Array.length contain_pairs) in
+  obj
+    [
+      ("op", Json.Str "contain");
+      ("id", Json.Int id);
+      ("small", Json.Str queries.(s));
+      ("big", Json.Str queries.(b));
+      ("fuel", Json.Int fuel);
+    ]
+
+let hunt_pairs = [| (1, 0); (3, 1) |]
+
+let hunt_line ~id ~combo =
+  let s, b = hunt_pairs.(combo mod Array.length hunt_pairs) in
+  obj
+    [
+      ("op", Json.Str "hunt");
+      ("id", Json.Int id);
+      ("small", Json.Str queries.(s));
+      ("big", Json.Str queries.(b));
+      ("samples", Json.Int 20);
+      ("exhaustive_size", Json.Int 1);
+      ("seed", Json.Int 0x5eed);
+      ("fuel", Json.Int fuel);
+    ]
+
+let script ?(malformed_every = 0) ~n () =
+  List.init n (fun i ->
+      if malformed_every > 0 && (i + 1) mod malformed_every = 0 then
+        Printf.sprintf "{\"op\":\"eval\",\"id\":%d" i (* unterminated object *)
+      else
+        (* Dividing the index by the kind period means each kind walks its
+           combo space slowly: a run of a few dozen requests repeats
+           combos, which is what feeds the server's result cache. *)
+        let combo = i / 4 in
+        match i mod 4 with
+        | 0 | 2 -> eval_line ~id:i ~combo
+        | 1 -> contain_line ~id:i ~combo
+        | _ -> hunt_line ~id:i ~combo)
+
+type summary = {
+  requests : int;
+  ok : int;
+  errors : int;
+  exhausted : int;
+  cached : int;
+  unparsed : int;
+  wall_s : float;
+}
+
+let drive oc ic lines =
+  let ok = ref 0 and errors = ref 0 and exhausted = ref 0 in
+  let cached = ref 0 and unparsed = ref 0 and requests = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun line ->
+      incr requests;
+      output_string oc line;
+      output_char oc '\n';
+      flush oc;
+      match In_channel.input_line ic with
+      | None -> incr unparsed
+      | Some reply -> (
+          match Json.parse reply with
+          | Error _ -> incr unparsed
+          | Ok j ->
+              (match Bagcq_wire.Proto.status j with
+              | Some "ok" -> incr ok
+              | Some "exhausted" -> incr exhausted
+              | _ -> incr errors);
+              if Json.member "cached" j = Some (Json.Bool true) then
+                incr cached))
+    lines;
+  {
+    requests = !requests;
+    ok = !ok;
+    errors = !errors;
+    exhausted = !exhausted;
+    cached = !cached;
+    unparsed = !unparsed;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
+
+let summary_to_string s =
+  let rate = if s.wall_s > 0. then float_of_int s.requests /. s.wall_s else 0. in
+  Printf.sprintf
+    "%d requests in %.3fs (%.1f req/s): %d ok, %d errors, %d exhausted, %d \
+     cached%s"
+    s.requests s.wall_s rate s.ok s.errors s.exhausted s.cached
+    (if s.unparsed > 0 then Printf.sprintf ", %d unparsed" s.unparsed else "")

@@ -1,0 +1,38 @@
+(** Deterministic load generation: a scripted request mix and a lockstep
+    driver, shared by the [bagcq_cli client] command and the EXP-SERVE
+    benchmark.
+
+    The script cycles a small corpus of queries and databases, so a long
+    enough run necessarily repeats requests — that repetition is the
+    point: it is what exercises the server's shared result cache, and the
+    driver counts the [cached] responses so a run's hit rate is
+    observable from the client side alone. *)
+
+val script : ?malformed_every:int -> n:int -> unit -> string list
+(** [n] request lines mixing [eval], [contain], [hunt] and [ping] over a
+    fixed corpus, each carrying a numeric [id] and a modest fuel budget.
+    With [malformed_every = k > 0] every [k]-th line is deliberately not
+    a request (invalid JSON), checking that the server answers it with a
+    structured error and keeps going.  Fully deterministic: same
+    arguments, same lines. *)
+
+type summary = {
+  requests : int;
+  ok : int;
+  errors : int;
+  exhausted : int;
+  cached : int;  (** responses that carried [cached:true] *)
+  unparsed : int;  (** response lines that were not valid JSON — always 0
+                       against a correct server *)
+  wall_s : float;
+}
+
+val drive : out_channel -> in_channel -> string list -> summary
+(** Send each line and read its response before sending the next
+    (lockstep — no pipelining, so the driver can never deadlock on pipe
+    buffers), classifying responses by their [status] field.  The
+    channels face the server: [out_channel] is the server's stdin. *)
+
+val summary_to_string : summary -> string
+(** One human-readable line, e.g.
+    ["40 requests in 0.123s (325.2 req/s): 38 ok, 2 errors, 0 exhausted, 12 cached"]. *)

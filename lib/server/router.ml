@@ -1,0 +1,209 @@
+module Json = Bagcq_wire.Json
+module Proto = Bagcq_wire.Proto
+module Budget = Bagcq_guard.Budget
+module Outcome = Bagcq_guard.Outcome
+module Eval = Bagcq_hom.Eval
+module Nat = Bagcq_bignum.Nat
+module Containment = Bagcq_reduction.Containment
+module Hunt = Bagcq_search.Hunt
+module Sampler = Bagcq_search.Sampler
+
+type caps = { max_fuel : int option; max_timeout_ms : int option }
+
+let default_caps = { max_fuel = Some 50_000_000; max_timeout_ms = Some 10_000 }
+
+type t = {
+  caps : caps;
+  hunt_jobs : int;
+  cache : Cache.t;
+  requests : int Atomic.t;
+  ok : int Atomic.t;
+  errors : int Atomic.t;
+  exhausted : int Atomic.t;
+}
+
+let create ?(caps = default_caps) ?(hunt_jobs = 1) () =
+  if hunt_jobs < 1 then invalid_arg "Router.create: hunt_jobs must be >= 1";
+  {
+    caps;
+    hunt_jobs;
+    cache = Cache.create ();
+    requests = Atomic.make 0;
+    ok = Atomic.make 0;
+    errors = Atomic.make 0;
+    exhausted = Atomic.make 0;
+  }
+
+let caps t = t.caps
+let cache t = t.cache
+
+let clamp one cap =
+  match (one, cap) with
+  | Some v, Some c -> Some (min v c)
+  | Some v, None -> Some v
+  | None, c -> c
+
+let clamp_budget caps (spec : Proto.budget_spec) =
+  {
+    Proto.fuel = clamp spec.Proto.fuel caps.max_fuel;
+    Proto.timeout_ms = clamp spec.Proto.timeout_ms caps.max_timeout_ms;
+  }
+
+let make_budget caps spec =
+  let spec = clamp_budget caps spec in
+  Budget.create ?fuel:spec.Proto.fuel ?timeout_ms:spec.Proto.timeout_ms ()
+
+let stats_fields t =
+  let s = Cache.stats t.cache in
+  [
+    ("requests", Json.Int (Atomic.get t.requests));
+    ("ok", Json.Int (Atomic.get t.ok));
+    ("errors", Json.Int (Atomic.get t.errors));
+    ("exhausted", Json.Int (Atomic.get t.exhausted));
+    ("result_hits", Json.Int s.Cache.result_hits);
+    ("result_misses", Json.Int s.Cache.result_misses);
+    ("result_entries", Json.Int s.Cache.result_entries);
+    ("plan_hits", Json.Int s.Cache.plan_hits);
+    ("plan_misses", Json.Int s.Cache.plan_misses);
+    ("count_hits", Json.Int s.Cache.count_hits);
+    ("count_misses", Json.Int s.Cache.count_misses);
+    ("hunt_jobs", Json.Int t.hunt_jobs);
+  ]
+
+(* ---------------- op handlers ---------------- *)
+
+(* Look up the memo; on miss run [compute], which returns either the core
+   fields of a Complete response (memoised — a cached replay reports the
+   ticks the original computation spent, the deterministic cost of the
+   answer) or an already-built exhausted response (never memoised: how far
+   a budget got is a property of the request's budget, not of the
+   answer). *)
+let memoised t req ~compute =
+  let key = Proto.cache_key req in
+  match Cache.find_result t.cache key with
+  | Some core -> Proto.attach ?id:req.Proto.id ~cached:true core
+  | None -> (
+      match compute () with
+      | Ok core ->
+          Cache.store_result t.cache key core;
+          Proto.attach ?id:req.Proto.id ~cached:false core
+      | Error response -> response)
+
+let handle_eval t (req : Proto.request) ~query ~db =
+  let budget = make_budget t.caps req.Proto.budget in
+  memoised t req ~compute:(fun () ->
+      match
+        Outcome.guard
+          ~partial:(fun () -> ())
+          (fun () ->
+            Cache.with_eval t.cache (fun ec ->
+                Eval.count ~budget ~cache:ec query db))
+      with
+      | Outcome.Complete count ->
+          Ok
+            (Proto.eval_core ~count
+               ~satisfied:(not (Nat.is_zero count))
+               ~ticks:(Budget.ticks budget))
+      | Outcome.Exhausted ((), reason) ->
+          Error
+            (Proto.exhausted_response ?id:req.Proto.id ~op:"eval" ~reason
+               ~ticks:(Budget.ticks budget) []))
+
+let handle_contain t (req : Proto.request) ~small ~big =
+  let budget = make_budget t.caps req.Proto.budget in
+  memoised t req ~compute:(fun () ->
+      match
+        Outcome.guard
+          ~partial:(fun () -> ())
+          (fun () ->
+            let set_contains =
+              try Some (Containment.set_contains ~budget ~small ~big ())
+              with Invalid_argument _ -> None
+            in
+            (set_contains, Containment.bag_equivalent small big))
+      with
+      | Outcome.Complete (set_contains, bag_equivalent) ->
+          Ok
+            (Proto.contain_core ~set_contains ~bag_equivalent
+               ~ticks:(Budget.ticks budget))
+      | Outcome.Exhausted ((), reason) ->
+          Error
+            (Proto.exhausted_response ?id:req.Proto.id ~op:"contain" ~reason
+               ~ticks:(Budget.ticks budget) []))
+
+let handle_hunt t (req : Proto.request) ~small ~big ~samples ~exhaustive_size
+    ~seed =
+  let budget = make_budget t.caps req.Proto.budget in
+  let strategy =
+    {
+      Hunt.exhaustive_max_size = exhaustive_size;
+      Hunt.sampler = { Sampler.default with Sampler.samples; Sampler.seed };
+    }
+  in
+  let witness_with_counts = function
+    | None -> None
+    | Some d ->
+        let cs, cb = Containment.bag_counts ~small ~big d in
+        Some (d, cs, cb)
+  in
+  memoised t req ~compute:(fun () ->
+      match
+        Hunt.counterexample_guarded ~strategy ~jobs:t.hunt_jobs ~budget ~small
+          ~big ()
+      with
+      | Outcome.Complete (report, progress) ->
+          Ok
+            (Proto.hunt_core
+               ~witness:(witness_with_counts report.Hunt.witness)
+               ~exhaustive_complete:report.Hunt.exhaustive_complete
+               ~tested_random:report.Hunt.tested_random
+               ~ticks:progress.Hunt.ticks_spent)
+      | Outcome.Exhausted ((report, progress), reason) ->
+          Error
+            (Proto.exhausted_response ?id:req.Proto.id ~op:"hunt" ~reason
+               ~ticks:progress.Hunt.ticks_spent
+               (Proto.witness_fields (witness_with_counts report.Hunt.witness)
+               @ [
+                   ("databases_tested", Json.Int progress.Hunt.databases_tested);
+                   ( "largest_size_completed",
+                     Json.Int progress.Hunt.largest_size_completed );
+                   ("tested_random", Json.Int report.Hunt.tested_random);
+                 ])))
+
+(* ---------------- entry points ---------------- *)
+
+let classify t response =
+  (match Proto.status response with
+  | Some "ok" -> Atomic.incr t.ok
+  | Some "exhausted" -> Atomic.incr t.exhausted
+  | Some "error" | Some _ | None -> Atomic.incr t.errors);
+  response
+
+let handle_json t j =
+  Atomic.incr t.requests;
+  classify t
+    (match Proto.decode j with
+    | Error e -> Proto.error_response ?id:(Json.member "id" j) e
+    | Ok req -> (
+        let id = req.Proto.id in
+        try
+          match req.Proto.op with
+          | Proto.Ping -> Proto.ping_response ?id ()
+          | Proto.Stats -> Proto.stats_response ?id (stats_fields t)
+          | Proto.Eval { query; db } -> handle_eval t req ~query ~db
+          | Proto.Contain { small; big } -> handle_contain t req ~small ~big
+          | Proto.Hunt { small; big; samples; exhaustive_size; seed } ->
+              handle_hunt t req ~small ~big ~samples ~exhaustive_size ~seed
+        with e ->
+          Proto.error_response ?id
+            (Printf.sprintf "internal error: %s" (Printexc.to_string e))))
+
+let handle_line t line =
+  let response =
+    match Json.parse line with
+    | Error e ->
+        Atomic.incr t.requests;
+        classify t (Proto.error_response (Printf.sprintf "invalid JSON: %s" e))
+    | Ok j -> handle_json t j
+  in
+  Json.to_string response

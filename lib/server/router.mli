@@ -1,0 +1,55 @@
+(** Request dispatch: one NDJSON line in, one NDJSON line out.
+
+    The router owns everything a request needs — the server-wide budget
+    caps, the shared {!Cache}, the hunt parallelism setting and the
+    service counters — and guarantees two properties the protocol
+    promises:
+
+    - {b total}: {!handle_line} never raises, whatever the bytes.  A line
+      that fails to parse or decode yields a structured ["error"]
+      response; an internal exception is caught and reported the same
+      way.  This is property-tested against arbitrary byte sequences.
+    - {b bounded}: every dispatched request runs under a
+      {!Bagcq_guard.Budget.t} built from the request's [fuel] /
+      [timeout_ms] clamped by the server caps (a request that asks for
+      nothing still gets the caps), and budget exhaustion is a structured
+      ["exhausted"] response carrying the progress statistics — PR 1's
+      [Outcome] mapped onto the wire, never a hang or a crash. *)
+
+type caps = {
+  max_fuel : int option;
+      (** upper bound on any request's fuel; also the default when a
+          request specifies none.  [None] leaves requests uncapped. *)
+  max_timeout_ms : int option;  (** same for the wall-clock deadline *)
+}
+
+val default_caps : caps
+(** 50M ticks, 10s — generous for real queries, final for hostile ones. *)
+
+type t
+
+val create : ?caps:caps -> ?hunt_jobs:int -> unit -> t
+(** [hunt_jobs] (default 1) is the worker-domain count each hunt request
+    fans out over — independent of the cross-request concurrency, which
+    belongs to {!Serve.run_batch}. *)
+
+val caps : t -> caps
+val cache : t -> Cache.t
+
+val clamp_budget :
+  caps -> Bagcq_wire.Proto.budget_spec -> Bagcq_wire.Proto.budget_spec
+(** The effective per-request budget: each requested bound capped by the
+    server-wide cap, with the cap itself as the default.  Exposed for
+    tests. *)
+
+val handle_json : t -> Bagcq_wire.Json.t -> Bagcq_wire.Json.t
+(** Dispatch one parsed request. *)
+
+val handle_line : t -> string -> string
+(** Parse, dispatch, print.  Total: any input line yields a response
+    line. *)
+
+val stats_fields : t -> (string * Bagcq_wire.Json.t) list
+(** The counter block the [stats] op reports: requests served by status,
+    result-cache and plan/count-cache hit/miss counters, cache entries and
+    [hunt_jobs]. *)

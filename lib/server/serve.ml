@@ -1,0 +1,83 @@
+module Pool = Bagcq_parallel.Pool
+
+let run_batch ?(jobs = 1) router lines =
+  if jobs < 1 then invalid_arg "Serve.run_batch: jobs must be >= 1";
+  let n = Array.length lines in
+  let out = Array.make n "" in
+  if n > 0 then begin
+    let workers = Array.init (min jobs n) (fun i -> i) in
+    Pool.sweep ~chunk:1 ~n ~workers
+      ~body:(fun _w lo hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- Router.handle_line router lines.(i)
+        done;
+        `Continue)
+      ()
+  end;
+  out
+
+let write_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let stdio ?(pipeline = 1) ?(jobs = 1) router ic oc =
+  if pipeline < 1 then invalid_arg "Serve.stdio: pipeline must be >= 1";
+  if pipeline = 1 then begin
+    let rec loop () =
+      match In_channel.input_line ic with
+      | None -> ()
+      | Some line ->
+          write_line oc (Router.handle_line router line);
+          loop ()
+    in
+    loop ()
+  end
+  else begin
+    (* Read up to [pipeline] lines ahead, answer them as one concurrent
+       batch, emit in order; repeat until end of input. *)
+    let rec read_batch acc k =
+      if k = 0 then (List.rev acc, true)
+      else
+        match In_channel.input_line ic with
+        | None -> (List.rev acc, false)
+        | Some line -> read_batch (line :: acc) (k - 1)
+    in
+    let rec loop () =
+      let batch, more = read_batch [] pipeline in
+      if batch <> [] then
+        Array.iter (write_line oc) (run_batch ~jobs router (Array.of_list batch));
+      if more then loop ()
+    in
+    loop ()
+  end
+
+let tcp ?max_connections ?on_listen router ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen sock 16;
+      let actual_port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | Unix.ADDR_UNIX _ -> port
+      in
+      (match on_listen with Some f -> f actual_port | None -> ());
+      let served = ref 0 in
+      let continue () =
+        match max_connections with None -> true | Some m -> !served < m
+      in
+      while continue () do
+        let conn, _peer = Unix.accept sock in
+        incr served;
+        let ic = Unix.in_channel_of_descr conn in
+        let oc = Unix.out_channel_of_descr conn in
+        (* A peer that vanishes mid-write must not take the server down;
+           its connection is simply over. *)
+        (try stdio router ic oc
+         with Unix.Unix_error _ | Sys_error _ | End_of_file -> ());
+        try Unix.close conn with Unix.Unix_error _ -> ()
+      done)

@@ -1,0 +1,40 @@
+(** The serving loops: NDJSON on stdio, a blocking TCP accept loop, and
+    the concurrent batch executor both are built on.
+
+    Responses always come back in request order — concurrency is an
+    implementation detail of throughput, never of observable behaviour,
+    which is what keeps the stdio server cram-testable and clients
+    simple. *)
+
+val run_batch : ?jobs:int -> Router.t -> string array -> string array
+(** Execute a batch of request lines concurrently over a
+    {!Bagcq_parallel.Pool} domain sweep ([jobs] workers, default 1 —
+    inline) and return the response lines {e in request order}.  The
+    router's shared cache is domain-safe; identical requests inside one
+    concurrent batch may race to compute, in which case the first to
+    finish populates the memo (the others recompute the same answer, so
+    only the [cached] flag can differ). *)
+
+val stdio : ?pipeline:int -> ?jobs:int -> Router.t -> in_channel -> out_channel -> unit
+(** Serve until end of input.  With [pipeline = 1] (the default) each
+    request is answered before the next is read — the interactive mode.
+    With [pipeline = n > 1] up to [n] lines are read ahead and executed as
+    one concurrent batch ([jobs] workers); responses are still written in
+    request order, so the observable protocol is unchanged. *)
+
+val tcp :
+  ?max_connections:int ->
+  ?on_listen:(int -> unit) ->
+  Router.t ->
+  port:int ->
+  unit ->
+  unit
+(** Blocking TCP accept loop on the loopback interface (the vendored
+    [unix] library; no async runtime in the container).  Each accepted
+    connection is served with the stdio loop until the peer closes;
+    connections are handled one at a time, in arrival order, all sharing
+    the router's process-wide cache.  [port = 0] picks a free port;
+    [on_listen] receives the actual port once the socket is listening
+    (how tests and the CLI learn it).  [max_connections] returns after
+    that many connections — the tests' shutdown handle; omitted, the loop
+    runs forever. *)

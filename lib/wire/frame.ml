@@ -1,0 +1,8 @@
+let to_line v = Json.to_string v
+
+let output oc v =
+  output_string oc (to_line v);
+  output_char oc '\n';
+  flush oc
+
+let input ic = In_channel.input_line ic

@@ -1,0 +1,21 @@
+(** NDJSON framing: one JSON value per line.
+
+    The wire protocol is newline-delimited JSON — every request and every
+    response is exactly one line.  {!Json.to_string} never emits a raw
+    newline, so a frame is well-formed by construction; the reader is a
+    plain line reader, which is what makes the protocol trivially
+    composable with shells, pipes and cram tests. *)
+
+val to_line : Json.t -> string
+(** The frame for a value: compact single-line JSON, {e without} the
+    trailing newline. *)
+
+val output : out_channel -> Json.t -> unit
+(** Write one frame and its newline, then flush — a server must not sit on
+    a buffered response while the client waits. *)
+
+val input : in_channel -> string option
+(** Read one frame (one line, without its newline); [None] at end of
+    input.  No parsing — feeding the raw line to {!Json.parse} is the
+    caller's move, so that malformed bytes surface as structured decode
+    errors rather than reader failures. *)

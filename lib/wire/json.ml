@@ -1,0 +1,353 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | List x, List y -> List.equal equal x y
+  | Obj x, Obj y ->
+      List.equal (fun (k, v) (k', v') -> String.equal k k' && equal v v') x y
+  | (Null | Bool _ | Int _ | Float _ | Str _ | List _ | Obj _), _ -> false
+
+let max_depth = 256
+
+(* ---------------- printing ---------------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  escape_to buf s;
+  Buffer.contents buf
+
+(* A float must re-parse as a float, so the spelling always carries a '.'
+   or an exponent; the shortest of %.12g/%.17g that round-trips wins. *)
+let float_repr f =
+  let short = Printf.sprintf "%.12g" f in
+  let s = if float_of_string short = f then short else Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
+
+let rec to_buf buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_repr f)
+      else Buffer.add_string buf "null"
+  | Str s -> escape_to buf s
+  | List vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          to_buf buf v)
+        vs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          escape_to buf k;
+          Buffer.add_string buf ": ";
+          to_buf buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buf buf v;
+  Buffer.contents buf
+
+let to_string_pretty v =
+  let buf = Buffer.create 1024 in
+  let indent n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  let rec go depth = function
+    | (Null | Bool _ | Int _ | Float _ | Str _) as v -> to_buf buf v
+    | List [] -> Buffer.add_string buf "[]"
+    | List vs ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            indent (depth + 1);
+            go (depth + 1) v)
+          vs;
+        Buffer.add_char buf '\n';
+        indent depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            indent (depth + 1);
+            escape_to buf k;
+            Buffer.add_string buf ": ";
+            go (depth + 1) v)
+          fields;
+        Buffer.add_char buf '\n';
+        indent depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+(* ---------------- parsing ---------------- *)
+
+exception Fail of string * int
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Fail (msg, !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" lit)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "invalid \\u escape"
+      in
+      v := (!v * 16) + d;
+      incr pos
+    done;
+    !v
+  in
+  let add_utf8 buf cp =
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let string_body () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= n then fail "unterminated escape";
+          let c = s.[!pos] in
+          incr pos;
+          (match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+              let cp = hex4 () in
+              if cp >= 0xD800 && cp <= 0xDBFF then begin
+                (* high surrogate: a \uDC00-\uDFFF low half must follow *)
+                if
+                  !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                then begin
+                  pos := !pos + 2;
+                  let lo = hex4 () in
+                  if lo < 0xDC00 || lo > 0xDFFF then fail "unpaired surrogate";
+                  add_utf8 buf
+                    (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+                end
+                else fail "unpaired surrogate"
+              end
+              else if cp >= 0xDC00 && cp <= 0xDFFF then fail "unpaired surrogate"
+              else add_utf8 buf cp
+          | _ -> fail "invalid escape");
+          go ()
+      | c ->
+          incr pos;
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        incr pos
+      done;
+      if !pos = d0 then fail "expected a digit"
+    in
+    let int_start = !pos in
+    digits ();
+    (* JSON forbids leading zeros: 0 is fine, 01 is not *)
+    if s.[int_start] = '0' && !pos - int_start > 1 then
+      fail "leading zero in number";
+    let fractional = ref false in
+    if peek () = Some '.' then begin
+      fractional := true;
+      incr pos;
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        fractional := true;
+        incr pos;
+        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+        digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !fractional then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> Float (float_of_string text)
+  in
+  let rec value depth =
+    if depth > max_depth then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = string_body () in
+            skip_ws ();
+            expect ':';
+            let v = value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                incr pos;
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else begin
+          let rec elems acc =
+            let v = value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elems (v :: acc)
+            | Some ']' ->
+                incr pos;
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          List (elems [])
+        end
+    | Some '"' -> Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = value 0 in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (msg, p) -> Error (Printf.sprintf "%s at offset %d" msg p)
+  | exception Failure _ -> Error "invalid number"
+
+let parse_exn s =
+  match parse s with
+  | Ok v -> v
+  | Error msg -> invalid_arg ("Json.parse: " ^ msg)
+
+(* ---------------- accessors ---------------- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let get_string k j = match member k j with Some (Str s) -> Some s | _ -> None
+let get_int k j = match member k j with Some (Int i) -> Some i | _ -> None
+let get_bool k j = match member k j with Some (Bool b) -> Some b | _ -> None

@@ -1,0 +1,75 @@
+(** A dependency-free JSON value type with a correct escaper/printer and a
+    total recursive-descent parser.
+
+    The sealed container ships no [yojson]; this module is the JSON layer
+    the NDJSON wire protocol ({!Frame}, {!Proto}) and the benchmark emitter
+    are built on.  Three properties the rest of the system relies on:
+
+    - {b Totality}: {!parse} never raises on any byte sequence — it returns
+      [Ok] or [Error], bounded by a nesting-depth cap, so a server fed
+      hostile traffic cannot be crashed through its decoder.
+    - {b One line}: {!to_string} never emits a raw newline (control
+      characters are escaped), so every printed value is a valid NDJSON
+      frame by construction.
+    - {b Round-trip}: [parse (to_string v) = Ok v] for every value whose
+      floats are finite (non-finite floats print as [null], the only JSON
+      spelling available). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+      (** Insertion-ordered fields; duplicate keys are preserved by the
+          parser and printer, and {!member} returns the first. *)
+
+val equal : t -> t -> bool
+
+val max_depth : int
+(** Nesting-depth cap for {!parse} (an error beyond it, never a stack
+    overflow). *)
+
+(** {2 Printing} *)
+
+val escape_string : string -> string
+(** The JSON spelling of a string, including the surrounding quotes:
+    [escape_string {|a"b|} = {|"a\"b"|}].  Escapes quotes, backslashes and
+    all control characters below [0x20]; other bytes pass through verbatim
+    (strings are treated as UTF-8). *)
+
+val to_string : t -> string
+(** Compact, single-line printing.  Non-finite floats print as [null];
+    finite floats print with a decimal point or exponent so they re-parse
+    as [Float], using the shortest representation that round-trips. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented multi-line printing for files meant to be read by
+    humans (the benchmark JSON).  Same escaping as {!to_string}. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Parsing} *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value spanning the whole input (surrounding whitespace
+    allowed).  Never raises; errors carry a byte offset.  Numbers with a
+    fraction or exponent — and integers that overflow OCaml's [int] —
+    become [Float]; everything else becomes [Int].  [\uXXXX] escapes
+    (including surrogate pairs) decode to UTF-8. *)
+
+val parse_exn : string -> t
+(** Raises [Invalid_argument] on parse errors. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** First field of that name in an [Obj]; [None] on anything else. *)
+
+val get_string : string -> t -> string option
+val get_int : string -> t -> int option
+val get_bool : string -> t -> bool option
+(** [get_* name obj] composes {!member} with a type test: the field's
+    payload when present with the right constructor, [None] otherwise. *)

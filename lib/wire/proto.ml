@@ -1,0 +1,218 @@
+open Bagcq_relational
+open Bagcq_cq
+module Nat = Bagcq_bignum.Nat
+module Budget = Bagcq_guard.Budget
+
+type budget_spec = { fuel : int option; timeout_ms : int option }
+
+type op =
+  | Ping
+  | Stats
+  | Eval of { query : Query.t; db : Structure.t }
+  | Contain of { small : Query.t; big : Query.t }
+  | Hunt of {
+      small : Query.t;
+      big : Query.t;
+      samples : int;
+      exhaustive_size : int;
+      seed : int;
+    }
+
+type request = { id : Json.t option; budget : budget_spec; op : op }
+
+let op_name = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Eval _ -> "eval"
+  | Contain _ -> "contain"
+  | Hunt _ -> "hunt"
+
+(* ---------------- decoding ---------------- *)
+
+let ( let* ) = Result.bind
+
+let field_string j name =
+  match Json.member name j with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let field_nonneg_int j name ~default =
+  match Json.member name j with
+  | None -> Ok default
+  | Some (Json.Int i) when i >= 0 -> Ok i
+  | Some _ ->
+      Error (Printf.sprintf "field %S must be a non-negative integer" name)
+
+let field_opt_nonneg_int j name =
+  match Json.member name j with
+  | None -> Ok None
+  | Some (Json.Int i) when i >= 0 -> Ok (Some i)
+  | Some _ ->
+      Error (Printf.sprintf "field %S must be a non-negative integer" name)
+
+let parse_query j name =
+  let* text = field_string j name in
+  match Parse.parse text with
+  | Ok q -> Ok q
+  | Error e -> Error (Printf.sprintf "field %S: %s" name e)
+
+let parse_db j name =
+  let* text = field_string j name in
+  match Encode.parse text with
+  | Ok d -> Ok d
+  | Error e -> Error (Printf.sprintf "field %S: %s" name e)
+
+let default_samples = 200
+let default_exhaustive_size = 2
+let default_seed = 0x5eed
+
+let decode j =
+  match j with
+  | Json.Obj _ ->
+      let id = Json.member "id" j in
+      let* fuel = field_opt_nonneg_int j "fuel" in
+      let* timeout_ms = field_opt_nonneg_int j "timeout_ms" in
+      let budget = { fuel; timeout_ms } in
+      let* name = field_string j "op" in
+      let* op =
+        match name with
+        | "ping" -> Ok Ping
+        | "stats" -> Ok Stats
+        | "eval" ->
+            let* query = parse_query j "query" in
+            let* db = parse_db j "db" in
+            Ok (Eval { query; db })
+        | "contain" ->
+            let* small = parse_query j "small" in
+            let* big = parse_query j "big" in
+            Ok (Contain { small; big })
+        | "hunt" ->
+            let* small = parse_query j "small" in
+            let* big = parse_query j "big" in
+            let* samples = field_nonneg_int j "samples" ~default:default_samples in
+            let* exhaustive_size =
+              field_nonneg_int j "exhaustive_size" ~default:default_exhaustive_size
+            in
+            let* seed = field_nonneg_int j "seed" ~default:default_seed in
+            Ok (Hunt { small; big; samples; exhaustive_size; seed })
+        | other -> Error (Printf.sprintf "unknown op %S" other)
+      in
+      Ok { id; budget; op }
+  | _ -> Error "request must be a JSON object"
+
+let decode_line line =
+  match Json.parse line with
+  | Error e -> Error (Printf.sprintf "invalid JSON: %s" e)
+  | Ok j -> decode j
+
+(* ---------------- cache keys ---------------- *)
+
+let budget_fields { fuel; timeout_ms } =
+  let f name = function None -> [] | Some v -> [ (name, Json.Int v) ] in
+  f "fuel" fuel @ f "timeout_ms" timeout_ms
+
+let cache_key { id = _; budget; op } =
+  let payload =
+    match op with
+    | Ping -> []
+    | Stats -> []
+    | Eval { query; db } ->
+        [
+          ("query", Json.Str (Query.to_string query));
+          ("db", Json.Str (Encode.to_string db));
+        ]
+    | Contain { small; big } ->
+        [
+          ("small", Json.Str (Query.to_string small));
+          ("big", Json.Str (Query.to_string big));
+        ]
+    | Hunt { small; big; samples; exhaustive_size; seed } ->
+        [
+          ("small", Json.Str (Query.to_string small));
+          ("big", Json.Str (Query.to_string big));
+          ("samples", Json.Int samples);
+          ("exhaustive_size", Json.Int exhaustive_size);
+          ("seed", Json.Int seed);
+        ]
+  in
+  Json.to_string
+    (Json.Obj ((("op", Json.Str (op_name op)) :: payload) @ budget_fields budget))
+
+(* ---------------- response builders ---------------- *)
+
+let with_id id fields =
+  match id with None -> fields | Some id -> ("id", id) :: fields
+
+let error_response ?id msg =
+  Json.Obj (with_id id [ ("status", Json.Str "error"); ("error", Json.Str msg) ])
+
+let ping_response ?id () =
+  Json.Obj
+    (with_id id [ ("op", Json.Str "ping"); ("status", Json.Str "ok") ])
+
+let core ~op rest = ("op", Json.Str op) :: ("status", Json.Str "ok") :: rest
+
+let eval_core ~count ~satisfied ~ticks =
+  core ~op:"eval"
+    [
+      ("count", Json.Str (Nat.to_string count));
+      ("satisfied", Json.Bool satisfied);
+      ("ticks", Json.Int ticks);
+    ]
+
+let contain_core ~set_contains ~bag_equivalent ~ticks =
+  core ~op:"contain"
+    [
+      ( "set_contains",
+        match set_contains with Some b -> Json.Bool b | None -> Json.Null );
+      ("bag_equivalent", Json.Bool bag_equivalent);
+      ("ticks", Json.Int ticks);
+    ]
+
+let witness_fields = function
+  | Some (d, cs, cb) ->
+      [
+        ("violated", Json.Bool true);
+        ("witness", Json.Str (Encode.to_string d));
+        ("small_count", Json.Str (Nat.to_string cs));
+        ("big_count", Json.Str (Nat.to_string cb));
+      ]
+  | None -> [ ("violated", Json.Bool false) ]
+
+let hunt_core ~witness ~exhaustive_complete ~tested_random ~ticks =
+  core ~op:"hunt"
+    (witness_fields witness
+    @ [
+        ("exhaustive_complete", Json.Bool exhaustive_complete);
+        ("tested_random", Json.Int tested_random);
+        ("ticks", Json.Int ticks);
+      ])
+
+(* The [cached] marker goes right after op/status so hit and miss
+   responses differ only in that one field. *)
+let attach ?id ~cached fields =
+  let fields =
+    match fields with
+    | op :: status :: rest ->
+        op :: status :: ("cached", Json.Bool cached) :: rest
+    | short -> short
+  in
+  Json.Obj (with_id id fields)
+
+let exhausted_response ?id ~op ~reason ~ticks extra =
+  Json.Obj
+    (with_id id
+       (("op", Json.Str op)
+       :: ("status", Json.Str "exhausted")
+       :: ("reason", Json.Str (Budget.reason_to_string reason))
+       :: ("ticks", Json.Int ticks)
+       :: extra))
+
+let stats_response ?id fields =
+  Json.Obj
+    (with_id id
+       (("op", Json.Str "stats") :: ("status", Json.Str "ok") :: fields))
+
+let status j =
+  match Json.member "status" j with Some (Json.Str s) -> Some s | _ -> None

@@ -1,0 +1,110 @@
+(** Typed request/response codecs for the bagcq query service.
+
+    One request is one NDJSON object.  The [op] field selects the shape;
+    query and database payloads reuse the CLI's surface syntax
+    ({!Bagcq_cq.Parse} for queries, {!Bagcq_relational.Encode} for
+    databases), so anything that can be typed at the CLI can be sent over
+    the wire verbatim:
+
+    {v
+      {"op":"ping","id":1}
+      {"op":"eval","query":"E(x,y) & E(y,z)","db":"E(1,2). E(2,1).","fuel":10000}
+      {"op":"contain","small":"E(x,y) & E(y,z)","big":"E(x,y)"}
+      {"op":"hunt","small":"E(x,y) & E(y,z)","big":"E(x,y)","samples":100,
+       "exhaustive_size":2,"seed":24301,"timeout_ms":500}
+      {"op":"stats"}
+    v}
+
+    Every request may carry [id] (any JSON value, echoed back unchanged in
+    the response — how a pipelining client matches responses to requests),
+    and [fuel] / [timeout_ms] (non-negative integers, the per-request
+    budget; the server clamps both by its own caps).
+
+    Responses always carry ["status"]: ["ok"], ["exhausted"] (the budget
+    tripped — PR 1's [Outcome.Exhausted] on the wire, never a crash) or
+    ["error"] (the line was not a well-formed request).  Builders here emit
+    fields in a fixed order so responses are byte-stable for cram tests. *)
+
+open Bagcq_relational
+open Bagcq_cq
+module Nat = Bagcq_bignum.Nat
+
+type budget_spec = { fuel : int option; timeout_ms : int option }
+
+type op =
+  | Ping
+  | Stats
+  | Eval of { query : Query.t; db : Structure.t }
+  | Contain of { small : Query.t; big : Query.t }
+  | Hunt of {
+      small : Query.t;
+      big : Query.t;
+      samples : int;
+      exhaustive_size : int;
+      seed : int;
+    }
+
+type request = { id : Json.t option; budget : budget_spec; op : op }
+
+val op_name : op -> string
+(** ["ping"], ["stats"], ["eval"], ["contain"], ["hunt"]. *)
+
+val decode : Json.t -> (request, string) result
+(** Decode a parsed line.  Errors are human-readable and name the
+    offending field; payload syntax errors (query/database) are decode
+    errors too, so a request can never half-execute. *)
+
+val decode_line : string -> (request, string) result
+(** {!Json.parse} composed with {!decode}. *)
+
+val cache_key : request -> string
+(** A canonical spelling of the request {e without} its [id]: two requests
+    with the same key are semantically identical (same op, same payloads,
+    same budget), which is what the server's shared result cache is keyed
+    on.  Parsed payloads are re-printed, so formatting differences in the
+    incoming text do not split cache entries. *)
+
+(** {2 Response builders}
+
+    A completed response is built in two steps: an op-specific {e core}
+    field list (what the server's result memo stores), then {!attach},
+    which prepends the echoed [id] and inserts the [cached] marker.  The
+    split is what lets a cache hit replay a stored core byte-identically
+    except for [cached]. *)
+
+val eval_core : count:Nat.t -> satisfied:bool -> ticks:int -> (string * Json.t) list
+(** [count] is decimal-in-a-string: bag counts overflow both OCaml's [int]
+    and JSON's interoperable float range almost immediately. *)
+
+val contain_core :
+  set_contains:bool option -> bag_equivalent:bool -> ticks:int ->
+  (string * Json.t) list
+(** [set_contains = None] (printed [null]) when inequalities make the
+    Chandra–Merlin check inapplicable. *)
+
+val witness_fields : (Structure.t * Nat.t * Nat.t) option -> (string * Json.t) list
+(** [violated:true] with the database in {!Encode} syntax and the two
+    counts, or [violated:false]. *)
+
+val hunt_core :
+  witness:(Structure.t * Nat.t * Nat.t) option -> exhaustive_complete:bool ->
+  tested_random:int -> ticks:int -> (string * Json.t) list
+
+val attach : ?id:Json.t -> cached:bool -> (string * Json.t) list -> Json.t
+(** Finish a core into a response object. *)
+
+val error_response : ?id:Json.t -> string -> Json.t
+val ping_response : ?id:Json.t -> unit -> Json.t
+
+val exhausted_response :
+  ?id:Json.t -> op:string -> reason:Bagcq_guard.Budget.reason -> ticks:int ->
+  (string * Json.t) list -> Json.t
+(** Budget exhaustion with op-specific progress fields appended.  Never
+    memoised: how far a budget got is a property of the request's budget,
+    not of the answer. *)
+
+val stats_response : ?id:Json.t -> (string * Json.t) list -> Json.t
+
+val status : Json.t -> string option
+(** The ["status"] field of a response — what a load-generating client
+    switches on. *)

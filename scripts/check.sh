@@ -20,11 +20,24 @@ for jobs in 1 2; do
   BAGCQ_JOBS=$jobs ./_build/default/test/test_parallel.exe >/dev/null
 done
 
-echo "== BENCH_PR2.json schema =="
+echo "== BENCH_PR3.json schema =="
 dune exec bench/main.exe -- --json-only >/dev/null
-grep -o '"[a-z_0-9]*":' BENCH_PR2.json | sort -u | tr -d '":' \
-  | diff scripts/bench_pr2_keys.txt - \
-  || { echo "BENCH_PR2.json keys drifted from scripts/bench_pr2_keys.txt" >&2; exit 1; }
+grep -o '"[a-z_0-9]*":' BENCH_PR3.json | sort -u | tr -d '":' \
+  | diff scripts/bench_pr3_keys.txt - \
+  || { echo "BENCH_PR3.json keys drifted from scripts/bench_pr3_keys.txt" >&2; exit 1; }
+
+echo "== serve --stdio answers and survives malformed input =="
+serve_out=$(printf '%s\n' \
+  '{"op":"eval","id":1,"query":"E(x,y)","db":"E(1,2).","fuel":1000}' \
+  'garbage' \
+  '{"op":"stats","id":2}' \
+  | ./_build/default/bin/bagcq_cli.exe serve --stdio)
+echo "$serve_out" | grep -q '"id": 1, "op": "eval", "status": "ok"' \
+  || { echo "serve --stdio: eval did not answer ok" >&2; exit 1; }
+echo "$serve_out" | grep -q '"status": "error"' \
+  || { echo "serve --stdio: malformed line not answered with an error" >&2; exit 1; }
+echo "$serve_out" | grep -q '"requests": 3' \
+  || { echo "serve --stdio: stats did not count all requests" >&2; exit 1; }
 
 if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
   echo "== dune fmt --check =="

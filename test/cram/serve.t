@@ -1,0 +1,48 @@
+The NDJSON service on stdio: one request per line in, one response per
+line out, budgets honoured, exhaustion structured, malformed input
+answered rather than fatal, and the shared result cache visible in the
+stats op.
+
+  $ cat > requests.ndjson <<'EOF'
+  > {"op":"ping","id":1}
+  > {"op":"eval","id":2,"query":"E(x,y) & E(y,z)","db":"E(1,2). E(2,3). E(3,1).","fuel":100000}
+  > {"op":"eval","id":3,"query":"E(x,y) & E(y,z)","db":"E(1,2). E(2,3). E(3,1).","fuel":100000}
+  > {"op":"contain","id":4,"small":"E(x,y) & E(y,z)","big":"E(x,y)"}
+  > {"op":"hunt","id":5,"small":"E(x,y) & E(y,z)","big":"E(x,y)","samples":10,"exhaustive_size":2,"seed":7,"fuel":50}
+  > {not json
+  > {"op":"frobnicate","id":7}
+  > {"op":"stats","id":8}
+  > EOF
+  $ ../../bin/bagcq_cli.exe serve --stdio < requests.ndjson
+  {"id": 1, "op": "ping", "status": "ok"}
+  {"id": 2, "op": "eval", "status": "ok", "cached": false, "count": "3", "satisfied": true, "ticks": 13}
+  {"id": 3, "op": "eval", "status": "ok", "cached": true, "count": "3", "satisfied": true, "ticks": 13}
+  {"id": 4, "op": "contain", "status": "ok", "cached": false, "set_contains": true, "bag_equivalent": false, "ticks": 3}
+  {"id": 5, "op": "hunt", "status": "exhausted", "reason": "fuel", "ticks": 50, "violated": false, "databases_tested": 7, "largest_size_completed": 1, "tested_random": 0}
+  {"status": "error", "error": "invalid JSON: expected '\"' at offset 1"}
+  {"id": 7, "status": "error", "error": "unknown op \"frobnicate\""}
+  {"id": 8, "op": "stats", "status": "ok", "requests": 8, "ok": 4, "errors": 2, "exhausted": 1, "result_hits": 1, "result_misses": 3, "result_entries": 2, "plan_hits": 0, "plan_misses": 1, "count_hits": 0, "count_misses": 1, "hunt_jobs": 1}
+
+A hunt that completes inside its budget finds the classic witness, and a
+repeat of the identical request is served from the cache with the same
+answer:
+
+  $ cat > hunt.ndjson <<'EOF'
+  > {"op":"hunt","id":1,"small":"E(x,y) & E(y,z)","big":"E(x,y)","samples":50,"exhaustive_size":3,"seed":7,"fuel":1000000}
+  > {"op":"hunt","id":2,"small":"E(x,y) & E(y,z)","big":"E(x,y)","samples":50,"exhaustive_size":3,"seed":7,"fuel":1000000}
+  > EOF
+  $ ../../bin/bagcq_cli.exe serve --stdio < hunt.ndjson | sed 's/"witness": "[^"]*"/"witness": "..."/'
+  {"id": 1, "op": "hunt", "status": "ok", "cached": false, "violated": true, "witness": "...", "small_count": "5", "big_count": "3", "exhaustive_complete": true, "tested_random": 0, "ticks": 108}
+  {"id": 2, "op": "hunt", "status": "ok", "cached": true, "violated": true, "witness": "...", "small_count": "5", "big_count": "3", "exhaustive_complete": true, "tested_random": 0, "ticks": 108}
+
+Per-request budgets are clamped by server-wide caps: with --max-fuel 50
+even an unbudgeted request degrades to a structured exhaustion, never a
+hang or a crash, and the exit code stays 0 (protocol errors are data,
+not process failures):
+
+  $ printf '%s\n' '{"op":"hunt","id":1,"small":"E(x,y) & E(y,z)","big":"E(x,y)","fuel":1000000000}' \
+  >   | ../../bin/bagcq_cli.exe serve --stdio --max-fuel 50
+  {"id": 1, "op": "hunt", "status": "exhausted", "reason": "fuel", "ticks": 50, "violated": false, "databases_tested": 7, "largest_size_completed": 1, "tested_random": 0}
+  $ printf 'garbage\n' | ../../bin/bagcq_cli.exe serve --stdio; echo "exit: $?"
+  {"status": "error", "error": "invalid JSON: unexpected character 'g' at offset 0"}
+  exit: 0

@@ -42,8 +42,42 @@ let db_tokens =
 
 let poly_tokens = [ "x1"; "x2"; "x"; "+"; "-"; "*"; "^"; "("; ")"; "2"; "13"; " " ]
 
+(* random queries over a small term pool; inequalities only between
+   distinct terms (Query.make rejects reflexive ones) *)
+let gen_query st =
+  let terms =
+    [|
+      Term.var "x"; Term.var "y"; Term.var "z"; Term.var "u";
+      Term.cst "a"; Term.cst "b";
+    |]
+  in
+  let term () = terms.(Random.State.int st (Array.length terms)) in
+  let e = Build.sym "E" 2 and r = Build.sym "R" 3 in
+  let atom () =
+    if Random.State.bool st then Build.atom e [ term (); term () ]
+    else Build.atom r [ term (); term (); term () ]
+  in
+  let atoms = List.init (1 + Random.State.int st 4) (fun _ -> atom ()) in
+  let neqs =
+    List.filter_map
+      (fun _ ->
+        let a = term () and b = term () in
+        if Term.equal a b then None else Some (a, b))
+      (List.init (Random.State.int st 3) Fun.id)
+  in
+  Query.make ~neqs atoms
+
 let valid_roundtrips =
   [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"query print/parse roundtrip" ~count:500
+         (QCheck.make ~print:Query.to_string gen_query)
+         (fun q ->
+           match Parse.parse (Query.to_string q) with
+           | Ok q' -> Query.equal q q'
+           | Error e ->
+               QCheck.Test.fail_reportf "reparse of %S failed: %s"
+                 (Query.to_string q) e));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"poly print/parse roundtrip" ~count:300
          (QCheck.make ~print:Polynomial.to_string (fun st ->

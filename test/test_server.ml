@@ -1,0 +1,276 @@
+(* lib/server: the router's budget clamping, the shared result cache, the
+   ordered concurrent batch executor and the TCP loop.  The headline
+   property mirrors the wire layer's: feeding the server loop arbitrary
+   bytes always yields a structured single-line JSON response, never an
+   exception. *)
+
+module Json = Bagcq_wire.Json
+module Proto = Bagcq_wire.Proto
+module Router = Bagcq_server.Router
+module Serve = Bagcq_server.Serve
+module Load = Bagcq_server.Load
+module Cache = Bagcq_server.Cache
+
+let handle router line =
+  match Json.parse (Router.handle_line router line) with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "response is not JSON (%s)" e
+
+let status v = Proto.status v
+let get = Json.member
+
+let eval_line =
+  {|{"op":"eval","id":1,"query":"E(x,y) & E(y,z)","db":"E(1,2). E(2,3). E(3,1).","fuel":100000}|}
+
+let test_ping_and_echo () =
+  let r = Router.create () in
+  let v = handle r {|{"op":"ping","id":[1,"a"]}|} in
+  Alcotest.(check (option string)) "status" (Some "ok") (status v);
+  (match get "id" v with
+  | Some (Json.List [ Json.Int 1; Json.Str "a" ]) -> ()
+  | _ -> Alcotest.fail "id not echoed structurally")
+
+let test_eval_and_cache () =
+  let r = Router.create () in
+  let v1 = handle r eval_line in
+  Alcotest.(check (option string)) "count" (Some "3") (Json.get_string "count" v1);
+  Alcotest.(check (option bool)) "first uncached" (Some false)
+    (Json.get_bool "cached" v1);
+  let v2 = handle r eval_line in
+  Alcotest.(check (option bool)) "repeat cached" (Some true)
+    (Json.get_bool "cached" v2);
+  (* identical apart from the cached flag *)
+  let strip v =
+    match v with
+    | Json.Obj fields -> Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields)
+    | v -> v
+  in
+  Alcotest.(check bool) "same answer" true (Json.equal (strip v1) (strip v2));
+  let s = Cache.stats (Router.cache r) in
+  Alcotest.(check int) "one hit" 1 s.Cache.result_hits;
+  Alcotest.(check int) "one miss" 1 s.Cache.result_misses;
+  (* different surface spelling, same semantics: still a hit *)
+  let v3 =
+    handle r
+      {|{"id":99,"fuel":100000,"db":"E(1,2). E(2,3). E(3,1).","query":"E(x,y)&E(y,z)","op":"eval"}|}
+  in
+  Alcotest.(check (option bool)) "re-spelled request hits" (Some true)
+    (Json.get_bool "cached" v3)
+
+let test_budget_clamp () =
+  (* server cap of 50 ticks: a request asking for a billion is clamped,
+     and a request asking for nothing gets the cap as its default *)
+  let caps = { Router.max_fuel = Some 50; Router.max_timeout_ms = None } in
+  let r = Router.create ~caps () in
+  List.iter
+    (fun line ->
+      let v = handle r line in
+      Alcotest.(check (option string)) "exhausted" (Some "exhausted") (status v);
+      match Json.get_int "ticks" v with
+      | Some t when t <= 50 -> ()
+      | t ->
+          Alcotest.failf "ticks %s above the 50-tick cap"
+            (match t with Some t -> string_of_int t | None -> "missing"))
+    [
+      {|{"op":"hunt","small":"E(x,y) & E(y,z)","big":"E(x,y)","fuel":1000000000}|};
+      {|{"op":"hunt","small":"E(x,y) & E(y,z)","big":"E(x,y)"}|};
+    ]
+
+let test_exhausted_shape () =
+  let r = Router.create () in
+  let v =
+    handle r
+      {|{"op":"hunt","id":5,"small":"E(x,y) & E(y,z)","big":"E(x,y)","fuel":50}|}
+  in
+  Alcotest.(check (option string)) "status" (Some "exhausted") (status v);
+  Alcotest.(check (option string)) "reason" (Some "fuel")
+    (Json.get_string "reason" v);
+  Alcotest.(check bool) "progress fields present" true
+    (Json.get_int "databases_tested" v <> None
+    && Json.get_int "largest_size_completed" v <> None);
+  (* an exhausted answer is never memoised: re-asking re-runs *)
+  let v' = handle r {|{"op":"hunt","id":5,"small":"E(x,y) & E(y,z)","big":"E(x,y)","fuel":50}|} in
+  Alcotest.(check bool) "no cached flag on exhausted" true
+    (Json.get_bool "cached" v' = None)
+
+let test_malformed_and_stats () =
+  let r = Router.create () in
+  let v = handle r "{definitely not json" in
+  Alcotest.(check (option string)) "error status" (Some "error") (status v);
+  ignore (handle r eval_line);
+  ignore (handle r eval_line);
+  let s = handle r {|{"op":"stats"}|} in
+  Alcotest.(check (option int)) "requests" (Some 4) (Json.get_int "requests" s);
+  Alcotest.(check (option int)) "errors" (Some 1) (Json.get_int "errors" s);
+  Alcotest.(check (option int)) "result_hits" (Some 1)
+    (Json.get_int "result_hits" s)
+
+let never_crashes =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"handle_line total on arbitrary bytes" ~count:1000
+       (QCheck.make ~print:String.escaped
+          QCheck.Gen.(string_size ~gen:char (int_bound 80)))
+       (let r = Router.create () in
+        fun line ->
+          match Router.handle_line r line with
+          | response -> (
+              match Json.parse response with
+              | Ok v -> Proto.status v <> None && not (String.contains response '\n')
+              | Error e ->
+                  QCheck.Test.fail_reportf "unparseable response %S (%s)" response e)
+          | exception e ->
+              QCheck.Test.fail_reportf "escaped exception %s on %S"
+                (Printexc.to_string e) line))
+
+(* request-shaped noise: valid JSON objects with op-like fields drive the
+   decoder and handlers, not just the tokenizer *)
+let never_crashes_request_soup =
+  let gen =
+    QCheck.Gen.(
+      let field =
+        oneofl
+          [
+            {|"op":"eval"|}; {|"op":"hunt"|}; {|"op":"stats"|}; {|"op":17|};
+            {|"query":"E(x,y)"|}; {|"query":"E(x"|}; {|"db":"E(1,2)."|};
+            {|"db":"nonsense"|}; {|"small":"E(x,y)"|}; {|"big":true|};
+            {|"fuel":3|}; {|"fuel":-3|}; {|"fuel":1e99|}; {|"id":null|};
+            {|"samples":0|}; {|"exhaustive_size":1|}; {|"timeout_ms":1|};
+          ]
+      in
+      map
+        (fun fs -> "{" ^ String.concat "," fs ^ "}")
+        (list_size (int_bound 6) field))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"handle_line total on request soup" ~count:500
+       (QCheck.make ~print:Fun.id gen)
+       (let r = Router.create () in
+        fun line ->
+          match Router.handle_line r line with
+          | response -> Result.is_ok (Json.parse response)
+          | exception e ->
+              QCheck.Test.fail_reportf "escaped exception %s on %S"
+                (Printexc.to_string e) line))
+
+let test_run_batch_ordered () =
+  let lines = Array.of_list (Load.script ~malformed_every:5 ~n:30 ()) in
+  let serial = Serve.run_batch ~jobs:1 (Router.create ()) lines in
+  let concurrent = Serve.run_batch ~jobs:4 (Router.create ()) lines in
+  (* responses come back in request order whatever the worker count; only
+     the cached flag may differ when duplicates race *)
+  let strip line =
+    match Json.parse line with
+    | Ok (Json.Obj fields) ->
+        Json.to_string (Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields))
+    | _ -> line
+  in
+  Alcotest.(check (array string))
+    "jobs-independent responses"
+    (Array.map strip serial) (Array.map strip concurrent);
+  (* ids in the responses are 0,1,2,... in order (malformed lines excepted) *)
+  Array.iteri
+    (fun i resp ->
+      match Json.parse resp with
+      | Ok v -> (
+          match Json.get_int "id" v with
+          | Some id -> Alcotest.(check int) "response order" i id
+          | None -> ())
+      | Error _ -> Alcotest.fail "unparseable batch response")
+    concurrent
+
+let test_stdio_pipeline () =
+  (* the pipelined stdio loop answers a scripted run identically to the
+     lockstep loop *)
+  let script = Load.script ~n:12 () in
+  let run pipeline =
+    let input = String.concat "\n" script ^ "\n" in
+    let r, w = Unix.pipe () in
+    let resp_r, resp_w = Unix.pipe () in
+    let writer =
+      Domain.spawn (fun () ->
+          let oc = Unix.out_channel_of_descr w in
+          output_string oc input;
+          Out_channel.close oc)
+    in
+    let server =
+      Domain.spawn (fun () ->
+          let ic = Unix.in_channel_of_descr r in
+          let oc = Unix.out_channel_of_descr resp_w in
+          Serve.stdio ~pipeline ~jobs:2 (Router.create ()) ic oc;
+          In_channel.close ic;
+          Out_channel.close oc)
+    in
+    let ic = Unix.in_channel_of_descr resp_r in
+    let rec read acc =
+      match In_channel.input_line ic with
+      | Some l -> read (l :: acc)
+      | None -> List.rev acc
+    in
+    let responses = read [] in
+    Domain.join writer;
+    Domain.join server;
+    In_channel.close ic;
+    responses
+  in
+  let strip line =
+    match Json.parse line with
+    | Ok (Json.Obj fields) ->
+        Json.to_string (Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields))
+    | _ -> line
+  in
+  Alcotest.(check (list string))
+    "pipeline=4 matches lockstep"
+    (List.map strip (run 1))
+    (List.map strip (run 4))
+
+let test_tcp_roundtrip () =
+  let port = Atomic.make 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.tcp ~max_connections:1
+          ~on_listen:(fun p -> Atomic.set port p)
+          (Router.create ()) ~port:0 ())
+  in
+  let rec wait_port n =
+    if Atomic.get port = 0 then
+      if n = 0 then Alcotest.fail "server never listened"
+      else begin
+        Unix.sleepf 0.01;
+        wait_port (n - 1)
+      end
+  in
+  wait_port 500;
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, Atomic.get port));
+  let ic = Unix.in_channel_of_descr sock in
+  let oc = Unix.out_channel_of_descr sock in
+  let summary = Load.drive oc ic (Load.script ~malformed_every:7 ~n:21 ()) in
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  Domain.join server;
+  Alcotest.(check int) "all answered" 21 summary.Load.requests;
+  Alcotest.(check int) "none unparsed" 0 summary.Load.unparsed;
+  Alcotest.(check int) "malformed counted" 3 summary.Load.errors;
+  Alcotest.(check bool) "cache observed" true (summary.Load.cached > 0)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "router",
+        [
+          Alcotest.test_case "ping echoes structured ids" `Quick test_ping_and_echo;
+          Alcotest.test_case "eval + shared result cache" `Quick test_eval_and_cache;
+          Alcotest.test_case "budgets clamped by caps" `Quick test_budget_clamp;
+          Alcotest.test_case "exhaustion is structured" `Quick test_exhausted_shape;
+          Alcotest.test_case "malformed input + stats" `Quick test_malformed_and_stats;
+        ] );
+      ("robustness", [ never_crashes; never_crashes_request_soup ]);
+      ( "serving",
+        [
+          Alcotest.test_case "run_batch ordered across jobs" `Quick
+            test_run_batch_ordered;
+          Alcotest.test_case "pipelined stdio = lockstep stdio" `Quick
+            test_stdio_pipeline;
+          Alcotest.test_case "tcp round-trip on an ephemeral port" `Quick
+            test_tcp_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,300 @@
+(* lib/wire: the JSON value type, its printer/parser pair, and the
+   request/response codecs.  The printer and parser are hand-rolled (no
+   JSON library in the container), so the tests leans on two properties:
+   print/parse is the identity on values, and parse is total on bytes. *)
+
+module Json = Bagcq_wire.Json
+module Proto = Bagcq_wire.Proto
+
+let json = Alcotest.testable Json.pp Json.equal
+let parsed = Alcotest.(result json string)
+let check_parse s expected = Alcotest.check parsed s expected (Json.parse s)
+
+(* ---------------- parser unit tests ---------------- *)
+
+let test_scalars () =
+  check_parse "null" (Ok Json.Null);
+  check_parse "true" (Ok (Json.Bool true));
+  check_parse "false" (Ok (Json.Bool false));
+  check_parse "0" (Ok (Json.Int 0));
+  check_parse "-42" (Ok (Json.Int (-42)));
+  check_parse "  17  " (Ok (Json.Int 17));
+  check_parse "3.5" (Ok (Json.Float 3.5));
+  check_parse "-0.25" (Ok (Json.Float (-0.25)));
+  check_parse "1e3" (Ok (Json.Float 1000.));
+  check_parse "2E-2" (Ok (Json.Float 0.02))
+
+let test_strings () =
+  check_parse {|"hello"|} (Ok (Json.Str "hello"));
+  check_parse {|"a\"b\\c\/d"|} (Ok (Json.Str {|a"b\c/d|}));
+  check_parse {|"\n\t\r\b\f"|} (Ok (Json.Str "\n\t\r\b\012"));
+  check_parse {|"\u0041\u00e9"|} (Ok (Json.Str "A\xc3\xa9"));
+  (* surrogate pair: U+1F600 *)
+  check_parse {|"\ud83d\ude00"|} (Ok (Json.Str "\xf0\x9f\x98\x80"))
+
+let test_containers () =
+  check_parse "[]" (Ok (Json.List []));
+  check_parse "[1, 2, 3]" (Ok (Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]));
+  check_parse "{}" (Ok (Json.Obj []));
+  check_parse {|{"a": 1, "b": [true, null]}|}
+    (Ok
+       (Json.Obj
+          [
+            ("a", Json.Int 1);
+            ("b", Json.List [ Json.Bool true; Json.Null ]);
+          ]))
+
+let expect_error s =
+  match Json.parse s with
+  | Error _ -> ()
+  | Ok v ->
+      Alcotest.failf "parse %S unexpectedly succeeded with %s" s
+        (Json.to_string v)
+
+let test_errors () =
+  List.iter expect_error
+    [
+      "";
+      "{";
+      "[1,]";
+      "{\"a\":}";
+      "{\"a\" 1}";
+      "tru";
+      "nul";
+      "1 2";
+      "\"unterminated";
+      "\"bad \\x escape\"";
+      "\"lone surrogate \\ud800\"";
+      "01";
+      "+1";
+      "- 1";
+      "[1 2]";
+      "{\"a\":1,}";
+      "{1:2}";
+    ]
+
+let test_depth_cap () =
+  (* a parser without a depth cap would blow the stack here; ours must
+     return Error *)
+  let deep = String.make 100_000 '[' in
+  expect_error deep;
+  let nested_ok = String.make 50 '[' ^ "1" ^ String.make 50 ']' in
+  (match Json.parse nested_ok with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth-50 nesting rejected: %s" e);
+  let too_deep =
+    String.make (Json.max_depth + 1) '[' ^ "1"
+    ^ String.make (Json.max_depth + 1) ']'
+  in
+  expect_error too_deep
+
+let test_printer () =
+  Alcotest.(check string)
+    "escaping" {|"a\"b\\c\n\u0001"|}
+    (Json.to_string (Json.Str "a\"b\\c\n\x01"));
+  Alcotest.(check string)
+    "object" {|{"a": 1, "b": [true, null]}|}
+    (Json.to_string
+       (Json.Obj
+          [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true; Json.Null ]) ]));
+  Alcotest.(check string)
+    "non-finite floats are null" "[null, null, null]"
+    (Json.to_string
+       (Json.List [ Json.Float nan; Json.Float infinity; Json.Float neg_infinity ]));
+  (* float printing must re-parse to the same value *)
+  List.iter
+    (fun f ->
+      Alcotest.check parsed
+        (Printf.sprintf "float %h roundtrips" f)
+        (Ok (Json.Float f))
+        (Json.parse (Json.to_string (Json.Float f))))
+    [ 0.1; -1e-9; 1.5e300; 3.141592653589793; 1e22; -0.0 ]
+
+let test_accessors () =
+  let v =
+    Json.Obj [ ("n", Json.Int 3); ("s", Json.Str "x"); ("b", Json.Bool true) ]
+  in
+  Alcotest.(check (option int)) "get_int" (Some 3) (Json.get_int "n" v);
+  Alcotest.(check (option string)) "get_string" (Some "x") (Json.get_string "s" v);
+  Alcotest.(check (option bool)) "get_bool" (Some true) (Json.get_bool "b" v);
+  Alcotest.(check (option int)) "absent" None (Json.get_int "zzz" v);
+  Alcotest.(check (option int)) "wrong type" None (Json.get_int "s" v)
+
+(* ---------------- qcheck: print/parse identity, totality ---------------- *)
+
+let gen_json =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        (* finite floats only: non-finite ones deliberately print as null *)
+        map
+          (fun f -> Json.Float (if Float.is_finite f then f else 0.))
+          (oneof [ float; map float_of_int int ]);
+        map (fun s -> Json.Str s) (string_size ~gen:char (int_bound 20));
+      ]
+  in
+  let key = string_size ~gen:printable (int_bound 8) in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then scalar
+         else
+           frequency
+             [
+               (2, scalar);
+               ( 1,
+                 map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2)))
+               );
+               ( 1,
+                 map
+                   (fun l -> Json.Obj l)
+                   (list_size (int_bound 4)
+                      (pair key (self (n / 2)))) );
+             ])
+
+let arb_json = QCheck.make ~print:Json.to_string gen_json
+
+let roundtrip_compact =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"parse (to_string v) = v" ~count:1000 arb_json
+       (fun v ->
+         match Json.parse (Json.to_string v) with
+         | Ok v' -> Json.equal v v'
+         | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e))
+
+let roundtrip_pretty =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"parse (to_string_pretty v) = v" ~count:500 arb_json
+       (fun v ->
+         match Json.parse (Json.to_string_pretty v) with
+         | Ok v' -> Json.equal v v'
+         | Error e -> QCheck.Test.fail_reportf "pretty parse failed: %s" e))
+
+let arb_bytes =
+  QCheck.make ~print:String.escaped
+    QCheck.Gen.(string_size ~gen:char (int_bound 60))
+
+(* bytes biased towards JSON syntax reach deeper parser states *)
+let arb_json_soup =
+  QCheck.make ~print:String.escaped
+    QCheck.Gen.(
+      map (String.concat "")
+        (list_size (int_bound 20)
+           (oneofl
+              [
+                "{"; "}"; "["; "]"; ","; ":"; "\""; "\\"; "null"; "true";
+                "1"; "-"; "0.5"; "e"; "\"a\""; " "; "\\u00"; "\xff";
+              ])))
+
+let total arb name =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count:2000 arb (fun s ->
+         match Json.parse s with
+         | Ok _ | Error _ -> true
+         | exception e ->
+             QCheck.Test.fail_reportf "escaped exception %s on %S"
+               (Printexc.to_string e) s))
+
+(* ---------------- proto codecs ---------------- *)
+
+let decode_ok line =
+  match Proto.decode_line line with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "decode %S failed: %s" line e
+
+let decode_err line =
+  match Proto.decode_line line with
+  | Error e -> e
+  | Ok r -> Alcotest.failf "decode %S succeeded as %s" line (Proto.op_name r.Proto.op)
+
+let test_decode_ok () =
+  let r = decode_ok {|{"op":"ping","id":7}|} in
+  Alcotest.(check string) "ping" "ping" (Proto.op_name r.Proto.op);
+  Alcotest.(check (option json)) "id" (Some (Json.Int 7)) r.Proto.id;
+  let r =
+    decode_ok
+      {|{"op":"eval","query":"E(x,y) & E(y,z)","db":"E(1,2). E(2,3).","fuel":500}|}
+  in
+  Alcotest.(check (option int)) "fuel" (Some 500) r.Proto.budget.Proto.fuel;
+  Alcotest.(check (option int)) "timeout" None r.Proto.budget.Proto.timeout_ms;
+  let r = decode_ok {|{"op":"hunt","small":"E(x,y)","big":"E(x,y)"}|} in
+  (match r.Proto.op with
+  | Proto.Hunt { samples; exhaustive_size; _ } ->
+      Alcotest.(check int) "default samples" 200 samples;
+      Alcotest.(check int) "default exhaustive_size" 2 exhaustive_size
+  | _ -> Alcotest.fail "expected hunt")
+
+let test_decode_errors () =
+  ignore (decode_err "[]");
+  ignore (decode_err {|{"id":1}|});
+  ignore (decode_err {|{"op":"frobnicate"}|});
+  ignore (decode_err {|{"op":"eval","query":"E(x,y)"}|});
+  ignore (decode_err {|{"op":"eval","query":"E(x","db":"E(1,2)."}|});
+  ignore (decode_err {|{"op":"ping","fuel":-1}|});
+  ignore (decode_err {|{"op":"ping","fuel":"lots"}|});
+  ignore (decode_err "{not json")
+
+let test_cache_key () =
+  let key line = Proto.cache_key (decode_ok line) in
+  (* the id and the spelling of the query are not part of the key *)
+  Alcotest.(check string)
+    "id ignored"
+    (key {|{"op":"eval","id":1,"query":"E(x,y)","db":"E(1,2)."}|})
+    (key {|{"op":"eval","id":2,"query":"E(x,y)","db":"E(1,2)."}|});
+  Alcotest.(check string)
+    "query re-printed"
+    (key {|{"op":"eval","query":"E(x,y)&E(y,z)","db":"E(1,2)."}|})
+    (key {|{"op":"eval","query":"E(x,y) & E(y,z)","db":"E(1,2)."}|});
+  (* the budget is part of the key: a different budget may give a
+     different (exhausted vs complete) answer *)
+  Alcotest.(check bool)
+    "budget in key" false
+    (key {|{"op":"eval","query":"E(x,y)","db":"E(1,2).","fuel":10}|}
+    = key {|{"op":"eval","query":"E(x,y)","db":"E(1,2)."}|})
+
+let test_responses () =
+  Alcotest.(check (option string))
+    "error status" (Some "error")
+    (Proto.status (Proto.error_response ~id:(Json.Int 1) "boom"));
+  let resp =
+    Proto.attach ~id:(Json.Int 9) ~cached:true
+      (Proto.eval_core ~count:(Bagcq_bignum.Nat.of_int 5) ~satisfied:true
+         ~ticks:12)
+  in
+  Alcotest.(check (option string)) "ok status" (Some "ok") (Proto.status resp);
+  Alcotest.(check (option bool)) "cached" (Some true) (Json.get_bool "cached" resp);
+  Alcotest.(check (option string)) "count" (Some "5") (Json.get_string "count" resp);
+  (* responses are valid single-line JSON *)
+  Alcotest.(check bool) "single line" false (String.contains (Json.to_string resp) '\n')
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_scalars;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "containers" `Quick test_containers;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "depth cap" `Quick test_depth_cap;
+          Alcotest.test_case "printer" `Quick test_printer;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+        ] );
+      ( "properties",
+        [
+          roundtrip_compact;
+          roundtrip_pretty;
+          total arb_bytes "parse total on arbitrary bytes";
+          total arb_json_soup "parse total on JSON-token soup";
+        ] );
+      ( "proto",
+        [
+          Alcotest.test_case "decode ok" `Quick test_decode_ok;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "cache key" `Quick test_cache_key;
+          Alcotest.test_case "responses" `Quick test_responses;
+        ] );
+    ]
