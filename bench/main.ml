@@ -485,6 +485,11 @@ let exp_guard () =
    printed by the wire layer's own printer, so the bench output is also a
    round-trip test of the serialiser *)
 module Json = Bagcq_wire.Json
+module Metrics = Bagcq_obs.Metrics
+
+(* per-rep latency quantiles come from the same histogram machinery the
+   server uses, serialised by the same wire emitter *)
+let latency_json h = Json.Obj (Bagcq_wire.Proto.summary_fields (Metrics.summary h))
 
 let bench_rows : (string * (string * Json.t) list) list ref = ref []
 let emit name fields = bench_rows := (name, fields) :: !bench_rows
@@ -493,7 +498,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       [
-        ("bench", Json.Str "BENCH_PR3");
+        ("bench", Json.Str "BENCH_PR4");
         ("jobs_available", Json.Int (Domain.recommended_domain_count ()));
         ( "experiments",
           Json.List
@@ -511,48 +516,10 @@ let wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let exp_kernel () =
-  header "EXP-KERNEL - compiled homomorphism-counting kernel vs reference solver";
-  let module Solver = Bagcq_hom.Solver in
-  let module Solver_ref = Bagcq_hom.Solver_ref in
-  let module Plan = Bagcq_hom.Plan in
-  let kernel_row name ~reps q d =
-    let plan = Plan.compile q in
-    ignore (Solver.count_plan plan d) (* warm the structure's index *);
-    let c_compiled, t_compiled =
-      wall (fun () ->
-          let n = ref 0 in
-          for _ = 1 to reps do
-            n := Solver.count_plan plan d
-          done;
-          !n)
-    in
-    let c_ref, t_ref =
-      wall (fun () ->
-          let n = ref 0 in
-          for _ = 1 to reps do
-            n := Solver_ref.count q d
-          done;
-          !n)
-    in
-    let speedup = t_ref /. Stdlib.max 1e-9 t_compiled in
-    let per_sec t = float_of_int reps /. Stdlib.max 1e-9 t in
-    row "  %-24s hom count %-8d compiled %8.1f/s  ref %8.1f/s  speedup %.2fx  [%s]\n"
-      name c_compiled (per_sec t_compiled) (per_sec t_ref) speedup
-      (ok (c_compiled = c_ref));
-    emit name
-      [
-        ("reps", Json.Int reps);
-        ("hom_count", Json.Int c_compiled);
-        ("compiled_wall_s", Json.Float t_compiled);
-        ("ref_wall_s", Json.Float t_ref);
-        ("compiled_counts_per_s", Json.Float (per_sec t_compiled));
-        ("ref_counts_per_s", Json.Float (per_sec t_ref));
-        ("speedup", Json.Float speedup);
-      ]
-  in
-  (* CYCLIQ-style rotation query: the paper's R-atom cycle over all p
-     rotations of a tuple, on a database closed under rotation *)
+(* CYCLIQ-style rotation query: the paper's R-atom cycle over all p
+   rotations of a tuple, on a database closed under rotation.  Shared by
+   EXP-KERNEL and the EXP-OBS overhead measurement. *)
+let cycliq_fixture () =
   let p = 5 in
   let r = Cycliq.r_symbol ~p in
   let cycliq_q = Cycliq.cycliq r (Build.vars "x" p) in
@@ -564,7 +531,59 @@ let exp_kernel () =
       d := Structure.add_atom !d r (Tuple.rotate t k)
     done
   done;
-  kernel_row "kernel-cycliq-p5-rotation" ~reps:300 cycliq_q !d;
+  (cycliq_q, !d)
+
+let exp_kernel () =
+  header "EXP-KERNEL - compiled homomorphism-counting kernel vs reference solver";
+  let module Solver = Bagcq_hom.Solver in
+  let module Solver_ref = Bagcq_hom.Solver_ref in
+  let module Plan = Bagcq_hom.Plan in
+  let kernel_row name ~reps q d =
+    let plan = Plan.compile q in
+    ignore (Solver.count_plan plan d) (* warm the structure's index *);
+    let h_compiled = Metrics.fresh_histogram () in
+    let h_ref = Metrics.fresh_histogram () in
+    let c_compiled, t_compiled =
+      wall (fun () ->
+          let n = ref 0 in
+          for _ = 1 to reps do
+            n := Metrics.time h_compiled (fun () -> Solver.count_plan plan d)
+          done;
+          !n)
+    in
+    let c_ref, t_ref =
+      wall (fun () ->
+          let n = ref 0 in
+          for _ = 1 to reps do
+            n := Metrics.time h_ref (fun () -> Solver_ref.count q d)
+          done;
+          !n)
+    in
+    let speedup = t_ref /. Stdlib.max 1e-9 t_compiled in
+    let per_sec t = float_of_int reps /. Stdlib.max 1e-9 t in
+    let s_compiled = Metrics.summary h_compiled in
+    row
+      "  %-24s hom count %-8d compiled %8.1f/s  ref %8.1f/s  speedup %.2fx  \
+       p50 %.3fms p95 %.3fms p99 %.3fms  [%s]\n"
+      name c_compiled (per_sec t_compiled) (per_sec t_ref) speedup
+      s_compiled.Metrics.p50_ms s_compiled.Metrics.p95_ms
+      s_compiled.Metrics.p99_ms
+      (ok (c_compiled = c_ref));
+    emit name
+      [
+        ("reps", Json.Int reps);
+        ("hom_count", Json.Int c_compiled);
+        ("compiled_wall_s", Json.Float t_compiled);
+        ("ref_wall_s", Json.Float t_ref);
+        ("compiled_counts_per_s", Json.Float (per_sec t_compiled));
+        ("ref_counts_per_s", Json.Float (per_sec t_ref));
+        ("speedup", Json.Float speedup);
+        ("compiled_latency", latency_json h_compiled);
+        ("ref_latency", latency_json h_ref);
+      ]
+  in
+  let cycliq_q, d = cycliq_fixture () in
+  kernel_row "kernel-cycliq-p5-rotation" ~reps:300 cycliq_q d;
   let cyc8 = Build.(query (cycle e_sym (vars "z" 8))) in
   kernel_row "kernel-cycle8-on-K5" ~reps:30 cyc8 (clique 5)
 
@@ -598,6 +617,53 @@ let exp_parallel_sweep () =
     [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* EXP-OBS: cost of the always-on instrumentation.  The same EXP-KERNEL *)
+(* sweep runs with the metrics registry recording and with the global   *)
+(* switch off (the "no-op registry"); the acceptance bar is <= 5%       *)
+(* overhead, which the batched solver counters keep far below.          *)
+(* ------------------------------------------------------------------ *)
+
+let exp_obs () =
+  header "EXP-OBS - observability overhead: metrics enabled vs disabled";
+  let module Solver = Bagcq_hom.Solver in
+  let module Plan = Bagcq_hom.Plan in
+  let q, d = cycliq_fixture () in
+  let plan = Plan.compile q in
+  ignore (Solver.count_plan plan d) (* warm the structure's index *);
+  let reps = 200 in
+  let run () =
+    let n = ref 0 in
+    for _ = 1 to reps do
+      n := Solver.count_plan plan d
+    done;
+    !n
+  in
+  let best_of_3 f =
+    let t = ref infinity in
+    for _ = 1 to 3 do
+      let _, w = wall f in
+      if w < !t then t := w
+    done;
+    !t
+  in
+  Metrics.set_enabled true;
+  let t_on = best_of_3 run in
+  Metrics.set_enabled false;
+  let t_off = best_of_3 run in
+  Metrics.set_enabled true;
+  let overhead_pct = 100. *. ((t_on /. Stdlib.max 1e-9 t_off) -. 1.) in
+  row "  kernel sweep x%d: enabled %.4fs  disabled %.4fs  overhead %+.2f%%  [%s]\n"
+    reps t_on t_off overhead_pct
+    (ok (overhead_pct <= 5.0));
+  emit "obs-overhead-kernel-sweep"
+    [
+      ("reps", Json.Int reps);
+      ("enabled_wall_s", Json.Float t_on);
+      ("disabled_wall_s", Json.Float t_off);
+      ("overhead_pct", Json.Float overhead_pct);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* EXP-SERVE: the NDJSON service end to end.  A server runs its stdio   *)
 (* loop in a spawned domain over a pipe pair; the scripted load driver  *)
 (* talks to it in lockstep exactly as a cram test or a human would, so  *)
@@ -609,8 +675,8 @@ let exp_serve () =
   let module Router = Bagcq_server.Router in
   let module Serve = Bagcq_server.Serve in
   let module Load = Bagcq_server.Load in
-  row "  %-24s %8s %10s %10s %9s %s\n" "scenario" "req" "req/s" "ms/req"
-    "hit rate" "ok/err/exh";
+  row "  %-24s %8s %10s %8s %8s %9s %s\n" "scenario" "req" "req/s" "p50 ms"
+    "p95 ms" "hit rate" "ok/err/exh";
   List.iter
     (fun (label, n, malformed_every) ->
       let router = Router.create () in
@@ -639,18 +705,17 @@ let exp_serve () =
       let req_per_s =
         if s.Load.wall_s > 0.0 then float_of_int n /. s.Load.wall_s else 0.0
       in
-      let mean_latency_ms =
-        if n > 0 then 1000.0 *. s.Load.wall_s /. float_of_int n else 0.0
-      in
-      row "  %-24s %8d %10.1f %10.3f %9.2f %d/%d/%d  [%s]\n" label n req_per_s
-        mean_latency_ms hit_rate s.Load.ok s.Load.errors s.Load.exhausted
+      let lat = s.Load.latency in
+      row "  %-24s %8d %10.1f %8.3f %8.3f %9.2f %d/%d/%d  [%s]\n" label n
+        req_per_s lat.Metrics.p50_ms lat.Metrics.p95_ms hit_rate s.Load.ok
+        s.Load.errors s.Load.exhausted
         (ok (s.Load.unparsed = 0 && s.Load.requests = n));
       emit label
         [
           ("requests", Json.Int n);
           ("wall_s", Json.Float s.Load.wall_s);
           ("req_per_s", Json.Float req_per_s);
-          ("mean_latency_ms", Json.Float mean_latency_ms);
+          ("latency", Json.Obj (Bagcq_wire.Proto.summary_fields lat));
           ("ok", Json.Int s.Load.ok);
           ("errors", Json.Int s.Load.errors);
           ("exhausted", Json.Int s.Load.exhausted);
@@ -790,7 +855,7 @@ let run_benchmarks () =
       | _ -> Printf.printf "  %-42s (no estimate)\n" name)
     (List.sort compare rows)
 
-let default_bench_json_path = "BENCH_PR3.json"
+let default_bench_json_path = "BENCH_PR4.json"
 
 (* minimal flag parsing: --json PATH overrides where the row file lands *)
 let bench_json_path =
@@ -804,9 +869,10 @@ let bench_json_path =
 
 let () =
   if Array.exists (( = ) "--json-only") Sys.argv then begin
-    (* fast mode for CI: just the kernel/parallel/serve rows and the JSON file *)
+    (* fast mode for CI: just the kernel/parallel/obs/serve rows and the JSON file *)
     exp_kernel ();
     exp_parallel_sweep ();
+    exp_obs ();
     exp_serve ();
     write_bench_json bench_json_path;
     Printf.printf "\nwrote %s\n" bench_json_path;
@@ -836,6 +902,7 @@ let () =
   exp_guard ();
   exp_kernel ();
   exp_parallel_sweep ();
+  exp_obs ();
   exp_serve ();
   exp_hde ();
   exp_set_vs_bag ();

@@ -88,8 +88,9 @@ let budget_exits =
   ]
 
 let print_exhausted budget reason =
-  Printf.printf "budget exhausted (%s) after %d ticks\n"
-    (Budget.reason_to_string reason) (Budget.ticks budget)
+  Printf.printf "budget exhausted (%s): %s\n"
+    (Budget.reason_to_string reason)
+    (Budget.snapshot_to_string (Budget.snapshot budget))
 
 (* ---------------- eval ---------------- *)
 
@@ -241,10 +242,11 @@ let hunt_cmd =
         | Some d -> print_witness small big d
         | None -> ());
         Printf.printf
-          "budget exhausted (%s): %d ticks spent, %d databases tested \
+          "budget exhausted (%s): %s, %d databases tested \
            (exhaustive complete to size %d; %d random samples)\n"
           (Budget.reason_to_string reason)
-          progress.Hunt.ticks_spent progress.Hunt.databases_tested
+          (Budget.snapshot_to_string (Budget.snapshot budget))
+          progress.Hunt.databases_tested
           progress.Hunt.largest_size_completed report.Hunt.tested_random;
         exit_exhausted
   in
@@ -430,6 +432,10 @@ let hde_cmd =
 module Router = Bagcq_server.Router
 module Serve = Bagcq_server.Serve
 module Load = Bagcq_server.Load
+module Wire_json = Bagcq_wire.Json
+module Proto = Bagcq_wire.Proto
+module Metrics = Bagcq_obs.Metrics
+module Trace = Bagcq_obs.Trace
 
 let serve_cmd =
   let stdio =
@@ -472,7 +478,13 @@ let serve_cmd =
            ~doc:"TCP mode: exit after serving $(docv) connections (for tests \
                  and demos; the default is to serve forever).")
   in
-  let run stdio port max_fuel max_timeout pipeline jobs hunt_jobs max_conns =
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write one NDJSON span record per served request to $(docv) \
+                 (span_id, parent_id, name, start_ms, dur_ms).")
+  in
+  let run stdio port max_fuel max_timeout pipeline jobs hunt_jobs max_conns
+      trace =
     ignore stdio;
     if max_fuel < 0 || max_timeout < 0 then
       `Error (false, "--max-fuel and --max-timeout-ms must be non-negative")
@@ -486,26 +498,49 @@ let serve_cmd =
             (if max_timeout = 0 then None else Some max_timeout);
         }
       in
+      let close_trace =
+        match trace with
+        | None -> Fun.id
+        | Some path ->
+            let oc = open_out path in
+            let m = Mutex.create () in
+            Trace.set_sink
+              (Some
+                 (fun r ->
+                   Mutex.lock m;
+                   Fun.protect
+                     ~finally:(fun () -> Mutex.unlock m)
+                     (fun () ->
+                       output_string oc
+                         (Wire_json.to_string (Proto.trace_record_json r));
+                       output_char oc '\n')));
+            fun () ->
+              Trace.set_sink None;
+              close_out oc
+      in
       let router = Router.create ~caps ~hunt_jobs () in
-      (match port with
-      | None -> Serve.stdio ~pipeline ~jobs router stdin stdout
-      | Some p ->
-          Serve.tcp ?max_connections:max_conns
-            ~on_listen:(fun actual ->
-              Printf.eprintf "bagcq: listening on 127.0.0.1:%d\n%!" actual)
-            router ~port:p ());
+      Fun.protect
+        ~finally:(fun () -> close_trace ())
+        (fun () ->
+          match port with
+          | None -> Serve.stdio ~pipeline ~jobs router stdin stdout
+          | Some p ->
+              Serve.tcp ?max_connections:max_conns
+                ~on_listen:(fun actual ->
+                  Printf.eprintf "bagcq: listening on 127.0.0.1:%d\n%!" actual)
+                router ~port:p ());
       `Ok 0
     end
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve eval/contain/hunt/ping/stats requests over NDJSON, with \
-             per-request budgets clamped by server-wide caps and a shared \
+       ~doc:"Serve eval/contain/hunt/ping/stats/metrics requests over NDJSON, \
+             with per-request budgets clamped by server-wide caps and a shared \
              result cache.")
     Cmdliner.Term.(
       ret
         (const run $ stdio $ port $ max_fuel $ max_timeout $ pipeline $ jobs
-        $ hunt_jobs $ max_connections))
+        $ hunt_jobs $ max_connections $ trace))
 
 (* ---------------- client ---------------- *)
 
@@ -554,10 +589,109 @@ let client_cmd =
              report throughput and response statistics.")
     Cmdliner.Term.(ret (const run $ port $ n $ malformed))
 
+(* ---------------- metrics ---------------- *)
+
+(* Reconstruct registry rows from the wire so the human rendering is the
+   library's own {!Metrics.render_table} — the CLI and an in-process dump
+   can never drift apart. *)
+let row_of_json j =
+  let str name =
+    match Wire_json.member name j with Some (Wire_json.Str s) -> s | _ -> ""
+  in
+  let int name =
+    match Wire_json.member name j with Some (Wire_json.Int i) -> i | _ -> 0
+  in
+  let fl name =
+    match Wire_json.member name j with
+    | Some (Wire_json.Float f) -> f
+    | Some (Wire_json.Int i) -> float_of_int i
+    | _ -> 0.
+  in
+  let labels =
+    match Wire_json.member "labels" j with
+    | Some (Wire_json.Obj kvs) ->
+        List.map
+          (fun (k, v) ->
+            (k, match v with Wire_json.Str s -> s | _ -> ""))
+          kvs
+    | _ -> []
+  in
+  let value =
+    match str "kind" with
+    | "gauge" -> Metrics.Gauge_v (int "value")
+    | "histogram" ->
+        Metrics.Histogram_v
+          {
+            Metrics.count = int "count";
+            sum_ms = fl "sum_ms";
+            p50_ms = fl "p50_ms";
+            p95_ms = fl "p95_ms";
+            p99_ms = fl "p99_ms";
+            max_ms = fl "max_ms";
+          }
+    | _ -> Metrics.Counter_v (int "value")
+  in
+  { Metrics.name = str "name"; labels; value }
+
+let metrics_cmd =
+  let port =
+    Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT"
+           ~doc:"Query a bagcq server on 127.0.0.1:$(docv).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Print the raw metrics response (one JSON object) instead of \
+                 the human table.")
+  in
+  let run port json =
+    match
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      sock
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot connect to 127.0.0.1:%d: %s" port
+              (Unix.error_message e) )
+    | sock -> (
+        let ic = Unix.in_channel_of_descr sock in
+        let oc = Unix.out_channel_of_descr sock in
+        output_string oc "{\"op\":\"metrics\"}\n";
+        flush oc;
+        let line = In_channel.input_line ic in
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        match line with
+        | None -> `Error (false, "server closed the connection without answering")
+        | Some line -> (
+            match Wire_json.parse line with
+            | Error e ->
+                `Error (false, Printf.sprintf "unparseable response: %s" e)
+            | Ok j when json ->
+                print_endline (Wire_json.to_string j);
+                `Ok 0
+            | Ok j -> (
+                match Wire_json.member "metrics" j with
+                | Some (Wire_json.List rows) ->
+                    print_string
+                      (Metrics.render_table (List.map row_of_json rows));
+                    `Ok 0
+                | _ ->
+                    `Error
+                      ( false,
+                        Printf.sprintf "not a metrics response: %s" line ))))
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Dump a running server's metrics registry — request counters, \
+             latency histograms, cache and engine counters — as a table or \
+             JSON.")
+    Cmdliner.Term.(ret (const run $ port $ json))
+
 let main_cmd =
   let doc = "bag-semantics conjunctive query containment toolbox (PODS 2024 reproduction)" in
   Cmd.group
     (Cmd.info "bagcq" ~version:"1.0.0" ~doc)
-    [ eval_cmd; contain_cmd; hunt_cmd; reduce_cmd; multiply_cmd; core_cmd; answers_cmd; hde_cmd; serve_cmd; client_cmd ]
+    [ eval_cmd; contain_cmd; hunt_cmd; reduce_cmd; multiply_cmd; core_cmd; answers_cmd; hde_cmd; serve_cmd; client_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -24,6 +24,7 @@ type t = {
   deadline : float;
   fault : (int * reason) option;
   source : pool option;
+  created : float;  (* Unix.gettimeofday at creation, for snapshots *)
 }
 
 exception Exhausted_ of reason
@@ -39,6 +40,7 @@ let unlimited () =
     deadline = infinity;
     fault = None;
     source = None;
+    created = Unix.gettimeofday ();
   }
 
 let create ?fuel ?timeout_ms () =
@@ -48,13 +50,14 @@ let create ?fuel ?timeout_ms () =
     | Some f when f >= 0 -> f
     | Some f -> invalid_arg (Printf.sprintf "Budget.create: negative fuel %d" f)
   in
+  let created = Unix.gettimeofday () in
   let deadline =
     match timeout_ms with
     | None -> infinity
-    | Some ms when ms >= 0 -> Unix.gettimeofday () +. (float_of_int ms /. 1000.)
+    | Some ms when ms >= 0 -> created +. (float_of_int ms /. 1000.)
     | Some ms -> invalid_arg (Printf.sprintf "Budget.create: negative timeout %dms" ms)
   in
-  { ticks = 0; tripped = None; fuel; deadline; fault = None; source = None }
+  { ticks = 0; tripped = None; fuel; deadline; fault = None; source = None; created }
 
 let fault_at ?(reason = Fuel) ~tick () =
   if tick < 1 then invalid_arg "Budget.fault_at: tick must be >= 1";
@@ -65,6 +68,7 @@ let fault_at ?(reason = Fuel) ~tick () =
     deadline = infinity;
     fault = Some (tick, reason);
     source = None;
+    created = Unix.gettimeofday ();
   }
 
 let ticks t = t.ticks
@@ -134,6 +138,7 @@ let shard pool =
         deadline = pool.pool_deadline;
         fault = pool.pool_fault;
         source = None;
+        created = Unix.gettimeofday ();
       }
   | Some _ ->
       {
@@ -143,6 +148,7 @@ let shard pool =
         deadline = pool.pool_deadline;
         fault = pool.pool_fault;
         source = Some pool;
+        created = Unix.gettimeofday ();
       }
 
 let absorb child ~into =
@@ -150,3 +156,30 @@ let absorb child ~into =
   match child.tripped with
   | Some r when into.tripped = None -> into.tripped <- Some r
   | _ -> ()
+
+(* ---------------- the unified budget report ---------------- *)
+
+(* Defined last so the [ticks]/[tripped] labels above keep resolving to
+   [t]'s fields without annotations. *)
+type snapshot = {
+  ticks : int;
+  fuel_left : int option;
+  elapsed_ms : float;
+  tripped : reason option;
+}
+
+let snapshot (t : t) : snapshot =
+  {
+    ticks = t.ticks;
+    fuel_left =
+      (if t.fuel = max_int && t.source = None then None
+       else Some (max 0 (t.fuel - t.ticks)));
+    elapsed_ms = Float.max 0. (1000. *. (Unix.gettimeofday () -. t.created));
+    tripped = t.tripped;
+  }
+
+let snapshot_to_string (s : snapshot) =
+  Printf.sprintf "%d ticks in %.0fms%s" s.ticks s.elapsed_ms
+    (match s.fuel_left with
+    | Some f -> Printf.sprintf " (fuel left %d)" f
+    | None -> "")

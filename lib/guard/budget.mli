@@ -58,6 +58,24 @@ val ticks : t -> int
 val tripped : t -> reason option
 (** [Some r] once the budget has tripped. *)
 
+type snapshot = {
+  ticks : int;  (** ticks consumed so far *)
+  fuel_left : int option;
+      (** remaining fuel, [None] for a fuel-unlimited budget.  For a
+          shard this is the {e local} unspent allowance, not the pool's. *)
+  elapsed_ms : float;  (** wall-clock ms since the budget was created *)
+  tripped : reason option;
+}
+(** The one budget report every surface shares — Router responses, CLI
+    exit messages and the metrics dump all render this record, so fuel
+    and time accounting cannot drift between them. *)
+
+val snapshot : t -> snapshot
+
+val snapshot_to_string : snapshot -> string
+(** ["142 ticks in 3ms (fuel left 58)"] — the human rendering the CLI
+    embeds in its exhaustion messages. *)
+
 val is_unlimited : t -> bool
 
 val clock_check_period : int

@@ -35,14 +35,23 @@ type cache_stats = {
   count_misses : int;
 }
 
+module Metrics = Bagcq_obs.Metrics
+
+(* The hit/miss tallies are Obs counters rather than mutable ints: the
+   values are identical (each cache serves one domain, so counting was
+   never racy), but a holder can register them into a metrics registry
+   ([cache_counters]) and the server's stats view reads the same cells
+   the metrics dump does.  Fresh counters are registry-less on purpose —
+   hunts allocate one cache per worker and those must not leak into a
+   process-wide dump. *)
 type cache = {
   plans : Plan.t QueryMap.t ref;
   counts : Nat.t QueryMap.t ref;
   mutable counts_for : Bagcq_relational.Structure.t option;
-  mutable plan_hits : int;
-  mutable plan_misses : int;
-  mutable count_hits : int;
-  mutable count_misses : int;
+  plan_hits : Metrics.counter;
+  plan_misses : Metrics.counter;
+  count_hits : Metrics.counter;
+  count_misses : Metrics.counter;
 }
 
 let create_cache () =
@@ -50,27 +59,35 @@ let create_cache () =
     plans = ref QueryMap.empty;
     counts = ref QueryMap.empty;
     counts_for = None;
-    plan_hits = 0;
-    plan_misses = 0;
-    count_hits = 0;
-    count_misses = 0;
+    plan_hits = Metrics.fresh_counter ();
+    plan_misses = Metrics.fresh_counter ();
+    count_hits = Metrics.fresh_counter ();
+    count_misses = Metrics.fresh_counter ();
   }
 
 let cache_stats c =
   {
-    plan_hits = c.plan_hits;
-    plan_misses = c.plan_misses;
-    count_hits = c.count_hits;
-    count_misses = c.count_misses;
+    plan_hits = Metrics.counter_value c.plan_hits;
+    plan_misses = Metrics.counter_value c.plan_misses;
+    count_hits = Metrics.counter_value c.count_hits;
+    count_misses = Metrics.counter_value c.count_misses;
   }
+
+let cache_counters c =
+  [
+    ("plan_hits", c.plan_hits);
+    ("plan_misses", c.plan_misses);
+    ("count_hits", c.count_hits);
+    ("count_misses", c.count_misses);
+  ]
 
 let plan_for cache key =
   match QueryMap.find_opt key !(cache.plans) with
   | Some p ->
-      cache.plan_hits <- cache.plan_hits + 1;
+      Metrics.incr cache.plan_hits;
       p
   | None ->
-      cache.plan_misses <- cache.plan_misses + 1;
+      Metrics.incr cache.plan_misses;
       let p = Plan.compile key in
       cache.plans := QueryMap.add key p !(cache.plans);
       p
@@ -98,10 +115,10 @@ let count ?budget ?cache q d =
     let key = canonical_component comp in
     match QueryMap.find_opt key !(cache.counts) with
     | Some c ->
-        cache.count_hits <- cache.count_hits + 1;
+        Metrics.incr cache.count_hits;
         c
     | None ->
-        cache.count_misses <- cache.count_misses + 1;
+        Metrics.incr cache.count_misses;
         let c = Nat.of_int (Solver.count_plan ?budget (plan_for cache key) d) in
         cache.counts := QueryMap.add key c !(cache.counts);
         c

@@ -35,6 +35,13 @@ type cache_stats = {
 
 val cache_stats : cache -> cache_stats
 
+val cache_counters : cache -> (string * Bagcq_obs.Metrics.counter) list
+(** The live counter cells behind {!cache_stats}, keyed
+    ["plan_hits"]/["plan_misses"]/["count_hits"]/["count_misses"] — for
+    registering a long-lived cache into an {!Bagcq_obs.Metrics} registry
+    so its dump and the stats view read the same cells.  Per-worker
+    caches should not be registered (they are transient). *)
+
 val count : ?budget:Bagcq_guard.Budget.t -> ?cache:cache -> Query.t -> Structure.t -> Nat.t
 (** [count ψ D = ψ(D)].  With [?budget], the underlying backtracking ticks
     the budget and the call unwinds with {!Bagcq_guard.Budget.Exhausted_}

@@ -83,7 +83,14 @@ let order_atoms atoms =
   done;
   order
 
+(* Library-level metric: how many query shapes reached the compiler.
+   Handles resolve once at module initialisation; recording is one
+   atomic add. *)
+let plans_compiled =
+  Bagcq_obs.Metrics.counter Bagcq_obs.Metrics.global "hom_plans_compiled"
+
 let compile q =
+  Bagcq_obs.Metrics.incr plans_compiled;
   let atoms = Array.of_list (Query.atoms q) in
   let order = order_atoms atoms in
   (* Constants are kept symbolic: they resolve against a structure's

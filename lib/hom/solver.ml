@@ -67,15 +67,30 @@ let instantiate (plan : Plan.t) d =
     env = Array.make (max 1 plan.nvars) (Value.int 0);
   }
 
+module Metrics = Bagcq_obs.Metrics
+
+(* Kernel metrics are batched: the hot tick closure bumps a local ref and
+   one atomic add lands the total when the run finishes (normally or by
+   Stop/Exhausted_ unwinding) — per-probe atomics would contend across
+   domains and blow the EXP-OBS overhead budget. *)
+let solver_runs = Metrics.counter Metrics.global "hom_solver_runs"
+let solver_probes = Metrics.counter Metrics.global "hom_solver_probes"
+
 (* The kernel.  Tick discipline mirrors the seed solver: one tick per
    backtracking node entered (including the leaf), one per candidate tuple
    tried at a node, one per domain value tried for a free variable —
    indexed probes try fewer candidates, so indexed runs also tick less. *)
 let run ?budget inst emit =
+  Metrics.incr solver_runs;
+  let work = ref 0 in
   let tick =
-    match budget with
-    | None -> fun () -> ()
-    | Some b -> fun () -> Bagcq_guard.Budget.tick b
+    match (budget, Metrics.is_enabled ()) with
+    | None, false -> fun () -> ()
+    | None, true -> fun () -> incr work
+    | Some b, _ ->
+        fun () ->
+          incr work;
+          Bagcq_guard.Budget.tick b
   in
   let env = inst.env and cvals = inst.cvals in
   let nodes = inst.nodes and free = inst.plan.free in
@@ -146,7 +161,12 @@ let run ?budget inst emit =
             (Index.candidates nd.si ~pos env.(v))
     end
   in
-  node_loop 0
+  let flush () = Metrics.add solver_probes !work in
+  (try node_loop 0
+   with e ->
+     flush ();
+     raise e);
+  flush ()
 
 let count_plan ?budget plan d =
   match instantiate plan d with

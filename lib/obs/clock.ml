@@ -1,0 +1,2 @@
+let now_ms () = Unix.gettimeofday () *. 1000.
+let elapsed_ms t0 = Float.max 0. (now_ms () -. t0)

@@ -1,0 +1,15 @@
+(** The one clock the observability layer reads.
+
+    OCaml 5.1's stdlib exposes no monotonic clock and the container ships
+    no [mtime], so this is [Unix.gettimeofday] scaled to milliseconds.
+    Consumers must treat differences as approximate-monotonic: every
+    duration computed from two readings is clamped to be non-negative
+    ({!elapsed_ms}), so a stepping wall clock can skew a span but never
+    produce a negative one. *)
+
+val now_ms : unit -> float
+(** Wall-clock time in milliseconds (fractional). *)
+
+val elapsed_ms : float -> float
+(** [elapsed_ms t0] is [max 0 (now_ms () -. t0)] — the non-negative
+    duration since an earlier {!now_ms} reading. *)

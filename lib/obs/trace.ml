@@ -1,0 +1,61 @@
+type span = { span_id_ : int; parent_ : int option; start_ : float }
+
+let null_span = { span_id_ = 0; parent_ = None; start_ = 0. }
+let id sp = sp.span_id_
+
+type record = {
+  span_id : int;
+  parent_id : int option;
+  name : string;
+  start_ms : float;
+  dur_ms : float;
+}
+
+let next_id = Atomic.make 1
+let sink : (record -> unit) option Atomic.t = Atomic.make None
+let set_sink s = Atomic.set sink s
+let is_enabled () = Atomic.get sink <> None
+
+let with_span ?parent name f =
+  match Atomic.get sink with
+  | None -> f null_span
+  | Some emit ->
+      let sp =
+        {
+          span_id_ = Atomic.fetch_and_add next_id 1;
+          parent_ =
+            (match parent with
+            | Some p when p.span_id_ <> 0 -> Some p.span_id_
+            | _ -> None);
+          start_ = Clock.now_ms ();
+        }
+      in
+      (* Deliver to the sink captured at span start, even if the sink is
+         swapped while the span is live. *)
+      Fun.protect
+        ~finally:(fun () ->
+          emit
+            {
+              span_id = sp.span_id_;
+              parent_id = sp.parent_;
+              name;
+              start_ms = sp.start_;
+              dur_ms = Clock.elapsed_ms sp.start_;
+            })
+        (fun () -> f sp)
+
+let memory_sink () =
+  let mutex = Mutex.create () in
+  let records = ref [] in
+  let emit r =
+    Mutex.lock mutex;
+    records := r :: !records;
+    Mutex.unlock mutex
+  in
+  let drain () =
+    Mutex.lock mutex;
+    let rs = List.rev !records in
+    Mutex.unlock mutex;
+    rs
+  in
+  (emit, drain)

@@ -1,0 +1,47 @@
+(** Lightweight tracing spans with parent ids.
+
+    Tracing is off unless a sink is installed ({!set_sink}): with no
+    sink, {!with_span} runs its thunk with a shared null span — no
+    allocation, no clock read — so instrumented code pays nothing in the
+    common case.  With a sink, each span gets a process-unique id from
+    one atomic counter, remembers its parent's id, and the sink receives
+    one {!record} when the span finishes (on return {e or} raise).
+
+    Records carry everything needed to reconstruct the tree offline;
+    [bagcq serve --trace FILE] writes them as NDJSON objects via
+    [Wire.Json].  Sinks must be domain-safe — the server's file sink
+    serialises writes with a mutex; {!memory_sink} (for tests) does the
+    same. *)
+
+type span
+(** A live span.  Pass it as [?parent] to nest. *)
+
+val null_span : span
+(** The span handed out when tracing is off; nesting under it records a
+    parentless span. *)
+
+val id : span -> int
+(** 0 for {!null_span}. *)
+
+type record = {
+  span_id : int;
+  parent_id : int option;
+  name : string;
+  start_ms : float;  (** {!Clock.now_ms} at span start *)
+  dur_ms : float;  (** non-negative *)
+}
+
+val set_sink : (record -> unit) option -> unit
+(** Install or remove the process-wide sink.  Spans that are live across
+    the switch are delivered to the sink that was installed when they
+    started. *)
+
+val is_enabled : unit -> bool
+
+val with_span : ?parent:span -> string -> (span -> 'a) -> 'a
+(** [with_span name f] runs [f sp]; if a sink is installed, emits the
+    record when [f] finishes, whether it returns or raises. *)
+
+val memory_sink : unit -> (record -> unit) * (unit -> record list)
+(** A mutex-guarded in-memory sink and its drain (records in emission
+    order) — the test harness's sink. *)

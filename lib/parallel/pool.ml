@@ -12,6 +12,19 @@ let default_jobs () =
 
 let default_chunk = 64
 
+module Metrics = Bagcq_obs.Metrics
+module Clock = Bagcq_obs.Clock
+
+(* Sweep metrics.  Counters are batched per worker (one atomic add when
+   the worker retires); the busy/idle split costs two clock reads per
+   claimed chunk — amortised over [chunk] items — and is skipped entirely
+   when metrics are disabled. *)
+let sweeps = Metrics.counter Metrics.global "pool_sweeps"
+let chunks_claimed = Metrics.counter Metrics.global "pool_chunks_claimed"
+let items_swept = Metrics.counter Metrics.global "pool_items"
+let worker_busy_ms = Metrics.histogram Metrics.global "pool_worker_busy_ms"
+let worker_idle_ms = Metrics.histogram Metrics.global "pool_worker_idle_ms"
+
 (* Shared sweep state: [next] hands out chunk numbers, [stop] is polled
    between chunks.  Chunks are claimed in increasing order and each claimed
    chunk runs to completion, which is what makes min-index witnesses
@@ -21,10 +34,23 @@ let sweep ?(chunk = default_chunk) ~n ~workers ~body () =
   if jobs < 1 then invalid_arg "Pool.sweep: need at least one worker";
   if chunk < 1 then invalid_arg "Pool.sweep: chunk must be >= 1";
   if n > 0 then begin
+    Metrics.incr sweeps;
+    let measure = Metrics.is_enabled () in
     let nchunks = ((n - 1) / chunk) + 1 in
     let next = Atomic.make 0 in
     let stop = Atomic.make false in
     let run w =
+      let t_start = if measure then Clock.now_ms () else 0. in
+      let busy = ref 0. and claimed = ref 0 and items = ref 0 in
+      let retire () =
+        if measure then begin
+          Metrics.add chunks_claimed !claimed;
+          Metrics.add items_swept !items;
+          Metrics.observe_ms worker_busy_ms !busy;
+          Metrics.observe_ms worker_idle_ms
+            (Float.max 0. (Clock.elapsed_ms t_start -. !busy))
+        end
+      in
       try
         let continue = ref true in
         while !continue && not (Atomic.get stop) do
@@ -32,16 +58,25 @@ let sweep ?(chunk = default_chunk) ~n ~workers ~body () =
           if c >= nchunks then continue := false
           else begin
             let lo = c * chunk and hi = min n ((c + 1) * chunk) in
-            match body w lo hi with
+            if measure then begin
+              incr claimed;
+              items := !items + (hi - lo)
+            end;
+            let t0 = if measure then Clock.now_ms () else 0. in
+            let verdict = body w lo hi in
+            if measure then busy := !busy +. Clock.elapsed_ms t0;
+            match verdict with
             | `Continue -> ()
             | `Stop ->
                 Atomic.set stop true;
                 continue := false
           end
         done;
+        retire ();
         None
       with e ->
         Atomic.set stop true;
+        retire ();
         Some e
     in
     (* Never spawn more domains than there are chunks; with one worker the

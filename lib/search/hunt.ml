@@ -169,10 +169,47 @@ let parallel_guarded ~strategy ~jobs ~budget ~small ~big () =
               | None -> ());
               Outcome.Complete (report (), progress ())))
 
+(* Hunt metrics, recorded once per hunt from the structured outcome —
+   the hot loops inside Dbspace/Sampler stay untouched.  Both exhaustion
+   reasons register their labeled counter eagerly at module
+   initialisation so a metrics dump always shows the full family. *)
+module Metrics = Bagcq_obs.Metrics
+
+let hunt_runs = Metrics.counter Metrics.global "hunt_runs"
+let hunt_candidates = Metrics.counter Metrics.global "hunt_candidates_tested"
+let hunt_witnesses = Metrics.counter Metrics.global "hunt_witnesses_found"
+let hunt_ticks = Metrics.counter Metrics.global "hunt_ticks_spent"
+
+let hunt_exhausted_fuel =
+  Metrics.counter ~labels:[ ("reason", "fuel") ] Metrics.global "hunt_exhausted"
+
+let hunt_exhausted_deadline =
+  Metrics.counter
+    ~labels:[ ("reason", "deadline") ]
+    Metrics.global "hunt_exhausted"
+
+let record outcome =
+  Metrics.incr hunt_runs;
+  let report, progress, reason =
+    match outcome with
+    | Outcome.Complete (report, progress) -> (report, progress, None)
+    | Outcome.Exhausted ((report, progress), reason) ->
+        (report, progress, Some reason)
+  in
+  Metrics.add hunt_candidates progress.databases_tested;
+  Metrics.add hunt_ticks progress.ticks_spent;
+  if report.witness <> None then Metrics.incr hunt_witnesses;
+  (match reason with
+  | Some Budget.Fuel -> Metrics.incr hunt_exhausted_fuel
+  | Some Budget.Deadline -> Metrics.incr hunt_exhausted_deadline
+  | None -> ());
+  outcome
+
 let counterexample_guarded ?(strategy = default) ?jobs ~budget ~small ~big () =
-  match jobs with
-  | None -> serial_guarded ~strategy ~budget ~small ~big ()
-  | Some jobs -> parallel_guarded ~strategy ~jobs ~budget ~small ~big ()
+  record
+    (match jobs with
+    | None -> serial_guarded ~strategy ~budget ~small ~big ()
+    | Some jobs -> parallel_guarded ~strategy ~jobs ~budget ~small ~big ())
 
 let counterexample ?(strategy = default) ?jobs ~small ~big () =
   let budget = Budget.unlimited () in

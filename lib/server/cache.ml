@@ -1,21 +1,37 @@
 module Eval = Bagcq_hom.Eval
 module Json = Bagcq_wire.Json
+module Metrics = Bagcq_obs.Metrics
 
 type t = {
   mutex : Mutex.t;
   eval_cache : Eval.cache;
   results : (string, (string * Json.t) list) Hashtbl.t;
-  mutable result_hits : int;
-  mutable result_misses : int;
+  result_hits : Metrics.counter;
+  result_misses : Metrics.counter;
 }
 
-let create () =
+(* The hit/miss tallies live on Obs counters so one set of cells feeds
+   both the [stats] compat view and a metrics dump.  [?metrics] names
+   them (and the shared eval cache's counters) in a registry at creation
+   time; recording never touches the registry. *)
+let create ?metrics () =
+  let eval_cache = Eval.create_cache () in
+  let result_hits = Metrics.fresh_counter () in
+  let result_misses = Metrics.fresh_counter () in
+  (match metrics with
+  | None -> ()
+  | Some reg ->
+      Metrics.register_counter reg "cache_result_hits" result_hits;
+      Metrics.register_counter reg "cache_result_misses" result_misses;
+      List.iter
+        (fun (name, c) -> Metrics.register_counter reg ("cache_" ^ name) c)
+        (Eval.cache_counters eval_cache));
   {
     mutex = Mutex.create ();
-    eval_cache = Eval.create_cache ();
+    eval_cache;
     results = Hashtbl.create 64;
-    result_hits = 0;
-    result_misses = 0;
+    result_hits;
+    result_misses;
   }
 
 let locked t f =
@@ -28,10 +44,10 @@ let find_result t key =
   locked t (fun () ->
       match Hashtbl.find_opt t.results key with
       | Some fields ->
-          t.result_hits <- t.result_hits + 1;
+          Metrics.incr t.result_hits;
           Some fields
       | None ->
-          t.result_misses <- t.result_misses + 1;
+          Metrics.incr t.result_misses;
           None)
 
 let store_result t key fields =
@@ -52,8 +68,8 @@ let stats t =
   locked t (fun () ->
       let e = Eval.cache_stats t.eval_cache in
       {
-        result_hits = t.result_hits;
-        result_misses = t.result_misses;
+        result_hits = Metrics.counter_value t.result_hits;
+        result_misses = Metrics.counter_value t.result_misses;
         result_entries = Hashtbl.length t.results;
         plan_hits = e.Eval.plan_hits;
         plan_misses = e.Eval.plan_misses;

@@ -14,11 +14,18 @@
       evaluation against this shared one runs under the mutex; hunts keep
       allocating their own per-worker caches and are not serialised.
 
-    Every counter the cache keeps is surfaced by the [stats] endpoint. *)
+    Every counter the cache keeps is an {!Bagcq_obs.Metrics} counter:
+    the [stats] endpoint and a metrics dump read the same cells.  Note
+    the process-wide {!Bagcq_obs.Metrics.set_enabled} switch therefore
+    freezes these counters too. *)
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Bagcq_obs.Metrics.t -> unit -> t
+(** [metrics] names the hit/miss counters ([cache_result_hits],
+    [cache_result_misses], [cache_plan_hits], [cache_plan_misses],
+    [cache_count_hits], [cache_count_misses]) in the given registry so
+    they appear in its dumps. *)
 
 val with_eval : t -> (Bagcq_hom.Eval.cache -> 'a) -> 'a
 (** Run an evaluation against the shared plan/count cache, holding the

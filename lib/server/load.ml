@@ -1,4 +1,6 @@
 module Json = Bagcq_wire.Json
+module Metrics = Bagcq_obs.Metrics
+module Clock = Bagcq_obs.Clock
 
 let queries =
   [| "E(x,y)"; "E(x,y) & E(y,z)"; "E(x,y) & E(y,x)"; "E(x,y) & E(y,z) & E(z,x)" |]
@@ -73,19 +75,24 @@ type summary = {
   cached : int;
   unparsed : int;
   wall_s : float;
+  latency : Metrics.summary;
 }
 
 let drive oc ic lines =
   let ok = ref 0 and errors = ref 0 and exhausted = ref 0 in
   let cached = ref 0 and unparsed = ref 0 and requests = ref 0 in
+  let lat = Metrics.fresh_histogram () in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun line ->
       incr requests;
+      let sent = Clock.now_ms () in
       output_string oc line;
       output_char oc '\n';
       flush oc;
-      match In_channel.input_line ic with
+      let reply = In_channel.input_line ic in
+      Metrics.observe_ms lat (Clock.elapsed_ms sent);
+      match reply with
       | None -> incr unparsed
       | Some reply -> (
           match Json.parse reply with
@@ -106,12 +113,14 @@ let drive oc ic lines =
     cached = !cached;
     unparsed = !unparsed;
     wall_s = Unix.gettimeofday () -. t0;
+    latency = Metrics.summary lat;
   }
 
 let summary_to_string s =
   let rate = if s.wall_s > 0. then float_of_int s.requests /. s.wall_s else 0. in
   Printf.sprintf
     "%d requests in %.3fs (%.1f req/s): %d ok, %d errors, %d exhausted, %d \
-     cached%s"
+     cached; latency p50 %.3fms p95 %.3fms p99 %.3fms%s"
     s.requests s.wall_s rate s.ok s.errors s.exhausted s.cached
+    s.latency.Metrics.p50_ms s.latency.Metrics.p95_ms s.latency.Metrics.p99_ms
     (if s.unparsed > 0 then Printf.sprintf ", %d unparsed" s.unparsed else "")

@@ -25,6 +25,9 @@ type summary = {
   unparsed : int;  (** response lines that were not valid JSON — always 0
                        against a correct server *)
   wall_s : float;
+  latency : Bagcq_obs.Metrics.summary;
+      (** per-request round-trip latency (send to response line read),
+          bucketed by the same histogram machinery the server uses *)
 }
 
 val drive : out_channel -> in_channel -> string list -> summary

@@ -7,35 +7,66 @@ module Nat = Bagcq_bignum.Nat
 module Containment = Bagcq_reduction.Containment
 module Hunt = Bagcq_search.Hunt
 module Sampler = Bagcq_search.Sampler
+module Metrics = Bagcq_obs.Metrics
+module Clock = Bagcq_obs.Clock
+module Trace = Bagcq_obs.Trace
 
 type caps = { max_fuel : int option; max_timeout_ms : int option }
 
 let default_caps = { max_fuel = Some 50_000_000; max_timeout_ms = Some 10_000 }
 
+(* Every op label a request can resolve to; undecodable lines count under
+   "invalid".  Handles are precreated at router creation so a metrics
+   dump always shows the full family, all-zero rows included, and the
+   request path never touches the registry. *)
+let op_labels = [ "ping"; "stats"; "metrics"; "eval"; "contain"; "hunt"; "invalid" ]
+
 type t = {
   caps : caps;
   hunt_jobs : int;
   cache : Cache.t;
-  requests : int Atomic.t;
-  ok : int Atomic.t;
-  errors : int Atomic.t;
-  exhausted : int Atomic.t;
+  metrics : Metrics.t;
+  req_total : Metrics.counter;
+  req_by_op : (string * Metrics.counter) list;
+  resp_ok : Metrics.counter;
+  resp_error : Metrics.counter;
+  resp_exhausted : Metrics.counter;
+  latency_by_op : (string * Metrics.histogram) list;
+  in_flight : Metrics.gauge;
+  budget_ticks : Metrics.counter;
 }
 
 let create ?(caps = default_caps) ?(hunt_jobs = 1) () =
   if hunt_jobs < 1 then invalid_arg "Router.create: hunt_jobs must be >= 1";
+  let m = Metrics.create () in
+  let per_op make = List.map (fun op -> (op, make op)) op_labels in
+  (* connection counters live here, not in Serve, so a stdio-only router
+     still dumps the full key set *)
+  ignore (Metrics.counter m "server_connections");
+  ignore (Metrics.counter m "server_connections_failed");
   {
     caps;
     hunt_jobs;
-    cache = Cache.create ();
-    requests = Atomic.make 0;
-    ok = Atomic.make 0;
-    errors = Atomic.make 0;
-    exhausted = Atomic.make 0;
+    cache = Cache.create ~metrics:m ();
+    metrics = m;
+    req_total = Metrics.counter m "server_requests";
+    req_by_op =
+      per_op (fun op -> Metrics.counter ~labels:[ ("op", op) ] m "server_requests");
+    resp_ok = Metrics.counter ~labels:[ ("status", "ok") ] m "server_responses";
+    resp_error =
+      Metrics.counter ~labels:[ ("status", "error") ] m "server_responses";
+    resp_exhausted =
+      Metrics.counter ~labels:[ ("status", "exhausted") ] m "server_responses";
+    latency_by_op =
+      per_op (fun op ->
+          Metrics.histogram ~labels:[ ("op", op) ] m "server_request_ms");
+    in_flight = Metrics.gauge m "server_in_flight";
+    budget_ticks = Metrics.counter m "server_budget_ticks";
   }
 
 let caps t = t.caps
 let cache t = t.cache
+let metrics t = t.metrics
 
 let clamp one cap =
   match (one, cap) with
@@ -55,11 +86,19 @@ let make_budget caps spec =
 
 let stats_fields t =
   let s = Cache.stats t.cache in
+  let latency =
+    List.filter_map
+      (fun (op, h) ->
+        let s = Metrics.summary h in
+        if s.Metrics.count = 0 then None
+        else Some (op, Json.Obj (Proto.summary_fields s)))
+      t.latency_by_op
+  in
   [
-    ("requests", Json.Int (Atomic.get t.requests));
-    ("ok", Json.Int (Atomic.get t.ok));
-    ("errors", Json.Int (Atomic.get t.errors));
-    ("exhausted", Json.Int (Atomic.get t.exhausted));
+    ("requests", Json.Int (Metrics.counter_value t.req_total));
+    ("ok", Json.Int (Metrics.counter_value t.resp_ok));
+    ("errors", Json.Int (Metrics.counter_value t.resp_error));
+    ("exhausted", Json.Int (Metrics.counter_value t.resp_exhausted));
     ("result_hits", Json.Int s.Cache.result_hits);
     ("result_misses", Json.Int s.Cache.result_misses);
     ("result_entries", Json.Int s.Cache.result_entries);
@@ -68,7 +107,14 @@ let stats_fields t =
     ("count_hits", Json.Int s.Cache.count_hits);
     ("count_misses", Json.Int s.Cache.count_misses);
     ("hunt_jobs", Json.Int t.hunt_jobs);
+    ("latency", Json.Obj (List.sort compare latency));
   ]
+
+let metrics_rows t =
+  List.sort
+    (fun (a : Metrics.row) b ->
+      compare (a.Metrics.name, a.Metrics.labels) (b.Metrics.name, b.Metrics.labels))
+    (Metrics.rows t.metrics @ Metrics.rows Metrics.global)
 
 (* ---------------- op handlers ---------------- *)
 
@@ -89,47 +135,55 @@ let memoised t req ~compute =
           Proto.attach ?id:req.Proto.id ~cached:false core
       | Error response -> response)
 
+let spend t budget response =
+  Metrics.add t.budget_ticks (Budget.ticks budget);
+  response
+
 let handle_eval t (req : Proto.request) ~query ~db =
   let budget = make_budget t.caps req.Proto.budget in
-  memoised t req ~compute:(fun () ->
-      match
-        Outcome.guard
-          ~partial:(fun () -> ())
-          (fun () ->
-            Cache.with_eval t.cache (fun ec ->
-                Eval.count ~budget ~cache:ec query db))
-      with
-      | Outcome.Complete count ->
-          Ok
-            (Proto.eval_core ~count
-               ~satisfied:(not (Nat.is_zero count))
-               ~ticks:(Budget.ticks budget))
-      | Outcome.Exhausted ((), reason) ->
-          Error
-            (Proto.exhausted_response ?id:req.Proto.id ~op:"eval" ~reason
-               ~ticks:(Budget.ticks budget) []))
+  spend t budget
+  @@ memoised t req ~compute:(fun () ->
+         match
+           Outcome.guard
+             ~partial:(fun () -> ())
+             (fun () ->
+               Cache.with_eval t.cache (fun ec ->
+                   Eval.count ~budget ~cache:ec query db))
+         with
+         | Outcome.Complete count ->
+             Ok
+               (Proto.eval_core ~count
+                  ~satisfied:(not (Nat.is_zero count))
+                  ~ticks:(Budget.ticks budget))
+         | Outcome.Exhausted ((), reason) ->
+             Error
+               (Proto.error_body ?id:req.Proto.id ~op:"eval"
+                  ~kind:(Proto.Exhausted reason)
+                  ~budget:(Budget.snapshot budget) ""))
 
 let handle_contain t (req : Proto.request) ~small ~big =
   let budget = make_budget t.caps req.Proto.budget in
-  memoised t req ~compute:(fun () ->
-      match
-        Outcome.guard
-          ~partial:(fun () -> ())
-          (fun () ->
-            let set_contains =
-              try Some (Containment.set_contains ~budget ~small ~big ())
-              with Invalid_argument _ -> None
-            in
-            (set_contains, Containment.bag_equivalent small big))
-      with
-      | Outcome.Complete (set_contains, bag_equivalent) ->
-          Ok
-            (Proto.contain_core ~set_contains ~bag_equivalent
-               ~ticks:(Budget.ticks budget))
-      | Outcome.Exhausted ((), reason) ->
-          Error
-            (Proto.exhausted_response ?id:req.Proto.id ~op:"contain" ~reason
-               ~ticks:(Budget.ticks budget) []))
+  spend t budget
+  @@ memoised t req ~compute:(fun () ->
+         match
+           Outcome.guard
+             ~partial:(fun () -> ())
+             (fun () ->
+               let set_contains =
+                 try Some (Containment.set_contains ~budget ~small ~big ())
+                 with Invalid_argument _ -> None
+               in
+               (set_contains, Containment.bag_equivalent small big))
+         with
+         | Outcome.Complete (set_contains, bag_equivalent) ->
+             Ok
+               (Proto.contain_core ~set_contains ~bag_equivalent
+                  ~ticks:(Budget.ticks budget))
+         | Outcome.Exhausted ((), reason) ->
+             Error
+               (Proto.error_body ?id:req.Proto.id ~op:"contain"
+                  ~kind:(Proto.Exhausted reason)
+                  ~budget:(Budget.snapshot budget) ""))
 
 let handle_hunt t (req : Proto.request) ~small ~big ~samples ~exhaustive_size
     ~seed =
@@ -146,64 +200,88 @@ let handle_hunt t (req : Proto.request) ~small ~big ~samples ~exhaustive_size
         let cs, cb = Containment.bag_counts ~small ~big d in
         Some (d, cs, cb)
   in
-  memoised t req ~compute:(fun () ->
-      match
-        Hunt.counterexample_guarded ~strategy ~jobs:t.hunt_jobs ~budget ~small
-          ~big ()
-      with
-      | Outcome.Complete (report, progress) ->
-          Ok
-            (Proto.hunt_core
-               ~witness:(witness_with_counts report.Hunt.witness)
-               ~exhaustive_complete:report.Hunt.exhaustive_complete
-               ~tested_random:report.Hunt.tested_random
-               ~ticks:progress.Hunt.ticks_spent)
-      | Outcome.Exhausted ((report, progress), reason) ->
-          Error
-            (Proto.exhausted_response ?id:req.Proto.id ~op:"hunt" ~reason
-               ~ticks:progress.Hunt.ticks_spent
-               (Proto.witness_fields (witness_with_counts report.Hunt.witness)
-               @ [
-                   ("databases_tested", Json.Int progress.Hunt.databases_tested);
-                   ( "largest_size_completed",
-                     Json.Int progress.Hunt.largest_size_completed );
-                   ("tested_random", Json.Int report.Hunt.tested_random);
-                 ])))
+  spend t budget
+  @@ memoised t req ~compute:(fun () ->
+         match
+           Hunt.counterexample_guarded ~strategy ~jobs:t.hunt_jobs ~budget ~small
+             ~big ()
+         with
+         | Outcome.Complete (report, progress) ->
+             Ok
+               (Proto.hunt_core
+                  ~witness:(witness_with_counts report.Hunt.witness)
+                  ~exhaustive_complete:report.Hunt.exhaustive_complete
+                  ~tested_random:report.Hunt.tested_random
+                  ~ticks:progress.Hunt.ticks_spent)
+         | Outcome.Exhausted ((report, progress), reason) ->
+             Error
+               (Proto.error_body ?id:req.Proto.id ~op:"hunt"
+                  ~kind:(Proto.Exhausted reason)
+                  ~budget:(Budget.snapshot budget)
+                  ~extra:
+                    (Proto.witness_fields
+                       (witness_with_counts report.Hunt.witness)
+                    @ [
+                        ( "databases_tested",
+                          Json.Int progress.Hunt.databases_tested );
+                        ( "largest_size_completed",
+                          Json.Int progress.Hunt.largest_size_completed );
+                        ("tested_random", Json.Int report.Hunt.tested_random);
+                      ])
+                  ""))
 
 (* ---------------- entry points ---------------- *)
 
 let classify t response =
   (match Proto.status response with
-  | Some "ok" -> Atomic.incr t.ok
-  | Some "exhausted" -> Atomic.incr t.exhausted
-  | Some "error" | Some _ | None -> Atomic.incr t.errors);
+  | Some "ok" -> Metrics.incr t.resp_ok
+  | Some "exhausted" -> Metrics.incr t.resp_exhausted
+  | Some "error" | Some _ | None -> Metrics.incr t.resp_error);
   response
 
+(* [req_total] and the per-op counter bump before dispatch (a [stats] /
+   [metrics] request observes itself, like the Atomic counters it
+   replaces); the latency observation lands after, so a dump read inside
+   a request never sees a half-recorded self. *)
+let instrument t ~op f =
+  Metrics.incr t.req_total;
+  Metrics.incr (List.assoc op t.req_by_op);
+  Metrics.gauge_add t.in_flight 1;
+  let t0 = Clock.now_ms () in
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.observe_ms (List.assoc op t.latency_by_op) (Clock.elapsed_ms t0);
+      Metrics.gauge_add t.in_flight (-1))
+    (fun () -> Trace.with_span ("req:" ^ op) (fun _sp -> classify t (f ())))
+
+let dispatch t (req : Proto.request) =
+  let id = req.Proto.id in
+  try
+    match req.Proto.op with
+    | Proto.Ping -> Proto.ping_response ?id ()
+    | Proto.Stats -> Proto.stats_response ?id (stats_fields t)
+    | Proto.Metrics -> Proto.metrics_response ?id (metrics_rows t)
+    | Proto.Eval { query; db } -> handle_eval t req ~query ~db
+    | Proto.Contain { small; big } -> handle_contain t req ~small ~big
+    | Proto.Hunt { small; big; samples; exhaustive_size; seed } ->
+        handle_hunt t req ~small ~big ~samples ~exhaustive_size ~seed
+  with e ->
+    Proto.error_body ?id ~op:(Proto.op_name req.Proto.op) ~kind:Proto.Internal
+      (Printf.sprintf "internal error: %s" (Printexc.to_string e))
+
 let handle_json t j =
-  Atomic.incr t.requests;
-  classify t
-    (match Proto.decode j with
-    | Error e -> Proto.error_response ?id:(Json.member "id" j) e
-    | Ok req -> (
-        let id = req.Proto.id in
-        try
-          match req.Proto.op with
-          | Proto.Ping -> Proto.ping_response ?id ()
-          | Proto.Stats -> Proto.stats_response ?id (stats_fields t)
-          | Proto.Eval { query; db } -> handle_eval t req ~query ~db
-          | Proto.Contain { small; big } -> handle_contain t req ~small ~big
-          | Proto.Hunt { small; big; samples; exhaustive_size; seed } ->
-              handle_hunt t req ~small ~big ~samples ~exhaustive_size ~seed
-        with e ->
-          Proto.error_response ?id
-            (Printf.sprintf "internal error: %s" (Printexc.to_string e))))
+  match Proto.decode j with
+  | Error e ->
+      instrument t ~op:"invalid" (fun () ->
+          Proto.error_response ?id:(Json.member "id" j) e)
+  | Ok req -> instrument t ~op:(Proto.op_name req.Proto.op) (fun () -> dispatch t req)
 
 let handle_line t line =
   let response =
     match Json.parse line with
     | Error e ->
-        Atomic.incr t.requests;
-        classify t (Proto.error_response (Printf.sprintf "invalid JSON: %s" e))
+        instrument t ~op:"invalid" (fun () ->
+            Proto.error_response (Printf.sprintf "invalid JSON: %s" e))
     | Ok j -> handle_json t j
   in
   Json.to_string response

@@ -36,6 +36,14 @@ val create : ?caps:caps -> ?hunt_jobs:int -> unit -> t
 val caps : t -> caps
 val cache : t -> Cache.t
 
+val metrics : t -> Bagcq_obs.Metrics.t
+(** The router's own registry: per-op request counters and latency
+    histograms ([server_requests], [server_request_ms]), response
+    counters by status ([server_responses]), the in-flight gauge,
+    budget-tick and connection counters, and the shared cache's
+    counters.  The [metrics] op dumps these rows merged with
+    {!Bagcq_obs.Metrics.global} (the library layers' registry). *)
+
 val clamp_budget :
   caps -> Bagcq_wire.Proto.budget_spec -> Bagcq_wire.Proto.budget_spec
 (** The effective per-request budget: each requested bound capped by the
@@ -52,4 +60,11 @@ val handle_line : t -> string -> string
 val stats_fields : t -> (string * Bagcq_wire.Json.t) list
 (** The counter block the [stats] op reports: requests served by status,
     result-cache and plan/count-cache hit/miss counters, cache entries and
-    [hunt_jobs]. *)
+    [hunt_jobs] — all read from the same {!Bagcq_obs.Metrics} cells the
+    [metrics] op dumps — plus a trailing [latency] object of per-op
+    histogram summaries (only ops that have served at least one
+    request). *)
+
+val metrics_rows : t -> Bagcq_obs.Metrics.row list
+(** The rows the [metrics] op returns: the router's registry merged with
+    {!Bagcq_obs.Metrics.global}, sorted by name then labels. *)

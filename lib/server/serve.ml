@@ -1,4 +1,5 @@
 module Pool = Bagcq_parallel.Pool
+module Metrics = Bagcq_obs.Metrics
 
 let run_batch ?(jobs = 1) router lines =
   if jobs < 1 then invalid_arg "Serve.run_batch: jobs must be >= 1";
@@ -52,7 +53,34 @@ let stdio ?(pipeline = 1) ?(jobs = 1) router ic oc =
     loop ()
   end
 
+(* Writing to a peer that already hung up raises SIGPIPE, which by
+   default kills the whole process — exactly the failure the
+   disconnect-resilience contract forbids.  Ignoring it turns the write
+   into an EPIPE [Unix_error] the connection handler absorbs.  Lazy so
+   library users that never serve TCP keep their signal disposition. *)
+let ignore_sigpipe =
+  lazy
+    (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+     with Invalid_argument _ -> ())
+
+(* Serve one accepted connection to completion and close it.  A peer
+   that vanishes mid-request must not take the server down: the
+   connection is simply over, counted under [server_connections_failed]. *)
+let handle_connection router conn =
+  Lazy.force ignore_sigpipe;
+  let ic = Unix.in_channel_of_descr conn in
+  let oc = Unix.out_channel_of_descr conn in
+  (try stdio router ic oc
+   with Unix.Unix_error _ | Sys_error _ | End_of_file ->
+     Metrics.incr
+       (Metrics.counter (Router.metrics router) "server_connections_failed"));
+  try Unix.close conn with Unix.Unix_error _ -> ()
+
 let tcp ?max_connections ?on_listen router ~port () =
+  Lazy.force ignore_sigpipe;
+  let connections =
+    Metrics.counter (Router.metrics router) "server_connections"
+  in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
@@ -73,11 +101,6 @@ let tcp ?max_connections ?on_listen router ~port () =
       while continue () do
         let conn, _peer = Unix.accept sock in
         incr served;
-        let ic = Unix.in_channel_of_descr conn in
-        let oc = Unix.out_channel_of_descr conn in
-        (* A peer that vanishes mid-write must not take the server down;
-           its connection is simply over. *)
-        (try stdio router ic oc
-         with Unix.Unix_error _ | Sys_error _ | End_of_file -> ());
-        try Unix.close conn with Unix.Unix_error _ -> ()
+        Metrics.incr connections;
+        handle_connection router conn
       done)

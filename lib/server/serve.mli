@@ -22,6 +22,12 @@ val stdio : ?pipeline:int -> ?jobs:int -> Router.t -> in_channel -> out_channel 
     one concurrent batch ([jobs] workers); responses are still written in
     request order, so the observable protocol is unchanged. *)
 
+val handle_connection : Router.t -> Unix.file_descr -> unit
+(** Serve one accepted connection with the stdio loop, then close it.
+    A peer that disconnects mid-request ends the connection, bumps the
+    router's [server_connections_failed] counter and returns normally —
+    the accept loop keeps serving.  Exposed for the regression test. *)
+
 val tcp :
   ?max_connections:int ->
   ?on_listen:(int -> unit) ->

@@ -8,6 +8,7 @@ type budget_spec = { fuel : int option; timeout_ms : int option }
 type op =
   | Ping
   | Stats
+  | Metrics
   | Eval of { query : Query.t; db : Structure.t }
   | Contain of { small : Query.t; big : Query.t }
   | Hunt of {
@@ -23,6 +24,7 @@ type request = { id : Json.t option; budget : budget_spec; op : op }
 let op_name = function
   | Ping -> "ping"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Eval _ -> "eval"
   | Contain _ -> "contain"
   | Hunt _ -> "hunt"
@@ -79,6 +81,7 @@ let decode j =
         match name with
         | "ping" -> Ok Ping
         | "stats" -> Ok Stats
+        | "metrics" -> Ok Metrics
         | "eval" ->
             let* query = parse_query j "query" in
             let* db = parse_db j "db" in
@@ -117,6 +120,7 @@ let cache_key { id = _; budget; op } =
     match op with
     | Ping -> []
     | Stats -> []
+    | Metrics -> []
     | Eval { query; db } ->
         [
           ("query", Json.Str (Query.to_string query));
@@ -144,8 +148,51 @@ let cache_key { id = _; budget; op } =
 let with_id id fields =
   match id with None -> fields | Some id -> ("id", id) :: fields
 
-let error_response ?id msg =
-  Json.Obj (with_id id [ ("status", Json.Str "error"); ("error", Json.Str msg) ])
+(* Every non-ok response — decode failure, internal error, budget
+   exhaustion — goes through one constructor, so the shapes cannot drift
+   per op.  Field order is fixed: id, op, status, code, then the
+   kind-specific detail, then the budget snapshot, then op-specific
+   progress fields. *)
+type error_kind =
+  | Bad_request
+  | Internal
+  | Exhausted of Budget.reason
+
+let error_code = function
+  | Bad_request -> "bad_request"
+  | Internal -> "internal"
+  | Exhausted _ -> "exhausted"
+
+let snapshot_fields (s : Budget.snapshot) =
+  [
+    ("ticks", Json.Int s.Budget.ticks);
+    ( "fuel_left",
+      match s.Budget.fuel_left with Some f -> Json.Int f | None -> Json.Null );
+    ("elapsed_ms", Json.Float s.Budget.elapsed_ms);
+  ]
+
+let error_body ?id ?op ?budget ?(extra = []) ~kind msg =
+  let status, detail =
+    match kind with
+    | Bad_request | Internal -> ("error", [ ("error", Json.Str msg) ])
+    | Exhausted reason ->
+        ( "exhausted",
+          ("reason", Json.Str (Budget.reason_to_string reason))
+          :: (if msg = "" then [] else [ ("message", Json.Str msg) ]) )
+  in
+  let op_field = match op with None -> [] | Some o -> [ ("op", Json.Str o) ] in
+  let budget_fields =
+    match budget with None -> [] | Some s -> snapshot_fields s
+  in
+  Json.Obj
+    (with_id id
+       (op_field
+       @ ("status", Json.Str status)
+         :: ("code", Json.Str (error_code kind))
+         :: detail
+       @ budget_fields @ extra))
+
+let error_response ?id msg = error_body ?id ~kind:Bad_request msg
 
 let ping_response ?id () =
   Json.Obj
@@ -200,19 +247,57 @@ let attach ?id ~cached fields =
   in
   Json.Obj (with_id id fields)
 
-let exhausted_response ?id ~op ~reason ~ticks extra =
-  Json.Obj
-    (with_id id
-       (("op", Json.Str op)
-       :: ("status", Json.Str "exhausted")
-       :: ("reason", Json.Str (Budget.reason_to_string reason))
-       :: ("ticks", Json.Int ticks)
-       :: extra))
-
 let stats_response ?id fields =
   Json.Obj
     (with_id id
        (("op", Json.Str "stats") :: ("status", Json.Str "ok") :: fields))
+
+(* ---------------- metrics on the wire ---------------- *)
+
+module Obs = Bagcq_obs.Metrics
+
+let summary_fields (s : Obs.summary) =
+  [
+    ("count", Json.Int s.Obs.count);
+    ("sum_ms", Json.Float s.Obs.sum_ms);
+    ("p50_ms", Json.Float s.Obs.p50_ms);
+    ("p95_ms", Json.Float s.Obs.p95_ms);
+    ("p99_ms", Json.Float s.Obs.p99_ms);
+    ("max_ms", Json.Float s.Obs.max_ms);
+  ]
+
+let metrics_row_json (r : Obs.row) =
+  Json.Obj
+    (("name", Json.Str r.Obs.name)
+    :: ( "labels",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) r.Obs.labels) )
+    ::
+    (match r.Obs.value with
+    | Obs.Counter_v n -> [ ("kind", Json.Str "counter"); ("value", Json.Int n) ]
+    | Obs.Gauge_v n -> [ ("kind", Json.Str "gauge"); ("value", Json.Int n) ]
+    | Obs.Histogram_v s -> ("kind", Json.Str "histogram") :: summary_fields s))
+
+let metrics_response ?id rows =
+  Json.Obj
+    (with_id id
+       [
+         ("op", Json.Str "metrics");
+         ("status", Json.Str "ok");
+         ("metrics", Json.List (List.map metrics_row_json rows));
+       ])
+
+module Tr = Bagcq_obs.Trace
+
+let trace_record_json (r : Tr.record) =
+  Json.Obj
+    [
+      ("span_id", Json.Int r.Tr.span_id);
+      ( "parent_id",
+        match r.Tr.parent_id with Some p -> Json.Int p | None -> Json.Null );
+      ("name", Json.Str r.Tr.name);
+      ("start_ms", Json.Float r.Tr.start_ms);
+      ("dur_ms", Json.Float r.Tr.dur_ms);
+    ]
 
 let status j =
   match Json.member "status" j with Some (Json.Str s) -> Some s | _ -> None

@@ -34,6 +34,7 @@ type budget_spec = { fuel : int option; timeout_ms : int option }
 type op =
   | Ping
   | Stats
+  | Metrics
   | Eval of { query : Query.t; db : Structure.t }
   | Contain of { small : Query.t; big : Query.t }
   | Hunt of {
@@ -47,7 +48,7 @@ type op =
 type request = { id : Json.t option; budget : budget_spec; op : op }
 
 val op_name : op -> string
-(** ["ping"], ["stats"], ["eval"], ["contain"], ["hunt"]. *)
+(** ["ping"], ["stats"], ["metrics"], ["eval"], ["contain"], ["hunt"]. *)
 
 val decode : Json.t -> (request, string) result
 (** Decode a parsed line.  Errors are human-readable and name the
@@ -93,17 +94,55 @@ val hunt_core :
 val attach : ?id:Json.t -> cached:bool -> (string * Json.t) list -> Json.t
 (** Finish a core into a response object. *)
 
+(** {2 Errors and exhaustion}
+
+    Every non-ok response goes through {!error_body}, so decode failures,
+    internal errors, and budget exhaustion all share one shape: [id], [op]
+    (when known), [status], [code], a kind-specific detail, then the budget
+    snapshot fields and any op-specific progress fields. *)
+
+type error_kind =
+  | Bad_request  (** the line was not a well-formed request *)
+  | Internal  (** the engine raised — a bug surfaced, not hidden *)
+  | Exhausted of Bagcq_guard.Budget.reason
+      (** the budget tripped — PR 1's [Outcome.Exhausted] on the wire.
+          Never memoised: how far a budget got is a property of the
+          request's budget, not of the answer. *)
+
+val error_code : error_kind -> string
+(** ["bad_request"], ["internal"], ["exhausted"]. *)
+
+val snapshot_fields : Bagcq_guard.Budget.snapshot -> (string * Json.t) list
+(** [ticks], [fuel_left] ([null] for unlimited), [elapsed_ms]. *)
+
+val error_body :
+  ?id:Json.t -> ?op:string -> ?budget:Bagcq_guard.Budget.snapshot ->
+  ?extra:(string * Json.t) list -> kind:error_kind -> string -> Json.t
+(** The one constructor for every non-ok response.  [Bad_request] and
+    [Internal] carry the message under ["error"]; [Exhausted] carries
+    ["reason"] and, when the message is non-empty, ["message"]. *)
+
 val error_response : ?id:Json.t -> string -> Json.t
+(** [error_body ~kind:Bad_request] — shorthand for the common case. *)
+
 val ping_response : ?id:Json.t -> unit -> Json.t
-
-val exhausted_response :
-  ?id:Json.t -> op:string -> reason:Bagcq_guard.Budget.reason -> ticks:int ->
-  (string * Json.t) list -> Json.t
-(** Budget exhaustion with op-specific progress fields appended.  Never
-    memoised: how far a budget got is a property of the request's budget,
-    not of the answer. *)
-
 val stats_response : ?id:Json.t -> (string * Json.t) list -> Json.t
+
+(** {2 Metrics on the wire} *)
+
+val summary_fields : Bagcq_obs.Metrics.summary -> (string * Json.t) list
+(** [count], [sum_ms], [p50_ms], [p95_ms], [p99_ms], [max_ms]. *)
+
+val metrics_row_json : Bagcq_obs.Metrics.row -> Json.t
+(** One registry row: [name], [labels] (object), [kind], then [value]
+    (counter/gauge) or the histogram summary fields. *)
+
+val metrics_response : ?id:Json.t -> Bagcq_obs.Metrics.row list -> Json.t
+
+val trace_record_json : Bagcq_obs.Trace.record -> Json.t
+(** One finished span as an NDJSON object — what [bagcq serve --trace]
+    writes per line: [span_id], [parent_id] ([null] at the root),
+    [name], [start_ms], [dur_ms]. *)
 
 val status : Json.t -> string option
 (** The ["status"] field of a response — what a load-generating client

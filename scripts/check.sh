@@ -20,24 +20,48 @@ for jobs in 1 2; do
   BAGCQ_JOBS=$jobs ./_build/default/test/test_parallel.exe >/dev/null
 done
 
-echo "== BENCH_PR3.json schema =="
+echo "== BENCH_PR4.json schema =="
 dune exec bench/main.exe -- --json-only >/dev/null
-grep -o '"[a-z_0-9]*":' BENCH_PR3.json | sort -u | tr -d '":' \
-  | diff scripts/bench_pr3_keys.txt - \
-  || { echo "BENCH_PR3.json keys drifted from scripts/bench_pr3_keys.txt" >&2; exit 1; }
+grep -o '"[a-z_0-9]*":' BENCH_PR4.json | sort -u | tr -d '":' \
+  | diff scripts/bench_pr4_keys.txt - \
+  || { echo "BENCH_PR4.json keys drifted from scripts/bench_pr4_keys.txt" >&2; exit 1; }
 
-echo "== serve --stdio answers and survives malformed input =="
+echo "== serve --stdio answers, survives malformed input, dumps metrics =="
 serve_out=$(printf '%s\n' \
   '{"op":"eval","id":1,"query":"E(x,y)","db":"E(1,2).","fuel":1000}' \
   'garbage' \
   '{"op":"stats","id":2}' \
+  '{"op":"metrics","id":3}' \
   | ./_build/default/bin/bagcq_cli.exe serve --stdio)
 echo "$serve_out" | grep -q '"id": 1, "op": "eval", "status": "ok"' \
   || { echo "serve --stdio: eval did not answer ok" >&2; exit 1; }
 echo "$serve_out" | grep -q '"status": "error"' \
   || { echo "serve --stdio: malformed line not answered with an error" >&2; exit 1; }
 echo "$serve_out" | grep -q '"requests": 3' \
-  || { echo "serve --stdio: stats did not count all requests" >&2; exit 1; }
+  || { echo "serve --stdio: stats did not count all requests up to itself" >&2; exit 1; }
+echo "$serve_out" | grep -q '"name": "server_requests", "labels": {}, "kind": "counter", "value": [1-9]' \
+  || { echo "serve --stdio: metrics op reported no requests" >&2; exit 1; }
+echo "$serve_out" | grep -Eq '"name": "server_request_ms", "labels": \{"op": "eval"\}, "kind": "histogram", "count": [1-9]' \
+  || { echo "serve --stdio: metrics op reported no eval latency" >&2; exit 1; }
+
+echo "== bagcq metrics --json against a TCP server =="
+rm -f /tmp/bagcq_check_port.$$
+./_build/default/bin/bagcq_cli.exe serve --port 0 --max-connections 1 \
+  2>/tmp/bagcq_check_port.$$ &
+serve_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' /tmp/bagcq_check_port.$$)
+  [ -n "$port" ] && break
+  sleep 0.05
+done
+[ -n "$port" ] || { echo "serve --port 0 never reported its port" >&2; exit 1; }
+./_build/default/bin/bagcq_cli.exe metrics --port "$port" --json \
+  | grep -o '"[a-z_0-9]*":' | sort -u | tr -d '":' \
+  | diff scripts/metrics_json_keys.txt - \
+  || { echo "bagcq metrics --json keys drifted from scripts/metrics_json_keys.txt" >&2; exit 1; }
+wait "$serve_pid"
+rm -f /tmp/bagcq_check_port.$$
 
 if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
   echo "== dune fmt --check =="

@@ -44,11 +44,14 @@ code 1 distinguishes "searched and found nothing" from a found witness (0):
   [1]
 
 Budgets bound every semi-decision search: a tiny --fuel makes the hunt
-degrade gracefully into best-so-far statistics with exit code 2:
+degrade gracefully into best-so-far statistics with exit code 2.  The
+exhaustion message embeds the budget snapshot; its wall-clock ms are not
+deterministic, so the run normalises them:
 
-  $ ../../bin/bagcq_cli.exe hunt --small 'E(x,x)' --big 'E(x,y)' --fuel 100
-  budget exhausted (fuel): 100 ticks spent, 13 databases tested (exhaustive complete to size 1; 0 random samples)
-  [2]
+  $ ../../bin/bagcq_cli.exe hunt --small 'E(x,x)' --big 'E(x,y)' --fuel 100 > out.txt; echo "exit: $?"
+  exit: 2
+  $ sed 's/ in [0-9]*ms/ in _ms/' out.txt
+  budget exhausted (fuel): 100 ticks in _ms (fuel left 0), 13 databases tested (exhaustive complete to size 1; 0 random samples)
 
 while ample fuel changes nothing — same witness, exit code 0:
 
@@ -89,14 +92,16 @@ as is a malformed BAGCQ_JOBS environment default:
 
 eval and contain take the same flags:
 
-  $ ../../bin/bagcq_cli.exe eval -q 'E(x,y) & E(y,z)' -d db.txt --fuel 2
+  $ ../../bin/bagcq_cli.exe eval -q 'E(x,y) & E(y,z)' -d db.txt --fuel 2 > out.txt; echo "exit: $?"
+  exit: 2
+  $ sed 's/ in [0-9]*ms/ in _ms/' out.txt
   query: E(x,y) & E(y,z)
-  budget exhausted (fuel) after 2 ticks
-  [2]
+  budget exhausted (fuel): 2 ticks in _ms (fuel left 0)
 
-  $ ../../bin/bagcq_cli.exe contain --small 'E(x,y) & E(y,z)' --big 'E(x,y)' --fuel 1
-  budget exhausted (fuel) after 1 ticks
-  [2]
+  $ ../../bin/bagcq_cli.exe contain --small 'E(x,y) & E(y,z)' --big 'E(x,y)' --fuel 1 > out.txt; echo "exit: $?"
+  exit: 2
+  $ sed 's/ in [0-9]*ms/ in _ms/' out.txt
+  budget exhausted (fuel): 1 ticks in _ms (fuel left 0)
 
 Negative budgets are rejected at parse time:
 

@@ -13,15 +13,20 @@ stats op.
   > {"op":"frobnicate","id":7}
   > {"op":"stats","id":8}
   > EOF
-  $ ../../bin/bagcq_cli.exe serve --stdio < requests.ndjson
+Exhaustion responses carry the budget snapshot (wall-clock ms are not
+deterministic, so the run normalises them), and stats appends per-op
+latency summaries (same treatment):
+
+  $ normalise() { sed -e 's/"elapsed_ms": [^,}]*/"elapsed_ms": _/' -e 's/"latency": {.*/"latency": {...}}/'; }
+  $ ../../bin/bagcq_cli.exe serve --stdio < requests.ndjson | normalise
   {"id": 1, "op": "ping", "status": "ok"}
   {"id": 2, "op": "eval", "status": "ok", "cached": false, "count": "3", "satisfied": true, "ticks": 13}
   {"id": 3, "op": "eval", "status": "ok", "cached": true, "count": "3", "satisfied": true, "ticks": 13}
   {"id": 4, "op": "contain", "status": "ok", "cached": false, "set_contains": true, "bag_equivalent": false, "ticks": 3}
-  {"id": 5, "op": "hunt", "status": "exhausted", "reason": "fuel", "ticks": 50, "violated": false, "databases_tested": 7, "largest_size_completed": 1, "tested_random": 0}
-  {"status": "error", "error": "invalid JSON: expected '\"' at offset 1"}
-  {"id": 7, "status": "error", "error": "unknown op \"frobnicate\""}
-  {"id": 8, "op": "stats", "status": "ok", "requests": 8, "ok": 4, "errors": 2, "exhausted": 1, "result_hits": 1, "result_misses": 3, "result_entries": 2, "plan_hits": 0, "plan_misses": 1, "count_hits": 0, "count_misses": 1, "hunt_jobs": 1}
+  {"id": 5, "op": "hunt", "status": "exhausted", "code": "exhausted", "reason": "fuel", "ticks": 50, "fuel_left": 0, "elapsed_ms": _, "violated": false, "databases_tested": 7, "largest_size_completed": 1, "tested_random": 0}
+  {"status": "error", "code": "bad_request", "error": "invalid JSON: expected '\"' at offset 1"}
+  {"id": 7, "status": "error", "code": "bad_request", "error": "unknown op \"frobnicate\""}
+  {"id": 8, "op": "stats", "status": "ok", "requests": 8, "ok": 4, "errors": 2, "exhausted": 1, "result_hits": 1, "result_misses": 3, "result_entries": 2, "plan_hits": 0, "plan_misses": 1, "count_hits": 0, "count_misses": 1, "hunt_jobs": 1, "latency": {...}}
 
 A hunt that completes inside its budget finds the classic witness, and a
 repeat of the identical request is served from the cache with the same
@@ -41,8 +46,53 @@ hang or a crash, and the exit code stays 0 (protocol errors are data,
 not process failures):
 
   $ printf '%s\n' '{"op":"hunt","id":1,"small":"E(x,y) & E(y,z)","big":"E(x,y)","fuel":1000000000}' \
-  >   | ../../bin/bagcq_cli.exe serve --stdio --max-fuel 50
-  {"id": 1, "op": "hunt", "status": "exhausted", "reason": "fuel", "ticks": 50, "violated": false, "databases_tested": 7, "largest_size_completed": 1, "tested_random": 0}
+  >   | ../../bin/bagcq_cli.exe serve --stdio --max-fuel 50 | normalise
+  {"id": 1, "op": "hunt", "status": "exhausted", "code": "exhausted", "reason": "fuel", "ticks": 50, "fuel_left": 0, "elapsed_ms": _, "violated": false, "databases_tested": 7, "largest_size_completed": 1, "tested_random": 0}
   $ printf 'garbage\n' | ../../bin/bagcq_cli.exe serve --stdio; echo "exit: $?"
-  {"status": "error", "error": "invalid JSON: unexpected character 'g' at offset 0"}
+  {"status": "error", "code": "bad_request", "error": "invalid JSON: unexpected character 'g' at offset 0"}
   exit: 0
+
+The metrics op dumps every registered metric — precreated at router
+creation, so the name family is deterministic whatever the traffic (the
+values are not, so the run pins names only):
+
+  $ printf '%s\n' '{"op":"eval","id":1,"query":"E(x,y)","db":"E(1,2)."}' '{"op":"metrics","id":2}' \
+  >   | ../../bin/bagcq_cli.exe serve --stdio \
+  >   | grep -o '"name": "[a-z_]*"' | sort -u
+  "name": "cache_count_hits"
+  "name": "cache_count_misses"
+  "name": "cache_plan_hits"
+  "name": "cache_plan_misses"
+  "name": "cache_result_hits"
+  "name": "cache_result_misses"
+  "name": "hom_plans_compiled"
+  "name": "hom_solver_probes"
+  "name": "hom_solver_runs"
+  "name": "hunt_candidates_tested"
+  "name": "hunt_exhausted"
+  "name": "hunt_runs"
+  "name": "hunt_ticks_spent"
+  "name": "hunt_witnesses_found"
+  "name": "pool_chunks_claimed"
+  "name": "pool_items"
+  "name": "pool_sweeps"
+  "name": "pool_worker_busy_ms"
+  "name": "pool_worker_idle_ms"
+  "name": "server_budget_ticks"
+  "name": "server_connections"
+  "name": "server_connections_failed"
+  "name": "server_in_flight"
+  "name": "server_request_ms"
+  "name": "server_requests"
+  "name": "server_responses"
+
+With --trace FILE every request is wrapped in a span and dumped as one
+NDJSON record (timings normalised — only the structure is deterministic):
+
+  $ printf '%s\n' '{"op":"ping","id":1}' '{"op":"ping","id":2}' \
+  >   | ../../bin/bagcq_cli.exe serve --stdio --trace trace.ndjson
+  {"id": 1, "op": "ping", "status": "ok"}
+  {"id": 2, "op": "ping", "status": "ok"}
+  $ sed -e 's/"start_ms": [^,}]*/"start_ms": _/' -e 's/"dur_ms": [^,}]*/"dur_ms": _/' trace.ndjson
+  {"span_id": 1, "parent_id": null, "name": "req:ping", "start_ms": _, "dur_ms": _}
+  {"span_id": 2, "parent_id": null, "name": "req:ping", "start_ms": _, "dur_ms": _}

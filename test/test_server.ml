@@ -10,6 +10,7 @@ module Router = Bagcq_server.Router
 module Serve = Bagcq_server.Serve
 module Load = Bagcq_server.Load
 module Cache = Bagcq_server.Cache
+module Metrics = Bagcq_obs.Metrics
 
 let handle router line =
   match Json.parse (Router.handle_line router line) with
@@ -104,6 +105,102 @@ let test_malformed_and_stats () =
   Alcotest.(check (option int)) "errors" (Some 1) (Json.get_int "errors" s);
   Alcotest.(check (option int)) "result_hits" (Some 1)
     (Json.get_int "result_hits" s)
+
+let test_metrics_op () =
+  let r = Router.create () in
+  ignore (handle r eval_line);
+  let v = handle r {|{"op":"metrics","id":3}|} in
+  Alcotest.(check (option string)) "status" (Some "ok") (status v);
+  let rows =
+    match get "metrics" v with
+    | Some (Json.List rows) -> rows
+    | _ -> Alcotest.fail "no metrics list in the response"
+  in
+  let row ~name ~labels =
+    let labels = List.map (fun (k, v) -> (k, Json.Str v)) labels in
+    List.find_opt
+      (fun row ->
+        Json.get_string "name" row = Some name
+        && Json.member "labels" row = Some (Json.Obj labels))
+      rows
+  in
+  let value ~name ~labels =
+    Option.bind (row ~name ~labels) (Json.get_int "value")
+  in
+  (* the metrics request observes itself before dispatch, like stats *)
+  Alcotest.(check (option int)) "total requests" (Some 2)
+    (value ~name:"server_requests" ~labels:[]);
+  Alcotest.(check (option int)) "eval requests" (Some 1)
+    (value ~name:"server_requests" ~labels:[ ("op", "eval") ]);
+  Alcotest.(check (option int)) "ping requests precreated at zero" (Some 0)
+    (value ~name:"server_requests" ~labels:[ ("op", "ping") ]);
+  Alcotest.(check (option int)) "cache miss counted" (Some 1)
+    (value ~name:"cache_result_misses" ~labels:[]);
+  Alcotest.(check (option int)) "the dumping request is in flight" (Some 1)
+    (value ~name:"server_in_flight" ~labels:[]);
+  (* histogram rows carry the summary, not a single value *)
+  (match row ~name:"server_request_ms" ~labels:[ ("op", "eval") ] with
+  | Some row ->
+      Alcotest.(check (option string)) "kind" (Some "histogram")
+        (Json.get_string "kind" row);
+      Alcotest.(check (option int)) "one eval observed" (Some 1)
+        (Json.get_int "count" row)
+  | None -> Alcotest.fail "no eval latency row");
+  (* two routers do not share request metrics *)
+  let r2 = Router.create () in
+  let v2 = handle r2 {|{"op":"metrics"}|} in
+  (match get "metrics" v2 with
+  | Some (Json.List rows2) ->
+      Alcotest.(check (option int)) "fresh router starts at one" (Some 1)
+        (List.find_map
+           (fun row ->
+             if
+               Json.get_string "name" row = Some "server_requests"
+               && Json.member "labels" row = Some (Json.Obj [])
+             then Json.get_int "value" row
+             else None)
+           rows2)
+  | _ -> Alcotest.fail "no metrics list from second router")
+
+let test_stats_latency_summaries () =
+  let r = Router.create () in
+  ignore (handle r eval_line);
+  let s = handle r {|{"op":"stats"}|} in
+  match get "latency" s with
+  | Some (Json.Obj ops) ->
+      (* only ops that actually ran appear; the stats op itself has not
+         finished when the dump is taken *)
+      Alcotest.(check (list string)) "ops with traffic" [ "eval" ]
+        (List.map fst ops);
+      let eval = List.assoc "eval" ops in
+      Alcotest.(check (option int)) "count" (Some 1) (Json.get_int "count" eval);
+      Alcotest.(check bool) "p95 present" true
+        (Json.member "p95_ms" eval <> None)
+  | _ -> Alcotest.fail "stats carries no latency object"
+
+let test_disconnect_mid_conversation () =
+  (* a peer that sends a request and hangs up without reading the answer
+     must not kill the server: the write fails, the connection is counted
+     as failed, and the router keeps serving *)
+  let r = Router.create () in
+  let failed () =
+    Metrics.counter_value
+      (Metrics.counter (Router.metrics r) "server_connections_failed")
+  in
+  Alcotest.(check int) "starts clean" 0 (failed ());
+  let server_side, client_side =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  let oc = Unix.out_channel_of_descr client_side in
+  output_string oc (eval_line ^ "\n");
+  flush oc;
+  Out_channel.close oc;
+  (* the request line is already queued: the server reads it fine, then
+     hits EPIPE answering it *)
+  Serve.handle_connection r server_side;
+  Alcotest.(check int) "failure counted" 1 (failed ());
+  let v = handle r {|{"op":"ping","id":9}|} in
+  Alcotest.(check (option string)) "still serving" (Some "ok") (status v)
 
 let never_crashes =
   QCheck_alcotest.to_alcotest
@@ -262,6 +359,10 @@ let () =
           Alcotest.test_case "budgets clamped by caps" `Quick test_budget_clamp;
           Alcotest.test_case "exhaustion is structured" `Quick test_exhausted_shape;
           Alcotest.test_case "malformed input + stats" `Quick test_malformed_and_stats;
+          Alcotest.test_case "metrics op dumps both registries" `Quick
+            test_metrics_op;
+          Alcotest.test_case "stats carries latency summaries" `Quick
+            test_stats_latency_summaries;
         ] );
       ("robustness", [ never_crashes; never_crashes_request_soup ]);
       ( "serving",
@@ -272,5 +373,7 @@ let () =
             test_stdio_pipeline;
           Alcotest.test_case "tcp round-trip on an ephemeral port" `Quick
             test_tcp_roundtrip;
+          Alcotest.test_case "mid-conversation disconnect is survivable" `Quick
+            test_disconnect_mid_conversation;
         ] );
     ]

@@ -5,6 +5,7 @@
 
 module Json = Bagcq_wire.Json
 module Proto = Bagcq_wire.Proto
+module Budget = Bagcq_guard.Budget
 
 let json = Alcotest.testable Json.pp Json.equal
 let parsed = Alcotest.(result json string)
@@ -270,6 +271,42 @@ let test_responses () =
   (* responses are valid single-line JSON *)
   Alcotest.(check bool) "single line" false (String.contains (Json.to_string resp) '\n')
 
+(* Every error and exhaustion response the router emits goes through one
+   constructor; these pins are byte-exact so any drift in field order or
+   naming shows up here before it shows up on the wire. *)
+let test_error_body () =
+  let pin name expected v = Alcotest.(check string) name expected (Json.to_string v) in
+  pin "bad request"
+    {|{"id": 1, "status": "error", "code": "bad_request", "error": "boom"}|}
+    (Proto.error_body ~id:(Json.Int 1) ~kind:Proto.Bad_request "boom");
+  pin "error_response is the bad_request body"
+    (Json.to_string (Proto.error_body ~kind:Proto.Bad_request "nope"))
+    (Proto.error_response "nope");
+  pin "internal error carries the op"
+    {|{"op": "eval", "status": "error", "code": "internal", "error": "solver blew up"}|}
+    (Proto.error_body ~op:"eval" ~kind:Proto.Internal "solver blew up");
+  let snap =
+    { Budget.ticks = 50; fuel_left = Some 0; elapsed_ms = 1.5;
+      tripped = Some Budget.Fuel }
+  in
+  pin "exhaustion: snapshot fields then extras"
+    ({|{"id": 5, "op": "hunt", "status": "exhausted", "code": "exhausted", |}
+    ^ {|"reason": "fuel", "ticks": 50, "fuel_left": 0, "elapsed_ms": 1.5, |}
+    ^ {|"databases_tested": 9}|})
+    (Proto.error_body ~id:(Json.Int 5) ~op:"hunt"
+       ~kind:(Proto.Exhausted Budget.Fuel) ~budget:snap
+       ~extra:[ ("databases_tested", Json.Int 9) ]
+       "");
+  pin "deadline exhaustion, unlimited fuel, with message"
+    ({|{"status": "exhausted", "code": "exhausted", "reason": "deadline", |}
+    ^ {|"message": "mid-sweep", "ticks": 7, "fuel_left": null, "elapsed_ms": 2.0}|})
+    (Proto.error_body
+       ~kind:(Proto.Exhausted Budget.Deadline)
+       ~budget:
+         { Budget.ticks = 7; fuel_left = None; elapsed_ms = 2.;
+           tripped = Some Budget.Deadline }
+       "mid-sweep")
+
 let () =
   Alcotest.run "wire"
     [
@@ -296,5 +333,6 @@ let () =
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
           Alcotest.test_case "cache key" `Quick test_cache_key;
           Alcotest.test_case "responses" `Quick test_responses;
+          Alcotest.test_case "error body shape" `Quick test_error_body;
         ] );
     ]
