@@ -476,7 +476,7 @@ let exp_guard () =
 
 (* ------------------------------------------------------------------ *)
 (* EXP-KERNEL: compiled solver kernel and the parallel database sweep.  *)
-(* Wall-clock numbers land in BENCH_PR2.json (schema checked by         *)
+(* Wall-clock numbers land in BENCH_PR5.json (schema checked by         *)
 (* scripts/check.sh), so the rows use explicit timing rather than       *)
 (* Bechamel: the JSON must be producible in the --json-only fast mode.  *)
 (* ------------------------------------------------------------------ *)
@@ -498,7 +498,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       [
-        ("bench", Json.Str "BENCH_PR4");
+        ("bench", Json.Str "BENCH_PR5");
         ("jobs_available", Json.Int (Domain.recommended_domain_count ()));
         ( "experiments",
           Json.List
@@ -615,6 +615,85 @@ let exp_parallel_sweep () =
           ("wall_s", Json.Float t);
         ])
     [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* EXP-PLAN: planner v2.  v1 is what PR 4 shipped — compile the whole    *)
+(* query (all k copies of θ) into one backtracking plan and enumerate    *)
+(* every homomorphism of the product space.  v2 is the Decomp pipeline:  *)
+(* factor into components, count each distinct component once (by the    *)
+(* join-tree DP when acyclic), and recombine with Nat.mul / Nat.pow.     *)
+(* On θ↑k the v1 node count is Θ(θ(D)^k) while v2 does one component     *)
+(* search — the speedup is the point of the experiment.                  *)
+(* ------------------------------------------------------------------ *)
+
+let exp_plan () =
+  header "EXP-PLAN - planner v2 (factorise + DP + pow) vs v1 whole-query backtracking";
+  let module Solver = Bagcq_hom.Solver in
+  let module Solver_ref = Bagcq_hom.Solver_ref in
+  let module Plan = Bagcq_hom.Plan in
+  (* a directed L-cycle: path_q (x->y->z) has exactly L homomorphisms *)
+  let cycle_db l =
+    List.fold_left
+      (fun d i -> Structure.add_fact d e_sym [ Value.int i; Value.int (1 + (i mod l)) ])
+      (Structure.empty Schema.empty)
+      (List.init l succ)
+  in
+  let plan_row name ?k ~reps q d expected =
+    let plan = Plan.compile q in
+    ignore (Solver.count_plan plan d) (* warm the structure's index *);
+    ignore (Eval.count q d);
+    let c1, t1 =
+      wall (fun () ->
+          let n = ref 0 in
+          for _ = 1 to reps do
+            n := Solver.count_plan plan d
+          done;
+          !n)
+    in
+    let c2, t2 =
+      wall (fun () ->
+          let c = ref Nat.zero in
+          for _ = 1 to reps do
+            c := Eval.count q d
+          done;
+          !c)
+    in
+    let speedup = t1 /. Stdlib.max 1e-9 t2 in
+    let counts_match = Nat.equal c2 expected && Nat.equal (Nat.of_int c1) expected in
+    row "  %-26s hom count %-12s v1 %.6fs  v2 %.6fs  speedup %8.1fx  [%s]\n" name
+      (Nat.to_string expected) (t1 /. float_of_int reps) (t2 /. float_of_int reps)
+      speedup (ok counts_match);
+    emit name
+      (("reps", Json.Int reps)
+       :: (match k with Some k -> [ ("k", Json.Int k) ] | None -> [])
+      @ [
+          ("hom_count", Json.Str (Nat.to_string expected));
+          ("v1_wall_s", Json.Float t1);
+          ("v2_wall_s", Json.Float t2);
+          ("speedup", Json.Float speedup);
+          ("counts_match", Json.Bool counts_match);
+        ])
+  in
+  (* θ↑k rows: reference count is θ(D)^k by Definition 2, with θ(D) from
+     the reference solver, so the check is independent of both engines *)
+  List.iter
+    (fun (k, l, reps) ->
+      let d = cycle_db l in
+      let expected = Nat.pow (Nat.of_int (Solver_ref.count path_q d)) k in
+      plan_row (Printf.sprintf "plan-theta-pow-%d-L%d" k l) ~k ~reps
+        (Query.power path_q k) d expected)
+    [ (1, 40, 200); (2, 40, 100); (4, 16, 20); (8, 8, 1) ];
+  (* connected acyclic row: an 8-edge path query on K4 exercises the
+     join-tree DP against backtracking on a single component *)
+  let p8 =
+    Build.(
+      query
+        (List.init 8 (fun i ->
+             atom e_sym [ v (Printf.sprintf "x%d" i); v (Printf.sprintf "x%d" (i + 1)) ])))
+  in
+  let k4 = clique 4 in
+  plan_row "plan-acyclic-path8-on-K4" ~reps:20 p8 k4
+    (Nat.of_int (Solver_ref.count p8 k4))
 
 (* ------------------------------------------------------------------ *)
 (* EXP-OBS: cost of the always-on instrumentation.  The same EXP-KERNEL *)
@@ -855,7 +934,7 @@ let run_benchmarks () =
       | _ -> Printf.printf "  %-42s (no estimate)\n" name)
     (List.sort compare rows)
 
-let default_bench_json_path = "BENCH_PR4.json"
+let default_bench_json_path = "BENCH_PR5.json"
 
 (* minimal flag parsing: --json PATH overrides where the row file lands *)
 let bench_json_path =
@@ -869,9 +948,10 @@ let bench_json_path =
 
 let () =
   if Array.exists (( = ) "--json-only") Sys.argv then begin
-    (* fast mode for CI: just the kernel/parallel/obs/serve rows and the JSON file *)
+    (* fast mode for CI: just the kernel/parallel/plan/obs/serve rows and the JSON file *)
     exp_kernel ();
     exp_parallel_sweep ();
+    exp_plan ();
     exp_obs ();
     exp_serve ();
     write_bench_json bench_json_path;
@@ -902,6 +982,7 @@ let () =
   exp_guard ();
   exp_kernel ();
   exp_parallel_sweep ();
+  exp_plan ();
   exp_obs ();
   exp_serve ();
   exp_hde ();

@@ -21,6 +21,8 @@ module Nat = Bagcq_bignum.Nat
 module Budget = Bagcq_guard.Budget
 module Outcome = Bagcq_guard.Outcome
 module Eval = Bagcq_hom.Eval
+module Decomp = Bagcq_hom.Decomp
+module Plan = Bagcq_hom.Plan
 module Hunt = Bagcq_search.Hunt
 module Sampler = Bagcq_search.Sampler
 module Pool = Bagcq_parallel.Pool
@@ -129,6 +131,45 @@ let eval_cmd =
     (Cmd.info "eval" ~exits:budget_exits
        ~doc:"Evaluate a query on a database under bag semantics.")
     Cmdliner.Term.(const run $ query $ db $ budget_term)
+
+(* ---------------- explain ---------------- *)
+
+let explain_cmd =
+  let query =
+    Arg.(required & opt (some query_conv) None & info [ "q"; "query" ] ~docv:"QUERY"
+           ~doc:"The boolean conjunctive query to plan.")
+  in
+  let run q =
+    Printf.printf "query: %s\n" (Query.to_string q);
+    let groups = Decomp.factor q in
+    let total = List.fold_left (fun n (_, m) -> n + m) 0 groups in
+    Printf.printf "components: %d (%d distinct)\n" total (List.length groups);
+    if groups = [] then
+      print_string "the empty conjunction: count is 1 on every database\n";
+    List.iteri
+      (fun i (comp, mult) ->
+        Printf.printf "component %d (x%d): %s\n" (i + 1) mult (Query.to_string comp);
+        match Decomp.choose comp with
+        | Decomp.Dp _ as s ->
+            print_string "  class: acyclic -> join-tree dynamic program\n";
+            print_string "  join tree:\n";
+            List.iter (fun l -> Printf.printf "    %s\n" l) (Decomp.render s)
+        | Decomp.Backtrack ->
+            let why = if Query.has_neqs comp then "inequalities" else "cyclic" in
+            Printf.printf "  class: %s -> backtracking kernel\n" why;
+            Printf.printf "  join order: %s\n"
+              (String.concat " -> "
+                 (List.map (Format.asprintf "%a" Atom.pp) (Plan.ordered_atoms comp))))
+      groups;
+    `Ok 0
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the evaluation plan: connected components with \
+             multiplicities (repeated components are counted once and \
+             raised to their power), acyclic-vs-cyclic classification, and \
+             the join tree or backtracking join order per component.")
+    Cmdliner.Term.(ret (const run $ query))
 
 (* ---------------- contain ---------------- *)
 
@@ -692,6 +733,6 @@ let main_cmd =
   let doc = "bag-semantics conjunctive query containment toolbox (PODS 2024 reproduction)" in
   Cmd.group
     (Cmd.info "bagcq" ~version:"1.0.0" ~doc)
-    [ eval_cmd; contain_cmd; hunt_cmd; reduce_cmd; multiply_cmd; core_cmd; answers_cmd; hde_cmd; serve_cmd; client_cmd; metrics_cmd ]
+    [ eval_cmd; explain_cmd; contain_cmd; hunt_cmd; reduce_cmd; multiply_cmd; core_cmd; answers_cmd; hde_cmd; serve_cmd; client_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -108,7 +108,7 @@ let sub_saturating a b = if compare a b < 0 then zero else sub a b
 let succ a = add a one
 let pred a = sub_exn "Nat.pred: zero" a one
 
-let mul (a : t) (b : t) : t =
+let mul_schoolbook (a : t) (b : t) : t =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then zero
   else begin
@@ -133,6 +133,88 @@ let mul (a : t) (b : t) : t =
       end
     done;
     normalize r
+  end
+
+(* Below this many limbs the three extra allocations and carry passes of a
+   Karatsuba split cost more than the limb products they save. *)
+let karatsuba_threshold = 24
+
+let shift_limbs (a : t) k : t =
+  if is_zero a then zero else Array.append (Array.make k 0) a
+
+let rec mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if Stdlib.min la lb < karatsuba_threshold then mul_schoolbook a b
+  else begin
+    (* Split at m limbs, a = a1·B^m + a0: three recursive products instead
+       of four, z1 = (a0+a1)(b0+b1) − z0 − z2 = a0·b1 + a1·b0 ≥ 0. *)
+    let m = (Stdlib.max la lb + 1) / 2 in
+    let lo x lx = normalize (Array.sub x 0 (Stdlib.min m lx)) in
+    let hi x lx = if lx <= m then zero else Array.sub x m (lx - m) in
+    let a0 = lo a la and a1 = hi a la in
+    let b0 = lo b lb and b1 = hi b lb in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+    add (add z0 (shift_limbs z1 m)) (shift_limbs z2 (2 * m))
+  end
+
+(* Squaring does half the limb products of [mul_schoolbook]: every cross
+   product aᵢaⱼ (i < j) appears twice in a², so accumulate them once,
+   double the whole array, then add the diagonal aᵢ² terms. *)
+let sqr_schoolbook (a : t) : t =
+  let la = Array.length a in
+  if la = 0 then zero
+  else begin
+    let r = Array.make (2 * la) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = i + 1 to la - 1 do
+          let s = r.(i + j) + (ai * a.(j)) + !carry in
+          r.(i + j) <- s land mask;
+          carry := s lsr base_bits
+        done;
+        let k = ref (i + la) in
+        while !carry <> 0 do
+          let s = r.(!k) + !carry in
+          r.(!k) <- s land mask;
+          carry := s lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    (* r = Σ_{i<j} aᵢaⱼ·B^{i+j} < a²/2, so doubling fits in 2·la limbs. *)
+    let carry = ref 0 in
+    for i = 0 to (2 * la) - 1 do
+      let s = (r.(i) lsl 1) lor !carry in
+      r.(i) <- s land mask;
+      carry := s lsr base_bits
+    done;
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let sq = a.(i) * a.(i) in
+      let s0 = r.(2 * i) + (sq land mask) + !carry in
+      r.(2 * i) <- s0 land mask;
+      let s1 = r.((2 * i) + 1) + (sq lsr base_bits) + (s0 lsr base_bits) in
+      r.((2 * i) + 1) <- s1 land mask;
+      carry := s1 lsr base_bits
+    done;
+    normalize r
+  end
+
+let rec sqr (a : t) : t =
+  let la = Array.length a in
+  if la < karatsuba_threshold then sqr_schoolbook a
+  else begin
+    let m = (la + 1) / 2 in
+    let a0 = normalize (Array.sub a 0 m) in
+    let a1 = Array.sub a m (la - m) in
+    let z0 = sqr a0 and z2 = sqr a1 in
+    (* (a0 + a1)² − a0² − a1² = 2·a0·a1. *)
+    let z1 = sub (sqr (add a0 a1)) (add z0 z2) in
+    add (add z0 (shift_limbs z1 m)) (shift_limbs z2 (2 * m))
   end
 
 let mul_int a d =
@@ -167,7 +249,7 @@ let pow b e =
     if e = 0 then acc
     else begin
       let acc = if e land 1 = 1 then mul acc b else acc in
-      go acc (if e > 1 then mul b b else b) (e lsr 1)
+      go acc (if e > 1 then sqr b else b) (e lsr 1)
     end
   in
   go one b e
@@ -224,11 +306,13 @@ let divmod (a : t) (b : t) =
 
 let rec gcd a b = if is_zero b then a else gcd b (snd (divmod a b))
 
+exception Exponent_too_large
+
 let pow_nat b e =
   if is_zero e then one
   else if is_zero b then zero
   else if equal b one then one
-  else pow b (match to_int_opt e with Some i -> i | None -> failwith "Nat.pow_nat: exponent too large")
+  else pow b (match to_int_opt e with Some i -> i | None -> raise Exponent_too_large)
 
 let to_string (a : t) =
   if is_zero a then "0"

@@ -49,17 +49,42 @@ val sub_saturating : t -> t -> t
 (** [sub_saturating a b] is [a - b], or [zero] when [b > a]. *)
 
 val mul : t -> t -> t
+(** Karatsuba above {!karatsuba_threshold} limbs per operand, schoolbook
+    below — the blowup counts the reduction manipulates reach thousands
+    of limbs, where the O(n{^ 1.585}) split wins. *)
+
 val mul_int : t -> int -> t
 
+val mul_schoolbook : t -> t -> t
+(** The O(n²) base-case multiplier, exposed so differential tests and the
+    bench can pit the Karatsuba path against it.  Always agrees with
+    {!mul}. *)
+
+val sqr : t -> t
+(** [sqr a = a·a], with the cross products accumulated once and doubled —
+    about half the limb products of [mul a a].  {!pow} squares through
+    this. *)
+
+val karatsuba_threshold : int
+(** Operand size, in 30-bit limbs, at which {!mul} and {!sqr} switch from
+    schoolbook to Karatsuba. *)
+
 val pow : t -> int -> t
-(** [pow b e] is [b]{^ e} by binary exponentiation.
-    Raises [Invalid_argument] if [e < 0].  [pow zero 0 = one]. *)
+(** [pow b e] is [b]{^ e} by binary exponentiation (squaring steps via
+    {!sqr}).  Raises [Invalid_argument] if [e < 0].  [pow zero 0 = one]. *)
+
+exception Exponent_too_large
+(** Raised by {!pow_nat} when the exponent exceeds [max_int] and the base
+    is ≥ 2 — the result would not be representable in memory, and callers
+    (the reduction's symbolic comparisons) must catch a typed exception,
+    not parse a [Failure] string. *)
 
 val pow_nat : t -> t -> t
 (** [pow_nat b e] with an arbitrary-precision exponent.  The result must
     still be representable in memory, so this is only useful when [b] is
     [zero] or [one], or [e] is small; otherwise it behaves as [pow b
-    (to_int e)] and raises [Failure] if [e] does not fit an [int]. *)
+    (to_int e)] and raises {!Exponent_too_large} if [e] does not fit an
+    [int]. *)
 
 val divmod_int : t -> int -> t * int
 (** [divmod_int a d] is [(a / d, a mod d)] for [0 < d ≤ 2^30 - 1].

@@ -1,0 +1,268 @@
+open Bagcq_relational
+open Bagcq_cq
+module Nat = Bagcq_bignum.Nat
+module Budget = Bagcq_guard.Budget
+module Metrics = Bagcq_obs.Metrics
+module StringSet = Set.Make (String)
+
+(* Plan-selection metrics.  Handles resolve once at module initialisation,
+   so the family is present (at zero) in every metrics dump whatever the
+   traffic — the check.sh contract. *)
+let components_seen = Metrics.counter Metrics.global "plan_components"
+let dp_selected = Metrics.counter Metrics.global "plan_dp_selected"
+let fallback_selected = Metrics.counter Metrics.global "plan_fallback"
+
+(* Variables renamed by first occurrence, so that components that differ
+   only in variable names share one search per evaluation — queries built
+   with ∧̄ and ↑ consist of many such copies, and [rename_apart]'s ~n
+   suffixing preserves the relative order of the copies' atoms, so every
+   copy lands on the same canonical form. *)
+let canonical q =
+  let table = Hashtbl.create 8 in
+  let next = ref 0 in
+  let rename x =
+    match Hashtbl.find_opt table x with
+    | Some y -> y
+    | None ->
+        incr next;
+        let y = Printf.sprintf "v%d" !next in
+        Hashtbl.add table x y;
+        y
+  in
+  Query.rename_vars rename q
+
+let factor q =
+  let comps = List.sort Query.compare (List.map canonical (Query.components q)) in
+  Metrics.add components_seen (List.length comps);
+  let rec group = function
+    | [] -> []
+    | c :: rest ->
+        let rec span n = function
+          | c' :: tl when Query.equal c c' -> span (n + 1) tl
+          | tl -> (n, tl)
+        in
+        let n, tl = span 1 rest in
+        (c, n) :: group tl
+  in
+  group comps
+
+type tree = { atom : Atom.t; key : string list; children : tree list }
+type strategy = Dp of tree | Backtrack
+
+(* GYO reduction.  Repeatedly (1) delete vertices covered by exactly one
+   alive hyperedge, (2) absorb a hyperedge whose reduced vertex set is
+   contained in another alive edge, recording the witness as its parent.
+   Exactly one edge survives iff the hypergraph is α-acyclic, and the
+   absorption parents then form a join tree with the running-intersection
+   property — the soundness of {!count_tree}. *)
+let join_tree (atoms : Atom.t array) : tree option =
+  let n = Array.length atoms in
+  if n = 0 then None
+  else begin
+    let orig = Array.map (fun a -> StringSet.of_list (Atom.vars a)) atoms in
+    let sets = Array.map (fun s -> ref s) orig in
+    let alive = Array.make n true in
+    let parent = Array.make n (-1) in
+    let alive_count = ref n in
+    let changed = ref true in
+    while !changed && !alive_count > 1 do
+      changed := false;
+      let occ = Hashtbl.create 16 in
+      Array.iteri
+        (fun i s ->
+          if alive.(i) then
+            StringSet.iter
+              (fun v ->
+                Hashtbl.replace occ v
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt occ v)))
+              !s)
+        sets;
+      Array.iteri
+        (fun i s ->
+          if alive.(i) then begin
+            let s' = StringSet.filter (fun v -> Hashtbl.find occ v > 1) !s in
+            if not (StringSet.equal s' !s) then begin
+              s := s';
+              changed := true
+            end
+          end)
+        sets;
+      for i = 0 to n - 1 do
+        if alive.(i) && !alive_count > 1 then begin
+          let w = ref (-1) in
+          for k = 0 to n - 1 do
+            if !w < 0 && k <> i && alive.(k) && StringSet.subset !(sets.(i)) !(sets.(k))
+            then w := k
+          done;
+          if !w >= 0 then begin
+            alive.(i) <- false;
+            parent.(i) <- !w;
+            decr alive_count;
+            changed := true
+          end
+        end
+      done
+    done;
+    if !alive_count > 1 then None
+    else begin
+      let root = ref 0 in
+      Array.iteri (fun i a -> if a then root := i) alive;
+      let kids = Array.make n [] in
+      for i = n - 1 downto 0 do
+        if parent.(i) >= 0 then kids.(parent.(i)) <- i :: kids.(parent.(i))
+      done;
+      let rec build i =
+        {
+          atom = atoms.(i);
+          (* The edge key on the *original* variable sets: reduction only
+             deletes vertices private to one subtree, so the original
+             intersection with the parent is the full interface. *)
+          key =
+            (if parent.(i) < 0 then []
+             else StringSet.elements (StringSet.inter orig.(i) orig.(parent.(i))));
+          children = List.map build kids.(i);
+        }
+      in
+      Some (build !root)
+    end
+  end
+
+let choose q =
+  (* An inequality is no hyperedge — its variables range over the whole
+     domain — so components carrying inequalities keep the backtracking
+     kernel, which compiles them into binding-point checks. *)
+  if Query.has_neqs q then begin
+    Metrics.incr fallback_selected;
+    Backtrack
+  end
+  else
+    match join_tree (Array.of_list (Query.atoms q)) with
+    | Some t ->
+        Metrics.incr dp_selected;
+        Dp t
+    | None ->
+        Metrics.incr fallback_selected;
+        Backtrack
+
+module KeyTbl = Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i < 0 || (Value.equal a.(i) b.(i) && go (i - 1)) in
+    go (Array.length a - 1)
+
+  let hash (t : Value.t array) =
+    Array.fold_left (fun h v -> (h * 31) + Value.hash v) 17 t
+end)
+
+exception Unsat_const
+
+(* The join-tree dynamic program.  One bottom-up pass: each node scans its
+   relation once, keeps the tuples matching its constants and repeated
+   variables, weights every survivor by the product of its children's
+   table entries under the shared-variable projection, and aggregates the
+   weights by the node's own key projection.  The running-intersection
+   property makes the per-edge projections a complete interface, so the
+   root's single entry is exactly |Hom(component, D)|.  Weights are [Nat]:
+   the DP produces counts exponentially larger than the work computing
+   them — the whole point. *)
+let count_tree ?budget (t : tree) d =
+  let tick =
+    match budget with None -> fun () -> () | Some b -> fun () -> Budget.tick b
+  in
+  let idx = Index.get d in
+  let interp c =
+    match Structure.interpretation d c with
+    | Some v -> v
+    | None -> raise_notrace Unsat_const
+  in
+  let rec pass node =
+    tick ();
+    let a = node.atom in
+    let vars = Atom.vars a in
+    let nvars = List.length vars in
+    let var_pos = Hashtbl.create 8 in
+    List.iteri (fun i x -> Hashtbl.add var_pos x i) vars;
+    let seen = Array.make (max 1 nvars) false in
+    let ops =
+      Array.map
+        (function
+          | Term.Cst c -> `Cst (interp c)
+          | Term.Var x ->
+              let i = Hashtbl.find var_pos x in
+              if seen.(i) then `Check i
+              else begin
+                seen.(i) <- true;
+                `Bind i
+              end)
+        (Atom.args a)
+    in
+    let children =
+      List.map
+        (fun child ->
+          let tbl = pass child in
+          (tbl, Array.of_list (List.map (Hashtbl.find var_pos) child.key)))
+        node.children
+    in
+    let key_pos = Array.of_list (List.map (Hashtbl.find var_pos) node.key) in
+    let env = Array.make (max 1 nvars) (Value.int 0) in
+    let nops = Array.length ops in
+    let tbl = KeyTbl.create 64 in
+    Array.iter
+      (fun (tup : Tuple.t) ->
+        tick ();
+        let rec matches i =
+          i = nops
+          || (match ops.(i) with
+             | `Cst v -> Value.equal tup.(i) v
+             | `Check j -> Value.equal tup.(i) env.(j)
+             | `Bind j ->
+                 env.(j) <- tup.(i);
+                 true)
+             && matches (i + 1)
+        in
+        if matches 0 then begin
+          let w =
+            List.fold_left
+              (fun acc (ctbl, cpos) ->
+                if Nat.is_zero acc then acc
+                else
+                  match KeyTbl.find_opt ctbl (Array.map (fun p -> env.(p)) cpos) with
+                  | Some s -> Nat.mul acc s
+                  | None -> Nat.zero)
+              Nat.one children
+          in
+          if not (Nat.is_zero w) then begin
+            let key = Array.map (fun p -> env.(p)) key_pos in
+            let prev = Option.value ~default:Nat.zero (KeyTbl.find_opt tbl key) in
+            KeyTbl.replace tbl key (Nat.add prev w)
+          end
+        end)
+      (Index.all (Index.sym_index idx (Atom.sym a)));
+    tbl
+  in
+  match pass t with
+  | tbl -> Option.value ~default:Nat.zero (KeyTbl.find_opt tbl [||])
+  | exception Unsat_const -> Nat.zero
+
+let render = function
+  | Backtrack -> [ "backtracking kernel" ]
+  | Dp t ->
+      let lines = ref [] in
+      let rec go depth node =
+        let key =
+          match node.key with
+          | [] -> ""
+          | ks -> Printf.sprintf " [%s]" (String.concat "," ks)
+        in
+        lines :=
+          (String.make (2 * depth) ' '
+          ^ Format.asprintf "%a" Atom.pp node.atom
+          ^ key)
+          :: !lines;
+        List.iter (go (depth + 1)) node.children
+      in
+      go 0 t;
+      List.rev !lines

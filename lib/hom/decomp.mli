@@ -1,0 +1,75 @@
+(** Structure-aware query planning: component factorization and acyclic
+    join-tree counting.
+
+    The paper's constructions multiply homomorphism counts by building
+    variable-disjoint conjunctions — [(θ↑k)(D) = θ(D)^k] (Definition 2) is
+    a [k]-fold disjoint copy of [θ], and Lemma 1 factorises any query's
+    count over the connected components of its Gaifman graph.  This module
+    turns both laws into a planner: {!factor} splits a query into canonical
+    components with multiplicities (so [θ↑k] costs one component search
+    plus one [Nat.pow]), and {!choose} classifies each component with a
+    GYO reduction, producing a join-tree dynamic program for α-acyclic
+    components ({!count_tree}: polynomial in the structure) and falling
+    back to the compiled backtracking kernel otherwise.
+
+    Plan selection is observable through three process-wide counters in
+    {!Bagcq_obs.Metrics.global}: [plan_components] (components seen by
+    {!factor}), [plan_dp_selected] and [plan_fallback] (strategy choices
+    made by {!choose}). *)
+
+open Bagcq_bignum
+open Bagcq_cq
+
+val canonical : Query.t -> Query.t
+(** Variables renamed by first occurrence ([v1], [v2], …), so components
+    that differ only in variable names — the disjoint copies produced by
+    [∧̄] and [↑] — share one syntactic form, one cache entry and one
+    search.  A heuristic, not a graph-isomorphism canonical form: two
+    isomorphic components may still canonicalise apart, which costs a
+    duplicate search but never an incorrect count. *)
+
+val factor : Query.t -> (Query.t * int) list
+(** Connected components of the query, canonicalised, grouped by syntactic
+    equality and paired with their multiplicities, in {!Query.compare}
+    order.  [count q D = Π_i count cᵢ D ^ mᵢ] over [factor q]; the empty
+    conjunction factors into [[]]. *)
+
+type tree = {
+  atom : Atom.t;
+  key : string list;  (** shared variables with the parent, sorted; [[]] at
+                          the root *)
+  children : tree list;
+}
+(** A join tree over a component's atoms.  The GYO parent relation has the
+    running-intersection property, so each edge's [key] — the variables the
+    child atom shares with its parent atom — is exactly the interface
+    between the child's subtree and the rest of the query. *)
+
+type strategy =
+  | Dp of tree  (** α-acyclic, no inequalities: count by {!count_tree} *)
+  | Backtrack  (** cyclic or carrying inequalities: compiled kernel *)
+
+val choose : Query.t -> strategy
+(** Classify one component (callers pass the elements of {!factor}).  A
+    component with inequalities always backtracks — an inequality-only
+    variable ranges over the whole domain and is no hyperedge.  Otherwise
+    GYO reduction decides: repeatedly delete vertices covered by a single
+    hyperedge and hyperedges contained in another; one surviving edge
+    means α-acyclic, and the recorded absorption parents form the join
+    tree. *)
+
+val count_tree :
+  ?budget:Bagcq_guard.Budget.t -> tree -> Bagcq_relational.Structure.t -> Nat.t
+(** Counts homomorphisms of an acyclic component by dynamic programming
+    over the join tree: each node's table maps a [key] projection to the
+    [Nat] weight of its subtree, computed bottom-up in one pass over the
+    node's tuples — O(Σ_nodes tuples·arity), never exponential.  Weights
+    are bignums: unlike backtracking, the DP can produce counts that
+    dwarf the work done computing them.  With [?budget] every tuple
+    considered ticks once per node (plus one tick per node entered), and
+    the call unwinds with {!Bagcq_guard.Budget.Exhausted_} on a trip. *)
+
+val render : strategy -> string list
+(** Human-readable plan lines for [bagcq explain]: the join tree indented
+    two spaces per depth with [key] annotations, or the backtracking
+    fallback note.  Deterministic. *)

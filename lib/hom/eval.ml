@@ -1,27 +1,16 @@
 open Bagcq_bignum
 open Bagcq_cq
 
-(* Variables renamed by first occurrence, so that components that differ
-   only in variable names share one backtracking run per evaluation —
-   queries built with ∧̄ and ↑ consist of many such copies. *)
-let canonical_component q =
-  let table = Hashtbl.create 8 in
-  let next = ref 0 in
-  let rename x =
-    match Hashtbl.find_opt table x with
-    | Some y -> y
-    | None ->
-        incr next;
-        let y = Printf.sprintf "v%d" !next in
-        Hashtbl.add table x y;
-        y
-  in
-  Query.rename_vars rename q
-
 module QueryMap = Map.Make (Query)
 
+(* One per-component execution strategy, chosen by [Decomp.choose] on the
+   first encounter with a canonical component: acyclic inequality-free
+   components count by join-tree dynamic programming, everything else by
+   the compiled backtracking kernel. *)
+type strategy = Dp of Decomp.tree | Search of Plan.t
+
 (* The evaluation cache.  [plans] maps a canonical component to its
-   compiled plan and is never invalidated (plans depend only on the query);
+   strategy and is never invalidated (strategies depend only on the query);
    [counts] memoises per-component counts against [counts_for], compared by
    physical identity — a hunt switches structures thousands of times, and
    re-keying on the structure pointer makes the table a cheap per-database
@@ -45,7 +34,7 @@ module Metrics = Bagcq_obs.Metrics
    hunts allocate one cache per worker and those must not leak into a
    process-wide dump. *)
 type cache = {
-  plans : Plan.t QueryMap.t ref;
+  plans : strategy QueryMap.t ref;
   counts : Nat.t QueryMap.t ref;
   mutable counts_for : Bagcq_relational.Structure.t option;
   plan_hits : Metrics.counter;
@@ -88,7 +77,11 @@ let plan_for cache key =
       p
   | None ->
       Metrics.incr cache.plan_misses;
-      let p = Plan.compile key in
+      let p =
+        match Decomp.choose key with
+        | Decomp.Dp t -> Dp t
+        | Decomp.Backtrack -> Search (Plan.compile key)
+      in
       cache.plans := QueryMap.add key p !(cache.plans);
       p
 
@@ -106,39 +99,52 @@ let with_cache cache d =
       c
   | None -> create_cache ()
 
-(* A component with atoms or inequalities is counted by backtracking.  The
-   only other shape Query.components can emit is an all-constant atom or an
-   all-constant inequality, which the solver also handles (count 0 or 1). *)
+(* One memoised count per canonical component ([Decomp.factor] already
+   canonicalised the key).  Acyclic inequality-free components run the
+   join-tree DP; everything else — cyclic cores, components carrying
+   inequalities, all-constant singletons with inequalities — runs the
+   compiled kernel, whose count always fits an int (it is bounded by the
+   backtracking work done). *)
+let count_memo ?budget cache key d =
+  match QueryMap.find_opt key !(cache.counts) with
+  | Some c ->
+      Metrics.incr cache.count_hits;
+      c
+  | None ->
+      Metrics.incr cache.count_misses;
+      let c =
+        match plan_for cache key with
+        | Dp t -> Decomp.count_tree ?budget t d
+        | Search p -> Nat.of_int (Solver.count_plan ?budget p d)
+      in
+      cache.counts := QueryMap.add key c !(cache.counts);
+      c
+
+(* Repeated components — the ↑/∧̄ powers — are counted once and raised to
+   their multiplicity: the factorised form of Lemma 1. *)
 let count ?budget ?cache q d =
   let cache = with_cache cache d in
-  let count_memo comp =
-    let key = canonical_component comp in
-    match QueryMap.find_opt key !(cache.counts) with
-    | Some c ->
-        Metrics.incr cache.count_hits;
-        c
-    | None ->
-        Metrics.incr cache.count_misses;
-        let c = Nat.of_int (Solver.count_plan ?budget (plan_for cache key) d) in
-        cache.counts := QueryMap.add key c !(cache.counts);
-        c
-  in
   let rec go acc = function
     | [] -> acc
-    | comp :: rest ->
-        let c = count_memo comp in
-        if Nat.is_zero c then Nat.zero else go (Nat.mul acc c) rest
+    | (comp, mult) :: rest ->
+        let c = count_memo ?budget cache comp d in
+        if Nat.is_zero c then Nat.zero
+        else
+          let c = if mult = 1 then c else Nat.pow c mult in
+          go (Nat.mul acc c) rest
   in
-  go Nat.one (Query.components q)
+  go Nat.one (Decomp.factor q)
 
 let count_int ?budget ?cache q d = Nat.to_int (count ?budget ?cache q d)
 
 let satisfies ?budget ?cache d q =
   let cache = with_cache cache d in
   List.for_all
-    (fun comp ->
-      Solver.exists_plan ?budget (plan_for cache (canonical_component comp)) d)
-    (Query.components q)
+    (fun (comp, _mult) ->
+      match plan_for cache comp with
+      | Dp _ -> not (Nat.is_zero (count_memo ?budget cache comp d))
+      | Search p -> Solver.exists_plan ?budget p d)
+    (Decomp.factor q)
 
 let count_pquery_factored ?budget ?cache pq d =
   List.map (fun (q, e) -> (count ?budget ?cache q d, e)) (Pquery.factors pq)

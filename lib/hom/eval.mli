@@ -12,18 +12,20 @@ open Bagcq_relational
 open Bagcq_cq
 
 type cache
-(** An evaluation cache: compiled plans per canonical component (kept for
-    the cache's lifetime — plans depend only on the query) plus component
-    counts for the most recent structure (invalidated whenever evaluation
-    moves to a structure that is not physically the same).  One cache
-    serves one domain: share nothing, shard everything — parallel sweeps
-    allocate one per worker. *)
+(** An evaluation cache: one execution strategy per canonical component —
+    a join-tree dynamic program for acyclic inequality-free components, a
+    compiled backtracking plan otherwise, chosen by {!Decomp.choose} and
+    kept for the cache's lifetime (strategies depend only on the query) —
+    plus component counts for the most recent structure (invalidated
+    whenever evaluation moves to a structure that is not physically the
+    same).  One cache serves one domain: share nothing, shard everything —
+    parallel sweeps allocate one per worker. *)
 
 val create_cache : unit -> cache
 
 type cache_stats = {
-  plan_hits : int;  (** plan lookups answered from the cache *)
-  plan_misses : int;  (** plan compilations *)
+  plan_hits : int;  (** strategy lookups answered from the cache *)
+  plan_misses : int;  (** strategy selections (DP build or plan compile) *)
   count_hits : int;  (** component counts answered from the memo *)
   count_misses : int;  (** component counts computed by the solver *)
 }
@@ -59,8 +61,9 @@ val count_pquery :
   ?budget:Bagcq_guard.Budget.t -> ?cache:cache -> Pquery.t -> Structure.t -> Nat.t
 (** Counts a power-product query factor-wise: [∏ᵢ θᵢ(D)^{eᵢ}].  When a
     factor count is ≥ 2 and its exponent exceeds [max_int] the result is
-    not representable; this raises [Failure] — use {!count_pquery_factored}
-    for symbolic reasoning about such counts. *)
+    not representable; this raises {!Bagcq_bignum.Nat.Exponent_too_large} —
+    use {!count_pquery_factored} for symbolic reasoning about such
+    counts. *)
 
 val count_pquery_factored :
   ?budget:Bagcq_guard.Budget.t ->

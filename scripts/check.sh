@@ -20,11 +20,11 @@ for jobs in 1 2; do
   BAGCQ_JOBS=$jobs ./_build/default/test/test_parallel.exe >/dev/null
 done
 
-echo "== BENCH_PR4.json schema =="
+echo "== BENCH_PR5.json schema =="
 dune exec bench/main.exe -- --json-only >/dev/null
-grep -o '"[a-z_0-9]*":' BENCH_PR4.json | sort -u | tr -d '":' \
-  | diff scripts/bench_pr4_keys.txt - \
-  || { echo "BENCH_PR4.json keys drifted from scripts/bench_pr4_keys.txt" >&2; exit 1; }
+grep -o '"[a-z_0-9]*":' BENCH_PR5.json | sort -u | tr -d '":' \
+  | diff scripts/bench_pr5_keys.txt - \
+  || { echo "BENCH_PR5.json keys drifted from scripts/bench_pr5_keys.txt" >&2; exit 1; }
 
 echo "== serve --stdio answers, survives malformed input, dumps metrics =="
 serve_out=$(printf '%s\n' \
@@ -43,6 +43,10 @@ echo "$serve_out" | grep -q '"name": "server_requests", "labels": {}, "kind": "c
   || { echo "serve --stdio: metrics op reported no requests" >&2; exit 1; }
 echo "$serve_out" | grep -Eq '"name": "server_request_ms", "labels": \{"op": "eval"\}, "kind": "histogram", "count": [1-9]' \
   || { echo "serve --stdio: metrics op reported no eval latency" >&2; exit 1; }
+for counter in plan_components plan_dp_selected plan_fallback; do
+  echo "$serve_out" | grep -q "\"name\": \"$counter\"" \
+    || { echo "serve --stdio: metrics op missing planner counter $counter" >&2; exit 1; }
+done
 
 echo "== bagcq metrics --json against a TCP server =="
 rm -f /tmp/bagcq_check_port.$$

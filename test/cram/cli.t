@@ -20,6 +20,30 @@ Inequalities follow the virtual-relation semantics:
   bag count  ψ(D) = 3
   satisfied  D ⊨ ψ: true
 
+The planner explains itself: components are canonicalised and grouped
+(disjoint copies are counted once and raised to a power), acyclic
+components get a join-tree dynamic program, cyclic components and those
+carrying inequalities keep the backtracking kernel:
+
+  $ ../../bin/bagcq_cli.exe explain -q 'E(x,y) & E(y,z) & E(u,v) & E(v,w) & E(a,b) & E(b,c) & E(c,a)'
+  query: E(a,b) & E(b,c) & E(c,a) & E(u,v) & E(v,w) & E(x,y) & E(y,z)
+  components: 3 (2 distinct)
+  component 1 (x2): E(v1,v2) & E(v2,v3)
+    class: acyclic -> join-tree dynamic program
+    join tree:
+      E(v2,v3)
+        E(v1,v2) [v2]
+  component 2 (x1): E(v1,v2) & E(v2,v3) & E(v3,v1)
+    class: cyclic -> backtracking kernel
+    join order: E(v1,v2) -> E(v2,v3) -> E(v3,v1)
+
+  $ ../../bin/bagcq_cli.exe explain -q 'U(x) & E(x,y) & E(x,z) & x != z'
+  query: E(x,y) & E(x,z) & U(x) & x != z
+  components: 1 (1 distinct)
+  component 1 (x1): E(v1,v2) & E(v1,v3) & U(v1) & v1 != v3
+    class: inequalities -> backtracking kernel
+    join order: U(v1) -> E(v1,v2) -> E(v1,v3)
+
 The decidable baselines:
 
   $ ../../bin/bagcq_cli.exe contain --small 'E(x,y) & E(y,z)' --big 'E(x,y)'
@@ -51,7 +75,7 @@ deterministic, so the run normalises them:
   $ ../../bin/bagcq_cli.exe hunt --small 'E(x,x)' --big 'E(x,y)' --fuel 100 > out.txt; echo "exit: $?"
   exit: 2
   $ sed 's/ in [0-9]*ms/ in _ms/' out.txt
-  budget exhausted (fuel): 100 ticks in _ms (fuel left 0), 13 databases tested (exhaustive complete to size 1; 0 random samples)
+  budget exhausted (fuel): 100 ticks in _ms (fuel left 0), 16 databases tested (exhaustive complete to size 1; 0 random samples)
 
 while ample fuel changes nothing — same witness, exit code 0:
 

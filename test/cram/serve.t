@@ -20,10 +20,10 @@ latency summaries (same treatment):
   $ normalise() { sed -e 's/"elapsed_ms": [^,}]*/"elapsed_ms": _/' -e 's/"latency": {.*/"latency": {...}}/'; }
   $ ../../bin/bagcq_cli.exe serve --stdio < requests.ndjson | normalise
   {"id": 1, "op": "ping", "status": "ok"}
-  {"id": 2, "op": "eval", "status": "ok", "cached": false, "count": "3", "satisfied": true, "ticks": 13}
-  {"id": 3, "op": "eval", "status": "ok", "cached": true, "count": "3", "satisfied": true, "ticks": 13}
+  {"id": 2, "op": "eval", "status": "ok", "cached": false, "count": "3", "satisfied": true, "ticks": 8}
+  {"id": 3, "op": "eval", "status": "ok", "cached": true, "count": "3", "satisfied": true, "ticks": 8}
   {"id": 4, "op": "contain", "status": "ok", "cached": false, "set_contains": true, "bag_equivalent": false, "ticks": 3}
-  {"id": 5, "op": "hunt", "status": "exhausted", "code": "exhausted", "reason": "fuel", "ticks": 50, "fuel_left": 0, "elapsed_ms": _, "violated": false, "databases_tested": 7, "largest_size_completed": 1, "tested_random": 0}
+  {"id": 5, "op": "hunt", "status": "exhausted", "code": "exhausted", "reason": "fuel", "ticks": 50, "fuel_left": 0, "elapsed_ms": _, "violated": false, "databases_tested": 8, "largest_size_completed": 1, "tested_random": 0}
   {"status": "error", "code": "bad_request", "error": "invalid JSON: expected '\"' at offset 1"}
   {"id": 7, "status": "error", "code": "bad_request", "error": "unknown op \"frobnicate\""}
   {"id": 8, "op": "stats", "status": "ok", "requests": 8, "ok": 4, "errors": 2, "exhausted": 1, "result_hits": 1, "result_misses": 3, "result_entries": 2, "plan_hits": 0, "plan_misses": 1, "count_hits": 0, "count_misses": 1, "hunt_jobs": 1, "latency": {...}}
@@ -37,8 +37,8 @@ answer:
   > {"op":"hunt","id":2,"small":"E(x,y) & E(y,z)","big":"E(x,y)","samples":50,"exhaustive_size":3,"seed":7,"fuel":1000000}
   > EOF
   $ ../../bin/bagcq_cli.exe serve --stdio < hunt.ndjson | sed 's/"witness": "[^"]*"/"witness": "..."/'
-  {"id": 1, "op": "hunt", "status": "ok", "cached": false, "violated": true, "witness": "...", "small_count": "5", "big_count": "3", "exhaustive_complete": true, "tested_random": 0, "ticks": 108}
-  {"id": 2, "op": "hunt", "status": "ok", "cached": true, "violated": true, "witness": "...", "small_count": "5", "big_count": "3", "exhaustive_complete": true, "tested_random": 0, "ticks": 108}
+  {"id": 1, "op": "hunt", "status": "ok", "cached": false, "violated": true, "witness": "...", "small_count": "5", "big_count": "3", "exhaustive_complete": true, "tested_random": 0, "ticks": 79}
+  {"id": 2, "op": "hunt", "status": "ok", "cached": true, "violated": true, "witness": "...", "small_count": "5", "big_count": "3", "exhaustive_complete": true, "tested_random": 0, "ticks": 79}
 
 Per-request budgets are clamped by server-wide caps: with --max-fuel 50
 even an unbudgeted request degrades to a structured exhaustion, never a
@@ -47,7 +47,7 @@ not process failures):
 
   $ printf '%s\n' '{"op":"hunt","id":1,"small":"E(x,y) & E(y,z)","big":"E(x,y)","fuel":1000000000}' \
   >   | ../../bin/bagcq_cli.exe serve --stdio --max-fuel 50 | normalise
-  {"id": 1, "op": "hunt", "status": "exhausted", "code": "exhausted", "reason": "fuel", "ticks": 50, "fuel_left": 0, "elapsed_ms": _, "violated": false, "databases_tested": 7, "largest_size_completed": 1, "tested_random": 0}
+  {"id": 1, "op": "hunt", "status": "exhausted", "code": "exhausted", "reason": "fuel", "ticks": 50, "fuel_left": 0, "elapsed_ms": _, "violated": false, "databases_tested": 8, "largest_size_completed": 1, "tested_random": 0}
   $ printf 'garbage\n' | ../../bin/bagcq_cli.exe serve --stdio; echo "exit: $?"
   {"status": "error", "code": "bad_request", "error": "invalid JSON: unexpected character 'g' at offset 0"}
   exit: 0
@@ -73,6 +73,9 @@ values are not, so the run pins names only):
   "name": "hunt_runs"
   "name": "hunt_ticks_spent"
   "name": "hunt_witnesses_found"
+  "name": "plan_components"
+  "name": "plan_dp_selected"
+  "name": "plan_fallback"
   "name": "pool_chunks_claimed"
   "name": "pool_items"
   "name": "pool_sweeps"

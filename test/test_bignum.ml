@@ -74,6 +74,13 @@ let test_pow_nat () =
   check_nat "x^0" Nat.one (Nat.pow_nat (Nat.of_int 9) Nat.zero);
   check_nat "2^10" (Nat.of_int 1024) (Nat.pow_nat Nat.two (Nat.of_int 10))
 
+let test_pow_nat_huge_exponent () =
+  (* base ≥ 2 with an exponent above max_int is not representable: the
+     failure mode is a typed exception, not a Failure string *)
+  let huge = Nat.pow Nat.two 80 in
+  Alcotest.check_raises "typed exception" Nat.Exponent_too_large (fun () ->
+      ignore (Nat.pow_nat Nat.two huge))
+
 let test_divmod_int () =
   let q, r = Nat.divmod_int (Nat.of_int 100) 7 in
   check_nat "100/7" (Nat.of_int 14) q;
@@ -270,6 +277,7 @@ let () =
           Alcotest.test_case "mul large" `Quick test_mul_large;
           Alcotest.test_case "pow" `Quick test_pow;
           Alcotest.test_case "pow_nat" `Quick test_pow_nat;
+          Alcotest.test_case "pow_nat huge exponent" `Quick test_pow_nat_huge_exponent;
           Alcotest.test_case "divmod_int" `Quick test_divmod_int;
           Alcotest.test_case "divmod" `Quick test_divmod;
           Alcotest.test_case "gcd" `Quick test_gcd;

@@ -1,0 +1,103 @@
+(* Differential tests for the fast bignum arithmetic: the Karatsuba
+   multiplier and the dedicated squaring must agree with the schoolbook
+   path on both sides of the limb threshold, and the squaring-aware [pow]
+   with naive repeated multiplication.  Deterministic seeded generation —
+   the limb sizes are chosen to straddle [Nat.karatsuba_threshold]. *)
+
+module Nat = Bagcq_bignum.Nat
+
+let check_nat msg expected actual =
+  Alcotest.(check string) msg (Nat.to_string expected) (Nat.to_string actual)
+
+(* A random natural of exactly [limbs] 30-bit limbs (top limb non-zero). *)
+let random_nat st limbs =
+  let base = Nat.of_int (1 lsl 30) in
+  let n = ref (Nat.of_int (1 + Random.State.int st ((1 lsl 30) - 1))) in
+  for _ = 2 to limbs do
+    n := Nat.add_int (Nat.mul !n base) (Random.State.bits st)
+  done;
+  if limbs = 0 then Nat.zero else !n
+
+let test_mul_agrees_across_threshold () =
+  let st = Random.State.make [| 0x5eed |] in
+  let t = Nat.karatsuba_threshold in
+  (* Sizes below, at, and well above the switch point, plus asymmetric
+     pairs where only one operand crosses it. *)
+  let sizes =
+    [ (0, 3); (1, 1); (3, 60); (t - 1, t - 1); (t, t); (t + 1, t);
+      (t, 4 * t); (2 * t, 2 * t); (100, 97) ]
+  in
+  List.iter
+    (fun (la, lb) ->
+      for _ = 1 to 5 do
+        let a = random_nat st la and b = random_nat st lb in
+        check_nat
+          (Printf.sprintf "mul %dx%d limbs" la lb)
+          (Nat.mul_schoolbook a b) (Nat.mul a b);
+        check_nat
+          (Printf.sprintf "mul commutes %dx%d" la lb)
+          (Nat.mul a b) (Nat.mul b a)
+      done)
+    sizes
+
+let test_sqr_agrees_across_threshold () =
+  let st = Random.State.make [| 0xcafe |] in
+  let t = Nat.karatsuba_threshold in
+  List.iter
+    (fun l ->
+      for _ = 1 to 5 do
+        let a = random_nat st l in
+        check_nat
+          (Printf.sprintf "sqr %d limbs" l)
+          (Nat.mul_schoolbook a a) (Nat.sqr a)
+      done)
+    [ 0; 1; 2; t - 1; t; t + 1; 2 * t; 100 ]
+
+let test_mul_identities () =
+  let st = Random.State.make [| 42 |] in
+  let a = random_nat st (3 * Nat.karatsuba_threshold) in
+  check_nat "a*1 = a" a (Nat.mul a Nat.one);
+  check_nat "a*0 = 0" Nat.zero (Nat.mul a Nat.zero);
+  check_nat "1*a = a" a (Nat.mul Nat.one a)
+
+let naive_pow b e =
+  let r = ref Nat.one in
+  for _ = 1 to e do
+    r := Nat.mul_schoolbook !r b
+  done;
+  !r
+
+let test_pow_agrees_with_naive () =
+  let st = Random.State.make [| 7 |] in
+  for _ = 1 to 20 do
+    let b = random_nat st (1 + Random.State.int st 6) in
+    let e = Random.State.int st 16 in
+    check_nat (Printf.sprintf "pow e=%d" e) (naive_pow b e) (Nat.pow b e)
+  done;
+  (* A chain long enough that the squaring steps cross into Karatsuba
+     territory: 2-limb base, exponent 200 → ~400-limb intermediates. *)
+  let b = random_nat st 2 in
+  check_nat "pow 200" (naive_pow b 200) (Nat.pow b 200)
+
+let test_roundtrip_of_karatsuba_product () =
+  let st = Random.State.make [| 99 |] in
+  let a = random_nat st 60 and b = random_nat st 55 in
+  let p = Nat.mul a b in
+  check_nat "to_string/of_string roundtrip" p (Nat.of_string (Nat.to_string p))
+
+let () =
+  Alcotest.run "bignum-perf"
+    [
+      ( "karatsuba",
+        [
+          Alcotest.test_case "mul = schoolbook across threshold" `Quick
+            test_mul_agrees_across_threshold;
+          Alcotest.test_case "sqr = schoolbook across threshold" `Quick
+            test_sqr_agrees_across_threshold;
+          Alcotest.test_case "identities" `Quick test_mul_identities;
+          Alcotest.test_case "pow = naive repeated mul" `Quick
+            test_pow_agrees_with_naive;
+          Alcotest.test_case "decimal roundtrip" `Quick
+            test_roundtrip_of_karatsuba_product;
+        ] );
+    ]

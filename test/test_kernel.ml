@@ -10,6 +10,8 @@ module Solver_ref = Bagcq_hom.Solver_ref
 module Plan = Bagcq_hom.Plan
 module Index = Bagcq_hom.Index
 module Eval = Bagcq_hom.Eval
+module Decomp = Bagcq_hom.Decomp
+module Budget = Bagcq_guard.Budget
 module Nat = Bagcq_bignum.Nat
 
 let e = Build.sym "E" 2
@@ -97,6 +99,62 @@ let prop_cached_eval_matches_uncached =
          Nat.equal (Eval.count ~cache q d) (Eval.count q d)
          && Eval.satisfies ~cache d q = Eval.satisfies d q))
 
+(* The planner-v2 pipeline end to end — factorization, canonical grouping,
+   DP-vs-backtrack strategy choice — against the seed interpreter. *)
+let prop_eval_matches_reference =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"Eval.count = reference count" ~count:3000 gen_pair
+       (fun (q, d) ->
+         Nat.equal (Eval.count q d) (Nat.of_int (Solver_ref.count q d))
+         && Eval.satisfies d q = (Solver_ref.count q d > 0)))
+
+(* Deliberately disconnected queries: θ↑k must equal both the reference
+   count of the expanded query and θ(D)^k (Definition 2 / Lemma 1). *)
+let gen_power_pair =
+  QCheck.make
+    ~print:(fun (q, k, d) ->
+      Format.asprintf "theta: %a@.k: %d@.db: %a" Query.pp q k Structure.pp d)
+    (fun st ->
+      let rec q () = match random_query st with Some q -> q | None -> q () in
+      (q (), Random.State.int st 4, random_db st))
+
+let prop_power_matches_reference =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"Eval.count θ↑k = reference ∧ θ(D)^k" ~count:300
+       gen_power_pair (fun (theta, k, d) ->
+         let p = Query.power theta k in
+         Nat.equal (Eval.count p d) (Nat.of_int (Solver_ref.count p d))
+         && Nat.equal (Eval.count p d) (Nat.pow (Eval.count theta d) k)))
+
+(* Deliberately acyclic queries: random trees over the variables, so the
+   GYO reduction must always classify them as DP — the property pins both
+   the classification and the DP's counts. *)
+let random_tree_query st =
+  let n = 1 + Random.State.int st 5 in
+  let atoms =
+    List.init n (fun i ->
+        let p = if i = 0 then 0 else Random.State.int st (i + 1) in
+        let a = Build.v (Printf.sprintf "t%d" p)
+        and b = Build.v (Printf.sprintf "t%d" (i + 1)) in
+        if Random.State.bool st then Build.atom e [ a; b ]
+        else Build.atom e [ b; a ])
+  in
+  Build.query atoms
+
+let gen_tree_pair =
+  QCheck.make
+    ~print:(fun (q, d) -> Format.asprintf "query: %a@.db: %a" Query.pp q Structure.pp d)
+    (fun st -> (random_tree_query st, random_db st))
+
+let prop_acyclic_dp_matches_reference =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"acyclic tree queries: DP selected ∧ count = reference"
+       ~count:1000 gen_tree_pair (fun (q, d) ->
+         (match Decomp.choose (Decomp.canonical q) with
+         | Decomp.Dp _ -> true
+         | Decomp.Backtrack -> false)
+         && Nat.equal (Eval.count q d) (Nat.of_int (Solver_ref.count q d))))
+
 (* ------------------------------------------------------------------ *)
 (* Unit tests                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -178,6 +236,58 @@ let test_neq_between_constants () =
   Alcotest.(check int) "ref agrees on a=b" (Solver_ref.count q d_eq) (Solver.count q d_eq);
   Alcotest.(check int) "ref agrees on a<>b" (Solver_ref.count q d_ne) (Solver.count q d_ne)
 
+(* ------------------------------------------------------------------ *)
+(* Planner unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_factor_groups_powers () =
+  let theta =
+    Build.(query [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "z" ] ])
+  in
+  match Decomp.factor (Query.power theta 3) with
+  | [ (comp, 3) ] ->
+      Alcotest.(check int) "canonical component keeps both atoms" 2
+        (Query.num_atoms comp)
+  | groups ->
+      Alcotest.fail
+        (Printf.sprintf "expected one component with multiplicity 3, got %d groups"
+           (List.length groups))
+
+let test_classification () =
+  let path =
+    Build.(query [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "z" ] ])
+  in
+  let triangle =
+    Build.(
+      query
+        [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "z" ]; atom e [ v "z"; v "x" ] ])
+  in
+  let neq = Build.(query ~neqs:[ (v "x", v "y") ] [ atom e [ v "x"; v "y" ] ]) in
+  (match Decomp.choose path with
+  | Decomp.Dp _ -> ()
+  | Decomp.Backtrack -> Alcotest.fail "path query must run the DP");
+  (match Decomp.choose triangle with
+  | Decomp.Backtrack -> ()
+  | Decomp.Dp _ -> Alcotest.fail "triangle must fall back to backtracking");
+  match Decomp.choose neq with
+  | Decomp.Backtrack -> ()
+  | Decomp.Dp _ -> Alcotest.fail "inequalities must fall back to backtracking"
+
+let test_dp_ticks_budget () =
+  let q = Build.(query [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "z" ] ]) in
+  let d = db_of_edges [ (1, 2); (2, 3); (3, 1) ] in
+  (match Decomp.choose q with
+  | Decomp.Dp _ -> ()
+  | Decomp.Backtrack -> Alcotest.fail "expected the DP strategy");
+  let b = Budget.create ~fuel:3 () in
+  (match Budget.protect b (fun () -> Eval.count ~budget:b q d) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "3 ticks of fuel must not complete the DP");
+  let b = Budget.create ~fuel:1_000_000 () in
+  match Budget.protect b (fun () -> Eval.count ~budget:b q d) with
+  | Ok n -> Alcotest.(check string) "count" "3" (Nat.to_string n)
+  | Error _ -> Alcotest.fail "ample fuel must complete"
+
 let () =
   Alcotest.run "kernel"
     [
@@ -186,6 +296,17 @@ let () =
           prop_count_matches_reference;
           prop_enumerate_matches_reference;
           prop_cached_eval_matches_uncached;
+          prop_eval_matches_reference;
+          prop_power_matches_reference;
+          prop_acyclic_dp_matches_reference;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "θ↑k factors into one component x k" `Quick
+            test_factor_groups_powers;
+          Alcotest.test_case "acyclic/cyclic/neq classification" `Quick
+            test_classification;
+          Alcotest.test_case "DP ticks the budget" `Quick test_dp_ticks_budget;
         ] );
       ( "plan-and-index",
         [
