@@ -476,7 +476,7 @@ let exp_guard () =
 
 (* ------------------------------------------------------------------ *)
 (* EXP-KERNEL: compiled solver kernel and the parallel database sweep.  *)
-(* Wall-clock numbers land in BENCH_PR5.json (schema checked by         *)
+(* Wall-clock numbers land in BENCH_PR6.json (schema checked by         *)
 (* scripts/check.sh), so the rows use explicit timing rather than       *)
 (* Bechamel: the JSON must be producible in the --json-only fast mode.  *)
 (* ------------------------------------------------------------------ *)
@@ -498,7 +498,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       [
-        ("bench", Json.Str "BENCH_PR5");
+        ("bench", Json.Str "BENCH_PR6");
         ("jobs_available", Json.Int (Domain.recommended_domain_count ()));
         ( "experiments",
           Json.List
@@ -593,6 +593,7 @@ let exp_parallel_sweep () =
   let small = path_q and big = edge_q in
   let schema = Sampler.schema_of_pair small big in
   row "  sweeping all databases to size 4 for path-vs-edge bag violations\n";
+  let walls = ref [] in
   List.iter
     (fun jobs ->
       let worker () = (Eval.create_cache (), ref 0, ref 0) in
@@ -606,6 +607,7 @@ let exp_parallel_sweep () =
       let total g = Array.fold_left (fun a w -> a + g w) 0 states in
       let tested = total (fun (_, t, _) -> !t) in
       let violations = total (fun (_, _, v) -> !v) in
+      walls := (jobs, t) :: !walls;
       row "  jobs %d: %6d databases, %5d violations, %.3fs wall\n" jobs tested violations t;
       emit (Printf.sprintf "sweep-path-vs-edge-jobs-%d" jobs)
         [
@@ -614,7 +616,22 @@ let exp_parallel_sweep () =
           ("violations", Json.Int violations);
           ("wall_s", Json.Float t);
         ])
-    [ 1; 2; 4 ]
+    [ 1; 2; 4 ];
+  (* The scaling bar that pins the PR 6 pool fix: asking for more jobs
+     than the machine has cores must never cost wall-clock (it used to —
+     four domains on one core ran 3-4x slower than one).  10% tolerance
+     absorbs scheduler noise on a loaded box. *)
+  let wall_of jobs = List.assoc jobs !walls in
+  let t1 = wall_of 1 and t4 = wall_of 4 in
+  let jobs4_not_slower = t4 <= (t1 *. 1.10) +. 0.005 in
+  row "  scaling bar: jobs=4 %.3fs vs jobs=1 %.3fs  [%s]\n" t4 t1
+    (ok jobs4_not_slower);
+  emit "sweep-scaling-bar"
+    [
+      ("jobs1_wall_s", Json.Float t1);
+      ("jobs4_wall_s", Json.Float t4);
+      ("jobs4_not_slower", Json.Bool jobs4_not_slower);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* EXP-PLAN: planner v2.  v1 is what PR 4 shipped — compile the whole    *)
@@ -808,6 +825,78 @@ let exp_serve () =
       ("serve-with-malformed", 60, 8);
     ]
 
+(* ------------------------------------------------------------------ *)
+(* EXP-RESIL: the serving tier under overload.  An open-loop generator  *)
+(* floods a TCP server whose admission bounds are deliberately tight    *)
+(* with 10x and 100x the EXP-SERVE request count; the resilience        *)
+(* contract is that every request is still answered (most with a        *)
+(* structured overloaded response), nothing crashes, and tail latency   *)
+(* stays bounded by the admission queue rather than growing with the    *)
+(* backlog.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let exp_resilience () =
+  header "EXP-RESIL - overload: open-loop flood vs admission control";
+  let module Router = Bagcq_server.Router in
+  let module Serve = Bagcq_server.Serve in
+  let module Load = Bagcq_server.Load in
+  row "  %-24s %8s %10s %9s %8s %8s %s\n" "scenario" "req" "req/s"
+    "shed rate" "p99 ms" "ok" "answered";
+  List.iter
+    (fun (label, n) ->
+      let router = Router.create () in
+      let port = Atomic.make 0 in
+      let stop = Atomic.make false in
+      let server =
+        Domain.spawn (fun () ->
+            Serve.tcp ~workers:1 ~queue_depth:8 ~max_inflight:4 ~stop
+              ~on_listen:(fun p -> Atomic.set port p)
+              router ~port:0 ())
+      in
+      let rec wait_port () =
+        if Atomic.get port = 0 then begin
+          Unix.sleepf 0.005;
+          wait_port ()
+        end
+      in
+      wait_port ();
+      let sock =
+        match Load.connect ~retries:5 ~backoff_ms:10 ~port:(Atomic.get port) () with
+        | Ok s -> s
+        | Error e -> failwith ("EXP-RESIL: cannot connect: " ^ e)
+      in
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      let s = Load.drive_open oc ic (Load.script ~n ()) in
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Atomic.set stop true;
+      Domain.join server;
+      let shed_rate = float_of_int s.Load.shed /. float_of_int (max 1 s.Load.requests) in
+      let req_per_s =
+        if s.Load.wall_s > 0.0 then float_of_int n /. s.Load.wall_s else 0.0
+      in
+      let answered = s.Load.unparsed = 0 && s.Load.requests = n in
+      let lat = s.Load.latency in
+      row "  %-24s %8d %10.1f %9.2f %8.3f %8d [%s]\n" label n req_per_s
+        shed_rate lat.Metrics.p99_ms s.Load.ok (ok answered);
+      emit label
+        [
+          ("requests", Json.Int n);
+          ("wall_s", Json.Float s.Load.wall_s);
+          ("req_per_s", Json.Float req_per_s);
+          ("latency", Json.Obj (Bagcq_wire.Proto.summary_fields lat));
+          ("ok", Json.Int s.Load.ok);
+          ("errors", Json.Int s.Load.errors);
+          ("exhausted", Json.Int s.Load.exhausted);
+          ("shed", Json.Int s.Load.shed);
+          ("shed_rate", Json.Float shed_rate);
+          ("all_answered", Json.Bool answered);
+        ])
+    [
+      ("resil-overload-10x", 1_200);
+      ("resil-overload-100x", 12_000);
+    ]
+
 let exp_hde () =
   header "EXP-HDE - homomorphism domination exponent (Kopparty-Rossman [12])";
   let module Domination = Bagcq_search.Domination in
@@ -934,7 +1023,7 @@ let run_benchmarks () =
       | _ -> Printf.printf "  %-42s (no estimate)\n" name)
     (List.sort compare rows)
 
-let default_bench_json_path = "BENCH_PR5.json"
+let default_bench_json_path = "BENCH_PR6.json"
 
 (* minimal flag parsing: --json PATH overrides where the row file lands *)
 let bench_json_path =
@@ -954,6 +1043,7 @@ let () =
     exp_plan ();
     exp_obs ();
     exp_serve ();
+    exp_resilience ();
     write_bench_json bench_json_path;
     Printf.printf "\nwrote %s\n" bench_json_path;
     exit 0
@@ -985,6 +1075,7 @@ let () =
   exp_plan ();
   exp_obs ();
   exp_serve ();
+  exp_resilience ();
   exp_hde ();
   exp_set_vs_bag ();
   run_benchmarks ();

@@ -508,7 +508,8 @@ let serve_cmd =
   in
   let jobs =
     Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
-           ~doc:"Worker domains executing a pipelined batch.")
+           ~doc:"Worker domains: the TCP admission pool, or the executor of a \
+                 pipelined stdio batch.")
   in
   let hunt_jobs =
     Arg.(value & opt int 1 & info [ "hunt-jobs" ] ~docv:"N"
@@ -519,18 +520,57 @@ let serve_cmd =
            ~doc:"TCP mode: exit after serving $(docv) connections (for tests \
                  and demos; the default is to serve forever).")
   in
+  let max_inflight =
+    Arg.(value & opt int Bagcq_server.Admission.default_max_inflight
+         & info [ "max-inflight" ] ~docv:"N"
+             ~doc:"TCP mode: high-water mark on admitted-but-unanswered \
+                   requests across all connections; arrivals past it are shed \
+                   with a structured $(i,overloaded) response.")
+  in
+  let queue_depth =
+    Arg.(value & opt int Bagcq_server.Admission.default_queue_depth
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"TCP mode: bound on requests waiting for a worker; arrivals \
+                   past it are shed with a structured $(i,overloaded) \
+                   response.")
+  in
+  let drain_ms =
+    Arg.(value & opt int Serve.default_drain_ms & info [ "drain-ms" ] ~docv:"MS"
+           ~doc:"TCP mode: on SIGINT/SIGTERM stop accepting and keep \
+                 answering in-flight requests for up to $(docv) before \
+                 closing.")
+  in
+  let idle_timeout =
+    Arg.(value & opt int 0 & info [ "idle-timeout-ms" ] ~docv:"MS"
+           ~doc:"TCP mode: close connections that have not completed a \
+                 request line for $(docv) (slow-loris writers count as idle \
+                 — partial frames are not activity). 0 disables.")
+  in
+  let max_line_bytes =
+    Arg.(value & opt int 0 & info [ "max-line-bytes" ] ~docv:"N"
+           ~doc:"Refuse request lines longer than $(docv) bytes with a \
+                 structured $(i,bad_request) response and close the \
+                 connection. 0 disables.")
+  in
   let trace =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Write one NDJSON span record per served request to $(docv) \
                  (span_id, parent_id, name, start_ms, dur_ms).")
   in
   let run stdio port max_fuel max_timeout pipeline jobs hunt_jobs max_conns
-      trace =
+      max_inflight queue_depth drain_ms idle_timeout max_line_bytes trace =
     ignore stdio;
     if max_fuel < 0 || max_timeout < 0 then
       `Error (false, "--max-fuel and --max-timeout-ms must be non-negative")
     else if pipeline < 1 || jobs < 1 || hunt_jobs < 1 then
       `Error (false, "--pipeline, --jobs and --hunt-jobs must be positive")
+    else if max_inflight < 1 || queue_depth < 1 then
+      `Error (false, "--max-inflight and --queue-depth must be positive")
+    else if drain_ms < 0 || idle_timeout < 0 || max_line_bytes < 0 then
+      `Error
+        ( false,
+          "--drain-ms, --idle-timeout-ms and --max-line-bytes must be \
+           non-negative" )
     else begin
       let caps =
         {
@@ -560,28 +600,50 @@ let serve_cmd =
               close_out oc
       in
       let router = Router.create ~caps ~hunt_jobs () in
+      let line_cap = if max_line_bytes = 0 then None else Some max_line_bytes in
       Fun.protect
         ~finally:(fun () -> close_trace ())
         (fun () ->
           match port with
-          | None -> Serve.stdio ~pipeline ~jobs router stdin stdout
+          | None ->
+              Serve.stdio ~pipeline ~jobs ?max_line_bytes:line_cap router stdin
+                stdout
           | Some p ->
+              (* Graceful shutdown: a signal flips the stop flag, the
+                 event loop's select returns with EINTR, and the drain
+                 begins — the trace sink is flushed by the
+                 [close_trace] finaliser once [Serve.tcp] returns. *)
+              let stop = Atomic.make false in
+              let install sg =
+                try
+                  ignore
+                    (Sys.signal sg
+                       (Sys.Signal_handle (fun _ -> Atomic.set stop true)))
+                with Invalid_argument _ | Sys_error _ -> ()
+              in
+              install Sys.sigint;
+              install Sys.sigterm;
               Serve.tcp ?max_connections:max_conns
                 ~on_listen:(fun actual ->
                   Printf.eprintf "bagcq: listening on 127.0.0.1:%d\n%!" actual)
-                router ~port:p ());
+                ~workers:jobs ~queue_depth ~max_inflight
+                ?max_line_bytes:line_cap
+                ?idle_timeout_ms:
+                  (if idle_timeout = 0 then None else Some idle_timeout)
+                ~drain_ms ~stop router ~port:p ());
       `Ok 0
     end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve eval/contain/hunt/ping/stats/metrics requests over NDJSON, \
-             with per-request budgets clamped by server-wide caps and a shared \
-             result cache.")
+             with per-request budgets clamped by server-wide caps, admission \
+             control that sheds excess load, and a shared result cache.")
     Cmdliner.Term.(
       ret
         (const run $ stdio $ port $ max_fuel $ max_timeout $ pipeline $ jobs
-        $ hunt_jobs $ max_connections $ trace))
+        $ hunt_jobs $ max_connections $ max_inflight $ queue_depth $ drain_ms
+        $ idle_timeout $ max_line_bytes $ trace))
 
 (* ---------------- client ---------------- *)
 
@@ -599,25 +661,39 @@ let client_cmd =
            ~doc:"Make every $(docv)-th line deliberately malformed, checking \
                  the server answers with a structured error and keeps going.")
   in
-  let run port n malformed =
-    if n < 0 || malformed < 0 then
-      `Error (false, "--requests and --malformed-every must be non-negative")
+  let retries =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"K"
+           ~doc:"Retry a refused connection up to $(docv) times with \
+                 exponential backoff and jitter before giving up.")
+  in
+  let backoff =
+    Arg.(value & opt int 50 & info [ "backoff-ms" ] ~docv:"MS"
+           ~doc:"Base of the exponential retry backoff: the $(i,k)-th retry \
+                 waits about $(docv)·2^$(i,k).")
+  in
+  let open_loop =
+    Arg.(value & flag & info [ "open-loop" ]
+           ~doc:"Send every request as fast as the socket accepts instead of \
+                 waiting for each answer — the overload generator. Shed \
+                 responses are counted separately in the summary.")
+  in
+  let run port n malformed retries backoff open_loop =
+    if n < 0 || malformed < 0 || retries < 0 || backoff < 0 then
+      `Error
+        ( false,
+          "--requests, --malformed-every, --retries and --backoff-ms must be \
+           non-negative" )
     else
-      match
-        let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-        Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-        sock
-      with
-      | exception Unix.Unix_error (e, _, _) ->
+      match Load.connect ~retries ~backoff_ms:backoff ~port () with
+      | Error e ->
           `Error
-            ( false,
-              Printf.sprintf "cannot connect to 127.0.0.1:%d: %s" port
-                (Unix.error_message e) )
-      | sock ->
+            (false, Printf.sprintf "cannot connect to 127.0.0.1:%d: %s" port e)
+      | Ok sock ->
           let ic = Unix.in_channel_of_descr sock in
           let oc = Unix.out_channel_of_descr sock in
+          let drive = if open_loop then Load.drive_open else Load.drive in
           let summary =
-            Load.drive oc ic (Load.script ~malformed_every:malformed ~n ())
+            drive oc ic (Load.script ~malformed_every:malformed ~n ())
           in
           (try Unix.close sock with Unix.Unix_error _ -> ());
           print_endline (Load.summary_to_string summary);
@@ -628,7 +704,8 @@ let client_cmd =
     (Cmd.info "client"
        ~doc:"Drive a scripted request mix against a TCP bagcq server and \
              report throughput and response statistics.")
-    Cmdliner.Term.(ret (const run $ port $ n $ malformed))
+    Cmdliner.Term.(
+      ret (const run $ port $ n $ malformed $ retries $ backoff $ open_loop))
 
 (* ---------------- metrics ---------------- *)
 

@@ -43,7 +43,7 @@ let unlimited () =
     created = Unix.gettimeofday ();
   }
 
-let create ?fuel ?timeout_ms () =
+let create ?fuel ?timeout_ms ?deadline () =
   let fuel =
     match fuel with
     | None -> max_int
@@ -51,13 +51,19 @@ let create ?fuel ?timeout_ms () =
     | Some f -> invalid_arg (Printf.sprintf "Budget.create: negative fuel %d" f)
   in
   let created = Unix.gettimeofday () in
-  let deadline =
+  let relative =
     match timeout_ms with
     | None -> infinity
     | Some ms when ms >= 0 -> created +. (float_of_int ms /. 1000.)
     | Some ms -> invalid_arg (Printf.sprintf "Budget.create: negative timeout %dms" ms)
   in
-  { ticks = 0; tripped = None; fuel; deadline; fault = None; source = None; created }
+  let absolute = match deadline with None -> infinity | Some d -> d in
+  (* An absolute deadline that has already passed (the request sat in an
+     admission queue too long) trips the very first tick rather than
+     waiting out a full clock-check period. *)
+  let tripped = if absolute <= created then Some Deadline else None in
+  let deadline = Float.min relative absolute in
+  { ticks = 0; tripped; fuel; deadline; fault = None; source = None; created }
 
 let fault_at ?(reason = Fuel) ~tick () =
   if tick < 1 then invalid_arg "Budget.fault_at: tick must be >= 1";

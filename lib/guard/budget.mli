@@ -33,12 +33,17 @@ val unlimited : unit -> t
 (** A budget that never trips; ticks are still counted, so unlimited
     budgets double as work meters. *)
 
-val create : ?fuel:int -> ?timeout_ms:int -> unit -> t
-(** [create ?fuel ?timeout_ms ()] — [fuel] is the number of ticks allowed
-    (the [fuel+1]-th tick trips; 0 means the very first tick trips);
-    [timeout_ms] is a wall-clock deadline measured from now.  Omitting both
-    yields an unlimited budget.  Raises [Invalid_argument] on negative
-    values. *)
+val create : ?fuel:int -> ?timeout_ms:int -> ?deadline:float -> unit -> t
+(** [create ?fuel ?timeout_ms ?deadline ()] — [fuel] is the number of ticks
+    allowed (the [fuel+1]-th tick trips; 0 means the very first tick
+    trips); [timeout_ms] is a wall-clock deadline measured from now;
+    [deadline] is an {e absolute} wall-clock deadline ([Unix.gettimeofday]
+    seconds) that composes with [timeout_ms] by taking whichever is
+    earlier — how an admission queue propagates the time a request already
+    spent waiting into its execution budget.  A [deadline] that has
+    already passed yields a budget whose very first tick trips with
+    {!Deadline}.  Omitting everything yields an unlimited budget.  Raises
+    [Invalid_argument] on negative values. *)
 
 val fault_at : ?reason:reason -> tick:int -> unit -> t
 (** Fault injection for tests: a budget that trips exactly when the

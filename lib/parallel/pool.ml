@@ -25,11 +25,30 @@ let items_swept = Metrics.counter Metrics.global "pool_items"
 let worker_busy_ms = Metrics.histogram Metrics.global "pool_worker_busy_ms"
 let worker_idle_ms = Metrics.histogram Metrics.global "pool_worker_idle_ms"
 
+(* Spawning a helper domain costs tens of microseconds up front and — far
+   worse — a share of every stop-the-world minor collection for as long
+   as it lives.  BENCH_PR4/PR5 measured the result on a 1-core container:
+   sweeps at jobs=4 ran 3-4x SLOWER than jobs=1.  Two defences:
+
+   - never run more domains than the hardware has cores
+     ([Domain.recommended_domain_count]) — extra domains on a CPU-bound
+     sweep can only add synchronisation;
+   - defer spawning: the calling domain claims chunks inline first, and
+     helpers are paid for only once it has burnt
+     [spawn_threshold_ms] of real work with chunks still unclaimed.  A
+     sweep whose whole work fits under the threshold — the common case
+     for request batches and small database sizes — degrades to exactly
+     the sequential path, minus one clock read per chunk. *)
+let default_spawn_threshold_ms = 0.5
+
 (* Shared sweep state: [next] hands out chunk numbers, [stop] is polled
    between chunks.  Chunks are claimed in increasing order and each claimed
    chunk runs to completion, which is what makes min-index witnesses
-   deterministic across job counts (see [Dbspace.find_guarded_par]). *)
-let sweep ?(chunk = default_chunk) ~n ~workers ~body () =
+   deterministic across job counts (see [Dbspace.find_guarded_par]) —
+   deferred spawning preserves both properties, because helpers claim
+   through the same atomic counter. *)
+let sweep ?(chunk = default_chunk) ?(spawn_threshold_ms = default_spawn_threshold_ms)
+    ~n ~workers ~body () =
   let jobs = Array.length workers in
   if jobs < 1 then invalid_arg "Pool.sweep: need at least one worker";
   if chunk < 1 then invalid_arg "Pool.sweep: chunk must be >= 1";
@@ -39,7 +58,7 @@ let sweep ?(chunk = default_chunk) ~n ~workers ~body () =
     let nchunks = ((n - 1) / chunk) + 1 in
     let next = Atomic.make 0 in
     let stop = Atomic.make false in
-    let run w =
+    let run ?(on_chunk_done = fun () -> ()) w =
       let t_start = if measure then Clock.now_ms () else 0. in
       let busy = ref 0. and claimed = ref 0 and items = ref 0 in
       let retire () =
@@ -65,11 +84,12 @@ let sweep ?(chunk = default_chunk) ~n ~workers ~body () =
             let t0 = if measure then Clock.now_ms () else 0. in
             let verdict = body w lo hi in
             if measure then busy := !busy +. Clock.elapsed_ms t0;
-            match verdict with
+            (match verdict with
             | `Continue -> ()
             | `Stop ->
                 Atomic.set stop true;
-                continue := false
+                continue := false);
+            if !continue then on_chunk_done ()
           end
         done;
         retire ();
@@ -79,18 +99,29 @@ let sweep ?(chunk = default_chunk) ~n ~workers ~body () =
         retire ();
         Some e
     in
-    (* Never spawn more domains than there are chunks; with one worker the
-       sweep runs inline on the calling domain, in serial chunk order. *)
-    let spawned = min jobs nchunks in
+    (* Never spawn more domains than there are chunks or cores; with one
+       worker nothing is spawned and the sweep runs inline on the calling
+       domain, in serial chunk order. *)
+    let spawnable =
+      min (min jobs nchunks) (max 1 (Domain.recommended_domain_count ()))
+    in
     let first_exn =
-      if spawned <= 1 then run workers.(0)
+      if spawnable <= 1 then run workers.(0)
       else begin
-        let doms =
-          Array.init (spawned - 1) (fun i ->
-              Domain.spawn (fun () -> run workers.(i + 1)))
+        let doms = ref [||] in
+        let t0 = Clock.now_ms () in
+        let maybe_spawn () =
+          if
+            Array.length !doms = 0
+            && Atomic.get next < nchunks
+            && Clock.elapsed_ms t0 >= spawn_threshold_ms
+          then
+            doms :=
+              Array.init (spawnable - 1) (fun i ->
+                  Domain.spawn (fun () -> run workers.(i + 1)))
         in
-        let here = run workers.(0) in
-        let rest = Array.map Domain.join doms in
+        let here = run ~on_chunk_done:maybe_spawn workers.(0) in
+        let rest = Array.map Domain.join !doms in
         Array.fold_left
           (fun acc e -> match acc with Some _ -> acc | None -> e)
           here rest

@@ -1,0 +1,152 @@
+module Metrics = Bagcq_obs.Metrics
+
+type job = {
+  line : string;
+  deadline : float option;
+  finish : string -> unit;
+}
+
+type t = {
+  router : Router.t;
+  queue : job Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  drained : Condition.t;
+  capacity : int;
+  max_inflight : int;
+  mutable inflight : int;  (* queued + executing, under [mutex] *)
+  mutable draining : bool;
+  mutable abandon : bool;
+  mutable workers : unit Domain.t array;
+  shed : Metrics.counter;
+  depth_gauge : Metrics.gauge;
+}
+
+let default_queue_depth = 64
+let default_max_inflight = 256
+
+(* One worker loop: pop, execute, hand the response line to [finish].
+   The router call happens outside the lock; [Router.handle_line] is
+   total, so a worker can only die if [finish] raises — and [finish]
+   (the event loop's completion push) must not. *)
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.draining do
+      Condition.wait t.nonempty t.mutex
+    done;
+    match Queue.take_opt t.queue with
+    | None ->
+        (* draining and empty: retire *)
+        Mutex.unlock t.mutex;
+        ()
+    | Some job ->
+        Metrics.gauge_set t.depth_gauge (Queue.length t.queue);
+        Mutex.unlock t.mutex;
+        let response =
+          if t.abandon then
+            Bagcq_wire.Json.to_string
+              (Bagcq_wire.Proto.error_body ~kind:Bagcq_wire.Proto.Overloaded
+                 "server shutting down")
+          else Router.handle_line ?deadline:job.deadline t.router job.line
+        in
+        job.finish response;
+        Mutex.lock t.mutex;
+        t.inflight <- t.inflight - 1;
+        if t.inflight = 0 then Condition.broadcast t.drained;
+        Mutex.unlock t.mutex;
+        loop ()
+  in
+  loop ()
+
+let create ?(queue_depth = default_queue_depth)
+    ?(max_inflight = default_max_inflight) ~workers:nworkers router =
+  if nworkers < 1 then invalid_arg "Admission.create: workers must be >= 1";
+  if queue_depth < 1 then
+    invalid_arg "Admission.create: queue_depth must be >= 1";
+  if max_inflight < 1 then
+    invalid_arg "Admission.create: max_inflight must be >= 1";
+  let m = Router.metrics router in
+  let t =
+    {
+      router;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      drained = Condition.create ();
+      capacity = queue_depth;
+      max_inflight;
+      inflight = 0;
+      draining = false;
+      abandon = false;
+      workers = [||];
+      shed = Metrics.counter m "server_shed";
+      depth_gauge = Metrics.gauge m "server_queue_depth";
+    }
+  in
+  t.workers <- Array.init nworkers (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+type verdict = Accepted | Shed
+
+let submit t ?deadline ~line ~finish () =
+  Mutex.lock t.mutex;
+  let verdict =
+    if
+      t.draining
+      || Queue.length t.queue >= t.capacity
+      || t.inflight >= t.max_inflight
+    then Shed
+    else begin
+      t.inflight <- t.inflight + 1;
+      Queue.add { line; deadline; finish } t.queue;
+      Metrics.gauge_set t.depth_gauge (Queue.length t.queue);
+      Condition.signal t.nonempty;
+      Accepted
+    end
+  in
+  Mutex.unlock t.mutex;
+  if verdict = Shed then Metrics.incr t.shed;
+  verdict
+
+let inflight t =
+  Mutex.lock t.mutex;
+  let n = t.inflight in
+  Mutex.unlock t.mutex;
+  n
+
+let shutdown ?(drain_ms = 1_000) t =
+  let deadline = Unix.gettimeofday () +. (float_of_int drain_ms /. 1000.) in
+  Mutex.lock t.mutex;
+  t.draining <- true;
+  Condition.broadcast t.nonempty;
+  (* Wait out the drain: workers keep popping until the queue is empty.
+     [Condition.wait] has no timeout in the stdlib, so poll on a short
+     period — shutdown is not a hot path. *)
+  while t.inflight > 0 && Unix.gettimeofday () < deadline do
+    Mutex.unlock t.mutex;
+    Unix.sleepf 0.01;
+    Mutex.lock t.mutex
+  done;
+  if t.inflight > 0 then begin
+    (* Drain deadline blown: answer whatever is still queued with a
+       structured shutdown notice instead of leaving clients hanging on a
+       dead socket, and tell workers to stop computing queued work. *)
+    t.abandon <- true;
+    let stranded = Queue.length t.queue in
+    Queue.iter
+      (fun job ->
+        job.finish
+          (Bagcq_wire.Json.to_string
+             (Bagcq_wire.Proto.error_body ~kind:Bagcq_wire.Proto.Overloaded
+                "server shutting down")))
+      t.queue;
+    Queue.clear t.queue;
+    t.inflight <- t.inflight - stranded;
+    Condition.broadcast t.nonempty
+  end;
+  Mutex.unlock t.mutex;
+  (* Workers exit once the queue is empty; the one still executing a
+     request finishes it first — its budget bounds how long that takes. *)
+  Array.iter Domain.join t.workers;
+  Metrics.gauge_set t.depth_gauge 0

@@ -1,0 +1,55 @@
+(** Admission control: a bounded work queue drained by a fixed pool of
+    worker domains, with load shedding when the service is saturated.
+
+    The event-loop front end ({!Serve.tcp}) parses frames off sockets and
+    {!submit}s each request line here; workers execute through
+    {!Router.handle_line} and hand the response line back through the
+    job's [finish] callback.  Two knobs bound the work the server will
+    hold at once, and crossing either one sheds the request {e before}
+    any engine work happens:
+
+    - [queue_depth] — requests waiting for a worker;
+    - [max_inflight] — requests admitted but not yet answered
+      (queued + executing).
+
+    Shedding is the resilience contract: under overload the server
+    answers immediately with a structured [overloaded] response (built by
+    the caller, counted here under [server_shed]) instead of queueing
+    without bound or stalling the accept loop.  The current queue length
+    is mirrored into the [server_queue_depth] gauge. *)
+
+type t
+
+val default_queue_depth : int
+(** 64. *)
+
+val default_max_inflight : int
+(** 256. *)
+
+val create : ?queue_depth:int -> ?max_inflight:int -> workers:int -> Router.t -> t
+(** Spawn [workers] domains immediately.  They idle on a condition
+    variable until work arrives, and live until {!shutdown}. *)
+
+type verdict = Accepted | Shed
+
+val submit :
+  t -> ?deadline:float -> line:string -> finish:(string -> unit) -> unit -> verdict
+(** Try to enqueue one request line.  [deadline] (absolute,
+    [Unix.gettimeofday] seconds) is threaded into the request's budget,
+    so time spent waiting in this queue counts against the request — a
+    request that sat out its whole deadline queued exhausts on its first
+    tick rather than running late.  [finish] is called from a worker
+    domain with the response line, exactly once, for every [Accepted]
+    submission (on [Shed] it is never called; the caller answers the
+    client itself).  [finish] must not raise and must not block — push
+    the response somewhere and return. *)
+
+val inflight : t -> int
+(** Admitted and not yet finished (queued + executing). *)
+
+val shutdown : ?drain_ms:int -> t -> unit
+(** Graceful drain: stop admitting (new {!submit}s shed), let workers
+    finish the queue for up to [drain_ms] (default 1000), then answer any
+    still-queued jobs with a structured shutdown notice, and join all
+    worker domains.  A worker mid-request finishes that request first —
+    the per-request budget bounds how long shutdown can take. *)

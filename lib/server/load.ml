@@ -72,15 +72,54 @@ type summary = {
   ok : int;
   errors : int;
   exhausted : int;
+  shed : int;
   cached : int;
   unparsed : int;
   wall_s : float;
   latency : Metrics.summary;
 }
 
+type tally = {
+  mutable t_ok : int;
+  mutable t_errors : int;
+  mutable t_exhausted : int;
+  mutable t_shed : int;
+  mutable t_cached : int;
+  mutable t_unparsed : int;
+}
+
+let fresh_tally () =
+  { t_ok = 0; t_errors = 0; t_exhausted = 0; t_shed = 0; t_cached = 0;
+    t_unparsed = 0 }
+
+let classify tally reply =
+  match Json.parse reply with
+  | Error _ -> tally.t_unparsed <- tally.t_unparsed + 1
+  | Ok j ->
+      (match Bagcq_wire.Proto.status j with
+      | Some "ok" -> tally.t_ok <- tally.t_ok + 1
+      | Some "exhausted" -> tally.t_exhausted <- tally.t_exhausted + 1
+      | Some "overloaded" -> tally.t_shed <- tally.t_shed + 1
+      | _ -> tally.t_errors <- tally.t_errors + 1);
+      if Json.member "cached" j = Some (Json.Bool true) then
+        tally.t_cached <- tally.t_cached + 1
+
+let finish tally ~requests ~wall_s ~lat =
+  {
+    requests;
+    ok = tally.t_ok;
+    errors = tally.t_errors;
+    exhausted = tally.t_exhausted;
+    shed = tally.t_shed;
+    cached = tally.t_cached;
+    unparsed = tally.t_unparsed;
+    wall_s;
+    latency = Metrics.summary lat;
+  }
+
 let drive oc ic lines =
-  let ok = ref 0 and errors = ref 0 and exhausted = ref 0 in
-  let cached = ref 0 and unparsed = ref 0 and requests = ref 0 in
+  let tally = fresh_tally () in
+  let requests = ref 0 in
   let lat = Metrics.fresh_histogram () in
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -93,34 +132,168 @@ let drive oc ic lines =
       let reply = In_channel.input_line ic in
       Metrics.observe_ms lat (Clock.elapsed_ms sent);
       match reply with
-      | None -> incr unparsed
-      | Some reply -> (
-          match Json.parse reply with
-          | Error _ -> incr unparsed
-          | Ok j ->
-              (match Bagcq_wire.Proto.status j with
-              | Some "ok" -> incr ok
-              | Some "exhausted" -> incr exhausted
-              | _ -> incr errors);
-              if Json.member "cached" j = Some (Json.Bool true) then
-                incr cached))
+      | None -> tally.t_unparsed <- tally.t_unparsed + 1
+      | Some reply -> classify tally reply)
     lines;
-  {
-    requests = !requests;
-    ok = !ok;
-    errors = !errors;
-    exhausted = !exhausted;
-    cached = !cached;
-    unparsed = !unparsed;
-    wall_s = Unix.gettimeofday () -. t0;
-    latency = Metrics.summary lat;
-  }
+  finish tally ~requests:!requests ~wall_s:(Unix.gettimeofday () -. t0) ~lat
+
+(* The open-loop driver sends as fast as the pipe accepts, from its own
+   domain, while this domain reads responses — the arrival rate is set
+   by the generator, not by the server's completion rate, which is the
+   load shape that actually exercises admission control (a lockstep
+   driver can never overload anything: it waits for every answer).
+   Responses are matched to send times by the request [id], so latency
+   includes queue wait.  Stops when every sent line was answered or the
+   server stops talking. *)
+let drive_open oc ic lines =
+  let sent_at = Hashtbl.create 256 in
+  let sent_mutex = Mutex.create () in
+  let sent = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let writer =
+    Domain.spawn (fun () ->
+        try
+          List.iter
+            (fun line ->
+              Mutex.lock sent_mutex;
+              (match Json.parse line with
+              | Ok j -> (
+                  match Json.member "id" j with
+                  | Some (Json.Int id) ->
+                      Hashtbl.replace sent_at id (Clock.now_ms ())
+                  | _ -> ())
+              | Error _ -> ());
+              incr sent;
+              Mutex.unlock sent_mutex;
+              output_string oc line;
+              output_char oc '\n';
+              flush oc)
+            lines;
+          true
+        with Sys_error _ | Unix.Unix_error _ -> false)
+  in
+  let total = List.length lines in
+  let tally = fresh_tally () in
+  let lat = Metrics.fresh_histogram () in
+  let received = ref 0 in
+  (try
+     while !received < total do
+       match In_channel.input_line ic with
+       | None -> raise Exit
+       | Some reply ->
+           incr received;
+           classify tally reply;
+           let now = Clock.now_ms () in
+           (match Json.parse reply with
+           | Ok j -> (
+               match Json.member "id" j with
+               | Some (Json.Int id) -> (
+                   Mutex.lock sent_mutex;
+                   let t = Hashtbl.find_opt sent_at id in
+                   Hashtbl.remove sent_at id;
+                   Mutex.unlock sent_mutex;
+                   match t with
+                   | Some t -> Metrics.observe_ms lat (now -. t)
+                   | None -> ())
+               | _ -> ())
+           | Error _ -> ())
+     done
+   with Exit -> ());
+  ignore (Domain.join writer);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  tally.t_unparsed <- tally.t_unparsed + (!sent - !received);
+  finish tally ~requests:!sent ~wall_s ~lat
 
 let summary_to_string s =
   let rate = if s.wall_s > 0. then float_of_int s.requests /. s.wall_s else 0. in
   Printf.sprintf
     "%d requests in %.3fs (%.1f req/s): %d ok, %d errors, %d exhausted, %d \
-     cached; latency p50 %.3fms p95 %.3fms p99 %.3fms%s"
-    s.requests s.wall_s rate s.ok s.errors s.exhausted s.cached
+     shed, %d cached; latency p50 %.3fms p95 %.3fms p99 %.3fms%s"
+    s.requests s.wall_s rate s.ok s.errors s.exhausted s.shed s.cached
     s.latency.Metrics.p50_ms s.latency.Metrics.p95_ms s.latency.Metrics.p99_ms
     (if s.unparsed > 0 then Printf.sprintf ", %d unparsed" s.unparsed else "")
+
+(* ---------------- connecting, with retries ---------------- *)
+
+(* Deterministic "jitter": a hash of the attempt number spreads retry
+   instants without consulting a clock or a global RNG — same arguments,
+   same schedule, which keeps scripted runs reproducible. *)
+let backoff_sleep_ms ~backoff_ms ~attempt =
+  let base = backoff_ms * (1 lsl min attempt 6) in
+  let jitter = (attempt * 7919) mod max 1 (base / 2) in
+  base + jitter
+
+let connect ?(retries = 0) ?(backoff_ms = 50) ~port () =
+  let rec go attempt =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+    | () -> Ok sock
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        if attempt >= retries then Error (Unix.error_message e)
+        else begin
+          Unix.sleepf
+            (float_of_int (backoff_sleep_ms ~backoff_ms ~attempt) /. 1000.);
+          go (attempt + 1)
+        end
+  in
+  go 0
+
+(* ---------------- fault injectors ---------------- *)
+
+let with_socket ~port f =
+  match connect ~port () with
+  | Error e -> Error e
+  | Ok sock ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () -> Ok (f sock))
+
+let write_all sock s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  (try
+     while !off < n do
+       off := !off + Unix.write sock b !off (n - !off)
+     done
+   with Unix.Unix_error _ -> ())
+
+let slow_loris ~port ?(chunks = [ "{\"op\":"; "\"ev"; "al\"" ]) ?(pause_s = 0.05)
+    () =
+  with_socket ~port (fun sock ->
+      List.iter
+        (fun chunk ->
+          write_all sock chunk;
+          Unix.sleepf pause_s)
+        chunks
+      (* never a newline: the frame stays forever incomplete, and the
+         connection is abandoned mid-line *))
+
+let mid_frame_disconnect ~port ?(complete = []) ?(partial = "{\"op\":\"eval\",")
+    () =
+  with_socket ~port (fun sock ->
+      List.iter (fun line -> write_all sock (line ^ "\n")) complete;
+      write_all sock partial
+      (* close without reading anything back — the peer vanishes with a
+         frame on the wire and responses unclaimed *))
+
+let oversized_line ~port ~bytes () =
+  with_socket ~port (fun sock ->
+      write_all sock (String.make bytes 'x');
+      write_all sock "\n";
+      (* read the structured refusal, if the server sends one before
+         closing *)
+      let buf = Buffer.create 256 in
+      let b = Bytes.create 1 in
+      let rec read_line () =
+        match Unix.read sock b 0 1 with
+        | 0 -> ()
+        | _ -> if Bytes.get b 0 = '\n' then () else begin
+            Buffer.add_char buf (Bytes.get b 0);
+            read_line ()
+          end
+        | exception Unix.Unix_error _ -> ()
+      in
+      read_line ();
+      if Buffer.length buf = 0 then None else Some (Buffer.contents buf))

@@ -40,10 +40,13 @@ let create ?(caps = default_caps) ?(hunt_jobs = 1) () =
   if hunt_jobs < 1 then invalid_arg "Router.create: hunt_jobs must be >= 1";
   let m = Metrics.create () in
   let per_op make = List.map (fun op -> (op, make op)) op_labels in
-  (* connection counters live here, not in Serve, so a stdio-only router
-     still dumps the full key set *)
+  (* connection and admission counters live here, not in Serve, so a
+     stdio-only router still dumps the full key set *)
   ignore (Metrics.counter m "server_connections");
   ignore (Metrics.counter m "server_connections_failed");
+  ignore (Metrics.counter m "server_shed");
+  ignore (Metrics.counter m "server_lines_oversized");
+  ignore (Metrics.gauge m "server_queue_depth");
   {
     caps;
     hunt_jobs;
@@ -80,9 +83,14 @@ let clamp_budget caps (spec : Proto.budget_spec) =
     Proto.timeout_ms = clamp spec.Proto.timeout_ms caps.max_timeout_ms;
   }
 
-let make_budget caps spec =
+(* [deadline] is the request's admission deadline (absolute seconds):
+   wall-clock already spent waiting in the admission queue counts against
+   the request, so a request that queued past its whole allowance
+   exhausts immediately instead of running late. *)
+let make_budget ?deadline caps spec =
   let spec = clamp_budget caps spec in
-  Budget.create ?fuel:spec.Proto.fuel ?timeout_ms:spec.Proto.timeout_ms ()
+  Budget.create ?fuel:spec.Proto.fuel ?timeout_ms:spec.Proto.timeout_ms
+    ?deadline ()
 
 let stats_fields t =
   let s = Cache.stats t.cache in
@@ -139,8 +147,8 @@ let spend t budget response =
   Metrics.add t.budget_ticks (Budget.ticks budget);
   response
 
-let handle_eval t (req : Proto.request) ~query ~db =
-  let budget = make_budget t.caps req.Proto.budget in
+let handle_eval ?deadline t (req : Proto.request) ~query ~db =
+  let budget = make_budget ?deadline t.caps req.Proto.budget in
   spend t budget
   @@ memoised t req ~compute:(fun () ->
          match
@@ -161,8 +169,8 @@ let handle_eval t (req : Proto.request) ~query ~db =
                   ~kind:(Proto.Exhausted reason)
                   ~budget:(Budget.snapshot budget) ""))
 
-let handle_contain t (req : Proto.request) ~small ~big =
-  let budget = make_budget t.caps req.Proto.budget in
+let handle_contain ?deadline t (req : Proto.request) ~small ~big =
+  let budget = make_budget ?deadline t.caps req.Proto.budget in
   spend t budget
   @@ memoised t req ~compute:(fun () ->
          match
@@ -185,9 +193,9 @@ let handle_contain t (req : Proto.request) ~small ~big =
                   ~kind:(Proto.Exhausted reason)
                   ~budget:(Budget.snapshot budget) ""))
 
-let handle_hunt t (req : Proto.request) ~small ~big ~samples ~exhaustive_size
-    ~seed =
-  let budget = make_budget t.caps req.Proto.budget in
+let handle_hunt ?deadline t (req : Proto.request) ~small ~big ~samples
+    ~exhaustive_size ~seed =
+  let budget = make_budget ?deadline t.caps req.Proto.budget in
   let strategy =
     {
       Hunt.exhaustive_max_size = exhaustive_size;
@@ -254,34 +262,36 @@ let instrument t ~op f =
       Metrics.gauge_add t.in_flight (-1))
     (fun () -> Trace.with_span ("req:" ^ op) (fun _sp -> classify t (f ())))
 
-let dispatch t (req : Proto.request) =
+let dispatch ?deadline t (req : Proto.request) =
   let id = req.Proto.id in
   try
     match req.Proto.op with
     | Proto.Ping -> Proto.ping_response ?id ()
     | Proto.Stats -> Proto.stats_response ?id (stats_fields t)
     | Proto.Metrics -> Proto.metrics_response ?id (metrics_rows t)
-    | Proto.Eval { query; db } -> handle_eval t req ~query ~db
-    | Proto.Contain { small; big } -> handle_contain t req ~small ~big
+    | Proto.Eval { query; db } -> handle_eval ?deadline t req ~query ~db
+    | Proto.Contain { small; big } -> handle_contain ?deadline t req ~small ~big
     | Proto.Hunt { small; big; samples; exhaustive_size; seed } ->
-        handle_hunt t req ~small ~big ~samples ~exhaustive_size ~seed
+        handle_hunt ?deadline t req ~small ~big ~samples ~exhaustive_size ~seed
   with e ->
     Proto.error_body ?id ~op:(Proto.op_name req.Proto.op) ~kind:Proto.Internal
       (Printf.sprintf "internal error: %s" (Printexc.to_string e))
 
-let handle_json t j =
+let handle_json ?deadline t j =
   match Proto.decode j with
   | Error e ->
       instrument t ~op:"invalid" (fun () ->
           Proto.error_response ?id:(Json.member "id" j) e)
-  | Ok req -> instrument t ~op:(Proto.op_name req.Proto.op) (fun () -> dispatch t req)
+  | Ok req ->
+      instrument t ~op:(Proto.op_name req.Proto.op) (fun () ->
+          dispatch ?deadline t req)
 
-let handle_line t line =
+let handle_line ?deadline t line =
   let response =
     match Json.parse line with
     | Error e ->
         instrument t ~op:"invalid" (fun () ->
             Proto.error_response (Printf.sprintf "invalid JSON: %s" e))
-    | Ok j -> handle_json t j
+    | Ok j -> handle_json ?deadline t j
   in
   Json.to_string response

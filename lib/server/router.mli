@@ -40,8 +40,10 @@ val metrics : t -> Bagcq_obs.Metrics.t
 (** The router's own registry: per-op request counters and latency
     histograms ([server_requests], [server_request_ms]), response
     counters by status ([server_responses]), the in-flight gauge,
-    budget-tick and connection counters, and the shared cache's
-    counters.  The [metrics] op dumps these rows merged with
+    budget-tick and connection counters, the admission cells
+    ([server_shed], [server_queue_depth], [server_lines_oversized] —
+    precreated here so a dump always shows the full family even when
+    nothing was ever shed), and the shared cache's counters.  The [metrics] op dumps these rows merged with
     {!Bagcq_obs.Metrics.global} (the library layers' registry). *)
 
 val clamp_budget :
@@ -50,10 +52,13 @@ val clamp_budget :
     server-wide cap, with the cap itself as the default.  Exposed for
     tests. *)
 
-val handle_json : t -> Bagcq_wire.Json.t -> Bagcq_wire.Json.t
-(** Dispatch one parsed request. *)
+val handle_json : ?deadline:float -> t -> Bagcq_wire.Json.t -> Bagcq_wire.Json.t
+(** Dispatch one parsed request.  [deadline] (absolute
+    [Unix.gettimeofday] seconds) is the request's admission deadline:
+    composed into the per-request budget, so time already spent queued
+    counts against the request — see {!Bagcq_guard.Budget.create}. *)
 
-val handle_line : t -> string -> string
+val handle_line : ?deadline:float -> t -> string -> string
 (** Parse, dispatch, print.  Total: any input line yields a response
     line. *)
 

@@ -5,4 +5,36 @@ let output oc v =
   output_char oc '\n';
   flush oc
 
-let input ic = In_channel.input_line ic
+type read = Line of string | Oversized of int | Eof
+
+(* Read one line byte by byte (the channel is buffered, so this is one
+   memory access per byte) instead of [In_channel.input_line], so the cap
+   can fire while the line is still arriving — an attacker streaming an
+   endless line without a newline must not grow the buffer without
+   bound.  Once over the cap the rest of the line is consumed and
+   discarded: the reader stays line-synchronised, and the caller decides
+   whether the protocol survives (stdio reports and continues reading
+   nothing further; the TCP loop closes the connection). *)
+let input ?max_bytes ic =
+  let cap = match max_bytes with Some b when b >= 0 -> b | _ -> max_int in
+  let buf = Buffer.create 256 in
+  let rec skip_to_newline dropped =
+    match In_channel.input_char ic with
+    | None | Some '\n' -> Oversized (Buffer.length buf + dropped)
+    | Some _ -> skip_to_newline (dropped + 1)
+  in
+  let rec go () =
+    match In_channel.input_char ic with
+    | None -> if Buffer.length buf = 0 then Eof else Line (Buffer.contents buf)
+    | Some '\n' -> Line (Buffer.contents buf)
+    | Some c ->
+        if Buffer.length buf >= cap then skip_to_newline 1
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+  in
+  go ()
+
+let input_line ic =
+  match input ic with Line l -> Some l | Oversized _ | Eof -> None

@@ -14,8 +14,24 @@ val output : out_channel -> Json.t -> unit
 (** Write one frame and its newline, then flush — a server must not sit on
     a buffered response while the client waits. *)
 
-val input : in_channel -> string option
-(** Read one frame (one line, without its newline); [None] at end of
-    input.  No parsing — feeding the raw line to {!Json.parse} is the
+type read =
+  | Line of string  (** one frame, without its newline *)
+  | Oversized of int
+      (** the line exceeded [max_bytes] — [int] is the total bytes the
+          line actually spanned (what was buffered plus what was drained
+          and discarded up to the newline or end of input).  The reader
+          is left positioned after the offending line, so a caller that
+          chooses to keep serving stays frame-synchronised. *)
+  | Eof
+
+val input : ?max_bytes:int -> in_channel -> read
+(** Read one frame.  [max_bytes] caps how many bytes of a single line are
+    ever buffered (unlimited when omitted); the cap fires {e while} the
+    line streams in, so a newline-less flood cannot grow memory without
+    bound.  No parsing — feeding the raw line to {!Json.parse} is the
     caller's move, so that malformed bytes surface as structured decode
     errors rather than reader failures. *)
+
+val input_line : in_channel -> string option
+(** The uncapped reader with the classic option shape; [None] at end of
+    input. *)

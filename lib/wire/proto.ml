@@ -157,11 +157,13 @@ type error_kind =
   | Bad_request
   | Internal
   | Exhausted of Budget.reason
+  | Overloaded
 
 let error_code = function
   | Bad_request -> "bad_request"
   | Internal -> "internal"
   | Exhausted _ -> "exhausted"
+  | Overloaded -> "overloaded"
 
 let snapshot_fields (s : Budget.snapshot) =
   [
@@ -179,6 +181,7 @@ let error_body ?id ?op ?budget ?(extra = []) ~kind msg =
         ( "exhausted",
           ("reason", Json.Str (Budget.reason_to_string reason))
           :: (if msg = "" then [] else [ ("message", Json.Str msg) ]) )
+    | Overloaded -> ("overloaded", [ ("error", Json.Str msg) ])
   in
   let op_field = match op with None -> [] | Some o -> [ ("op", Json.Str o) ] in
   let budget_fields =

@@ -108,9 +108,14 @@ type error_kind =
       (** the budget tripped — PR 1's [Outcome.Exhausted] on the wire.
           Never memoised: how far a budget got is a property of the
           request's budget, not of the answer. *)
+  | Overloaded
+      (** the request was shed by admission control before it ran — the
+          work queue was full or the in-flight high-water mark was
+          crossed.  Status ["overloaded"], so clients can retry-with-
+          backoff without parsing the message. *)
 
 val error_code : error_kind -> string
-(** ["bad_request"], ["internal"], ["exhausted"]. *)
+(** ["bad_request"], ["internal"], ["exhausted"], ["overloaded"]. *)
 
 val snapshot_fields : Bagcq_guard.Budget.snapshot -> (string * Json.t) list
 (** [ticks], [fuel_left] ([null] for unlimited), [elapsed_ms]. *)

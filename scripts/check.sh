@@ -20,11 +20,11 @@ for jobs in 1 2; do
   BAGCQ_JOBS=$jobs ./_build/default/test/test_parallel.exe >/dev/null
 done
 
-echo "== BENCH_PR5.json schema =="
+echo "== BENCH_PR6.json schema =="
 dune exec bench/main.exe -- --json-only >/dev/null
-grep -o '"[a-z_0-9]*":' BENCH_PR5.json | sort -u | tr -d '":' \
-  | diff scripts/bench_pr5_keys.txt - \
-  || { echo "BENCH_PR5.json keys drifted from scripts/bench_pr5_keys.txt" >&2; exit 1; }
+grep -o '"[a-z_0-9]*":' BENCH_PR6.json | sort -u | tr -d '":' \
+  | diff scripts/bench_pr6_keys.txt - \
+  || { echo "BENCH_PR6.json keys drifted from scripts/bench_pr6_keys.txt" >&2; exit 1; }
 
 echo "== serve --stdio answers, survives malformed input, dumps metrics =="
 serve_out=$(printf '%s\n' \
@@ -60,12 +60,41 @@ for _ in $(seq 1 100); do
   sleep 0.05
 done
 [ -n "$port" ] || { echo "serve --port 0 never reported its port" >&2; exit 1; }
-./_build/default/bin/bagcq_cli.exe metrics --port "$port" --json \
+metrics_out=$(./_build/default/bin/bagcq_cli.exe metrics --port "$port" --json)
+echo "$metrics_out" \
   | grep -o '"[a-z_0-9]*":' | sort -u | tr -d '":' \
   | diff scripts/metrics_json_keys.txt - \
   || { echo "bagcq metrics --json keys drifted from scripts/metrics_json_keys.txt" >&2; exit 1; }
+for cell in server_shed server_queue_depth server_lines_oversized; do
+  echo "$metrics_out" | grep -q "\"name\": \"$cell\"" \
+    || { echo "bagcq metrics --json missing admission cell $cell" >&2; exit 1; }
+done
 wait "$serve_pid"
 rm -f /tmp/bagcq_check_port.$$
+
+echo "== overload round-trip: flood a tiny server, expect sheds + clean exit =="
+rm -f /tmp/bagcq_check_shed.$$
+./_build/default/bin/bagcq_cli.exe serve --port 0 --max-connections 1 \
+  --jobs 1 --queue-depth 1 --max-inflight 1 \
+  2>/tmp/bagcq_check_shed.$$ &
+shed_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' /tmp/bagcq_check_shed.$$)
+  [ -n "$port" ] && break
+  sleep 0.05
+done
+[ -n "$port" ] || { echo "overload serve --port 0 never reported its port" >&2; exit 1; }
+client_out=$(./_build/default/bin/bagcq_cli.exe client --port "$port" \
+  --open-loop -n 200 --retries 3 --backoff-ms 10)
+echo "$client_out"
+echo "$client_out" | grep -Eq '[1-9][0-9]* shed' \
+  || { echo "overload round-trip: flood produced no overloaded responses" >&2; exit 1; }
+echo "$client_out" | grep -q '200 requests' \
+  || { echo "overload round-trip: client did not complete all requests" >&2; exit 1; }
+wait "$shed_pid" \
+  || { echo "overload round-trip: server exited nonzero" >&2; exit 1; }
+rm -f /tmp/bagcq_check_shed.$$
 
 if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
   echo "== dune fmt --check =="

@@ -85,9 +85,12 @@ values are not, so the run pins names only):
   "name": "server_connections"
   "name": "server_connections_failed"
   "name": "server_in_flight"
+  "name": "server_lines_oversized"
+  "name": "server_queue_depth"
   "name": "server_request_ms"
   "name": "server_requests"
   "name": "server_responses"
+  "name": "server_shed"
 
 With --trace FILE every request is wrapped in a span and dumped as one
 NDJSON record (timings normalised — only the structure is deterministic):

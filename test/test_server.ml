@@ -349,6 +349,178 @@ let test_tcp_roundtrip () =
   Alcotest.(check int) "malformed counted" 3 summary.Load.errors;
   Alcotest.(check bool) "cache observed" true (summary.Load.cached > 0)
 
+(* ---------------- fault injection ---------------- *)
+
+(* Every fault test runs under a watchdog: the resilience contract is
+   "never crash, never hang", and a hang would otherwise stall the whole
+   suite.  SIGALRM's default disposition kills the process — loudly. *)
+let with_watchdog f () =
+  ignore (Unix.alarm 30);
+  Fun.protect ~finally:(fun () -> ignore (Unix.alarm 0)) f
+
+let with_tcp_server ?max_connections ?workers ?queue_depth ?max_inflight
+    ?max_line_bytes ?idle_timeout_ms ?stop router f =
+  let port = Atomic.make 0 in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.tcp ?max_connections ?workers ?queue_depth ?max_inflight
+          ?max_line_bytes ?idle_timeout_ms ?stop ~drain_ms:5_000
+          ~on_listen:(fun p -> Atomic.set port p)
+          router ~port:0 ())
+  in
+  let rec wait_port n =
+    if Atomic.get port = 0 then
+      if n = 0 then Alcotest.fail "server never listened"
+      else begin
+        Unix.sleepf 0.01;
+        wait_port (n - 1)
+      end
+  in
+  wait_port 500;
+  let result = f (Atomic.get port) in
+  Domain.join server;
+  result
+
+let roundtrip_ping port =
+  match Load.connect ~retries:5 ~backoff_ms:10 ~port () with
+  | Error e -> Alcotest.failf "cannot connect: %s" e
+  | Ok sock ->
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      output_string oc "{\"op\":\"ping\",\"id\":77}\n";
+      flush oc;
+      let reply = In_channel.input_line ic in
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (match reply with
+      | None -> Alcotest.fail "no reply to ping"
+      | Some reply -> (
+          match Json.parse reply with
+          | Error e -> Alcotest.failf "unparseable ping reply (%s)" e
+          | Ok v ->
+              Alcotest.(check (option string)) "ping ok" (Some "ok") (status v)))
+
+let test_slow_loris () =
+  (* a client that dribbles a frame forever without its newline must not
+     hold a slot forever: partial lines are not activity, so the idle
+     timeout reaps the connection, and other clients keep being served *)
+  let r = Router.create () in
+  with_tcp_server ~max_connections:2 ~idle_timeout_ms:100 r (fun port ->
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let payload = Bytes.of_string "{\"op\":" in
+      ignore (Unix.write sock payload 0 (Bytes.length payload));
+      (* block reading: the SERVER must close this connection, not us *)
+      let b = Bytes.create 1 in
+      let closed_by_server =
+        match Unix.read sock b 0 1 with
+        | 0 -> true
+        | _ -> false
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> true
+      in
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Alcotest.(check bool) "idle reap closed the connection" true
+        closed_by_server;
+      roundtrip_ping port)
+
+let test_mid_frame_disconnect () =
+  (* a peer that pipelines a few requests, leaves a dangling half-frame
+     and hard-closes without reading anything must cost the server
+     nothing but a counter bump *)
+  let r = Router.create () in
+  with_tcp_server ~max_connections:2 r (fun port ->
+      (match
+         Load.mid_frame_disconnect ~port
+           ~complete:(Load.script ~n:3 ())
+           ~partial:"{\"op\":\"eval\"," ()
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "injector could not connect: %s" e);
+      (* the server must still be fully alive for the next client *)
+      roundtrip_ping port)
+
+let test_oversized_line_closes () =
+  let r = Router.create () in
+  with_tcp_server ~max_connections:2 ~max_line_bytes:64 r (fun port ->
+      (match Load.oversized_line ~port ~bytes:4096 () with
+      | Error e -> Alcotest.failf "injector could not connect: %s" e
+      | Ok None -> Alcotest.fail "no refusal before close"
+      | Ok (Some reply) -> (
+          match Json.parse reply with
+          | Error e -> Alcotest.failf "unparseable refusal (%s)" e
+          | Ok v ->
+              Alcotest.(check (option string))
+                "refusal status" (Some "error") (status v);
+              Alcotest.(check (option string))
+                "refusal code" (Some "bad_request")
+                (match get "code" v with
+                | Some (Json.Str c) -> Some c
+                | _ -> None)));
+      let oversized =
+        Metrics.counter_value
+          (Metrics.counter (Router.metrics r) "server_lines_oversized")
+      in
+      Alcotest.(check int) "oversized counted" 1 oversized;
+      roundtrip_ping port)
+
+let test_queue_full_sheds () =
+  (* flood a server whose admission bounds are minimal: every request is
+     still answered — most with a structured overloaded response — and
+     the process neither crashes nor hangs *)
+  let r = Router.create () in
+  with_tcp_server ~max_connections:1 ~workers:1 ~queue_depth:1 ~max_inflight:1
+    r (fun port ->
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      let summary = Load.drive_open oc ic (Load.script ~n:200 ()) in
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Alcotest.(check int) "all answered" 200 summary.Load.requests;
+      Alcotest.(check int) "none unparsed" 0 summary.Load.unparsed;
+      Alcotest.(check bool) "some shed" true (summary.Load.shed > 0);
+      Alcotest.(check bool) "some served" true (summary.Load.ok > 0);
+      let shed =
+        Metrics.counter_value
+          (Metrics.counter (Router.metrics r) "server_shed")
+      in
+      Alcotest.(check int) "server counted the sheds" summary.Load.shed shed)
+
+let test_graceful_drain () =
+  (* stopping the server mid-request must not lose the request: the
+     drain answers what was admitted, flushes it, then closes *)
+  let r = Router.create () in
+  let stop = Atomic.make false in
+  with_tcp_server ~stop r (fun port ->
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      output_string oc (eval_line ^ "\n");
+      flush oc;
+      (* wait until the request was admitted, then pull the plug *)
+      let requests () =
+        Metrics.counter_value (Metrics.counter (Router.metrics r) "server_requests")
+      in
+      let rec wait n =
+        if requests () = 0 && n > 0 then begin
+          Unix.sleepf 0.01;
+          wait (n - 1)
+        end
+      in
+      wait 500;
+      Atomic.set stop true;
+      (match In_channel.input_line ic with
+      | None -> Alcotest.fail "in-flight request lost in shutdown"
+      | Some reply -> (
+          match Json.parse reply with
+          | Error e -> Alcotest.failf "unparseable drained reply (%s)" e
+          | Ok v ->
+              Alcotest.(check (option string)) "drained answer" (Some "ok")
+                (status v)));
+      Alcotest.(check (option string)) "connection closed after drain" None
+        (In_channel.input_line ic);
+      try Unix.close sock with Unix.Unix_error _ -> ())
+
 let () =
   Alcotest.run "server"
     [
@@ -375,5 +547,18 @@ let () =
             test_tcp_roundtrip;
           Alcotest.test_case "mid-conversation disconnect is survivable" `Quick
             test_disconnect_mid_conversation;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "slow-loris writer is reaped" `Quick
+            (with_watchdog test_slow_loris);
+          Alcotest.test_case "mid-frame disconnect is survivable" `Quick
+            (with_watchdog test_mid_frame_disconnect);
+          Alcotest.test_case "oversized line refused and closed" `Quick
+            (with_watchdog test_oversized_line_closes);
+          Alcotest.test_case "queue-full flood sheds, never hangs" `Quick
+            (with_watchdog test_queue_full_sheds);
+          Alcotest.test_case "graceful drain answers in-flight" `Quick
+            (with_watchdog test_graceful_drain);
         ] );
     ]

@@ -305,7 +305,13 @@ let test_error_body () =
        ~budget:
          { Budget.ticks = 7; fuel_left = None; elapsed_ms = 2.;
            tripped = Some Budget.Deadline }
-       "mid-sweep")
+       "mid-sweep");
+  (* the admission-control refusal: status and code are both
+     "overloaded", so a client can retry-with-backoff on status alone *)
+  pin "overloaded shed"
+    {|{"id": 3, "status": "overloaded", "code": "overloaded", "error": "server overloaded"}|}
+    (Proto.error_body ~id:(Json.Int 3) ~kind:Proto.Overloaded
+       "server overloaded")
 
 let () =
   Alcotest.run "wire"
