@@ -476,7 +476,7 @@ let exp_guard () =
 
 (* ------------------------------------------------------------------ *)
 (* EXP-KERNEL: compiled solver kernel and the parallel database sweep.  *)
-(* Wall-clock numbers land in BENCH_PR6.json (schema checked by         *)
+(* Wall-clock numbers land in BENCH_PR7.json (schema checked by         *)
 (* scripts/check.sh), so the rows use explicit timing rather than       *)
 (* Bechamel: the JSON must be producible in the --json-only fast mode.  *)
 (* ------------------------------------------------------------------ *)
@@ -498,7 +498,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       [
-        ("bench", Json.Str "BENCH_PR6");
+        ("bench", Json.Str "BENCH_PR7");
         ("jobs_available", Json.Int (Domain.recommended_domain_count ()));
         ( "experiments",
           Json.List
@@ -538,7 +538,10 @@ let exp_kernel () =
   let module Solver = Bagcq_hom.Solver in
   let module Solver_ref = Bagcq_hom.Solver_ref in
   let module Plan = Bagcq_hom.Plan in
-  let kernel_row name ~reps q d =
+  (* [engine] additionally times the full planner route ([Eval.count],
+     which sends cyclic components to the leapfrog kernel since PR 7) and
+     pins the 2x acceptance bar against the compiled backtracking plan. *)
+  let kernel_row ?(engine = false) name ~reps q d =
     let plan = Plan.compile q in
     ignore (Solver.count_plan plan d) (* warm the structure's index *);
     let h_compiled = Metrics.fresh_histogram () in
@@ -569,23 +572,50 @@ let exp_kernel () =
       s_compiled.Metrics.p50_ms s_compiled.Metrics.p95_ms
       s_compiled.Metrics.p99_ms
       (ok (c_compiled = c_ref));
+    let engine_fields =
+      if not engine then []
+      else begin
+        let c_eng, t_eng =
+          wall (fun () ->
+              let n = ref Nat.zero in
+              for _ = 1 to reps do
+                n := Eval.count q d
+              done;
+              !n)
+        in
+        let eng_speedup = t_compiled /. Stdlib.max 1e-9 t_eng in
+        let bar = eng_speedup >= 2.0 in
+        row
+          "  %-24s engine %8.1f/s  vs compiled backtracking speedup %.2fx  \
+           (>= 2x bar) [%s] counts [%s]\n"
+          "" (per_sec t_eng) eng_speedup (ok bar)
+          (ok (Nat.equal c_eng (Nat.of_int c_compiled)));
+        [
+          ("engine_wall_s", Json.Float t_eng);
+          ("engine_counts_per_s", Json.Float (per_sec t_eng));
+          ("engine_speedup_vs_compiled", Json.Float eng_speedup);
+          ("wcoj_2x_bar", Json.Bool bar);
+        ]
+      end
+    in
     emit name
-      [
-        ("reps", Json.Int reps);
-        ("hom_count", Json.Int c_compiled);
-        ("compiled_wall_s", Json.Float t_compiled);
-        ("ref_wall_s", Json.Float t_ref);
-        ("compiled_counts_per_s", Json.Float (per_sec t_compiled));
-        ("ref_counts_per_s", Json.Float (per_sec t_ref));
-        ("speedup", Json.Float speedup);
-        ("compiled_latency", latency_json h_compiled);
-        ("ref_latency", latency_json h_ref);
-      ]
+      ([
+         ("reps", Json.Int reps);
+         ("hom_count", Json.Int c_compiled);
+         ("compiled_wall_s", Json.Float t_compiled);
+         ("ref_wall_s", Json.Float t_ref);
+         ("compiled_counts_per_s", Json.Float (per_sec t_compiled));
+         ("ref_counts_per_s", Json.Float (per_sec t_ref));
+         ("speedup", Json.Float speedup);
+         ("compiled_latency", latency_json h_compiled);
+         ("ref_latency", latency_json h_ref);
+       ]
+      @ engine_fields)
   in
   let cycliq_q, d = cycliq_fixture () in
   kernel_row "kernel-cycliq-p5-rotation" ~reps:300 cycliq_q d;
   let cyc8 = Build.(query (cycle e_sym (vars "z" 8))) in
-  kernel_row "kernel-cycle8-on-K5" ~reps:30 cyc8 (clique 5)
+  kernel_row ~engine:true "kernel-cycle8-on-K5" ~reps:30 cyc8 (clique 5)
 
 let exp_parallel_sweep () =
   header "EXP-KERNEL - parallel database sweep (Dbspace.fold_par)";
@@ -711,6 +741,90 @@ let exp_plan () =
   let k4 = clique 4 in
   plan_row "plan-acyclic-path8-on-K4" ~reps:20 p8 k4
     (Nat.of_int (Solver_ref.count p8 k4))
+
+(* ------------------------------------------------------------------ *)
+(* EXP-WCOJ: the worst-case-optimal leapfrog kernel head to head with   *)
+(* the backtracking plan on cyclic queries.  The fixture is the classic *)
+(* WCOJ showcase: a dense bipartite digraph where every atom-at-a-time  *)
+(* join enumerates Theta(|E| * deg) partial triangles that the third    *)
+(* atom then rejects, while variable-at-a-time leapfrogging discovers   *)
+(* the near-empty intersection for z by galloping two sorted columns.   *)
+(* A small 3-cycle seeded inside one part keeps the hom count nonzero   *)
+(* so the [ok] pin against the reference solver is meaningful.          *)
+(* ------------------------------------------------------------------ *)
+
+let exp_wcoj () =
+  header "EXP-WCOJ - leapfrog multiway intersection vs backtracking on cyclic queries";
+  let module Solver = Bagcq_hom.Solver in
+  let module Solver_ref = Bagcq_hom.Solver_ref in
+  let module Plan = Bagcq_hom.Plan in
+  let module Wcoj = Bagcq_hom.Wcoj in
+  let wcoj_row name ~reps ~bar_field ~bar q d =
+    let wp = Wcoj.compile q in
+    let bp = Plan.compile q in
+    ignore (Solver.count_plan bp d) (* warm the structure's index *);
+    ignore (Wcoj.count wp d);
+    let cw, tw =
+      wall (fun () ->
+          let n = ref Nat.zero in
+          for _ = 1 to reps do
+            n := Wcoj.count wp d
+          done;
+          !n)
+    in
+    let cb, tb =
+      wall (fun () ->
+          let n = ref 0 in
+          for _ = 1 to reps do
+            n := Solver.count_plan bp d
+          done;
+          !n)
+    in
+    let c_ref = Solver_ref.count q d in
+    let speedup = tb /. Stdlib.max 1e-9 tw in
+    let counts_ok = Nat.equal cw (Nat.of_int c_ref) && cb = c_ref in
+    let bar_ok = speedup >= bar in
+    row
+      "  %-24s hom count %-8d wcoj %.6fs  backtrack %.6fs  speedup %6.2fx  \
+       (>= %.0fx bar) [%s] counts [%s]\n"
+      name c_ref (tw /. float_of_int reps) (tb /. float_of_int reps) speedup bar
+      (ok bar_ok) (ok counts_ok);
+    emit name
+      [
+        ("reps", Json.Int reps);
+        ("hom_count", Json.Int c_ref);
+        ("variable_order", Json.Str (String.concat " " (Wcoj.variable_order wp)));
+        ("wcoj_wall_s", Json.Float tw);
+        ("backtrack_wall_s", Json.Float tb);
+        ("speedup", Json.Float speedup);
+        (bar_field, Json.Bool bar_ok);
+        ("counts_match", Json.Bool counts_ok);
+      ]
+  in
+  let triangle_q =
+    Build.(
+      query [ atom e_sym [ v "x"; v "y" ]; atom e_sym [ v "y"; v "z" ]; atom e_sym [ v "z"; v "x" ] ])
+  in
+  let bipartite_db =
+    let m = 24 in
+    let d = ref (Structure.empty Schema.empty) in
+    let add a b = d := Structure.add_fact !d e_sym [ Value.int a; Value.int b ] in
+    for i = 1 to m do
+      for j = 1 to m do
+        add i (m + j);
+        add (m + j) i
+      done
+    done;
+    add 1 2;
+    add 2 3;
+    add 3 1;
+    !d
+  in
+  wcoj_row "wcoj-triangles" ~reps:50 ~bar_field:"wcoj_5x_bar" ~bar:5.0 triangle_q
+    bipartite_db;
+  let cycliq_q, cycliq_d = cycliq_fixture () in
+  wcoj_row "wcoj-cycliq-p5-rotation" ~reps:100 ~bar_field:"wcoj_1x_bar" ~bar:1.0
+    cycliq_q cycliq_d
 
 (* ------------------------------------------------------------------ *)
 (* EXP-OBS: cost of the always-on instrumentation.  The same EXP-KERNEL *)
@@ -1023,7 +1137,7 @@ let run_benchmarks () =
       | _ -> Printf.printf "  %-42s (no estimate)\n" name)
     (List.sort compare rows)
 
-let default_bench_json_path = "BENCH_PR6.json"
+let default_bench_json_path = "BENCH_PR7.json"
 
 (* minimal flag parsing: --json PATH overrides where the row file lands *)
 let bench_json_path =
@@ -1041,6 +1155,7 @@ let () =
     exp_kernel ();
     exp_parallel_sweep ();
     exp_plan ();
+    exp_wcoj ();
     exp_obs ();
     exp_serve ();
     exp_resilience ();
@@ -1073,6 +1188,7 @@ let () =
   exp_kernel ();
   exp_parallel_sweep ();
   exp_plan ();
+  exp_wcoj ();
   exp_obs ();
   exp_serve ();
   exp_resilience ();

@@ -23,6 +23,7 @@ module Outcome = Bagcq_guard.Outcome
 module Eval = Bagcq_hom.Eval
 module Decomp = Bagcq_hom.Decomp
 module Plan = Bagcq_hom.Plan
+module Wcoj = Bagcq_hom.Wcoj
 module Hunt = Bagcq_search.Hunt
 module Sampler = Bagcq_search.Sampler
 module Pool = Bagcq_parallel.Pool
@@ -154,8 +155,14 @@ let explain_cmd =
             print_string "  class: acyclic -> join-tree dynamic program\n";
             print_string "  join tree:\n";
             List.iter (fun l -> Printf.printf "    %s\n" l) (Decomp.render s)
+        | Decomp.Wcoj w ->
+            print_string "  class: cyclic -> worst-case-optimal leapfrog join\n";
+            Printf.printf "  variable order: %s\n"
+              (String.concat " -> " (Wcoj.variable_order w))
         | Decomp.Backtrack ->
-            let why = if Query.has_neqs comp then "inequalities" else "cyclic" in
+            let why =
+              if Query.has_neqs comp then "inequalities" else "cyclic (wcoj disabled)"
+            in
             Printf.printf "  class: %s -> backtracking kernel\n" why;
             Printf.printf "  join order: %s\n"
               (String.concat " -> "

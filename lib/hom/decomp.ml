@@ -10,6 +10,7 @@ module StringSet = Set.Make (String)
    traffic — the check.sh contract. *)
 let components_seen = Metrics.counter Metrics.global "plan_components"
 let dp_selected = Metrics.counter Metrics.global "plan_dp_selected"
+let wcoj_selected = Metrics.counter Metrics.global "plan_wcoj_selected"
 let fallback_selected = Metrics.counter Metrics.global "plan_fallback"
 
 (* Variables renamed by first occurrence, so that components that differ
@@ -47,7 +48,7 @@ let factor q =
   group comps
 
 type tree = { atom : Atom.t; key : string list; children : tree list }
-type strategy = Dp of tree | Backtrack
+type strategy = Dp of tree | Wcoj of Wcoj.plan | Backtrack
 
 (* GYO reduction.  Repeatedly (1) delete vertices covered by exactly one
    alive hyperedge, (2) absorb a hyperedge whose reduced vertex set is
@@ -141,8 +142,18 @@ let choose q =
         Metrics.incr dp_selected;
         Dp t
     | None ->
-        Metrics.incr fallback_selected;
-        Backtrack
+        (* Cyclic: worst-case-optimal leapfrog, unless the escape hatch
+           asks for the old backtracking kernel.  Checked per call so a
+           long-lived server honours the variable at plan time, not at
+           module initialisation. *)
+        if Sys.getenv_opt "BAGCQ_NO_WCOJ" <> None then begin
+          Metrics.incr fallback_selected;
+          Backtrack
+        end
+        else begin
+          Metrics.incr wcoj_selected;
+          Wcoj (Wcoj.compile q)
+        end
 
 module KeyTbl = Hashtbl.Make (struct
   type t = Value.t array
@@ -249,6 +260,11 @@ let count_tree ?budget (t : tree) d =
 
 let render = function
   | Backtrack -> [ "backtracking kernel" ]
+  | Wcoj p ->
+      [
+        "worst-case-optimal leapfrog join";
+        "variable order: " ^ String.concat " -> " (Wcoj.variable_order p);
+      ]
   | Dp t ->
       let lines = ref [] in
       let rec go depth node =

@@ -12,10 +12,10 @@
     components ({!count_tree}: polynomial in the structure) and falling
     back to the compiled backtracking kernel otherwise.
 
-    Plan selection is observable through three process-wide counters in
+    Plan selection is observable through four process-wide counters in
     {!Bagcq_obs.Metrics.global}: [plan_components] (components seen by
-    {!factor}), [plan_dp_selected] and [plan_fallback] (strategy choices
-    made by {!choose}). *)
+    {!factor}), [plan_dp_selected], [plan_wcoj_selected] and
+    [plan_fallback] (strategy choices made by {!choose}). *)
 
 open Bagcq_bignum
 open Bagcq_cq
@@ -47,7 +47,10 @@ type tree = {
 
 type strategy =
   | Dp of tree  (** α-acyclic, no inequalities: count by {!count_tree} *)
-  | Backtrack  (** cyclic or carrying inequalities: compiled kernel *)
+  | Wcoj of Wcoj.plan
+      (** cyclic, no inequalities: worst-case-optimal leapfrog join *)
+  | Backtrack  (** carrying inequalities, or cyclic with the
+                   [BAGCQ_NO_WCOJ] escape hatch set: compiled kernel *)
 
 val choose : Query.t -> strategy
 (** Classify one component (callers pass the elements of {!factor}).  A
@@ -55,8 +58,11 @@ val choose : Query.t -> strategy
     variable ranges over the whole domain and is no hyperedge.  Otherwise
     GYO reduction decides: repeatedly delete vertices covered by a single
     hyperedge and hyperedges contained in another; one surviving edge
-    means α-acyclic, and the recorded absorption parents form the join
-    tree. *)
+    means α-acyclic (join-tree DP), and a cyclic residue goes to the
+    leapfrog kernel — unless the [BAGCQ_NO_WCOJ] environment variable is
+    set (checked per call), which restores the backtracking fallback.
+    Strategy choices land in the [plan_dp_selected] /
+    [plan_wcoj_selected] / [plan_fallback] counters. *)
 
 val count_tree :
   ?budget:Bagcq_guard.Budget.t -> tree -> Bagcq_relational.Structure.t -> Nat.t
@@ -71,5 +77,6 @@ val count_tree :
 
 val render : strategy -> string list
 (** Human-readable plan lines for [bagcq explain]: the join tree indented
-    two spaces per depth with [key] annotations, or the backtracking
-    fallback note.  Deterministic. *)
+    two spaces per depth with [key] annotations, the leapfrog strategy
+    with its variable order, or the backtracking fallback note.
+    Deterministic. *)

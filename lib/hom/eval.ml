@@ -5,9 +5,10 @@ module QueryMap = Map.Make (Query)
 
 (* One per-component execution strategy, chosen by [Decomp.choose] on the
    first encounter with a canonical component: acyclic inequality-free
-   components count by join-tree dynamic programming, everything else by
-   the compiled backtracking kernel. *)
-type strategy = Dp of Decomp.tree | Search of Plan.t
+   components count by join-tree dynamic programming, cyclic
+   inequality-free ones by the worst-case-optimal leapfrog kernel, and
+   components with inequalities by the compiled backtracking kernel. *)
+type strategy = Dp of Decomp.tree | Leapfrog of Wcoj.plan | Search of Plan.t
 
 (* The evaluation cache.  [plans] maps a canonical component to its
    strategy and is never invalidated (strategies depend only on the query);
@@ -80,6 +81,7 @@ let plan_for cache key =
       let p =
         match Decomp.choose key with
         | Decomp.Dp t -> Dp t
+        | Decomp.Wcoj w -> Leapfrog w
         | Decomp.Backtrack -> Search (Plan.compile key)
       in
       cache.plans := QueryMap.add key p !(cache.plans);
@@ -115,6 +117,7 @@ let count_memo ?budget cache key d =
       let c =
         match plan_for cache key with
         | Dp t -> Decomp.count_tree ?budget t d
+        | Leapfrog w -> Wcoj.count ?budget w d
         | Search p -> Nat.of_int (Solver.count_plan ?budget p d)
       in
       cache.counts := QueryMap.add key c !(cache.counts);
@@ -142,7 +145,7 @@ let satisfies ?budget ?cache d q =
   List.for_all
     (fun (comp, _mult) ->
       match plan_for cache comp with
-      | Dp _ -> not (Nat.is_zero (count_memo ?budget cache comp d))
+      | Dp _ | Leapfrog _ -> not (Nat.is_zero (count_memo ?budget cache comp d))
       | Search p -> Solver.exists_plan ?budget p d)
     (Decomp.factor q)
 

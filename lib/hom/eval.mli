@@ -14,6 +14,7 @@ open Bagcq_cq
 type cache
 (** An evaluation cache: one execution strategy per canonical component —
     a join-tree dynamic program for acyclic inequality-free components, a
+    worst-case-optimal leapfrog plan for cyclic inequality-free ones, a
     compiled backtracking plan otherwise, chosen by {!Decomp.choose} and
     kept for the cache's lifetime (strategies depend only on the query) —
     plus component counts for the most recent structure (invalidated

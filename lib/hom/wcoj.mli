@@ -1,0 +1,53 @@
+(** Worst-case-optimal counting for cyclic components: a Leapfrog-Triejoin
+    style multiway intersection over the sorted columnar indexes of
+    {!Index}.
+
+    The classic backtracking kernel joins one {e atom} at a time; on cyclic
+    queries (triangles, the paper's CYCLIQ family, the Arena/ζ_b reduction
+    structures) it enumerates partial assignments that every remaining atom
+    then rejects — the Θ(n²)-intermediate-result trap AGM-bounded joins
+    avoid.  This kernel instead binds one {e variable} at a time under a
+    fixed global variable order: every atom containing the variable
+    contributes a sorted iterator over the codes possible at its trie
+    level, and their intersection is computed by leapfrogging — repeatedly
+    galloping the lowest iterator up to the current maximum — so each
+    candidate value costs seeks logarithmic in the ranges instead of a
+    scan.
+
+    Counting changes the leaf step.  Textbook LFTJ emits each full match;
+    counting homomorphisms only needs the {e number} of extensions, so when
+    the innermost variable occurs in a single atom (no repeated positions)
+    the kernel adds the width of that atom's final range — the rows share
+    the whole bound prefix, hence are distinct at the last level — without
+    visiting the values.  Counts accumulate in an int and flush into a
+    {!Bagcq_bignum.Nat} before overflow.
+
+    Selected by {!Decomp.choose} for cyclic, inequality-free components
+    (the [BAGCQ_NO_WCOJ] environment variable restores the backtracking
+    fallback).  Observable through the process-wide counters
+    [wcoj_plans_compiled], [wcoj_runs] and [wcoj_seeks]. *)
+
+open Bagcq_cq
+
+type plan
+
+val compile : Query.t -> plan
+(** Compile one component: choose the global variable order (prefer
+    variables connected to already-ordered ones, then higher atom
+    frequency, ties by name — deterministic), and lay out each atom's trie
+    level order (constants first, then variables by rank, repeats on
+    consecutive levels).  Raises [Invalid_argument] on a query with
+    inequalities — those stay on the backtracking kernel. *)
+
+val variable_order : plan -> string list
+(** The chosen global variable order, outermost first — what
+    [bagcq explain] prints. *)
+
+val count :
+  ?budget:Bagcq_guard.Budget.t ->
+  plan ->
+  Bagcq_relational.Structure.t ->
+  Bagcq_bignum.Nat.t
+(** [count p D] = |Hom(component, D)|.  With [?budget] every seek
+    (gallop) ticks once, and the call unwinds with
+    {!Bagcq_guard.Budget.Exhausted_} mid-intersection on a trip. *)

@@ -88,6 +88,24 @@ let tuple_set d sym =
 
 let mem_atom d sym tup = Tuple.Set.mem tup (tuple_set d sym)
 let tuples d sym = Tuple.Set.elements (tuple_set d sym)
+
+(* One contiguous snapshot per call: the sorted-column indexes downstream
+   ([Bagcq_hom.Index]) want relations as dense arrays, and going through
+   [elements] then [of_list] would walk the spine twice. *)
+let tuple_array d sym =
+  let set = tuple_set d sym in
+  let n = Tuple.Set.cardinal set in
+  if n = 0 then [||]
+  else begin
+    let arr = Array.make n (Tuple.Set.min_elt set) in
+    let i = ref 0 in
+    Tuple.Set.iter
+      (fun tup ->
+        arr.(!i) <- tup;
+        incr i)
+      set;
+    arr
+  end
 let atom_count d sym = Tuple.Set.cardinal (tuple_set d sym)
 let total_atoms d = Symbol.Map.fold (fun _ s acc -> acc + Tuple.Set.cardinal s) d.atoms 0
 

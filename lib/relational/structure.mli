@@ -35,6 +35,11 @@ val interpret_exn : t -> string -> Value.t
 val mem_atom : t -> Symbol.t -> Tuple.t -> bool
 val tuples : t -> Symbol.t -> Tuple.t list
 val tuple_set : t -> Symbol.t -> Tuple.Set.t
+
+val tuple_array : t -> Symbol.t -> Tuple.t array
+(** Fresh dense snapshot of the relation, in {!Tuple.compare} order — the
+    row-store input of the sorted-column indexes. *)
+
 val atom_count : t -> Symbol.t -> int
 val total_atoms : t -> int
 val fold_atoms : (Symbol.t -> Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a

@@ -1,11 +1,13 @@
 module Eval = Bagcq_hom.Eval
 module Json = Bagcq_wire.Json
 module Metrics = Bagcq_obs.Metrics
+module Encode = Bagcq_relational.Encode
 
 type t = {
   mutex : Mutex.t;
   eval_cache : Eval.cache;
   results : (string, (string * Json.t) list) Hashtbl.t;
+  structures : (string, Bagcq_relational.Structure.t) Hashtbl.t;
   result_hits : Metrics.counter;
   result_misses : Metrics.counter;
 }
@@ -30,6 +32,7 @@ let create ?metrics () =
     mutex = Mutex.create ();
     eval_cache;
     results = Hashtbl.create 64;
+    structures = Hashtbl.create 16;
     result_hits;
     result_misses;
   }
@@ -39,6 +42,21 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let with_eval t f = locked t (fun () -> f t.eval_cache)
+
+(* [Proto] decodes every request's database text into a fresh
+   [Structure.t], and everything the evaluator memoises on a structure —
+   the columnar index in its memo slot, [Eval]'s per-structure count
+   memo — keys on physical identity.  Interning by canonical re-encoding
+   makes repeated requests against the same database share one physical
+   structure, so those memos actually hit across requests. *)
+let intern_db t d =
+  let key = Encode.to_string d in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.structures key with
+      | Some d' -> d'
+      | None ->
+          Hashtbl.add t.structures key d;
+          d)
 
 let find_result t key =
   locked t (fun () ->

@@ -32,6 +32,15 @@ val with_eval : t -> (Bagcq_hom.Eval.cache -> 'a) -> 'a
     cache mutex for the duration.  The callback must not re-enter the
     cache. *)
 
+val intern_db : t -> Bagcq_relational.Structure.t -> Bagcq_relational.Structure.t
+(** Canonicalise a decoded database to one physical structure per
+    canonical encoding ({!Bagcq_relational.Encode.to_string}).  The wire
+    layer builds a fresh [Structure.t] per request; interning lets
+    structure-keyed memos — the columnar join index living in the
+    structure's memo slot, {!Bagcq_hom.Eval}'s per-structure count memo —
+    survive across requests instead of being rebuilt for every eval of
+    the same database ([hom_index_builds] stays flat). *)
+
 val find_result : t -> string -> (string * Bagcq_wire.Json.t) list option
 (** Look up a canonical request key, bumping the hit/miss counters. *)
 

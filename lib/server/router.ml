@@ -148,6 +148,10 @@ let spend t budget response =
   response
 
 let handle_eval ?deadline t (req : Proto.request) ~query ~db =
+  (* Intern before evaluating: the decoded structure is request-local, and
+     only the interned representative carries the memoised join index and
+     count memo shared across requests. *)
+  let db = Cache.intern_db t.cache db in
   let budget = make_budget ?deadline t.caps req.Proto.budget in
   spend t budget
   @@ memoised t req ~compute:(fun () ->

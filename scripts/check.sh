@@ -20,11 +20,15 @@ for jobs in 1 2; do
   BAGCQ_JOBS=$jobs ./_build/default/test/test_parallel.exe >/dev/null
 done
 
-echo "== BENCH_PR6.json schema =="
+echo "== BENCH_PR7.json schema =="
 dune exec bench/main.exe -- --json-only >/dev/null
-grep -o '"[a-z_0-9]*":' BENCH_PR6.json | sort -u | tr -d '":' \
-  | diff scripts/bench_pr6_keys.txt - \
-  || { echo "BENCH_PR6.json keys drifted from scripts/bench_pr6_keys.txt" >&2; exit 1; }
+grep -o '"[a-z_0-9]*":' BENCH_PR7.json | sort -u | tr -d '":' \
+  | diff scripts/bench_pr7_keys.txt - \
+  || { echo "BENCH_PR7.json keys drifted from scripts/bench_pr7_keys.txt" >&2; exit 1; }
+grep -q '"wcoj_2x_bar": true' BENCH_PR7.json \
+  || { echo "wcoj engine bar: kernel-cycle8-on-K5 not >= 2x over backtracking" >&2; exit 1; }
+grep -q '"wcoj_5x_bar": true' BENCH_PR7.json \
+  || { echo "wcoj bar: wcoj-triangles not >= 5x over backtracking" >&2; exit 1; }
 
 echo "== serve --stdio answers, survives malformed input, dumps metrics =="
 serve_out=$(printf '%s\n' \
@@ -43,7 +47,9 @@ echo "$serve_out" | grep -q '"name": "server_requests", "labels": {}, "kind": "c
   || { echo "serve --stdio: metrics op reported no requests" >&2; exit 1; }
 echo "$serve_out" | grep -Eq '"name": "server_request_ms", "labels": \{"op": "eval"\}, "kind": "histogram", "count": [1-9]' \
   || { echo "serve --stdio: metrics op reported no eval latency" >&2; exit 1; }
-for counter in plan_components plan_dp_selected plan_fallback; do
+for counter in plan_components plan_dp_selected plan_fallback \
+               plan_wcoj_selected hom_index_builds \
+               wcoj_plans_compiled wcoj_runs wcoj_seeks; do
   echo "$serve_out" | grep -q "\"name\": \"$counter\"" \
     || { echo "serve --stdio: metrics op missing planner counter $counter" >&2; exit 1; }
 done

@@ -20,9 +20,17 @@ Inequalities follow the virtual-relation semantics:
   bag count  ψ(D) = 3
   satisfied  D ⊨ ψ: true
 
+Cyclic queries run the worst-case-optimal leapfrog kernel — same counts:
+
+  $ ../../bin/bagcq_cli.exe eval -q 'E(x,y) & E(y,z) & E(z,x)' -d db.txt
+  query: E(x,y) & E(y,z) & E(z,x)
+  bag count  ψ(D) = 4
+  satisfied  D ⊨ ψ: true
+
 The planner explains itself: components are canonicalised and grouped
 (disjoint copies are counted once and raised to a power), acyclic
-components get a join-tree dynamic program, cyclic components and those
+components get a join-tree dynamic program, cyclic components run the
+leapfrog multiway join under a chosen variable order, and components
 carrying inequalities keep the backtracking kernel:
 
   $ ../../bin/bagcq_cli.exe explain -q 'E(x,y) & E(y,z) & E(u,v) & E(v,w) & E(a,b) & E(b,c) & E(c,a)'
@@ -34,8 +42,23 @@ carrying inequalities keep the backtracking kernel:
       E(v2,v3)
         E(v1,v2) [v2]
   component 2 (x1): E(v1,v2) & E(v2,v3) & E(v3,v1)
-    class: cyclic -> backtracking kernel
+    class: cyclic -> worst-case-optimal leapfrog join
+    variable order: v1 -> v2 -> v3
+
+BAGCQ_NO_WCOJ restores the old backtracking route for cyclic components
+(the escape hatch), and explain says so:
+
+  $ BAGCQ_NO_WCOJ=1 ../../bin/bagcq_cli.exe explain -q 'E(a,b) & E(b,c) & E(c,a)'
+  query: E(a,b) & E(b,c) & E(c,a)
+  components: 1 (1 distinct)
+  component 1 (x1): E(v1,v2) & E(v2,v3) & E(v3,v1)
+    class: cyclic (wcoj disabled) -> backtracking kernel
     join order: E(v1,v2) -> E(v2,v3) -> E(v3,v1)
+
+  $ BAGCQ_NO_WCOJ=1 ../../bin/bagcq_cli.exe eval -q 'E(x,y) & E(y,z) & E(z,x)' -d db.txt
+  query: E(x,y) & E(y,z) & E(z,x)
+  bag count  ψ(D) = 4
+  satisfied  D ⊨ ψ: true
 
   $ ../../bin/bagcq_cli.exe explain -q 'U(x) & E(x,y) & E(x,z) & x != z'
   query: E(x,y) & E(x,z) & U(x) & x != z

@@ -65,6 +65,7 @@ values are not, so the run pins names only):
   "name": "cache_plan_misses"
   "name": "cache_result_hits"
   "name": "cache_result_misses"
+  "name": "hom_index_builds"
   "name": "hom_plans_compiled"
   "name": "hom_solver_probes"
   "name": "hom_solver_runs"
@@ -76,6 +77,7 @@ values are not, so the run pins names only):
   "name": "plan_components"
   "name": "plan_dp_selected"
   "name": "plan_fallback"
+  "name": "plan_wcoj_selected"
   "name": "pool_chunks_claimed"
   "name": "pool_items"
   "name": "pool_sweeps"
@@ -91,6 +93,9 @@ values are not, so the run pins names only):
   "name": "server_requests"
   "name": "server_responses"
   "name": "server_shed"
+  "name": "wcoj_plans_compiled"
+  "name": "wcoj_runs"
+  "name": "wcoj_seeks"
 
 With --trace FILE every request is wrapped in a span and dumped as one
 NDJSON record (timings normalised — only the structure is deterministic):

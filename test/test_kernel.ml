@@ -152,7 +152,7 @@ let prop_acyclic_dp_matches_reference =
        ~count:1000 gen_tree_pair (fun (q, d) ->
          (match Decomp.choose (Decomp.canonical q) with
          | Decomp.Dp _ -> true
-         | Decomp.Backtrack -> false)
+         | Decomp.Wcoj _ | Decomp.Backtrack -> false)
          && Nat.equal (Eval.count q d) (Nat.of_int (Solver_ref.count q d))))
 
 (* ------------------------------------------------------------------ *)
@@ -265,20 +265,22 @@ let test_classification () =
   let neq = Build.(query ~neqs:[ (v "x", v "y") ] [ atom e [ v "x"; v "y" ] ]) in
   (match Decomp.choose path with
   | Decomp.Dp _ -> ()
-  | Decomp.Backtrack -> Alcotest.fail "path query must run the DP");
+  | Decomp.Wcoj _ | Decomp.Backtrack -> Alcotest.fail "path query must run the DP");
   (match Decomp.choose triangle with
-  | Decomp.Backtrack -> ()
-  | Decomp.Dp _ -> Alcotest.fail "triangle must fall back to backtracking");
+  | Decomp.Wcoj _ -> ()
+  | Decomp.Dp _ | Decomp.Backtrack ->
+      Alcotest.fail "triangle must take the leapfrog kernel");
   match Decomp.choose neq with
   | Decomp.Backtrack -> ()
-  | Decomp.Dp _ -> Alcotest.fail "inequalities must fall back to backtracking"
+  | Decomp.Dp _ | Decomp.Wcoj _ ->
+      Alcotest.fail "inequalities must fall back to backtracking"
 
 let test_dp_ticks_budget () =
   let q = Build.(query [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "z" ] ]) in
   let d = db_of_edges [ (1, 2); (2, 3); (3, 1) ] in
   (match Decomp.choose q with
   | Decomp.Dp _ -> ()
-  | Decomp.Backtrack -> Alcotest.fail "expected the DP strategy");
+  | Decomp.Wcoj _ | Decomp.Backtrack -> Alcotest.fail "expected the DP strategy");
   let b = Budget.create ~fuel:3 () in
   (match Budget.protect b (fun () -> Eval.count ~budget:b q d) with
   | Error _ -> ()

@@ -58,6 +58,38 @@ let test_eval_and_cache () =
   Alcotest.(check (option bool)) "re-spelled request hits" (Some true)
     (Json.get_bool "cached" v3)
 
+(* The wire layer decodes each request's database text into a fresh
+   [Structure.t]; without interning, every eval would rebuild the columnar
+   join index from scratch.  [hom_index_builds] counts physical builds, so
+   the regression is visible as a per-request increment. *)
+let global_counter name =
+  List.fold_left
+    (fun acc (row : Metrics.row) ->
+      if row.Metrics.name = name && row.Metrics.labels = [] then
+        match row.Metrics.value with Metrics.Counter_v v -> v | _ -> acc
+      else acc)
+    0 (Metrics.rows Metrics.global)
+
+let test_index_built_once_per_db () =
+  let r = Router.create () in
+  let before = global_counter "hom_index_builds" in
+  let eval_req id q db =
+    Printf.sprintf {|{"op":"eval","id":%d,"query":"%s","db":"%s"}|} id q db
+  in
+  let db = "E(1,2). E(2,3). E(3,1)." in
+  (* three distinct queries (one acyclic, one cyclic, one single-atom), so
+     the result memo cannot short-circuit evaluation — each runs a kernel
+     against the same database text *)
+  ignore (handle r (eval_req 1 "E(x,y) & E(y,z)" db));
+  ignore (handle r (eval_req 2 "E(x,y) & E(y,z) & E(z,x)" db));
+  ignore (handle r (eval_req 3 "E(x,y)" db));
+  Alcotest.(check int) "one index build for one database" 1
+    (global_counter "hom_index_builds" - before);
+  (* a genuinely different database gets its own build *)
+  ignore (handle r (eval_req 4 "E(x,y)" "E(1,2)."));
+  Alcotest.(check int) "second database, second build" 2
+    (global_counter "hom_index_builds" - before)
+
 let test_budget_clamp () =
   (* server cap of 50 ticks: a request asking for a billion is clamped,
      and a request asking for nothing gets the cap as its default *)
@@ -528,6 +560,8 @@ let () =
         [
           Alcotest.test_case "ping echoes structured ids" `Quick test_ping_and_echo;
           Alcotest.test_case "eval + shared result cache" `Quick test_eval_and_cache;
+          Alcotest.test_case "interned db builds its index once" `Quick
+            test_index_built_once_per_db;
           Alcotest.test_case "budgets clamped by caps" `Quick test_budget_clamp;
           Alcotest.test_case "exhaustion is structured" `Quick test_exhausted_shape;
           Alcotest.test_case "malformed input + stats" `Quick test_malformed_and_stats;
