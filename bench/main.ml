@@ -476,7 +476,7 @@ let exp_guard () =
 
 (* ------------------------------------------------------------------ *)
 (* EXP-KERNEL: compiled solver kernel and the parallel database sweep.  *)
-(* Wall-clock numbers land in BENCH_PR7.json (schema checked by         *)
+(* Wall-clock numbers land in BENCH_PR8.json (schema checked by         *)
 (* scripts/check.sh), so the rows use explicit timing rather than       *)
 (* Bechamel: the JSON must be producible in the --json-only fast mode.  *)
 (* ------------------------------------------------------------------ *)
@@ -498,7 +498,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       [
-        ("bench", Json.Str "BENCH_PR7");
+        ("bench", Json.Str "BENCH_PR8");
         ("jobs_available", Json.Int (Domain.recommended_domain_count ()));
         ( "experiments",
           Json.List
@@ -940,6 +940,102 @@ let exp_serve () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* EXP-STORE: the mutable data plane.  A registered acyclic count is    *)
+(* maintained through single-tuple deltas (one exact Nat.add/Nat.sub at *)
+(* the mutated leaf plus ancestor re-aggregation); the bar is that one  *)
+(* delta beats a from-scratch recount of the same registration by 10x,  *)
+(* and the maintained count is differential-verified against the        *)
+(* reference solver at both ends of the run.                            *)
+(* ------------------------------------------------------------------ *)
+
+let exp_store () =
+  header "EXP-STORE - incremental maintenance: single-tuple delta vs full recompute";
+  let module Store = Bagcq_store.Store in
+  let module Solver_ref = Bagcq_hom.Solver_ref in
+  let f_sym = Build.sym "F" 2 in
+  let q = Build.(query [ atom e_sym [ v "x"; v "y" ]; atom f_sym [ v "y"; v "z" ] ]) in
+  (* dense random relations: a recount walks all ~3000 tuples, a delta
+     touches one join-tree path *)
+  let st = Random.State.make [| 7 |] in
+  let seen = Hashtbl.create 4096 in
+  let d = ref (Structure.empty Schema.empty) in
+  let add sym a b = d := Structure.add_fact !d sym [ Value.int a; Value.int b ] in
+  let rec fresh tag =
+    let a = Random.State.int st 40 and b = Random.State.int st 40 in
+    if Hashtbl.mem seen (tag, a, b) then fresh tag
+    else begin
+      Hashtbl.add seen (tag, a, b) ();
+      (a, b)
+    end
+  in
+  for _ = 1 to 1500 do
+    let a, b = fresh `E in
+    add e_sym a b;
+    let a, b = fresh `F in
+    add f_sym a b
+  done;
+  let base = !d in
+  let store = Store.create () in
+  let dexn = function
+    | Store.Done x -> x
+    | Store.Rejected m -> failwith ("EXP-STORE: rejected: " ^ m)
+    | Store.Exhausted _ -> failwith "EXP-STORE: exhausted"
+  in
+  ignore (dexn (Store.db_create store ~name:"bench" base));
+  let info = dexn (Store.register store ~name:"bench" q) in
+  let count_of () =
+    match dexn (Store.counts store ~name:"bench") with
+    | [ r ] -> r.Store.cr_count
+    | _ -> failwith "EXP-STORE: expected one registration"
+  in
+  (* fresh E tuples whose targets join F: every delta moves the count *)
+  let reps = 200 in
+  let tuples =
+    Array.init reps (fun i -> Tuple.make [ Value.int (50 + i); Value.int (i mod 40) ])
+  in
+  let _, t_ins =
+    wall (fun () ->
+        Array.iter (fun t -> ignore (dexn (Store.db_insert store ~name:"bench" e_sym t))) tuples)
+  in
+  let peak, _ = dexn (Store.snapshot store ~name:"bench") in
+  let peak_ok =
+    Nat.to_string (count_of ()) = string_of_int (Solver_ref.count q peak)
+  in
+  let _, t_del =
+    wall (fun () ->
+        Array.iter (fun t -> ignore (dexn (Store.db_delete store ~name:"bench" e_sym t))) tuples)
+  in
+  let back_ok = Nat.equal (count_of ()) info.Store.reg_count in
+  (* the alternative the data plane replaces: recount the registration
+     from scratch after every mutation (planner v2 on the snapshot) *)
+  let rc_reps = 20 in
+  let _, t_rc =
+    wall (fun () ->
+        for _ = 1 to rc_reps do
+          ignore (Eval.count q peak)
+        done)
+  in
+  let per_delta = (t_ins +. t_del) /. float_of_int (2 * reps) in
+  let per_recount = t_rc /. float_of_int rc_reps in
+  let speedup = per_recount /. Stdlib.max 1e-9 per_delta in
+  let bar = speedup >= 10.0 in
+  let diff_ok = peak_ok && back_ok in
+  row "  path query over %d tuples, %d insert+delete deltas\n"
+    (Structure.total_atoms base) reps;
+  row "  delta %.6fms/op  recount %.6fms/op  speedup %8.1fx  (>= 10x bar) [%s]  differential [%s]\n"
+    (1e3 *. per_delta) (1e3 *. per_recount) speedup (ok bar) (ok diff_ok);
+  emit "store-delta-bar"
+    [
+      ("tuples", Json.Int (Structure.total_atoms base));
+      ("deltas", Json.Int (2 * reps));
+      ("delta_wall_s_per_op", Json.Float per_delta);
+      ("recount_wall_s_per_op", Json.Float per_recount);
+      ("speedup", Json.Float speedup);
+      ("store_delta_bar", Json.Bool bar);
+      ("differential_ok", Json.Bool diff_ok);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* EXP-RESIL: the serving tier under overload.  An open-loop generator  *)
 (* floods a TCP server whose admission bounds are deliberately tight    *)
 (* with 10x and 100x the EXP-SERVE request count; the resilience        *)
@@ -1137,7 +1233,7 @@ let run_benchmarks () =
       | _ -> Printf.printf "  %-42s (no estimate)\n" name)
     (List.sort compare rows)
 
-let default_bench_json_path = "BENCH_PR7.json"
+let default_bench_json_path = "BENCH_PR8.json"
 
 (* minimal flag parsing: --json PATH overrides where the row file lands *)
 let bench_json_path =
@@ -1158,6 +1254,7 @@ let () =
     exp_wcoj ();
     exp_obs ();
     exp_serve ();
+    exp_store ();
     exp_resilience ();
     write_bench_json bench_json_path;
     Printf.printf "\nwrote %s\n" bench_json_path;
@@ -1191,6 +1288,7 @@ let () =
   exp_wcoj ();
   exp_obs ();
   exp_serve ();
+  exp_store ();
   exp_resilience ();
   exp_hde ();
   exp_set_vs_bag ();

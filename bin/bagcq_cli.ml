@@ -813,10 +813,174 @@ let metrics_cmd =
              JSON.")
     Cmdliner.Term.(ret (const run $ port $ json))
 
+(* ---------------- store (data-plane client) ---------------- *)
+
+(* Each verb is one NDJSON request over a fresh TCP connection; the
+   response line is printed verbatim (it is already the machine-readable
+   answer) and the status maps onto the budget exit codes.  Fact and
+   query arguments ship as raw text — the server is the single validator,
+   so a syntax error comes back as the same structured bad_request every
+   other client sees. *)
+let store_roundtrip port fields =
+  match
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    sock
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "bagcq: cannot connect to 127.0.0.1:%d: %s\n" port
+        (Unix.error_message e);
+      exit_input
+  | sock -> (
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      output_string oc (Wire_json.to_string (Wire_json.Obj fields));
+      output_char oc '\n';
+      flush oc;
+      let line = In_channel.input_line ic in
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      match line with
+      | None ->
+          Printf.eprintf
+            "bagcq: server closed the connection without answering\n";
+          exit_input
+      | Some line -> (
+          print_endline line;
+          match Wire_json.parse line with
+          | Error _ -> exit_input
+          | Ok j -> (
+              match Wire_json.member "status" j with
+              | Some (Wire_json.Str "ok") -> exit_found
+              | Some (Wire_json.Str "exhausted") -> exit_exhausted
+              | _ -> exit_none)))
+
+let store_cmd =
+  let port =
+    Arg.(required & opt (some int) None & info [ "port" ] ~docv:"PORT"
+           ~doc:"Talk to a bagcq server on 127.0.0.1:$(docv).")
+  in
+  let fuel =
+    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+           ~doc:"Per-request fuel budget (clamped by the server's cap).")
+  in
+  let timeout =
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Per-request wall-clock budget (clamped by the server's cap).")
+  in
+  let budget_fields fuel timeout =
+    (match fuel with Some f -> [ ("fuel", Wire_json.Int f) ] | None -> [])
+    @
+    match timeout with
+    | Some t -> [ ("timeout_ms", Wire_json.Int t) ]
+    | None -> []
+  in
+  let name_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME"
+           ~doc:"Database name.")
+  in
+  let fact_pos =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FACT"
+           ~doc:"One fact in database syntax, e.g. 'E(1,2)'.")
+  in
+  let query_pos =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"QUERY"
+           ~doc:"Conjunctive query, e.g. 'E(x,y) & E(y,z)'.")
+  in
+  let read_text = function
+    | "-" -> Ok (In_channel.input_all stdin)
+    | path -> (
+        try Ok (In_channel.with_open_text path In_channel.input_all)
+        with Sys_error e -> Error e)
+  in
+  let create_cmd =
+    let db =
+      Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE"
+             ~doc:"Initial contents: a database file in fact-list syntax \
+                   ('-' for stdin). Empty when omitted.")
+    in
+    let run port name db fuel timeout =
+      match (match db with None -> Ok None | Some p -> Result.map Option.some (read_text p)) with
+      | Error e ->
+          Printf.eprintf "bagcq: %s\n" e;
+          exit_input
+      | Ok text ->
+          store_roundtrip port
+            ([ ("op", Wire_json.Str "db_create"); ("name", Wire_json.Str name) ]
+            @ (match text with
+              | Some t -> [ ("db", Wire_json.Str t) ]
+              | None -> [])
+            @ budget_fields fuel timeout)
+    in
+    Cmd.v
+      (Cmd.info "create" ~exits:budget_exits
+         ~doc:"Create a named database on the server.")
+      Cmdliner.Term.(const run $ port $ name_pos $ db $ fuel $ timeout)
+  in
+  let mutation_cmd op ~cmd_name ~doc =
+    let run port name fact fuel timeout =
+      store_roundtrip port
+        ([
+           ("op", Wire_json.Str op);
+           ("name", Wire_json.Str name);
+           ("fact", Wire_json.Str fact);
+         ]
+        @ budget_fields fuel timeout)
+    in
+    Cmd.v
+      (Cmd.info cmd_name ~exits:budget_exits ~doc)
+      Cmdliner.Term.(const run $ port $ name_pos $ fact_pos $ fuel $ timeout)
+  in
+  let registration_cmd op ~cmd_name ~doc =
+    let run port name query fuel timeout =
+      store_roundtrip port
+        ([
+           ("op", Wire_json.Str op);
+           ("name", Wire_json.Str name);
+           ("query", Wire_json.Str query);
+         ]
+        @ budget_fields fuel timeout)
+    in
+    Cmd.v
+      (Cmd.info cmd_name ~exits:budget_exits ~doc)
+      Cmdliner.Term.(const run $ port $ name_pos $ query_pos $ fuel $ timeout)
+  in
+  let counts_cmd =
+    let run port name fuel timeout =
+      store_roundtrip port
+        ([ ("op", Wire_json.Str "counts"); ("name", Wire_json.Str name) ]
+        @ budget_fields fuel timeout)
+    in
+    Cmd.v
+      (Cmd.info "counts" ~exits:budget_exits
+         ~doc:"Read every registered count of a database (repairing stale \
+               ones first).")
+      Cmdliner.Term.(const run $ port $ name_pos $ fuel $ timeout)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Data-plane client: named databases on a running server, \
+             mutated tuple by tuple, with registered bag-semantics counts \
+             maintained incrementally under the deltas.")
+    [
+      create_cmd;
+      mutation_cmd "db_insert" ~cmd_name:"insert"
+        ~doc:"Insert one tuple, folding the delta into every registered \
+              count.";
+      mutation_cmd "db_delete" ~cmd_name:"delete"
+        ~doc:"Delete one tuple (present, or the request is rejected), \
+              folding the delta into every registered count.";
+      registration_cmd "register" ~cmd_name:"register"
+        ~doc:"Register a query so its bag count is maintained under \
+              mutations.";
+      registration_cmd "unregister" ~cmd_name:"unregister"
+        ~doc:"Drop a registered count.";
+      counts_cmd;
+    ]
+
 let main_cmd =
   let doc = "bag-semantics conjunctive query containment toolbox (PODS 2024 reproduction)" in
   Cmd.group
     (Cmd.info "bagcq" ~version:"1.0.0" ~doc)
-    [ eval_cmd; explain_cmd; contain_cmd; hunt_cmd; reduce_cmd; multiply_cmd; core_cmd; answers_cmd; hde_cmd; serve_cmd; client_cmd; metrics_cmd ]
+    [ eval_cmd; explain_cmd; contain_cmd; hunt_cmd; reduce_cmd; multiply_cmd; core_cmd; answers_cmd; hde_cmd; serve_cmd; client_cmd; metrics_cmd; store_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -75,6 +75,61 @@ val count_tree :
     considered ticks once per node (plus one tick per node entered), and
     the call unwinds with {!Bagcq_guard.Budget.Exhausted_} on a trip. *)
 
+(** {2 Materialised DP state}
+
+    The same dynamic program as {!count_tree} with the per-node bignum
+    weight tables kept alive — the substrate of incremental hom-count
+    maintenance ([lib/store]).  A single tuple insert/delete updates the
+    tables of the nodes carrying the mutated symbol with one exact
+    {!Bagcq_bignum.Nat.add}/[sub] at the tuple's key projection; the change
+    then climbs the tree as per-key deltas through reverse maps (child
+    join-key → matching parent tuples), so each ancestor re-weighs only
+    the tuples joining a changed key: O(tree depth × fan-in of the mutated
+    key) per delta instead of a full bottom-up pass.  Only when the
+    mutated symbol reaches a node through several subtree paths does that
+    node fall back to rescanning its relation. *)
+
+type dp
+(** Materialised per-node tables for one acyclic component against one
+    evolving database.  Mutable: {!dp_delta} updates it in place, so a [dp]
+    must be guarded by whatever lock guards its database.  After a budget
+    trip mid-{!dp_delta} the tables may be half-propagated — discard the
+    state and rebuild; never read {!dp_count} from it. *)
+
+val dp_build :
+  ?budget:Bagcq_guard.Budget.t ->
+  tree ->
+  Bagcq_relational.Structure.t ->
+  dp option
+(** One bottom-up pass materialising every node table.  [None] when the
+    component mentions a constant the structure does not interpret — the
+    count is zero and not maintainable (a later insert can bind the
+    constant), so callers fall back to recompute-on-delta.  Ticks
+    [?budget] like {!count_tree} and unwinds on a trip. *)
+
+val dp_count : dp -> Nat.t
+(** The root table's entry at the empty key: |Hom(component, D)|.  O(1). *)
+
+val dp_mentions : dp -> Bagcq_relational.Symbol.t -> bool
+(** Whether a node of the tree scans the given symbol — deltas on other
+    symbols cannot change the count and skip propagation entirely. *)
+
+val dp_delta :
+  ?budget:Bagcq_guard.Budget.t ->
+  dp ->
+  Bagcq_relational.Structure.t ->
+  Bagcq_relational.Symbol.t ->
+  Bagcq_relational.Tuple.t ->
+  add:bool ->
+  unit
+(** [dp_delta dp d sym tup ~add] folds one tuple insert ([add:true]) or
+    delete ([add:false]) into the tables.  [d] is the structure {e after}
+    the mutation (ancestor re-aggregation scans it); the caller guarantees
+    the mutation was exactly this tuple — inserted while absent, deleted
+    while present — which is what makes the delete-side {!Nat.sub} exact.
+    Ticks [?budget] per node entered and per tuple re-scanned; on a trip
+    the state is half-propagated and must be discarded. *)
+
 val render : strategy -> string list
 (** Human-readable plan lines for [bagcq explain]: the join tree indented
     two spaces per depth with [key] annotations, the leapfrog strategy

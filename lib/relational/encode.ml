@@ -92,6 +92,10 @@ let token_of_value = function
   | Value.Int i -> string_of_int i
   | v -> Value.to_string v
 
+let fact_to_string sym tup =
+  Printf.sprintf "%s(%s)" (Symbol.name sym)
+    (String.concat "," (List.map token_of_value (Tuple.to_list tup)))
+
 let to_string d =
   let buf = Buffer.create 256 in
   List.iter

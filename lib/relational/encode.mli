@@ -19,3 +19,9 @@ val to_string : Structure.t -> string
 (** Prints in the same format; [parse_exn (to_string d)] reconstructs the
     atoms and bindings of [d] whenever all elements of [d] are [Sym] or
     [Int] values. *)
+
+val fact_to_string : Symbol.t -> Tuple.t -> string
+(** One atom back in the surface syntax, without the trailing '.' —
+    ["E(1,2)"] round-trips through {!parse}.  The data plane spells facts
+    this way in error messages and request keys, matching what the client
+    sent rather than the internal {!Tuple.pp} rendering. *)

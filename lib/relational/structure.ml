@@ -76,6 +76,20 @@ let add_atom d sym tup =
 
 let add_fact d sym values = add_atom d sym (Tuple.make values)
 
+let remove_atom d sym tup =
+  let existing = Option.value ~default:Tuple.Set.empty (Symbol.Map.find_opt sym d.atoms) in
+  if not (Tuple.Set.mem tup existing) then
+    invalid_arg
+      (Printf.sprintf "Structure.remove_atom: %s%s is not present" (Symbol.name sym)
+         (Format.asprintf "%a" Tuple.pp tup));
+  {
+    d with
+    atoms = Symbol.Map.add sym (Tuple.Set.remove tup existing) d.atoms;
+    memo_slot = fresh_slot ();
+  }
+
+let clear_memo d = d.memo_slot := None
+
 let interpretation d c = StringMap.find_opt c d.interp
 
 let interpret_exn d c =

@@ -21,6 +21,13 @@ val add_atom : t -> Symbol.t -> Tuple.t -> t
 
 val add_fact : t -> Symbol.t -> Value.t list -> t
 
+val remove_atom : t -> Symbol.t -> Tuple.t -> t
+(** Removes a fact, returning a structure with a fresh memo slot (like every
+    other modifying operation).  Raises [Invalid_argument] when the tuple is
+    not present — the mutable data plane turns that into a structured
+    [bad_request], never a silent no-op that would desynchronise maintained
+    counts.  The schema keeps the symbol even when its relation empties. *)
+
 val bind_constant : t -> string -> Value.t -> t
 (** Interpret constant [c] as a given element (adding [c] to the schema).
     Raises [Invalid_argument] if [c] is already bound to a different
@@ -99,3 +106,11 @@ val memo_store : t -> memo -> unit
 (** [memo_store d m] (re)fills the slot.  Later stores overwrite earlier
     ones — the slot is a one-element cache, by design: each evaluation
     pipeline attaches exactly one view kind. *)
+
+val clear_memo : t -> unit
+(** Empty the slot in place, releasing the cached derived views (columnar
+    indexes, trie views) so the next consumer rebuilds them.  Modifying
+    operations already return structures with fresh slots; [clear_memo] is
+    for holders of a {e retired} structure — a store evicting the
+    pre-mutation version of a database, say — that want its (possibly
+    large) views reclaimed before the structure itself dies. *)

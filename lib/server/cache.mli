@@ -21,11 +21,18 @@
 
 type t
 
-val create : ?metrics:Bagcq_obs.Metrics.t -> unit -> t
+val default_max_results : int
+(** 1024 result entries. *)
+
+val create : ?max_results:int -> ?metrics:Bagcq_obs.Metrics.t -> unit -> t
 (** [metrics] names the hit/miss counters ([cache_result_hits],
     [cache_result_misses], [cache_plan_hits], [cache_plan_misses],
-    [cache_count_hits], [cache_count_misses]) in the given registry so
-    they appear in its dumps. *)
+    [cache_count_hits], [cache_count_misses]) and the eviction counter
+    ([server_cache_evicted]) in the given registry so they appear in its
+    dumps.  [max_results] (default {!default_max_results}, must be ≥ 1)
+    caps the result memo: storing past the cap evicts the
+    least-recently-{e used} entry first — a hit refreshes recency, so a
+    hot key survives a scan of cold ones. *)
 
 val with_eval : t -> (Bagcq_hom.Eval.cache -> 'a) -> 'a
 (** Run an evaluation against the shared plan/count cache, holding the
@@ -45,11 +52,28 @@ val find_result : t -> string -> (string * Bagcq_wire.Json.t) list option
 (** Look up a canonical request key, bumping the hit/miss counters. *)
 
 val store_result : t -> string -> (string * Bagcq_wire.Json.t) list -> unit
+(** No-op if the key is already present; evicts the LRU entry first when
+    the memo is at capacity (bumping [server_cache_evicted]). *)
+
+val evict_db : t -> name:string -> int
+(** Drop every result entry whose request referenced the named data-plane
+    database ([db_name]), returning how many were dropped (each bumps
+    [server_cache_evicted]).  The store's [on_mutate] hook calls this
+    after every committed insert/delete.  Correctness does not hinge on
+    it — eval-by-name memo keys are stamped with the database version, so
+    an entry for a superseded version is already unreachable; eviction
+    reclaims those dead entries instead of letting mutations fill the
+    cap with garbage and evict live inline-db entries.  Named-database
+    structures are never interned here (the store owns them), so there is
+    nothing to invalidate in the intern table; the store clears the
+    retired snapshot's memoised index views itself
+    ({!Bagcq_relational.Structure.clear_memo}). *)
 
 type stats = {
   result_hits : int;
   result_misses : int;
   result_entries : int;
+  result_evicted : int;
   plan_hits : int;
   plan_misses : int;
   count_hits : int;

@@ -10,6 +10,7 @@ module Sampler = Bagcq_search.Sampler
 module Metrics = Bagcq_obs.Metrics
 module Clock = Bagcq_obs.Clock
 module Trace = Bagcq_obs.Trace
+module Store = Bagcq_store.Store
 
 type caps = { max_fuel : int option; max_timeout_ms : int option }
 
@@ -19,12 +20,28 @@ let default_caps = { max_fuel = Some 50_000_000; max_timeout_ms = Some 10_000 }
    "invalid".  Handles are precreated at router creation so a metrics
    dump always shows the full family, all-zero rows included, and the
    request path never touches the registry. *)
-let op_labels = [ "ping"; "stats"; "metrics"; "eval"; "contain"; "hunt"; "invalid" ]
+let op_labels =
+  [
+    "ping";
+    "stats";
+    "metrics";
+    "eval";
+    "contain";
+    "hunt";
+    "db_create";
+    "db_insert";
+    "db_delete";
+    "register";
+    "unregister";
+    "counts";
+    "invalid";
+  ]
 
 type t = {
   caps : caps;
   hunt_jobs : int;
   cache : Cache.t;
+  store : Store.t;
   metrics : Metrics.t;
   req_total : Metrics.counter;
   req_by_op : (string * Metrics.counter) list;
@@ -47,10 +64,21 @@ let create ?(caps = default_caps) ?(hunt_jobs = 1) () =
   ignore (Metrics.counter m "server_shed");
   ignore (Metrics.counter m "server_lines_oversized");
   ignore (Metrics.gauge m "server_queue_depth");
+  let cache = Cache.create ~metrics:m () in
+  (* A committed mutation invalidates the result memo's entries for that
+     database while the store still holds its shard lock — a later request
+     can only see post-mutation state.  Version-stamped eval memo keys
+     already make superseded entries unreachable; eviction reclaims them. *)
+  let store =
+    Store.create ~metrics:m
+      ~on_mutate:(fun name -> ignore (Cache.evict_db cache ~name))
+      ()
+  in
   {
     caps;
     hunt_jobs;
-    cache = Cache.create ~metrics:m ();
+    cache;
+    store;
     metrics = m;
     req_total = Metrics.counter m "server_requests";
     req_by_op =
@@ -69,6 +97,7 @@ let create ?(caps = default_caps) ?(hunt_jobs = 1) () =
 
 let caps t = t.caps
 let cache t = t.cache
+let store t = t.store
 let metrics t = t.metrics
 
 let clamp one cap =
@@ -110,6 +139,7 @@ let stats_fields t =
     ("result_hits", Json.Int s.Cache.result_hits);
     ("result_misses", Json.Int s.Cache.result_misses);
     ("result_entries", Json.Int s.Cache.result_entries);
+    ("result_evicted", Json.Int s.Cache.result_evicted);
     ("plan_hits", Json.Int s.Cache.plan_hits);
     ("plan_misses", Json.Int s.Cache.plan_misses);
     ("count_hits", Json.Int s.Cache.count_hits);
@@ -132,8 +162,8 @@ let metrics_rows t =
    answer) or an already-built exhausted response (never memoised: how far
    a budget got is a property of the request's budget, not of the
    answer). *)
-let memoised t req ~compute =
-  let key = Proto.cache_key req in
+let memoised ?key t req ~compute =
+  let key = match key with Some k -> k | None -> Proto.cache_key req in
   match Cache.find_result t.cache key with
   | Some core -> Proto.attach ?id:req.Proto.id ~cached:true core
   | None -> (
@@ -147,14 +177,10 @@ let spend t budget response =
   Metrics.add t.budget_ticks (Budget.ticks budget);
   response
 
-let handle_eval ?deadline t (req : Proto.request) ~query ~db =
-  (* Intern before evaluating: the decoded structure is request-local, and
-     only the interned representative carries the memoised join index and
-     count memo shared across requests. *)
-  let db = Cache.intern_db t.cache db in
+let eval_db ?key ?deadline t (req : Proto.request) ~query ~db =
   let budget = make_budget ?deadline t.caps req.Proto.budget in
   spend t budget
-  @@ memoised t req ~compute:(fun () ->
+  @@ memoised ?key t req ~compute:(fun () ->
          match
            Outcome.guard
              ~partial:(fun () -> ())
@@ -172,6 +198,34 @@ let handle_eval ?deadline t (req : Proto.request) ~query ~db =
                (Proto.error_body ?id:req.Proto.id ~op:"eval"
                   ~kind:(Proto.Exhausted reason)
                   ~budget:(Budget.snapshot budget) ""))
+
+let handle_eval ?deadline t (req : Proto.request) ~query ~db =
+  match db with
+  | Proto.Db_inline db ->
+      (* Intern before evaluating: the decoded structure is request-local,
+         and only the interned representative carries the memoised join
+         index and count memo shared across requests. *)
+      let db = Cache.intern_db t.cache db in
+      eval_db ?deadline t req ~query ~db
+  | Proto.Db_named name -> (
+      match Store.snapshot t.store ~name with
+      | Store.Rejected msg ->
+          Proto.error_body ?id:req.Proto.id ~op:"eval" ~kind:Proto.Bad_request
+            msg
+      | Store.Exhausted reason ->
+          Proto.error_body ?id:req.Proto.id ~op:"eval"
+            ~kind:(Proto.Exhausted reason) ""
+      | Store.Done (db, version) ->
+          (* The store's structure is already one stable physical value
+             between mutations (no interning needed), and the memo key is
+             stamped with the database version: an entry computed against
+             a superseded version can never be replayed, even if a slow
+             in-flight eval stores its result after the mutation's
+             eviction pass ran. *)
+          let key =
+            Printf.sprintf "%s#v%d" (Proto.cache_key req) version
+          in
+          eval_db ~key ?deadline t req ~query ~db)
 
 let handle_contain ?deadline t (req : Proto.request) ~small ~big =
   let budget = make_budget ?deadline t.caps req.Proto.budget in
@@ -242,6 +296,70 @@ let handle_hunt ?deadline t (req : Proto.request) ~small ~big ~samples
                       ])
                   ""))
 
+(* ---------------- data-plane handlers ----------------
+
+   Store ops are never memoised: creates and mutations change live state,
+   and register/counts read it — replaying a stored answer after a delta
+   would be exactly the staleness the data plane exists to avoid.  The
+   [reply] type maps onto the wire one-to-one: [Rejected] is a
+   [bad_request], [Exhausted] carries the budget snapshot. *)
+
+let store_reply ?budget t (req : Proto.request) ~op ~core reply =
+  let finish response =
+    match budget with None -> response | Some b -> spend t b response
+  in
+  finish
+  @@
+  match reply with
+  | Store.Done v -> Proto.attach ?id:req.Proto.id ~cached:false (core v)
+  | Store.Rejected msg ->
+      Proto.error_body ?id:req.Proto.id ~op ~kind:Proto.Bad_request msg
+  | Store.Exhausted reason ->
+      Proto.error_body ?id:req.Proto.id ~op ~kind:(Proto.Exhausted reason)
+        ?budget:(Option.map Budget.snapshot budget) ""
+
+let handle_db_create t (req : Proto.request) ~name ~db =
+  Store.db_create t.store ~name db
+  |> store_reply t req ~op:"db_create" ~core:(fun atoms ->
+         Proto.db_create_core ~atoms)
+
+let handle_mutation ?deadline t (req : Proto.request) ~op ~name ~fact ~add =
+  let budget = make_budget ?deadline t.caps req.Proto.budget in
+  let sym, tup = fact in
+  (if add then Store.db_insert else Store.db_delete)
+    ~budget t.store ~name sym tup
+  |> store_reply ~budget t req ~op ~core:(fun (m : Store.mutation) ->
+         Proto.mutation_core ~op ~atoms:m.Store.atoms
+           ~registrations:m.Store.registrations ~maintained:m.Store.maintained
+           ~recomputed:m.Store.recomputed ~stale:m.Store.stale
+           ~ticks:(Budget.ticks budget))
+
+let handle_register ?deadline t (req : Proto.request) ~name ~query =
+  let budget = make_budget ?deadline t.caps req.Proto.budget in
+  Store.register ~budget t.store ~name query
+  |> store_reply ~budget t req ~op:"register" ~core:(fun (i : Store.reg_info) ->
+         Proto.register_core ~count:i.Store.reg_count
+           ~components:i.Store.reg_components ~maintained:i.Store.reg_maintained
+           ~ticks:(Budget.ticks budget))
+
+let handle_unregister t (req : Proto.request) ~name ~query =
+  Store.unregister t.store ~name query
+  |> store_reply t req ~op:"unregister" ~core:(fun () ->
+         Proto.unregister_core ())
+
+let handle_counts ?deadline t (req : Proto.request) ~name =
+  let budget = make_budget ?deadline t.caps req.Proto.budget in
+  Store.counts ~budget t.store ~name
+  |> store_reply ~budget t req ~op:"counts" ~core:(fun rows ->
+         Proto.counts_core
+           ~rows:
+             (List.map
+                (fun (r : Store.count_row) ->
+                  Proto.count_row_json ~query:r.Store.cr_query
+                    ~count:r.Store.cr_count ~maintained:r.Store.cr_maintained)
+                rows)
+           ~ticks:(Budget.ticks budget))
+
 (* ---------------- entry points ---------------- *)
 
 let classify t response =
@@ -277,6 +395,14 @@ let dispatch ?deadline t (req : Proto.request) =
     | Proto.Contain { small; big } -> handle_contain ?deadline t req ~small ~big
     | Proto.Hunt { small; big; samples; exhaustive_size; seed } ->
         handle_hunt ?deadline t req ~small ~big ~samples ~exhaustive_size ~seed
+    | Proto.Db_create { name; db } -> handle_db_create t req ~name ~db
+    | Proto.Db_insert { name; fact } ->
+        handle_mutation ?deadline t req ~op:"db_insert" ~name ~fact ~add:true
+    | Proto.Db_delete { name; fact } ->
+        handle_mutation ?deadline t req ~op:"db_delete" ~name ~fact ~add:false
+    | Proto.Register { name; query } -> handle_register ?deadline t req ~name ~query
+    | Proto.Unregister { name; query } -> handle_unregister t req ~name ~query
+    | Proto.Counts { name } -> handle_counts ?deadline t req ~name
   with e ->
     Proto.error_body ?id ~op:(Proto.op_name req.Proto.op) ~kind:Proto.Internal
       (Printf.sprintf "internal error: %s" (Printexc.to_string e))

@@ -36,6 +36,16 @@ val create : ?caps:caps -> ?hunt_jobs:int -> unit -> t
 val caps : t -> caps
 val cache : t -> Cache.t
 
+val store : t -> Bagcq_store.Store.t
+(** The router's data plane: named databases and their registered counts
+    (the [db_create] / [db_insert] / [db_delete] / [register] /
+    [unregister] / [counts] ops, plus [eval] with a [db_name] reference).
+    Created with the router's registry (the [store_*] metric family) and
+    wired so every committed mutation evicts the result memo's entries
+    for that database; eval-by-name memo keys are additionally stamped
+    with the database version, so an entry computed against a superseded
+    version is unreachable even if it lands after the eviction pass. *)
+
 val metrics : t -> Bagcq_obs.Metrics.t
 (** The router's own registry: per-op request counters and latency
     histograms ([server_requests], [server_request_ms]), response

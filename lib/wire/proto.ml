@@ -4,12 +4,13 @@ module Nat = Bagcq_bignum.Nat
 module Budget = Bagcq_guard.Budget
 
 type budget_spec = { fuel : int option; timeout_ms : int option }
+type db_ref = Db_inline of Structure.t | Db_named of string
 
 type op =
   | Ping
   | Stats
   | Metrics
-  | Eval of { query : Query.t; db : Structure.t }
+  | Eval of { query : Query.t; db : db_ref }
   | Contain of { small : Query.t; big : Query.t }
   | Hunt of {
       small : Query.t;
@@ -18,6 +19,12 @@ type op =
       exhaustive_size : int;
       seed : int;
     }
+  | Db_create of { name : string; db : Structure.t }
+  | Db_insert of { name : string; fact : Symbol.t * Tuple.t }
+  | Db_delete of { name : string; fact : Symbol.t * Tuple.t }
+  | Register of { name : string; query : Query.t }
+  | Unregister of { name : string; query : Query.t }
+  | Counts of { name : string }
 
 type request = { id : Json.t option; budget : budget_spec; op : op }
 
@@ -28,6 +35,12 @@ let op_name = function
   | Eval _ -> "eval"
   | Contain _ -> "contain"
   | Hunt _ -> "hunt"
+  | Db_create _ -> "db_create"
+  | Db_insert _ -> "db_insert"
+  | Db_delete _ -> "db_delete"
+  | Register _ -> "register"
+  | Unregister _ -> "unregister"
+  | Counts _ -> "counts"
 
 (* ---------------- decoding ---------------- *)
 
@@ -65,6 +78,31 @@ let parse_db j name =
   | Ok d -> Ok d
   | Error e -> Error (Printf.sprintf "field %S: %s" name e)
 
+(* A fact reuses the database surface syntax ([Encode]) so anything a
+   [db] payload can say — symbolic and integer values, a trailing '.' —
+   a [fact] can say too; it just must say exactly one atom. *)
+let parse_fact j name =
+  let* text = field_string j name in
+  match Encode.parse text with
+  | Error e -> Error (Printf.sprintf "field %S: %s" name e)
+  | Ok d -> (
+      match Structure.fold_atoms (fun s tup acc -> (s, tup) :: acc) d [] with
+      | [ fact ] -> Ok fact
+      | _ -> Error (Printf.sprintf "field %S must contain exactly one fact" name))
+
+(* Eval's database is inline text ("db") or a data-plane reference
+   ("db_name") — exactly one of the two. *)
+let parse_db_ref j =
+  match (Json.member "db" j, Json.member "db_name" j) with
+  | Some _, Some _ -> Error "fields \"db\" and \"db_name\" are mutually exclusive"
+  | Some _, None ->
+      let* d = parse_db j "db" in
+      Ok (Db_inline d)
+  | None, Some _ ->
+      let* name = field_string j "db_name" in
+      Ok (Db_named name)
+  | None, None -> Error "missing field \"db\" (or \"db_name\")"
+
 let default_samples = 200
 let default_exhaustive_size = 2
 let default_seed = 0x5eed
@@ -84,7 +122,7 @@ let decode j =
         | "metrics" -> Ok Metrics
         | "eval" ->
             let* query = parse_query j "query" in
-            let* db = parse_db j "db" in
+            let* db = parse_db_ref j in
             Ok (Eval { query; db })
         | "contain" ->
             let* small = parse_query j "small" in
@@ -99,6 +137,33 @@ let decode j =
             in
             let* seed = field_nonneg_int j "seed" ~default:default_seed in
             Ok (Hunt { small; big; samples; exhaustive_size; seed })
+        | "db_create" ->
+            let* name = field_string j "name" in
+            let* db =
+              match Json.member "db" j with
+              | None -> Ok (Structure.empty Schema.empty)
+              | Some _ -> parse_db j "db"
+            in
+            Ok (Db_create { name; db })
+        | "db_insert" ->
+            let* name = field_string j "name" in
+            let* fact = parse_fact j "fact" in
+            Ok (Db_insert { name; fact })
+        | "db_delete" ->
+            let* name = field_string j "name" in
+            let* fact = parse_fact j "fact" in
+            Ok (Db_delete { name; fact })
+        | "register" ->
+            let* name = field_string j "name" in
+            let* query = parse_query j "query" in
+            Ok (Register { name; query })
+        | "unregister" ->
+            let* name = field_string j "name" in
+            let* query = parse_query j "query" in
+            Ok (Unregister { name; query })
+        | "counts" ->
+            let* name = field_string j "name" in
+            Ok (Counts { name })
         | other -> Error (Printf.sprintf "unknown op %S" other)
       in
       Ok { id; budget; op }
@@ -115,6 +180,8 @@ let budget_fields { fuel; timeout_ms } =
   let f name = function None -> [] | Some v -> [ (name, Json.Int v) ] in
   f "fuel" fuel @ f "timeout_ms" timeout_ms
 
+let fact_to_string (sym, tup) = Encode.fact_to_string sym tup
+
 let cache_key { id = _; budget; op } =
   let payload =
     match op with
@@ -122,10 +189,11 @@ let cache_key { id = _; budget; op } =
     | Stats -> []
     | Metrics -> []
     | Eval { query; db } ->
-        [
-          ("query", Json.Str (Query.to_string query));
-          ("db", Json.Str (Encode.to_string db));
-        ]
+        ("query", Json.Str (Query.to_string query))
+        ::
+        (match db with
+        | Db_inline d -> [ ("db", Json.Str (Encode.to_string d)) ]
+        | Db_named name -> [ ("db_name", Json.Str name) ])
     | Contain { small; big } ->
         [
           ("small", Json.Str (Query.to_string small));
@@ -139,6 +207,19 @@ let cache_key { id = _; budget; op } =
           ("exhaustive_size", Json.Int exhaustive_size);
           ("seed", Json.Int seed);
         ]
+    (* Store ops are never memoised (they read or mutate live state), but
+       every request still keys totally — the admission queue and logs use
+       the key as a stable spelling of the request. *)
+    | Db_create { name; db } ->
+        [ ("name", Json.Str name); ("db", Json.Str (Encode.to_string db)) ]
+    | Db_insert { name; fact } | Db_delete { name; fact } ->
+        [ ("name", Json.Str name); ("fact", Json.Str (fact_to_string fact)) ]
+    | Register { name; query } | Unregister { name; query } ->
+        [
+          ("name", Json.Str name);
+          ("query", Json.Str (Query.to_string query));
+        ]
+    | Counts { name } -> [ ("name", Json.Str name) ]
   in
   Json.to_string
     (Json.Obj ((("op", Json.Str (op_name op)) :: payload) @ budget_fields budget))
@@ -238,6 +319,45 @@ let hunt_core ~witness ~exhaustive_complete ~tested_random ~ticks =
         ("tested_random", Json.Int tested_random);
         ("ticks", Json.Int ticks);
       ])
+
+(* ---------------- data-plane cores ---------------- *)
+
+let db_create_core ~atoms =
+  core ~op:"db_create" [ ("atoms", Json.Int atoms) ]
+
+let mutation_core ~op ~atoms ~registrations ~maintained ~recomputed ~stale
+    ~ticks =
+  core ~op
+    [
+      ("atoms", Json.Int atoms);
+      ("registrations", Json.Int registrations);
+      ("maintained", Json.Int maintained);
+      ("recomputed", Json.Int recomputed);
+      ("stale", Json.Int stale);
+      ("ticks", Json.Int ticks);
+    ]
+
+let register_core ~count ~components ~maintained ~ticks =
+  core ~op:"register"
+    [
+      ("count", Json.Str (Nat.to_string count));
+      ("components", Json.Int components);
+      ("maintained", Json.Int maintained);
+      ("ticks", Json.Int ticks);
+    ]
+
+let unregister_core () = core ~op:"unregister" []
+
+let count_row_json ~query ~count ~maintained =
+  Json.Obj
+    [
+      ("query", Json.Str query);
+      ("count", Json.Str (Nat.to_string count));
+      ("maintained", Json.Bool maintained);
+    ]
+
+let counts_core ~rows ~ticks =
+  core ~op:"counts" [ ("counts", Json.List rows); ("ticks", Json.Int ticks) ]
 
 (* The [cached] marker goes right after op/status so hit and miss
    responses differ only in that one field. *)

@@ -31,11 +31,16 @@ module Nat = Bagcq_bignum.Nat
 
 type budget_spec = { fuel : int option; timeout_ms : int option }
 
+type db_ref = Db_inline of Structure.t | Db_named of string
+(** An eval target: database text carried inline in the request ("db"),
+    or the name of a data-plane database held by the server ("db_name").
+    Exactly one of the two fields must be present. *)
+
 type op =
   | Ping
   | Stats
   | Metrics
-  | Eval of { query : Query.t; db : Structure.t }
+  | Eval of { query : Query.t; db : db_ref }
   | Contain of { small : Query.t; big : Query.t }
   | Hunt of {
       small : Query.t;
@@ -44,11 +49,24 @@ type op =
       exhaustive_size : int;
       seed : int;
     }
+  | Db_create of { name : string; db : Structure.t }
+      (** ["db"] is optional initial contents ({!Bagcq_relational.Encode}
+          syntax); omitted means empty. *)
+  | Db_insert of { name : string; fact : Symbol.t * Tuple.t }
+      (** ["fact"] is one atom in {!Bagcq_relational.Encode} syntax, e.g.
+          ["E(1,2)"] — text with any other number of atoms is a decode
+          error. *)
+  | Db_delete of { name : string; fact : Symbol.t * Tuple.t }
+  | Register of { name : string; query : Query.t }
+  | Unregister of { name : string; query : Query.t }
+  | Counts of { name : string }
 
 type request = { id : Json.t option; budget : budget_spec; op : op }
 
 val op_name : op -> string
-(** ["ping"], ["stats"], ["metrics"], ["eval"], ["contain"], ["hunt"]. *)
+(** ["ping"], ["stats"], ["metrics"], ["eval"], ["contain"], ["hunt"],
+    ["db_create"], ["db_insert"], ["db_delete"], ["register"],
+    ["unregister"], ["counts"]. *)
 
 val decode : Json.t -> (request, string) result
 (** Decode a parsed line.  Errors are human-readable and name the
@@ -90,6 +108,29 @@ val witness_fields : (Structure.t * Nat.t * Nat.t) option -> (string * Json.t) l
 val hunt_core :
   witness:(Structure.t * Nat.t * Nat.t) option -> exhaustive_complete:bool ->
   tested_random:int -> ticks:int -> (string * Json.t) list
+
+(** {2 Data-plane cores}
+
+    The store ops' responses reuse the same core/attach split even though
+    they are never memoised — the [cached] marker is always [false]. *)
+
+val db_create_core : atoms:int -> (string * Json.t) list
+
+val mutation_core :
+  op:string -> atoms:int -> registrations:int -> maintained:int ->
+  recomputed:int -> stale:int -> ticks:int -> (string * Json.t) list
+(** [op] is ["db_insert"] or ["db_delete"]; the counts say how each
+    registration absorbed the delta (see {!Bagcq_store.Store.mutation}). *)
+
+val register_core :
+  count:Nat.t -> components:int -> maintained:int -> ticks:int ->
+  (string * Json.t) list
+
+val unregister_core : unit -> (string * Json.t) list
+
+val count_row_json : query:string -> count:Nat.t -> maintained:bool -> Json.t
+
+val counts_core : rows:Json.t list -> ticks:int -> (string * Json.t) list
 
 val attach : ?id:Json.t -> cached:bool -> (string * Json.t) list -> Json.t
 (** Finish a core into a response object. *)

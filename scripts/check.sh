@@ -20,15 +20,19 @@ for jobs in 1 2; do
   BAGCQ_JOBS=$jobs ./_build/default/test/test_parallel.exe >/dev/null
 done
 
-echo "== BENCH_PR7.json schema =="
+echo "== BENCH_PR8.json schema =="
 dune exec bench/main.exe -- --json-only >/dev/null
-grep -o '"[a-z_0-9]*":' BENCH_PR7.json | sort -u | tr -d '":' \
-  | diff scripts/bench_pr7_keys.txt - \
-  || { echo "BENCH_PR7.json keys drifted from scripts/bench_pr7_keys.txt" >&2; exit 1; }
-grep -q '"wcoj_2x_bar": true' BENCH_PR7.json \
+grep -o '"[a-z_0-9]*":' BENCH_PR8.json | sort -u | tr -d '":' \
+  | diff scripts/bench_pr8_keys.txt - \
+  || { echo "BENCH_PR8.json keys drifted from scripts/bench_pr8_keys.txt" >&2; exit 1; }
+grep -q '"wcoj_2x_bar": true' BENCH_PR8.json \
   || { echo "wcoj engine bar: kernel-cycle8-on-K5 not >= 2x over backtracking" >&2; exit 1; }
-grep -q '"wcoj_5x_bar": true' BENCH_PR7.json \
+grep -q '"wcoj_5x_bar": true' BENCH_PR8.json \
   || { echo "wcoj bar: wcoj-triangles not >= 5x over backtracking" >&2; exit 1; }
+grep -q '"store_delta_bar": true' BENCH_PR8.json \
+  || { echo "store bar: single-tuple delta not >= 10x over full recompute" >&2; exit 1; }
+grep -q '"differential_ok": true' BENCH_PR8.json \
+  || { echo "store bench: maintained count drifted from the reference solver" >&2; exit 1; }
 
 echo "== serve --stdio answers, survives malformed input, dumps metrics =="
 serve_out=$(printf '%s\n' \
@@ -49,9 +53,12 @@ echo "$serve_out" | grep -Eq '"name": "server_request_ms", "labels": \{"op": "ev
   || { echo "serve --stdio: metrics op reported no eval latency" >&2; exit 1; }
 for counter in plan_components plan_dp_selected plan_fallback \
                plan_wcoj_selected hom_index_builds \
-               wcoj_plans_compiled wcoj_runs wcoj_seeks; do
+               wcoj_plans_compiled wcoj_runs wcoj_seeks \
+               store_creates store_inserts store_deletes store_databases \
+               store_registered store_delta_maintained store_delta_recomputed \
+               store_stale store_repairs server_cache_evicted; do
   echo "$serve_out" | grep -q "\"name\": \"$counter\"" \
-    || { echo "serve --stdio: metrics op missing planner counter $counter" >&2; exit 1; }
+    || { echo "serve --stdio: metrics op missing counter $counter" >&2; exit 1; }
 done
 
 echo "== bagcq metrics --json against a TCP server =="
@@ -77,6 +84,37 @@ for cell in server_shed server_queue_depth server_lines_oversized; do
 done
 wait "$serve_pid"
 rm -f /tmp/bagcq_check_port.$$
+
+echo "== data-plane round-trip: create -> insert -> register -> delete -> counts over TCP =="
+rm -f /tmp/bagcq_check_store.$$
+./_build/default/bin/bagcq_cli.exe serve --port 0 --max-connections 5 \
+  2>/tmp/bagcq_check_store.$$ &
+store_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' /tmp/bagcq_check_store.$$)
+  [ -n "$port" ] && break
+  sleep 0.05
+done
+[ -n "$port" ] || { echo "store serve --port 0 never reported its port" >&2; exit 1; }
+bagcq_store() { ./_build/default/bin/bagcq_cli.exe store "$@" --port "$port"; }
+bagcq_store create g >/dev/null \
+  || { echo "store round-trip: create failed" >&2; exit 1; }
+bagcq_store insert g 'E(1,2)' >/dev/null \
+  || { echo "store round-trip: insert failed" >&2; exit 1; }
+register_out=$(bagcq_store register g 'E(x,y)') \
+  || { echo "store round-trip: register failed" >&2; exit 1; }
+echo "$register_out" | grep -q '"count": "1"' \
+  || { echo "store round-trip: registered count is not 1" >&2; exit 1; }
+bagcq_store delete g 'E(1,2)' >/dev/null \
+  || { echo "store round-trip: delete failed" >&2; exit 1; }
+counts_out=$(bagcq_store counts g) \
+  || { echo "store round-trip: counts failed" >&2; exit 1; }
+echo "$counts_out" | grep -q '"count": "0"' \
+  || { echo "store round-trip: maintained count did not follow the delete" >&2; exit 1; }
+wait "$store_pid" \
+  || { echo "store round-trip: server exited nonzero" >&2; exit 1; }
+rm -f /tmp/bagcq_check_store.$$
 
 echo "== overload round-trip: flood a tiny server, expect sheds + clean exit =="
 rm -f /tmp/bagcq_check_shed.$$

@@ -26,7 +26,7 @@ latency summaries (same treatment):
   {"id": 5, "op": "hunt", "status": "exhausted", "code": "exhausted", "reason": "fuel", "ticks": 50, "fuel_left": 0, "elapsed_ms": _, "violated": false, "databases_tested": 8, "largest_size_completed": 1, "tested_random": 0}
   {"status": "error", "code": "bad_request", "error": "invalid JSON: expected '\"' at offset 1"}
   {"id": 7, "status": "error", "code": "bad_request", "error": "unknown op \"frobnicate\""}
-  {"id": 8, "op": "stats", "status": "ok", "requests": 8, "ok": 4, "errors": 2, "exhausted": 1, "result_hits": 1, "result_misses": 3, "result_entries": 2, "plan_hits": 0, "plan_misses": 1, "count_hits": 0, "count_misses": 1, "hunt_jobs": 1, "latency": {...}}
+  {"id": 8, "op": "stats", "status": "ok", "requests": 8, "ok": 4, "errors": 2, "exhausted": 1, "result_hits": 1, "result_misses": 3, "result_entries": 2, "result_evicted": 0, "plan_hits": 0, "plan_misses": 1, "count_hits": 0, "count_misses": 1, "hunt_jobs": 1, "latency": {...}}
 
 A hunt that completes inside its budget finds the classic witness, and a
 repeat of the identical request is served from the cache with the same
@@ -84,6 +84,7 @@ values are not, so the run pins names only):
   "name": "pool_worker_busy_ms"
   "name": "pool_worker_idle_ms"
   "name": "server_budget_ticks"
+  "name": "server_cache_evicted"
   "name": "server_connections"
   "name": "server_connections_failed"
   "name": "server_in_flight"
@@ -93,9 +94,51 @@ values are not, so the run pins names only):
   "name": "server_requests"
   "name": "server_responses"
   "name": "server_shed"
+  "name": "store_creates"
+  "name": "store_databases"
+  "name": "store_deletes"
+  "name": "store_delta_maintained"
+  "name": "store_delta_recomputed"
+  "name": "store_inserts"
+  "name": "store_registered"
+  "name": "store_repairs"
+  "name": "store_stale"
   "name": "wcoj_plans_compiled"
   "name": "wcoj_runs"
   "name": "wcoj_seeks"
+
+The data plane: a named database is created, mutated tuple by tuple, and
+registered counts follow the deltas exactly — the registered path count
+goes 2 on registration, 3 after an insert (maintained incrementally, not
+recomputed), back to 2 after the delete.  Eval by db_name sees each
+version; deleting a tuple that is not there is a bad_request, never a
+silent no-op (which would desynchronise the maintained counts):
+
+  $ cat > store.ndjson <<'EOF'
+  > {"op":"db_create","id":1,"name":"g","db":"E(1,2). E(2,3). F(3,4)."}
+  > {"op":"register","id":2,"name":"g","query":"E(x,y) & F(y,z)"}
+  > {"op":"eval","id":3,"query":"E(x,y)","db_name":"g"}
+  > {"op":"db_insert","id":4,"name":"g","fact":"E(5,3)"}
+  > {"op":"counts","id":5,"name":"g"}
+  > {"op":"eval","id":6,"query":"E(x,y)","db_name":"g"}
+  > {"op":"db_delete","id":7,"name":"g","fact":"E(5,3)"}
+  > {"op":"counts","id":8,"name":"g"}
+  > {"op":"db_delete","id":9,"name":"g","fact":"E(9,9)"}
+  > {"op":"unregister","id":10,"name":"g","query":"E(x,y) & F(y,z)"}
+  > {"op":"db_create","id":11,"name":"g"}
+  > EOF
+  $ ../../bin/bagcq_cli.exe serve --stdio < store.ndjson
+  {"id": 1, "op": "db_create", "status": "ok", "cached": false, "atoms": 3}
+  {"id": 2, "op": "register", "status": "ok", "cached": false, "count": "1", "components": 1, "maintained": 1, "ticks": 5}
+  {"id": 3, "op": "eval", "status": "ok", "cached": false, "count": "2", "satisfied": true, "ticks": 3}
+  {"id": 4, "op": "db_insert", "status": "ok", "cached": false, "atoms": 4, "registrations": 1, "maintained": 1, "recomputed": 0, "stale": 0, "ticks": 2}
+  {"id": 5, "op": "counts", "status": "ok", "cached": false, "counts": [{"query": "E(x,y) & F(y,z)", "count": "2", "maintained": true}], "ticks": 0}
+  {"id": 6, "op": "eval", "status": "ok", "cached": false, "count": "3", "satisfied": true, "ticks": 4}
+  {"id": 7, "op": "db_delete", "status": "ok", "cached": false, "atoms": 3, "registrations": 1, "maintained": 1, "recomputed": 0, "stale": 0, "ticks": 2}
+  {"id": 8, "op": "counts", "status": "ok", "cached": false, "counts": [{"query": "E(x,y) & F(y,z)", "count": "1", "maintained": true}], "ticks": 0}
+  {"id": 9, "op": "db_delete", "status": "error", "code": "bad_request", "error": "tuple not present: E(9,9)"}
+  {"id": 10, "op": "unregister", "status": "ok", "cached": false}
+  {"id": 11, "op": "db_create", "status": "error", "code": "bad_request", "error": "database \"g\" already exists"}
 
 With --trace FILE every request is wrapped in a span and dumped as one
 NDJSON record (timings normalised — only the structure is deterministic):

@@ -184,6 +184,46 @@ let nat_properties =
          (fun (b, e) ->
            let rec iter acc n = if n = 0 then acc else iter (Nat.mul acc (Nat.of_int b)) (n - 1) in
            Nat.equal (iter Nat.one e) (Nat.pow (Nat.of_int b) e)));
+    (* Multi-limb exactness of sub is what the store's incremental
+       delete-side maintenance leans on: a registered count is decremented
+       by the deleted tuple's exact weight, never saturated.  Random
+       decimal strings up to 40 digits exercise borrows across limbs. *)
+    (let gen_big =
+       QCheck.Gen.(
+         map
+           (fun ds -> String.concat "" ("1" :: List.map string_of_int ds))
+           (list_size (int_bound 39) (int_bound 9)))
+     in
+     let arb_big_pair =
+       QCheck.make ~print:QCheck.Print.(pair string string)
+         (QCheck.Gen.pair gen_big gen_big)
+     in
+     QCheck_alcotest.to_alcotest
+       (QCheck.Test.make ~name:"sub inverts add (multi-limb)" ~count:300
+          arb_big_pair
+          (fun (xs, ys) ->
+            let x = Nat.of_string xs and y = Nat.of_string ys in
+            Nat.equal x (Nat.sub (Nat.add x y) y)
+            && Nat.equal y (Nat.sub (Nat.add x y) x))));
+    (let gen_big =
+       QCheck.Gen.(
+         map
+           (fun ds -> String.concat "" ("1" :: List.map string_of_int ds))
+           (list_size (int_bound 39) (int_bound 9)))
+     in
+     let arb_big_pair =
+       QCheck.make ~print:QCheck.Print.(pair string string)
+         (QCheck.Gen.pair gen_big gen_big)
+     in
+     QCheck_alcotest.to_alcotest
+       (QCheck.Test.make ~name:"sub underflow raises (multi-limb)" ~count:300
+          arb_big_pair
+          (fun (xs, ys) ->
+            let x = Nat.of_string xs and y = Nat.of_string ys in
+            let bigger = Nat.add (Nat.add x y) Nat.one in
+            match Nat.sub x bigger with
+            | _ -> false
+            | exception Invalid_argument _ -> true)));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"gcd divides both" ~count:300
          (QCheck.make

@@ -1,0 +1,440 @@
+(* lib/store: the mutable data plane.  The headline property is
+   differential: whatever interleaving of inserts, deletes and budget
+   faults a database sees, every registered count read back equals a
+   from-scratch [Solver_ref] recount of the current relation — the
+   incremental join-tree maintenance, the per-component recomputes and
+   the stale/repair lifecycle can never drift from the reference
+   semantics. *)
+
+module Store = Bagcq_store.Store
+module Structure = Bagcq_relational.Structure
+module Schema = Bagcq_relational.Schema
+module Symbol = Bagcq_relational.Symbol
+module Tuple = Bagcq_relational.Tuple
+module Value = Bagcq_relational.Value
+module Parse = Bagcq_cq.Parse
+module Query = Bagcq_cq.Query
+module Solver_ref = Bagcq_hom.Solver_ref
+module Nat = Bagcq_bignum.Nat
+module Budget = Bagcq_guard.Budget
+module Metrics = Bagcq_obs.Metrics
+module Router = Bagcq_server.Router
+module Cache = Bagcq_server.Cache
+module Json = Bagcq_wire.Json
+module Proto = Bagcq_wire.Proto
+
+let sym_e = Symbol.make "E" 2
+let sym_f = Symbol.make "F" 2
+let sym_g = Symbol.make "G" 1
+let tup2 a b = Tuple.make [ Value.int a; Value.int b ]
+let tup1 a = Tuple.make [ Value.int a ]
+
+let done_exn = function
+  | Store.Done v -> v
+  | Store.Rejected m -> Alcotest.failf "unexpected rejection: %s" m
+  | Store.Exhausted _ -> Alcotest.fail "unexpected exhaustion"
+
+let rejected = function
+  | Store.Rejected m -> m
+  | Store.Done _ -> Alcotest.fail "expected a rejection, got Done"
+  | Store.Exhausted _ -> Alcotest.fail "expected a rejection, got Exhausted"
+
+let fresh_store ?metrics () = Store.create ?metrics ()
+
+let create_db st name facts =
+  let d =
+    List.fold_left
+      (fun d (s, t) -> Structure.add_atom d s t)
+      (Structure.empty Schema.empty)
+      facts
+  in
+  ignore (done_exn (Store.db_create st ~name d))
+
+let count_of rows key =
+  match List.find_opt (fun r -> r.Store.cr_query = key) rows with
+  | Some r -> Nat.to_string r.Store.cr_count
+  | None -> Alcotest.failf "no registered count for %s" key
+
+(* ------------------------------------------------------------------ *)
+(* basic flow                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_flow () =
+  let m = Metrics.create () in
+  let st = fresh_store ~metrics:m () in
+  create_db st "g" [ (sym_e, tup2 1 2); (sym_e, tup2 2 3); (sym_f, tup2 3 4) ];
+  let q = Parse.parse_exn "E(x,y) & F(y,z)" in
+  let info = done_exn (Store.register st ~name:"g" q) in
+  Alcotest.(check string) "initial count" "1" (Nat.to_string info.Store.reg_count);
+  Alcotest.(check int) "acyclic component is maintained" 1
+    info.Store.reg_maintained;
+  (* one more E edge into F's source: count doubles *)
+  let mu = done_exn (Store.db_insert st ~name:"g" sym_e (tup2 5 3)) in
+  Alcotest.(check int) "delta maintained" 1 mu.Store.maintained;
+  Alcotest.(check int) "nothing recomputed" 0 mu.Store.recomputed;
+  Alcotest.(check int) "nothing stale" 0 mu.Store.stale;
+  let rows = done_exn (Store.counts st ~name:"g") in
+  Alcotest.(check string) "count follows insert" "2"
+    (count_of rows (Query.to_string q));
+  let _ = done_exn (Store.db_delete st ~name:"g" sym_e (tup2 5 3)) in
+  let rows = done_exn (Store.counts st ~name:"g") in
+  Alcotest.(check string) "count follows delete" "1"
+    (count_of rows (Query.to_string q));
+  (* the metric family counted the traffic *)
+  Alcotest.(check int) "store_creates" 1
+    (Metrics.counter_value (Metrics.counter m "store_creates"));
+  Alcotest.(check int) "store_inserts" 1
+    (Metrics.counter_value (Metrics.counter m "store_inserts"));
+  Alcotest.(check int) "store_deletes" 1
+    (Metrics.counter_value (Metrics.counter m "store_deletes"));
+  Alcotest.(check int) "store_registered gauge" 1
+    (Metrics.gauge_value (Metrics.gauge m "store_registered"));
+  ignore (done_exn (Store.unregister st ~name:"g" q));
+  Alcotest.(check int) "gauge back to zero" 0
+    (Metrics.gauge_value (Metrics.gauge m "store_registered"))
+
+let test_rejections () =
+  let st = fresh_store () in
+  create_db st "g" [ (sym_e, tup2 1 2) ];
+  (* names are create-once *)
+  ignore (rejected (Store.db_create st ~name:"g" (Structure.empty Schema.empty)));
+  ignore (rejected (Store.db_create st ~name:"" (Structure.empty Schema.empty)));
+  (* unknown database *)
+  ignore (rejected (Store.db_insert st ~name:"nope" sym_e (tup2 1 2)));
+  ignore (rejected (Store.counts st ~name:"nope"));
+  (* duplicate insert and absent delete are rejections, not no-ops:
+     a silent duplicate would let maintained counts drift from the set
+     semantics of the stored relation *)
+  ignore (rejected (Store.db_insert st ~name:"g" sym_e (tup2 1 2)));
+  ignore (rejected (Store.db_delete st ~name:"g" sym_e (tup2 7 7)));
+  (* arity clash with the database's schema *)
+  ignore (rejected (Store.db_insert st ~name:"g" (Symbol.make "E" 1) (tup1 1)));
+  (* unregistering what was never registered *)
+  ignore
+    (rejected (Store.unregister st ~name:"g" (Parse.parse_exn "E(x,y)")));
+  (* and after all those rejections the relation is untouched *)
+  let d, _ = done_exn (Store.snapshot st ~name:"g") in
+  Alcotest.(check int) "still one atom" 1 (Structure.total_atoms d)
+
+(* Component strategies: the acyclic path is delta-maintained, the
+   triangle recomputes (only itself), and in a disconnected query the
+   untouched component's cached count is reused through the factor
+   product. *)
+let test_strategies () =
+  let st = fresh_store () in
+  create_db st "g"
+    [ (sym_e, tup2 1 2); (sym_e, tup2 2 3); (sym_e, tup2 3 1); (sym_g, tup1 9) ];
+  let tri = Parse.parse_exn "E(x,y) & E(y,z) & E(z,x)" in
+  let info = done_exn (Store.register st ~name:"g" tri) in
+  Alcotest.(check int) "cyclic component not maintained" 0
+    info.Store.reg_maintained;
+  Alcotest.(check string) "one directed triangle each way round" "3"
+    (Nat.to_string info.Store.reg_count);
+  let prod = Parse.parse_exn "E(x,y) & G(u)" in
+  let info = done_exn (Store.register st ~name:"g" prod) in
+  Alcotest.(check int) "two components, both maintained" 2
+    info.Store.reg_maintained;
+  Alcotest.(check string) "3 edges x 1 unary" "3"
+    (Nat.to_string info.Store.reg_count);
+  (* an E delta: the triangle recomputes, the product maintains *)
+  let mu = done_exn (Store.db_insert st ~name:"g" sym_e (tup2 1 3)) in
+  Alcotest.(check int) "product registration maintained" 1 mu.Store.maintained;
+  Alcotest.(check int) "triangle registration recomputed" 1 mu.Store.recomputed;
+  let rows = done_exn (Store.counts st ~name:"g") in
+  Alcotest.(check string) "product follows" "4"
+    (count_of rows (Query.to_string prod));
+  (* a G delta misses the triangle's symbols entirely *)
+  let mu = done_exn (Store.db_insert st ~name:"g" sym_g (tup1 8)) in
+  Alcotest.(check int) "no recompute on untouched symbols" 0
+    mu.Store.recomputed;
+  let rows = done_exn (Store.counts st ~name:"g") in
+  Alcotest.(check string) "product doubles with G" "8"
+    (count_of rows (Query.to_string prod))
+
+(* ------------------------------------------------------------------ *)
+(* budget trips: stale, never half-updated                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuel_trip_marks_stale () =
+  let st = fresh_store () in
+  create_db st "g"
+    [ (sym_e, tup2 1 2); (sym_e, tup2 2 3); (sym_f, tup2 3 4); (sym_f, tup2 2 9) ];
+  let q = Parse.parse_exn "E(x,y) & F(y,z)" in
+  ignore (done_exn (Store.register st ~name:"g" q));
+  Alcotest.(check bool) "fresh after register" false
+    (done_exn (Store.is_stale st ~name:"g" q));
+  (* the mutation itself commits; maintenance trips mid-propagation and
+     the registration is marked stale instead of surfacing a
+     half-updated table *)
+  let budget = Budget.fault_at ~tick:1 () in
+  let mu = done_exn (Store.db_insert ~budget st ~name:"g" sym_e (tup2 5 3)) in
+  Alcotest.(check int) "registration went stale" 1 mu.Store.stale;
+  Alcotest.(check int) "atoms committed regardless" 5 mu.Store.atoms;
+  Alcotest.(check bool) "stale visible" true
+    (done_exn (Store.is_stale st ~name:"g" q));
+  (* a further mutation skips the stale registration (still stale, still
+     not half-updated) *)
+  let mu = done_exn (Store.db_delete st ~name:"g" sym_f (tup2 2 9)) in
+  Alcotest.(check int) "still stale" 1 mu.Store.stale;
+  (* a budgeted read that trips mid-repair leaves it stale... *)
+  (match Store.counts ~budget:(Budget.fault_at ~tick:1 ()) st ~name:"g" with
+  | Store.Exhausted _ -> ()
+  | _ -> Alcotest.fail "expected exhaustion");
+  Alcotest.(check bool) "repair can itself trip" true
+    (done_exn (Store.is_stale st ~name:"g" q));
+  (* ...and an unbudgeted read repairs to the exact from-scratch count *)
+  let d, _ = done_exn (Store.snapshot st ~name:"g") in
+  let rows = done_exn (Store.counts st ~name:"g") in
+  Alcotest.(check string) "repaired count equals reference"
+    (string_of_int (Solver_ref.count q d))
+    (count_of rows (Query.to_string q));
+  Alcotest.(check bool) "fresh after repair" false
+    (done_exn (Store.is_stale st ~name:"g" q))
+
+let test_register_exhaustion_is_structured () =
+  let st = fresh_store () in
+  create_db st "g" [ (sym_e, tup2 1 2); (sym_e, tup2 2 3) ];
+  let q = Parse.parse_exn "E(x,y) & E(y,z)" in
+  (match Store.register ~budget:(Budget.fault_at ~tick:1 ()) st ~name:"g" q with
+  | Store.Exhausted Budget.Fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion");
+  (* nothing was half-registered *)
+  Alcotest.(check int) "no registrations" 0
+    (List.length (done_exn (Store.counts st ~name:"g")));
+  let info = done_exn (Store.register st ~name:"g" q) in
+  Alcotest.(check string) "clean retry registers" "1"
+    (Nat.to_string info.Store.reg_count)
+
+(* ------------------------------------------------------------------ *)
+(* server cache: LRU cap, eviction on mutation                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_lru () =
+  let m = Metrics.create () in
+  let c = Cache.create ~max_results:2 ~metrics:m () in
+  let probe key = Option.is_some (Cache.find_result c key) in
+  Cache.store_result c "a" [ ("k", Json.Int 1) ];
+  Cache.store_result c "b" [ ("k", Json.Int 2) ];
+  (* touch "a" so "b" is the LRU victim *)
+  Alcotest.(check bool) "a present" true (probe "a");
+  Cache.store_result c "c" [ ("k", Json.Int 3) ];
+  Alcotest.(check bool) "b evicted as LRU" false (probe "b");
+  Alcotest.(check bool) "a survived (recently used)" true (probe "a");
+  Alcotest.(check bool) "c stored" true (probe "c");
+  let s = Cache.stats c in
+  Alcotest.(check int) "entries capped" 2 s.Cache.result_entries;
+  Alcotest.(check int) "one eviction counted" 1 s.Cache.result_evicted;
+  Alcotest.(check int) "eviction counter registered" 1
+    (Metrics.counter_value (Metrics.counter m "server_cache_evicted"))
+
+let test_cache_evict_db () =
+  let c = Cache.create () in
+  let key_for name =
+    Proto.cache_key
+      {
+        Proto.id = None;
+        budget = { Proto.fuel = None; timeout_ms = None };
+        op = Proto.Eval { query = Parse.parse_exn "E(x,y)"; db = Proto.Db_named name };
+      }
+  in
+  Cache.store_result c (key_for "g" ^ "#v0") [ ("k", Json.Int 1) ];
+  Cache.store_result c (key_for "g" ^ "#v1") [ ("k", Json.Int 2) ];
+  Cache.store_result c (key_for "other") [ ("k", Json.Int 3) ];
+  Alcotest.(check int) "both generations of g dropped" 2
+    (Cache.evict_db c ~name:"g");
+  Alcotest.(check bool) "other database untouched" true
+    (Option.is_some (Cache.find_result c (key_for "other")));
+  (* a name that is a substring of another must not match its entries *)
+  Alcotest.(check int) "prefix name does not cross-evict" 0
+    (Cache.evict_db c ~name:"oth")
+
+(* ------------------------------------------------------------------ *)
+(* router integration: eval by name, invalidation, index rebuilds      *)
+(* ------------------------------------------------------------------ *)
+
+let handle router line =
+  match Json.parse (Router.handle_line router line) with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "response is not JSON (%s)" e
+
+let test_eval_by_name_invalidation () =
+  let r = Router.create () in
+  ignore
+    (handle r {|{"op":"db_create","name":"g","db":"E(1,2). E(2,3). E(3,1)."}|});
+  let eval = {|{"op":"eval","query":"E(x,y) & E(y,z)","db_name":"g"}|} in
+  let v1 = handle r eval in
+  Alcotest.(check (option string)) "count" (Some "3") (Json.get_string "count" v1);
+  Alcotest.(check (option bool)) "first uncached" (Some false)
+    (Json.get_bool "cached" v1);
+  let v2 = handle r eval in
+  Alcotest.(check (option bool)) "repeat cached" (Some true)
+    (Json.get_bool "cached" v2);
+  ignore (handle r {|{"op":"db_insert","name":"g","fact":"E(1,3)"}|});
+  let v3 = handle r eval in
+  Alcotest.(check (option bool)) "mutation invalidates" (Some false)
+    (Json.get_bool "cached" v3);
+  Alcotest.(check (option string)) "post-mutation count" (Some "5")
+    (Json.get_string "count" v3);
+  (* unknown names are bad requests, not crashes *)
+  let v4 = handle r {|{"op":"eval","query":"E(x,y)","db_name":"nope"}|} in
+  Alcotest.(check (option string)) "unknown db" (Some "error") (Proto.status v4)
+
+let global_counter name =
+  List.fold_left
+    (fun acc (row : Metrics.row) ->
+      if row.Metrics.name = name && row.Metrics.labels = [] then
+        match row.Metrics.value with Metrics.Counter_v v -> v | _ -> acc
+      else acc)
+    0 (Metrics.rows Metrics.global)
+
+(* Satellite of the memo-slot work: a mutation retires the old snapshot
+   (its derived views are cleared) and the next eval against the new
+   snapshot builds the columnar index exactly once more. *)
+let test_index_rebuilt_after_mutation () =
+  let r = Router.create () in
+  ignore
+    (handle r {|{"op":"db_create","name":"g","db":"E(1,2). E(2,3). E(3,1)."}|});
+  let before = global_counter "hom_index_builds" in
+  (* same trio as the inline-db regression test: acyclic, cyclic,
+     single-atom — all against one physical structure, one build *)
+  ignore (handle r {|{"op":"eval","query":"E(x,y) & E(y,z)","db_name":"g"}|});
+  ignore
+    (handle r {|{"op":"eval","query":"E(x,y) & E(y,z) & E(z,x)","db_name":"g"}|});
+  ignore (handle r {|{"op":"eval","query":"E(x,y)","db_name":"g"}|});
+  Alcotest.(check int) "one index build before the delta" 1
+    (global_counter "hom_index_builds" - before);
+  ignore (handle r {|{"op":"db_insert","name":"g","fact":"E(9,1)"}|});
+  ignore (handle r {|{"op":"eval","query":"E(x,y) & E(y,z)","db_name":"g"}|});
+  ignore (handle r {|{"op":"eval","query":"E(x,y)","db_name":"g"}|});
+  Alcotest.(check int) "exactly one rebuild after the delta" 2
+    (global_counter "hom_index_builds" - before)
+
+(* ------------------------------------------------------------------ *)
+(* differential property: maintained == from-scratch, always           *)
+(* ------------------------------------------------------------------ *)
+
+let diff_queries =
+  List.map Parse.parse_exn
+    [
+      "E(x,y)";
+      "E(x,y) & F(y,z)";
+      "E(x,y) & E(y,z) & E(z,x)";
+      "E(x,y) & G(u)";
+    ]
+
+(* One step: insert or delete a random fact (rejections for duplicates
+   and absences are expected traffic), under an occasional fault budget
+   that trips maintenance mid-propagation; optionally read the counts
+   back and compare every registered row against [Solver_ref] on the
+   current relation.  Skipping the read sometimes lets staleness persist
+   across further mutations, which is exactly the lifecycle the repair
+   path must absorb. *)
+let gen_step =
+  QCheck.Gen.(
+    map
+      (fun ((add, check), (si, a, b), fault) -> (add, si, a, b, fault, check))
+      (triple (pair bool bool)
+         (triple (int_bound 2) (int_bound 3) (int_bound 3))
+         (opt (int_range 1 6))))
+
+let print_step (add, si, a, b, fault, check) =
+  Printf.sprintf "(%s %d %d %d fault:%s check:%b)"
+    (if add then "ins" else "del")
+    si a b
+    (match fault with Some t -> string_of_int t | None -> "-")
+    check
+
+let arb_steps =
+  QCheck.make
+    ~print:(fun l -> String.concat " " (List.map print_step l))
+    QCheck.Gen.(list_size (int_range 5 30) gen_step)
+
+let fact_of si a b =
+  match si with
+  | 0 -> (sym_e, tup2 a b)
+  | 1 -> (sym_f, tup2 a b)
+  | _ -> (sym_g, tup1 a)
+
+let check_against_reference st =
+  let d, _ =
+    match Store.snapshot st ~name:"d" with
+    | Store.Done v -> v
+    | _ -> failwith "snapshot failed"
+  in
+  match Store.counts st ~name:"d" with
+  | Store.Done rows ->
+      List.for_all
+        (fun r ->
+          let q =
+            List.find
+              (fun q -> Query.to_string q = r.Store.cr_query)
+              diff_queries
+          in
+          Nat.to_string r.Store.cr_count
+          = string_of_int (Solver_ref.count q d))
+        rows
+      && List.length rows = List.length diff_queries
+  | _ -> false
+
+let diff_property steps =
+  let st = fresh_store () in
+  (match Store.db_create st ~name:"d" (Structure.empty Schema.empty) with
+  | Store.Done _ -> ()
+  | _ -> failwith "create failed");
+  List.iter
+    (fun q ->
+      match Store.register st ~name:"d" q with
+      | Store.Done _ -> ()
+      | _ -> failwith "register failed")
+    diff_queries;
+  List.for_all
+    (fun (add, si, a, b, fault, check) ->
+      let sym, tup = fact_of si a b in
+      let budget = Option.map (fun t -> Budget.fault_at ~tick:t ()) fault in
+      (match
+         (if add then Store.db_insert else Store.db_delete)
+           ?budget st ~name:"d" sym tup
+       with
+      | Store.Done _ | Store.Rejected _ -> ()
+      | Store.Exhausted _ -> failwith "mutations absorb trips, never surface them");
+      (not check) || check_against_reference st)
+    steps
+  && check_against_reference st
+
+let diff_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"maintained counts equal reference recount"
+         ~count:60 arb_steps diff_property);
+  ]
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "flow" `Quick test_flow;
+          Alcotest.test_case "rejections" `Quick test_rejections;
+          Alcotest.test_case "strategies" `Quick test_strategies;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "fuel trip marks stale" `Quick
+            test_fuel_trip_marks_stale;
+          Alcotest.test_case "register exhaustion" `Quick
+            test_register_exhaustion_is_structured;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru cap" `Quick test_cache_lru;
+          Alcotest.test_case "evict by database" `Quick test_cache_evict_db;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "eval by name invalidation" `Quick
+            test_eval_by_name_invalidation;
+          Alcotest.test_case "index rebuilt after mutation" `Quick
+            test_index_rebuilt_after_mutation;
+        ] );
+      ("differential", diff_tests);
+    ]
