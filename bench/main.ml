@@ -476,7 +476,7 @@ let exp_guard () =
 
 (* ------------------------------------------------------------------ *)
 (* EXP-KERNEL: compiled solver kernel and the parallel database sweep.  *)
-(* Wall-clock numbers land in BENCH_PR8.json (schema checked by         *)
+(* Wall-clock numbers land in BENCH_PR9.json (schema checked by         *)
 (* scripts/check.sh), so the rows use explicit timing rather than       *)
 (* Bechamel: the JSON must be producible in the --json-only fast mode.  *)
 (* ------------------------------------------------------------------ *)
@@ -498,7 +498,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       [
-        ("bench", Json.Str "BENCH_PR8");
+        ("bench", Json.Str "BENCH_PR9");
         ("jobs_available", Json.Int (Domain.recommended_domain_count ()));
         ( "experiments",
           Json.List
@@ -1036,6 +1036,105 @@ let exp_store () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* EXP-UCQ: unions as first-class citizens.  The Sagiv-Yannakakis       *)
+(* forall-exists decision on a 6-disjunct pair (each disjunct of the    *)
+(* small union must map into some disjunct of the big one, through the  *)
+(* compiled kernel), then the bag-UCQ hunt finding the canonical        *)
+(* 2*E(x,y) vs E(x,y)^E(z,w) violation, with the witness counts         *)
+(* cross-checked against the reference solver summed per disjunct.      *)
+(* ------------------------------------------------------------------ *)
+
+let exp_ucq () =
+  header "EXP-UCQ - UCQ containment: forall-exists decision and bag-UCQ hunt";
+  let module Solver_ref = Bagcq_hom.Solver_ref in
+  let module Hunt = Bagcq_search.Hunt in
+  (* path of n edges: x0 -> x1 -> ... -> xn *)
+  let path_n n =
+    Build.(
+      query
+        (List.init n (fun i ->
+             atom e_sym [ v (Printf.sprintf "x%d" i); v (Printf.sprintf "x%d" (i + 1)) ])))
+  in
+  (* paths(2..7) vs paths(1..6): every length-k path maps the length-(k-1)
+     path into its canonical structure, so containment holds disjunct by
+     disjunct; the reverse direction fails on the single-edge disjunct *)
+  let small = Ucq.of_disjuncts (List.init 6 (fun i -> path_n (i + 2))) in
+  let big = Ucq.of_disjuncts (List.init 6 (fun i -> path_n (i + 1))) in
+  let (contained, checks), t_dec =
+    wall (fun () -> Containment.ucq_set_contains_counted ~small ~big ())
+  in
+  let reverse_refused =
+    not (fst (Containment.ucq_set_contains_counted ~small:big ~big:small ()))
+  in
+  row "  paths(2..7) subseteq_set paths(1..6): %b in %d hom checks, %.3fms  [%s]\n"
+    contained checks (1e3 *. t_dec) (ok contained);
+  row "  reverse direction refused: %b  [%s]\n" reverse_refused (ok reverse_refused);
+  (* the known bag-UCQ violation: 2 copies of one edge vs the two-edge
+     product query; E(1,1) gives 2 > 1 *)
+  let u_small = Ucq.scale 2 edge_q in
+  let u_big =
+    Ucq.of_disjuncts
+      [ Build.(query [ atom e_sym [ v "x"; v "y" ]; atom e_sym [ v "z"; v "w" ] ]) ]
+  in
+  let report, t_hunt =
+    wall (fun () -> Hunt.ucq_counterexample ~small:u_small ~big:u_big ())
+  in
+  let witness_checks =
+    match report.Hunt.witness with
+    | None -> None
+    | Some d ->
+        let sum u =
+          List.fold_left
+            (fun acc q -> acc + Solver_ref.count q d)
+            0 (Ucq.disjuncts u)
+        in
+        let cs, cb = Containment.ucq_bag_counts ~small:u_small ~big:u_big d in
+        Some
+          ( d,
+            cs,
+            cb,
+            Nat.equal cs (Nat.of_int (sum u_small))
+            && Nat.equal cb (Nat.of_int (sum u_big))
+            && Nat.compare cs cb > 0 )
+  in
+  (match witness_checks with
+  | None -> row "  bag-UCQ hunt: no witness found  [FAIL]\n"
+  | Some (d, cs, cb, agree) ->
+      row "  bag-UCQ hunt: witness of size %d with %s > %s in %.3fms, solver_ref agrees [%s]\n"
+        (Structure.domain_size d) (Nat.to_string cs) (Nat.to_string cb)
+        (1e3 *. t_hunt) (ok agree));
+  let solver_ref_agrees =
+    match witness_checks with Some (_, _, _, a) -> a | None -> false
+  in
+  emit "ucq-forall-exists"
+    [
+      ("disjuncts_small", Json.Int (Ucq.num_disjuncts small));
+      ("disjuncts_big", Json.Int (Ucq.num_disjuncts big));
+      ("contained", Json.Bool contained);
+      ("reverse_refused", Json.Bool reverse_refused);
+      ("hom_checks", Json.Int checks);
+      ("decide_wall_s", Json.Float t_dec);
+    ];
+  emit "ucq-hunt-violation"
+    [
+      ("violated", Json.Bool (report.Hunt.witness <> None));
+      ( "witness_size",
+        match report.Hunt.witness with
+        | Some d -> Json.Int (Structure.domain_size d)
+        | None -> Json.Null );
+      ( "small_count",
+        match witness_checks with
+        | Some (_, cs, _, _) -> Json.Str (Nat.to_string cs)
+        | None -> Json.Null );
+      ( "big_count",
+        match witness_checks with
+        | Some (_, _, cb, _) -> Json.Str (Nat.to_string cb)
+        | None -> Json.Null );
+      ("solver_ref_agrees", Json.Bool solver_ref_agrees);
+      ("hunt_wall_s", Json.Float t_hunt);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* EXP-RESIL: the serving tier under overload.  An open-loop generator  *)
 (* floods a TCP server whose admission bounds are deliberately tight    *)
 (* with 10x and 100x the EXP-SERVE request count; the resilience        *)
@@ -1233,7 +1332,7 @@ let run_benchmarks () =
       | _ -> Printf.printf "  %-42s (no estimate)\n" name)
     (List.sort compare rows)
 
-let default_bench_json_path = "BENCH_PR8.json"
+let default_bench_json_path = "BENCH_PR9.json"
 
 (* minimal flag parsing: --json PATH overrides where the row file lands *)
 let bench_json_path =
@@ -1255,6 +1354,7 @@ let () =
     exp_obs ();
     exp_serve ();
     exp_store ();
+    exp_ucq ();
     exp_resilience ();
     write_bench_json bench_json_path;
     Printf.printf "\nwrote %s\n" bench_json_path;
@@ -1289,6 +1389,7 @@ let () =
   exp_obs ();
   exp_serve ();
   exp_store ();
+  exp_ucq ();
   exp_resilience ();
   exp_hde ();
   exp_set_vs_bag ();

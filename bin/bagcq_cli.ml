@@ -821,6 +821,28 @@ let metrics_cmd =
    query arguments ship as raw text — the server is the single validator,
    so a syntax error comes back as the same structured bad_request every
    other client sees. *)
+let roundtrip_over sock fields =
+  let ic = Unix.in_channel_of_descr sock in
+  let oc = Unix.out_channel_of_descr sock in
+  output_string oc (Wire_json.to_string (Wire_json.Obj fields));
+  output_char oc '\n';
+  flush oc;
+  let line = In_channel.input_line ic in
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  match line with
+  | None ->
+      Printf.eprintf "bagcq: server closed the connection without answering\n";
+      exit_input
+  | Some line -> (
+      print_endline line;
+      match Wire_json.parse line with
+      | Error _ -> exit_input
+      | Ok j -> (
+          match Wire_json.member "status" j with
+          | Some (Wire_json.Str "ok") -> exit_found
+          | Some (Wire_json.Str "exhausted") -> exit_exhausted
+          | _ -> exit_none))
+
 let store_roundtrip port fields =
   match
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -831,28 +853,7 @@ let store_roundtrip port fields =
       Printf.eprintf "bagcq: cannot connect to 127.0.0.1:%d: %s\n" port
         (Unix.error_message e);
       exit_input
-  | sock -> (
-      let ic = Unix.in_channel_of_descr sock in
-      let oc = Unix.out_channel_of_descr sock in
-      output_string oc (Wire_json.to_string (Wire_json.Obj fields));
-      output_char oc '\n';
-      flush oc;
-      let line = In_channel.input_line ic in
-      (try Unix.close sock with Unix.Unix_error _ -> ());
-      match line with
-      | None ->
-          Printf.eprintf
-            "bagcq: server closed the connection without answering\n";
-          exit_input
-      | Some line -> (
-          print_endline line;
-          match Wire_json.parse line with
-          | Error _ -> exit_input
-          | Ok j -> (
-              match Wire_json.member "status" j with
-              | Some (Wire_json.Str "ok") -> exit_found
-              | Some (Wire_json.Str "exhausted") -> exit_exhausted
-              | _ -> exit_none)))
+  | sock -> roundtrip_over sock fields
 
 let store_cmd =
   let port =
@@ -977,10 +978,282 @@ let store_cmd =
       counts_cmd;
     ]
 
+(* ---------------- ucq (union queries) ---------------- *)
+
+(* Each verb runs locally by default and becomes one NDJSON request over
+   TCP when --port is given.  The TCP path feature-detects first:
+   [Load.connect ~require_ops] runs the ping capability handshake and
+   refuses to send ucq_* to a server that does not advertise it. *)
+let ucq_roundtrip port ~op fields =
+  match Load.connect ~require_ops:[ op ] ~port () with
+  | Error e ->
+      Printf.eprintf "bagcq: 127.0.0.1:%d: %s\n" port e;
+      exit_input
+  | Ok sock -> roundtrip_over sock (("op", Wire_json.Str op) :: fields)
+
+let ucq_cmd =
+  let port =
+    Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+           ~doc:"Ship the request to a bagcq server on 127.0.0.1:$(docv) \
+                 (after a ping capability handshake) instead of running \
+                 locally.")
+  in
+  (* One --fuel/--timeout-ms pair serves both modes: raw ints for the wire
+     budget fields, a [Budget.t] for the local engine. *)
+  let fuel_arg =
+    Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N"
+           ~doc:"Deterministic execution budget in engine ticks (local), or \
+                 the per-request fuel field (with $(b,--port)).")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Wall-clock deadline in milliseconds (local), or the \
+                 per-request timeout_ms field (with $(b,--port)).")
+  in
+  let budget_of fuel timeout_ms = Budget.create ?fuel ?timeout_ms () in
+  let budget_json fuel timeout =
+    (match fuel with Some f -> [ ("fuel", Wire_json.Int f) ] | None -> [])
+    @
+    match timeout with
+    | Some t -> [ ("timeout_ms", Wire_json.Int t) ]
+    | None -> []
+  in
+  let eval_cmd =
+    let query =
+      Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"UCQ"
+             ~doc:"The union of boolean conjunctive queries, disjuncts \
+                   separated by '|', e.g. '(E(x,y)) | (E(x,y) & E(y,z))'.")
+    in
+    let db =
+      Arg.(value & opt string "-" & info [ "d"; "database" ] ~docv:"FILE"
+             ~doc:"Database file in fact-list syntax ('-' for stdin). \
+                   Ignored when $(b,--db-name) is given.")
+    in
+    let db_name =
+      Arg.(value & opt (some string) None & info [ "db-name" ] ~docv:"NAME"
+             ~doc:"Evaluate against a named data-plane database on the \
+                   server (requires $(b,--port)).")
+    in
+    let run text path db_name port fuel timeout =
+      match (port, db_name) with
+      | None, Some _ ->
+          Printf.eprintf "bagcq: --db-name requires --port\n";
+          exit_input
+      | Some port, Some name ->
+          ucq_roundtrip port ~op:"ucq_eval"
+            ([ ("query", Wire_json.Str text); ("db_name", Wire_json.Str name) ]
+            @ budget_json fuel timeout)
+      | Some port, None -> (
+          match read_database path with
+          | Error e ->
+              Printf.eprintf "bagcq: %s\n" e;
+              exit_input
+          | Ok d ->
+              ucq_roundtrip port ~op:"ucq_eval"
+                ([
+                   ("query", Wire_json.Str text);
+                   ("db", Wire_json.Str (Encode.to_string d));
+                 ]
+                @ budget_json fuel timeout))
+      | None, None -> (
+          match Parse.parse_ucq text with
+          | Error e ->
+              Printf.eprintf "bagcq: %s\n" e;
+              exit_input
+          | Ok u -> (
+              match read_database path with
+              | Error e ->
+                  Printf.eprintf "bagcq: %s\n" e;
+                  exit_input
+              | Ok d -> (
+                  let budget = budget_of fuel timeout in
+                  Printf.printf "ucq: %s (%d disjuncts)\n" (Ucq.to_string u)
+                    (Ucq.num_disjuncts u);
+                  match
+                    Outcome.guard
+                      ~partial:(fun () -> ())
+                      (fun () -> Eval.count_ucq ~budget u d)
+                  with
+                  | Outcome.Complete count ->
+                      Printf.printf "bag count  Σᵢ ψᵢ(D) = %s\n"
+                        (Nat.to_string count);
+                      Printf.printf "satisfied  D ⊨ ∪ψᵢ: %b\n"
+                        (not (Nat.is_zero count));
+                      exit_found
+                  | Outcome.Exhausted ((), reason) ->
+                      print_exhausted budget reason;
+                      exit_exhausted)))
+    in
+    Cmd.v
+      (Cmd.info "eval" ~exits:budget_exits
+         ~doc:"Evaluate a union of CQs under bag semantics: the sum of the \
+               disjunct counts.")
+      Cmdliner.Term.(
+        const run $ query $ db $ db_name $ port $ fuel_arg $ timeout_arg)
+  in
+  let small_arg =
+    Arg.(required & opt (some string) None & info [ "small" ] ~docv:"UCQ"
+           ~doc:"The candidate containee union.")
+  in
+  let big_arg =
+    Arg.(required & opt (some string) None & info [ "big" ] ~docv:"UCQ"
+           ~doc:"The candidate container union.")
+  in
+  let parse_pair small big k =
+    match (Parse.parse_ucq small, Parse.parse_ucq big) with
+    | Ok s, Ok b -> k s b
+    | Error e, _ | _, Error e ->
+        Printf.eprintf "bagcq: %s\n" e;
+        exit_input
+  in
+  let contain_cmd =
+    let run small big port fuel timeout =
+      match port with
+      | Some port ->
+          ucq_roundtrip port ~op:"ucq_contain"
+            ([ ("small", Wire_json.Str small); ("big", Wire_json.Str big) ]
+            @ budget_json fuel timeout)
+      | None ->
+          parse_pair small big (fun small big ->
+              let budget = budget_of fuel timeout in
+              match
+                Outcome.guard
+                  ~partial:(fun () -> ())
+                  (fun () ->
+                    try
+                      Some
+                        (Containment.ucq_set_contains_counted ~budget ~small
+                           ~big ())
+                    with Invalid_argument _ -> None)
+              with
+              | Outcome.Complete set ->
+                  (match set with
+                  | Some (v, checks) ->
+                      Printf.printf
+                        "set-semantics UCQ containment (∀∃ Sagiv–Yannakakis): \
+                         %b (%d hom checks)\n"
+                        v checks
+                  | None ->
+                      Printf.printf
+                        "set-semantics UCQ containment: n/a (inequalities \
+                         present)\n");
+                  Printf.printf
+                    "bag equivalence (disjuncts pair up isomorphically): %b\n"
+                    (Containment.ucq_bag_equivalent small big);
+                  Printf.printf
+                    "bag containment: undecidable for UCQs \
+                     (Ioannidis–Ramakrishnan) — use 'bagcq ucq hunt'.\n";
+                  exit_found
+              | Outcome.Exhausted ((), reason) ->
+                  print_exhausted budget reason;
+                  exit_exhausted)
+    in
+    Cmd.v
+      (Cmd.info "contain" ~exits:budget_exits
+         ~doc:"Decide set-semantics UCQ containment (every disjunct of \
+               $(b,--small) is Chandra–Merlin contained in some disjunct of \
+               $(b,--big)) and bag equivalence.")
+      Cmdliner.Term.(
+        const run $ small_arg $ big_arg $ port $ fuel_arg $ timeout_arg)
+  in
+  let hunt_cmd =
+    let samples =
+      Arg.(value & opt int 500 & info [ "samples" ] ~docv:"N"
+             ~doc:"Random databases to try.")
+    in
+    let max_size =
+      Arg.(value & opt int 2 & info [ "exhaustive-size" ] ~docv:"N"
+             ~doc:"Exhaustively enumerate databases up to this many elements \
+                   first.")
+    in
+    let seed =
+      Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"N"
+             ~doc:"Random seed.")
+    in
+    let print_witness small big d =
+      let cs, cb = Containment.ucq_bag_counts ~small ~big d in
+      Printf.printf "VIOLATED: small(D) = %s > big(D) = %s on:\n%s"
+        (Nat.to_string cs) (Nat.to_string cb) (Encode.to_string d)
+    in
+    let run small big samples max_size seed port fuel timeout =
+      match port with
+      | Some port ->
+          ucq_roundtrip port ~op:"ucq_hunt"
+            ([
+               ("small", Wire_json.Str small);
+               ("big", Wire_json.Str big);
+               ("samples", Wire_json.Int samples);
+               ("exhaustive_size", Wire_json.Int max_size);
+               ("seed", Wire_json.Int seed);
+             ]
+            @ budget_json fuel timeout)
+      | None ->
+          parse_pair small big (fun small big ->
+              let budget = budget_of fuel timeout in
+              let strategy =
+                {
+                  Hunt.exhaustive_max_size = max_size;
+                  Hunt.sampler =
+                    { Sampler.default with Sampler.samples; Sampler.seed };
+                }
+              in
+              match
+                Hunt.ucq_counterexample_guarded ~strategy ~budget ~small ~big ()
+              with
+              | Outcome.Complete (report, _) -> (
+                  match report.Hunt.witness with
+                  | Some d ->
+                      print_witness small big d;
+                      exit_found
+                  | None ->
+                      (match report.Hunt.unverified with
+                      | Some d ->
+                          Printf.eprintf
+                            "bagcq: INCONSISTENCY: sampler reported a witness \
+                             that failed re-verification:\n%s"
+                            (Encode.to_string d)
+                      | None -> ());
+                      Printf.printf
+                        "no counterexample found (exhaustive to size %d \
+                         complete: %b; %d random samples)\n"
+                        max_size report.Hunt.exhaustive_complete
+                        report.Hunt.tested_random;
+                      exit_none)
+              | Outcome.Exhausted ((report, progress), reason) ->
+                  (match report.Hunt.witness with
+                  | Some d -> print_witness small big d
+                  | None -> ());
+                  Printf.printf
+                    "budget exhausted (%s): %s, %d databases tested \
+                     (exhaustive complete to size %d; %d random samples)\n"
+                    (Budget.reason_to_string reason)
+                    (Budget.snapshot_to_string (Budget.snapshot budget))
+                    progress.Hunt.databases_tested
+                    progress.Hunt.largest_size_completed
+                    report.Hunt.tested_random;
+                  exit_exhausted)
+    in
+    Cmd.v
+      (Cmd.info "hunt" ~exits:budget_exits
+         ~doc:"Hunt for a database where the summed disjunct counts of \
+               $(b,--small) exceed those of $(b,--big) — one instance of \
+               the undecidable bag-UCQ containment problem.")
+      Cmdliner.Term.(
+        const run $ small_arg $ big_arg $ samples $ max_size $ seed $ port
+        $ fuel_arg $ timeout_arg)
+  in
+  Cmd.group
+    (Cmd.info "ucq"
+       ~doc:"Unions of conjunctive queries as a first-class workload: \
+             bag-semantics evaluation, the decidable set-semantics ∀∃ \
+             containment, and bag-UCQ counterexample hunts — locally or \
+             against a running server.")
+    [ eval_cmd; contain_cmd; hunt_cmd ]
+
 let main_cmd =
   let doc = "bag-semantics conjunctive query containment toolbox (PODS 2024 reproduction)" in
   Cmd.group
     (Cmd.info "bagcq" ~version:"1.0.0" ~doc)
-    [ eval_cmd; explain_cmd; contain_cmd; hunt_cmd; reduce_cmd; multiply_cmd; core_cmd; answers_cmd; hde_cmd; serve_cmd; client_cmd; metrics_cmd; store_cmd ]
+    [ eval_cmd; explain_cmd; contain_cmd; hunt_cmd; ucq_cmd; reduce_cmd; multiply_cmd; core_cmd; answers_cmd; hde_cmd; serve_cmd; client_cmd; metrics_cmd; store_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -8,6 +8,7 @@ type token =
   | Comma
   | Amp
   | Neq
+  | Bar
 
 exception Error of string
 
@@ -28,6 +29,7 @@ let tokenize s =
       | ')' -> go (i + 1) (Rparen :: acc)
       | ',' -> go (i + 1) (Comma :: acc)
       | '&' -> go (i + 1) (Amp :: acc)
+      | '|' -> go (i + 1) (Bar :: acc)
       | '!' when i + 1 < n && s.[i + 1] = '=' -> go (i + 2) (Neq :: acc)
       | '\'' ->
           let j = try String.index_from s (i + 1) '\'' with Not_found -> raise (Error "unterminated quote") in
@@ -98,3 +100,65 @@ let parse s =
 
 let parse_exn s =
   match parse s with Ok q -> q | Error msg -> invalid_arg ("Parse.parse: " ^ msg)
+
+(* Split a token stream on top-level '|' (never inside parentheses). *)
+let split_disjuncts tokens =
+  let rec go depth current acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | Bar :: rest when depth = 0 -> go 0 [] (List.rev current :: acc) rest
+    | t :: rest ->
+        let depth =
+          match t with
+          | Lparen -> depth + 1
+          | Rparen ->
+              if depth = 0 then raise (Error "unbalanced ')'");
+              depth - 1
+          | _ -> depth
+        in
+        go depth (t :: current) acc rest
+  in
+  go 0 [] [] tokens
+
+(* [Ucq.pp] wraps each disjunct in parentheses; accept (and strip) one such
+   level when it encloses the whole disjunct. *)
+let strip_wrapping_parens tokens =
+  match tokens with
+  | Lparen :: (_ :: _ as rest) ->
+      let rec closes_at_end depth = function
+        | [ Rparen ] -> depth = 1
+        | Rparen :: _ when depth = 1 -> false
+        | Rparen :: rest -> closes_at_end (depth - 1) rest
+        | Lparen :: rest -> closes_at_end (depth + 1) rest
+        | _ :: rest -> closes_at_end depth rest
+        | [] -> false
+      in
+      if closes_at_end 1 rest then
+        List.filteri (fun i _ -> i < List.length rest - 1) rest
+      else tokens
+  | _ -> tokens
+
+let parse_ucq s =
+  let s = String.trim s in
+  if s = "" || s = "false" then Ok (Ucq.of_disjuncts [])
+  else begin
+    try
+      let tokens = tokenize s in
+      let arities = Hashtbl.create 8 in
+      let disjunct tokens =
+        match strip_wrapping_parens tokens with
+        | [] -> raise (Error "empty disjunct")
+        | [ Name "true" ] -> Query.true_query
+        | tokens ->
+            let atoms, neqs = parse_conjuncts arities tokens in
+            Query.make ~neqs atoms
+      in
+      Ok (Ucq.of_disjuncts (List.map disjunct (split_disjuncts tokens)))
+    with
+    | Error msg -> Result.Error msg
+    | Invalid_argument msg -> Result.Error msg
+  end
+
+let parse_ucq_exn s =
+  match parse_ucq s with
+  | Ok u -> u
+  | Error msg -> invalid_arg ("Parse.parse_ucq: " ^ msg)

@@ -13,3 +13,12 @@
 
 val parse : string -> (Query.t, string) result
 val parse_exn : string -> Query.t
+
+(** Unions: [ucq ::= disjunct ('|' disjunct)*] where each disjunct is a
+    [query] as above, optionally wrapped in one pair of parentheses (the
+    shape {!Ucq.pp} prints, so printing and parsing round-trip).  The empty
+    string (or the keyword [false]) denotes the empty union.  Relation
+    arities must be consistent across disjuncts. *)
+
+val parse_ucq : string -> (Ucq.t, string) result
+val parse_ucq_exn : string -> Ucq.t

@@ -17,6 +17,11 @@ let schema t = List.fold_left (fun acc q -> Schema.union acc (Query.schema q)) S
 let has_neqs t = List.exists Query.has_neqs t
 
 let map = List.map
+let equal = List.equal Query.equal
+
+let to_string = function
+  | [] -> "false"
+  | t -> String.concat " | " (List.map (fun q -> "(" ^ Query.to_string q ^ ")") t)
 
 let pp fmt t =
   match t with

@@ -28,4 +28,12 @@ val has_neqs : t -> bool
 
 val map : (Query.t -> Query.t) -> t -> t
 
+val equal : t -> t -> bool
+(** Syntactic equality: same disjuncts in the same order (bag semantics, so
+    the order-insensitive notion is {!Bagcq_reduction.Containment.ucq_bag_equivalent}). *)
+
+val to_string : t -> string
+(** [(q1) | (q2) | ...] — the same shape {!pp} prints, accepted back by
+    {!Parse.parse_ucq}; [false] for the empty union. *)
+
 val pp : Format.formatter -> t -> unit

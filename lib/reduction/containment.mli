@@ -64,3 +64,61 @@ val bag_violation_pquery :
   Structure.t ->
   bool
 (** The power-product variant, decided without materialising counts. *)
+
+(** {2 Unions of CQs}
+
+    Set-semantics UCQ containment stays decidable (Sagiv–Yannakakis):
+    [∪ᵢ sᵢ ⊆ ∪ⱼ bⱼ] iff every [sᵢ] is contained in {e some} [bⱼ].  Bag
+    semantics flips: [QCP^bag_UCQ] is undecidable (Ioannidis–Ramakrishnan),
+    so the bag helpers only evaluate candidate witnesses. *)
+
+val ucq_set_contains :
+  ?budget:Bagcq_guard.Budget.t -> small:Ucq.t -> big:Ucq.t -> unit -> bool
+(** The ∀∃ decision procedure.  Each inner Chandra–Merlin check runs the
+    compiled kernel over the canonical structure of one disjunct of [small],
+    ticking [?budget].  Raises [Invalid_argument] on inequalities.  The
+    empty union is contained in everything; nothing non-empty is contained
+    in the empty union. *)
+
+val ucq_set_contains_counted :
+  ?budget:Bagcq_guard.Budget.t ->
+  small:Ucq.t ->
+  big:Ucq.t ->
+  unit ->
+  bool * int
+(** {!ucq_set_contains} plus the number of inner Chandra–Merlin checks the
+    decision spent (deterministic for a given pair: the ∃ scan
+    short-circuits left to right).  The wire's [ucq_contain] reports it. *)
+
+val ucq_bag_equivalent : Ucq.t -> Ucq.t -> bool
+(** Chaudhuri–Vardi lifted to unions: equal counts on every database iff
+    the multisets of isomorphism classes of disjuncts coincide. *)
+
+val ucq_bag_counts :
+  ?budget:Bagcq_guard.Budget.t ->
+  ?cache:Bagcq_hom.Eval.cache ->
+  small:Ucq.t ->
+  big:Ucq.t ->
+  Structure.t ->
+  Nat.t * Nat.t
+(** Summed per-disjunct counts; with [?cache], components shared between
+    disjuncts (of either union) compile and count once. *)
+
+val ucq_bag_violation :
+  ?budget:Bagcq_guard.Budget.t ->
+  ?cache:Bagcq_hom.Eval.cache ->
+  small:Ucq.t ->
+  big:Ucq.t ->
+  Structure.t ->
+  bool
+(** [small(D) > big(D)] under bag-union semantics. *)
+
+val ucq_bag_violation_guarded :
+  ?cache:Bagcq_hom.Eval.cache ->
+  budget:Bagcq_guard.Budget.t ->
+  small:Ucq.t ->
+  big:Ucq.t ->
+  Structure.t ->
+  (bool, unit) Bagcq_guard.Outcome.t
+(** Structured variant of {!ucq_bag_violation}, mirroring
+    {!bag_violation_guarded}. *)

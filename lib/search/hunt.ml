@@ -24,7 +24,33 @@ type progress = {
   largest_size_completed : int;
 }
 
+(* Both hunt flavours — CQ pairs and UCQ pairs — run the same two phases
+   (exhaustive sweep over tiny domains, then randomised sampling); only the
+   schema and the violation predicate differ, so the phases are written
+   against this record.  Calling [violation] with no budget and no cache is
+   the exact re-verification of a candidate witness. *)
+type target = {
+  schema : Schema.t;
+  violation : ?budget:Budget.t -> ?cache:Eval.cache -> Structure.t -> bool;
+}
+
+let cq_target ~small ~big =
+  {
+    schema = Sampler.schema_of_pair small big;
+    violation =
+      (fun ?budget ?cache d -> Containment.bag_violation ?budget ?cache ~small ~big d);
+  }
+
+let ucq_target ~small ~big =
+  {
+    schema = Schema.union (Bagcq_cq.Ucq.schema small) (Bagcq_cq.Ucq.schema big);
+    violation =
+      (fun ?budget ?cache d ->
+        Containment.ucq_bag_violation ?budget ?cache ~small ~big d);
+  }
+
 let verified ~small ~big d = Containment.bag_violation ~small ~big d
+let ucq_verified ~small ~big d = Containment.ucq_bag_violation ~small ~big d
 
 (* Largest domain size whose potential-atom count fits under the Dbspace
    cap, at most the requested size; 0 when even size 1 is infeasible. *)
@@ -38,11 +64,13 @@ let feasible_size schema requested =
 
 (* One evaluation cache per domain: worker predicates running on spawned
    domains each get their own (plans compile once per domain, counts
-   memoise per structure), with no cross-domain sharing to synchronise. *)
+   memoise per structure), with no cross-domain sharing to synchronise.
+   UCQ disjuncts sharing components with each other automatically share
+   their plan/count entries through the same cache. *)
 let dls_cache : Eval.cache Domain.DLS.key = Domain.DLS.new_key Eval.create_cache
 
-let serial_guarded ~strategy ~budget ~small ~big () =
-  let schema = Sampler.schema_of_pair small big in
+let serial_guarded ~strategy ~budget ~target () =
+  let schema = target.schema in
   let cache = Eval.create_cache () in
   let witness = ref None in
   let exhaustive_complete = ref false in
@@ -72,7 +100,7 @@ let serial_guarded ~strategy ~budget ~small ~big () =
       if size >= 1 then begin
         match
           Dbspace.find_guarded ~budget schema ~max_size:size (fun d ->
-              Containment.bag_violation ~budget ~cache ~small ~big d)
+              target.violation ~budget ~cache d)
         with
         | Outcome.Complete (w, stats) ->
             tested_exhaustive := stats.Dbspace.databases_tested;
@@ -92,14 +120,14 @@ let serial_guarded ~strategy ~budget ~small ~big () =
           let outcome =
             Sampler.sample_stream ~budget strategy.sampler schema (fun d ->
                 incr tested_random;
-                Containment.bag_violation ~budget ~cache ~small ~big d)
+                target.violation ~budget ~cache d)
           in
           tested_random := outcome.Sampler.tested;
           (* re-verify with exact, unbudgeted counting: a candidate the
              sampler reported but the verifier rejects is an engine
              inconsistency and is surfaced, never silently dropped *)
           (match outcome.Sampler.witness with
-          | Some d when verified ~small ~big d -> witness := Some d
+          | Some d when target.violation d -> witness := Some d
           | Some d -> unverified := Some d
           | None -> ()));
       (report (), progress ()))
@@ -108,12 +136,12 @@ let serial_guarded ~strategy ~budget ~small ~big () =
    phases return structured outcomes (shards are absorbed inside
    [Dbspace.find_guarded_par] / [Sampler.sample_batches_guarded]), so no
    [Exhausted_] unwinds through here and there is no outer guard. *)
-let parallel_guarded ~strategy ~jobs ~budget ~small ~big () =
+let parallel_guarded ~strategy ~jobs ~budget ~target () =
   if jobs < 1 then invalid_arg "Hunt.counterexample_guarded: jobs must be >= 1";
-  let schema = Sampler.schema_of_pair small big in
+  let schema = target.schema in
   let pred ~budget d =
     let cache = Domain.DLS.get dls_cache in
-    Containment.bag_violation ~budget ~cache ~small ~big d
+    target.violation ~budget ~cache d
   in
   let witness = ref None in
   let exhaustive_complete = ref false in
@@ -164,7 +192,7 @@ let parallel_guarded ~strategy ~jobs ~budget ~small ~big () =
           | Outcome.Complete outcome ->
               tested_random := outcome.Sampler.tested;
               (match outcome.Sampler.witness with
-              | Some d when verified ~small ~big d -> witness := Some d
+              | Some d when target.violation d -> witness := Some d
               | Some d -> unverified := Some d
               | None -> ());
               Outcome.Complete (report (), progress ())))
@@ -172,13 +200,16 @@ let parallel_guarded ~strategy ~jobs ~budget ~small ~big () =
 (* Hunt metrics, recorded once per hunt from the structured outcome —
    the hot loops inside Dbspace/Sampler stay untouched.  Both exhaustion
    reasons register their labeled counter eagerly at module
-   initialisation so a metrics dump always shows the full family. *)
+   initialisation so a metrics dump always shows the full family; the
+   ucq_* pair is the per-flavour split on top of the shared family. *)
 module Metrics = Bagcq_obs.Metrics
 
 let hunt_runs = Metrics.counter Metrics.global "hunt_runs"
 let hunt_candidates = Metrics.counter Metrics.global "hunt_candidates_tested"
 let hunt_witnesses = Metrics.counter Metrics.global "hunt_witnesses_found"
 let hunt_ticks = Metrics.counter Metrics.global "hunt_ticks_spent"
+let ucq_hunt_runs = Metrics.counter Metrics.global "ucq_hunt_runs"
+let ucq_hunt_witnesses = Metrics.counter Metrics.global "ucq_hunt_witnesses_found"
 
 let hunt_exhausted_fuel =
   Metrics.counter ~labels:[ ("reason", "fuel") ] Metrics.global "hunt_exhausted"
@@ -188,8 +219,8 @@ let hunt_exhausted_deadline =
     ~labels:[ ("reason", "deadline") ]
     Metrics.global "hunt_exhausted"
 
-let record outcome =
-  Metrics.incr hunt_runs;
+let record ~runs ~witnesses outcome =
+  Metrics.incr runs;
   let report, progress, reason =
     match outcome with
     | Outcome.Complete (report, progress) -> (report, progress, None)
@@ -198,21 +229,34 @@ let record outcome =
   in
   Metrics.add hunt_candidates progress.databases_tested;
   Metrics.add hunt_ticks progress.ticks_spent;
-  if report.witness <> None then Metrics.incr hunt_witnesses;
+  if report.witness <> None then Metrics.incr witnesses;
   (match reason with
   | Some Budget.Fuel -> Metrics.incr hunt_exhausted_fuel
   | Some Budget.Deadline -> Metrics.incr hunt_exhausted_deadline
   | None -> ());
   outcome
 
-let counterexample_guarded ?(strategy = default) ?jobs ~budget ~small ~big () =
-  record
-    (match jobs with
-    | None -> serial_guarded ~strategy ~budget ~small ~big ()
-    | Some jobs -> parallel_guarded ~strategy ~jobs ~budget ~small ~big ())
+let hunt_guarded ?(strategy = default) ?jobs ~budget ~target () =
+  match jobs with
+  | None -> serial_guarded ~strategy ~budget ~target ()
+  | Some jobs -> parallel_guarded ~strategy ~jobs ~budget ~target ()
+
+let counterexample_guarded ?strategy ?jobs ~budget ~small ~big () =
+  record ~runs:hunt_runs ~witnesses:hunt_witnesses
+    (hunt_guarded ?strategy ?jobs ~budget ~target:(cq_target ~small ~big) ())
+
+let ucq_counterexample_guarded ?strategy ?jobs ~budget ~small ~big () =
+  record ~runs:ucq_hunt_runs ~witnesses:ucq_hunt_witnesses
+    (hunt_guarded ?strategy ?jobs ~budget ~target:(ucq_target ~small ~big) ())
 
 let counterexample ?(strategy = default) ?jobs ~small ~big () =
   let budget = Budget.unlimited () in
   match counterexample_guarded ~strategy ?jobs ~budget ~small ~big () with
+  | Outcome.Complete (report, _) -> report
+  | Outcome.Exhausted _ -> assert false (* an unlimited budget never trips *)
+
+let ucq_counterexample ?(strategy = default) ?jobs ~small ~big () =
+  let budget = Budget.unlimited () in
+  match ucq_counterexample_guarded ~strategy ?jobs ~budget ~small ~big () with
   | Outcome.Complete (report, _) -> report
   | Outcome.Exhausted _ -> assert false (* an unlimited budget never trips *)

@@ -73,8 +73,32 @@ val counterexample_guarded :
     sequence than the serial path, so pass [?jobs] for jobs-count
     comparisons and omit it for seed-compatible behaviour. *)
 
+val ucq_counterexample :
+  ?strategy:strategy -> ?jobs:int -> small:Ucq.t -> big:Ucq.t -> unit -> report
+(** {!counterexample} for UCQ pairs: hunts for a database where the summed
+    disjunct counts of [small] exceed those of [big] — one instance of the
+    {e undecidable} [QCP^bag_UCQ].  Same two phases, same sampler; the
+    per-domain evaluation cache is shared across disjuncts, so components
+    appearing in several disjuncts plan and count once. *)
+
+val ucq_counterexample_guarded :
+  ?strategy:strategy ->
+  ?jobs:int ->
+  budget:Bagcq_guard.Budget.t ->
+  small:Ucq.t ->
+  big:Ucq.t ->
+  unit ->
+  (report * progress, report * progress) Bagcq_guard.Outcome.t
+(** Budgeted UCQ hunt, mirroring {!counterexample_guarded} (including the
+    serial-vs-[?jobs] sampling caveat).  Recorded under the [ucq_hunt_*]
+    metric family on top of the shared [hunt_candidates_tested] /
+    [hunt_ticks_spent] / [hunt_exhausted] cells. *)
+
 val verified : small:Query.t -> big:Query.t -> Structure.t -> bool
 (** Exact re-check of a candidate witness. *)
+
+val ucq_verified : small:Ucq.t -> big:Ucq.t -> Structure.t -> bool
+(** Exact re-check of a candidate UCQ witness. *)
 
 val feasible_size : Schema.t -> int -> int
 (** [feasible_size schema requested] — the largest domain size [≤

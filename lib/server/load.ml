@@ -223,7 +223,7 @@ let backoff_sleep_ms ~backoff_ms ~attempt =
   let jitter = (attempt * 7919) mod max 1 (base / 2) in
   base + jitter
 
-let connect ?(retries = 0) ?(backoff_ms = 50) ~port () =
+let connect_plain ?(retries = 0) ?(backoff_ms = 50) ~port () =
   let rec go attempt =
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     match Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
@@ -239,16 +239,6 @@ let connect ?(retries = 0) ?(backoff_ms = 50) ~port () =
   in
   go 0
 
-(* ---------------- fault injectors ---------------- *)
-
-let with_socket ~port f =
-  match connect ~port () with
-  | Error e -> Error e
-  | Ok sock ->
-      Fun.protect
-        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
-        (fun () -> Ok (f sock))
-
 let write_all sock s =
   let b = Bytes.of_string s in
   let n = Bytes.length b in
@@ -258,6 +248,83 @@ let write_all sock s =
        off := !off + Unix.write sock b !off (n - !off)
      done
    with Unix.Unix_error _ -> ())
+
+(* ---------------- capability handshake ---------------- *)
+
+type capabilities = { api_version : int; ops : string list }
+
+let read_response_line sock =
+  let buf = Buffer.create 256 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read sock b 0 1 with
+    | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | _ ->
+        if Bytes.get b 0 = '\n' then Some (Buffer.contents buf)
+        else begin
+          Buffer.add_char buf (Bytes.get b 0);
+          go ()
+        end
+    | exception Unix.Unix_error _ ->
+        if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+  in
+  go ()
+
+let handshake sock =
+  write_all sock "{\"op\":\"ping\"}\n";
+  match read_response_line sock with
+  | None -> Error "handshake: server closed without answering the ping"
+  | Some line -> (
+      match Json.parse line with
+      | Error e -> Error (Printf.sprintf "handshake: invalid ping response: %s" e)
+      | Ok j -> (
+          match (Json.member "api_version" j, Json.member "ops" j) with
+          | Some (Json.Int api_version), Some (Json.List ops) ->
+              let ops =
+                List.filter_map
+                  (function Json.Str s -> Some s | _ -> None)
+                  ops
+              in
+              Ok { api_version; ops }
+          | _ ->
+              Error
+                "handshake: ping response carries no api_version/ops \
+                 capability surface"))
+
+let connect ?retries ?backoff_ms ?require_ops ~port () =
+  match connect_plain ?retries ?backoff_ms ~port () with
+  | Error _ as e -> e
+  | Ok sock -> (
+      match require_ops with
+      | None -> Ok sock
+      | Some required -> (
+          let close () = try Unix.close sock with Unix.Unix_error _ -> () in
+          match handshake sock with
+          | Error e ->
+              close ();
+              Error e
+          | Ok caps -> (
+              match
+                List.filter (fun op -> not (List.mem op caps.ops)) required
+              with
+              | [] -> Ok sock
+              | missing ->
+                  close ();
+                  Error
+                    (Printf.sprintf
+                       "server (api_version %d) does not support: %s"
+                       caps.api_version
+                       (String.concat ", " missing)))))
+
+(* ---------------- fault injectors ---------------- *)
+
+let with_socket ~port f =
+  match connect ~port () with
+  | Error e -> Error e
+  | Ok sock ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () -> Ok (f sock))
 
 let slow_loris ~port ?(chunks = [ "{\"op\":"; "\"ev"; "al\"" ]) ?(pause_s = 0.05)
     () =

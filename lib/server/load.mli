@@ -55,15 +55,29 @@ val summary_to_string : summary -> string
 
 (** {2 Connecting, with retries} *)
 
+type capabilities = { api_version : int; ops : string list }
+(** What a ping advertises: the protocol revision and every supported op
+    name ({!Bagcq_wire.Proto.supported_ops} on the server side). *)
+
+val handshake : Unix.file_descr -> (capabilities, string) result
+(** Send one [ping] over a connected socket and read the capability
+    surface out of its response.  Consumes exactly one response line. *)
+
 val connect :
-  ?retries:int -> ?backoff_ms:int -> port:int -> unit ->
-  (Unix.file_descr, string) result
+  ?retries:int -> ?backoff_ms:int -> ?require_ops:string list -> port:int ->
+  unit -> (Unix.file_descr, string) result
 (** Connect to [127.0.0.1:port].  On failure (connection refused — the
     server is still binding, or was restarted), retry up to [retries]
     times (default 0) with exponential backoff from [backoff_ms]
     (default 50): the [k]-th wait is [backoff_ms * 2^k] plus a
     deterministic jitter, so colliding clients spread out without a
-    global RNG.  [Error] carries the last failure's message. *)
+    global RNG.  [Error] carries the last failure's message.
+
+    With [?require_ops], feature-detect before use: a {!handshake} runs on
+    the fresh connection and the call fails (closing the socket) unless the
+    server's advertised [ops] include every required name — how a client
+    refuses to talk [ucq_*] to a pre-UCQ server instead of collecting
+    [unknown op] errors mid-run. *)
 
 (** {2 Fault injectors}
 

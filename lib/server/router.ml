@@ -28,6 +28,9 @@ let op_labels =
     "eval";
     "contain";
     "hunt";
+    "ucq_eval";
+    "ucq_contain";
+    "ucq_hunt";
     "db_create";
     "db_insert";
     "db_delete";
@@ -199,21 +202,22 @@ let eval_db ?key ?deadline t (req : Proto.request) ~query ~db =
                   ~kind:(Proto.Exhausted reason)
                   ~budget:(Budget.snapshot budget) ""))
 
-let handle_eval ?deadline t (req : Proto.request) ~query ~db =
+(* Resolve the [db]-inline-xor-[db_name] reference shared by [eval] and
+   [ucq_eval], then continue with the concrete structure and (for named
+   databases) a version-stamped memo key. *)
+let resolve_db_ref t (req : Proto.request) ~op ~db k =
   match db with
   | Proto.Db_inline db ->
       (* Intern before evaluating: the decoded structure is request-local,
          and only the interned representative carries the memoised join
          index and count memo shared across requests. *)
-      let db = Cache.intern_db t.cache db in
-      eval_db ?deadline t req ~query ~db
+      k ?key:None (Cache.intern_db t.cache db)
   | Proto.Db_named name -> (
       match Store.snapshot t.store ~name with
       | Store.Rejected msg ->
-          Proto.error_body ?id:req.Proto.id ~op:"eval" ~kind:Proto.Bad_request
-            msg
+          Proto.error_body ?id:req.Proto.id ~op ~kind:Proto.Bad_request msg
       | Store.Exhausted reason ->
-          Proto.error_body ?id:req.Proto.id ~op:"eval"
+          Proto.error_body ?id:req.Proto.id ~op
             ~kind:(Proto.Exhausted reason) ""
       | Store.Done (db, version) ->
           (* The store's structure is already one stable physical value
@@ -225,7 +229,38 @@ let handle_eval ?deadline t (req : Proto.request) ~query ~db =
           let key =
             Printf.sprintf "%s#v%d" (Proto.cache_key req) version
           in
-          eval_db ~key ?deadline t req ~query ~db)
+          k ?key:(Some key) db)
+
+let handle_eval ?deadline t (req : Proto.request) ~query ~db =
+  resolve_db_ref t req ~op:"eval" ~db (fun ?key db ->
+      eval_db ?key ?deadline t req ~query ~db)
+
+let ucq_eval_db ?key ?deadline t (req : Proto.request) ~query ~db =
+  let budget = make_budget ?deadline t.caps req.Proto.budget in
+  spend t budget
+  @@ memoised ?key t req ~compute:(fun () ->
+         match
+           Outcome.guard
+             ~partial:(fun () -> ())
+             (fun () ->
+               Cache.with_eval t.cache (fun ec ->
+                   Eval.count_ucq ~budget ~cache:ec query db))
+         with
+         | Outcome.Complete count ->
+             Ok
+               (Proto.ucq_eval_core ~count
+                  ~satisfied:(not (Nat.is_zero count))
+                  ~disjuncts:(Bagcq_cq.Ucq.num_disjuncts query)
+                  ~ticks:(Budget.ticks budget))
+         | Outcome.Exhausted ((), reason) ->
+             Error
+               (Proto.error_body ?id:req.Proto.id ~op:"ucq_eval"
+                  ~kind:(Proto.Exhausted reason)
+                  ~budget:(Budget.snapshot budget) ""))
+
+let handle_ucq_eval ?deadline t (req : Proto.request) ~query ~db =
+  resolve_db_ref t req ~op:"ucq_eval" ~db (fun ?key db ->
+      ucq_eval_db ?key ?deadline t req ~query ~db)
 
 let handle_contain ?deadline t (req : Proto.request) ~small ~big =
   let budget = make_budget ?deadline t.caps req.Proto.budget in
@@ -278,10 +313,83 @@ let handle_hunt ?deadline t (req : Proto.request) ~small ~big ~samples
                   ~witness:(witness_with_counts report.Hunt.witness)
                   ~exhaustive_complete:report.Hunt.exhaustive_complete
                   ~tested_random:report.Hunt.tested_random
-                  ~ticks:progress.Hunt.ticks_spent)
+                  ~ticks:progress.Hunt.ticks_spent ())
          | Outcome.Exhausted ((report, progress), reason) ->
              Error
                (Proto.error_body ?id:req.Proto.id ~op:"hunt"
+                  ~kind:(Proto.Exhausted reason)
+                  ~budget:(Budget.snapshot budget)
+                  ~extra:
+                    (Proto.witness_fields
+                       (witness_with_counts report.Hunt.witness)
+                    @ [
+                        ( "databases_tested",
+                          Json.Int progress.Hunt.databases_tested );
+                        ( "largest_size_completed",
+                          Json.Int progress.Hunt.largest_size_completed );
+                        ("tested_random", Json.Int report.Hunt.tested_random);
+                      ])
+                  ""))
+
+let handle_ucq_contain ?deadline t (req : Proto.request) ~small ~big =
+  let budget = make_budget ?deadline t.caps req.Proto.budget in
+  spend t budget
+  @@ memoised t req ~compute:(fun () ->
+         match
+           Outcome.guard
+             ~partial:(fun () -> ())
+             (fun () ->
+               let set_contains, hom_checks =
+                 try
+                   let v, n =
+                     Containment.ucq_set_contains_counted ~budget ~small ~big ()
+                   in
+                   (Some v, n)
+                 with Invalid_argument _ -> (None, 0)
+               in
+               (set_contains, hom_checks, Containment.ucq_bag_equivalent small big))
+         with
+         | Outcome.Complete (set_contains, hom_checks, bag_equivalent) ->
+             Ok
+               (Proto.ucq_contain_core ~set_contains ~bag_equivalent ~hom_checks
+                  ~ticks:(Budget.ticks budget))
+         | Outcome.Exhausted ((), reason) ->
+             Error
+               (Proto.error_body ?id:req.Proto.id ~op:"ucq_contain"
+                  ~kind:(Proto.Exhausted reason)
+                  ~budget:(Budget.snapshot budget) ""))
+
+let handle_ucq_hunt ?deadline t (req : Proto.request) ~small ~big ~samples
+    ~exhaustive_size ~seed =
+  let budget = make_budget ?deadline t.caps req.Proto.budget in
+  let strategy =
+    {
+      Hunt.exhaustive_max_size = exhaustive_size;
+      Hunt.sampler = { Sampler.default with Sampler.samples; Sampler.seed };
+    }
+  in
+  let witness_with_counts = function
+    | None -> None
+    | Some d ->
+        let cs, cb = Containment.ucq_bag_counts ~small ~big d in
+        Some (d, cs, cb)
+  in
+  spend t budget
+  @@ memoised t req ~compute:(fun () ->
+         match
+           Hunt.ucq_counterexample_guarded ~strategy ~jobs:t.hunt_jobs ~budget
+             ~small ~big ()
+         with
+         | Outcome.Complete (report, progress) ->
+             Ok
+               (Proto.hunt_core ~op:"ucq_hunt"
+                  ~witness:(witness_with_counts report.Hunt.witness)
+                  ~exhaustive_complete:report.Hunt.exhaustive_complete
+                  ~tested_random:report.Hunt.tested_random
+                  ~ticks:progress.Hunt.ticks_spent ())
+         | Outcome.Exhausted ((report, progress), reason) ->
+             Error
+               (Proto.error_body ?id:req.Proto.id ~op:"ucq_hunt"
                   ~kind:(Proto.Exhausted reason)
                   ~budget:(Budget.snapshot budget)
                   ~extra:
@@ -395,6 +503,12 @@ let dispatch ?deadline t (req : Proto.request) =
     | Proto.Contain { small; big } -> handle_contain ?deadline t req ~small ~big
     | Proto.Hunt { small; big; samples; exhaustive_size; seed } ->
         handle_hunt ?deadline t req ~small ~big ~samples ~exhaustive_size ~seed
+    | Proto.Ucq_eval { query; db } -> handle_ucq_eval ?deadline t req ~query ~db
+    | Proto.Ucq_contain { small; big } ->
+        handle_ucq_contain ?deadline t req ~small ~big
+    | Proto.Ucq_hunt { small; big; samples; exhaustive_size; seed } ->
+        handle_ucq_hunt ?deadline t req ~small ~big ~samples ~exhaustive_size
+          ~seed
     | Proto.Db_create { name; db } -> handle_db_create t req ~name ~db
     | Proto.Db_insert { name; fact } ->
         handle_mutation ?deadline t req ~op:"db_insert" ~name ~fact ~add:true

@@ -19,6 +19,15 @@ type op =
       exhaustive_size : int;
       seed : int;
     }
+  | Ucq_eval of { query : Ucq.t; db : db_ref }
+  | Ucq_contain of { small : Ucq.t; big : Ucq.t }
+  | Ucq_hunt of {
+      small : Ucq.t;
+      big : Ucq.t;
+      samples : int;
+      exhaustive_size : int;
+      seed : int;
+    }
   | Db_create of { name : string; db : Structure.t }
   | Db_insert of { name : string; fact : Symbol.t * Tuple.t }
   | Db_delete of { name : string; fact : Symbol.t * Tuple.t }
@@ -35,6 +44,9 @@ let op_name = function
   | Eval _ -> "eval"
   | Contain _ -> "contain"
   | Hunt _ -> "hunt"
+  | Ucq_eval _ -> "ucq_eval"
+  | Ucq_contain _ -> "ucq_contain"
+  | Ucq_hunt _ -> "ucq_hunt"
   | Db_create _ -> "db_create"
   | Db_insert _ -> "db_insert"
   | Db_delete _ -> "db_delete"
@@ -42,41 +54,78 @@ let op_name = function
   | Unregister _ -> "unregister"
   | Counts _ -> "counts"
 
+(* The capability surface a ping advertises: bump [api_version] whenever an
+   op is added or a request/response shape changes, and keep [supported_ops]
+   exhaustive — clients ([Load.connect]) feature-detect against it instead
+   of probing with trial requests. *)
+let api_version = 9
+
+let supported_ops =
+  [
+    "ping";
+    "stats";
+    "metrics";
+    "eval";
+    "contain";
+    "hunt";
+    "ucq_eval";
+    "ucq_contain";
+    "ucq_hunt";
+    "db_create";
+    "db_insert";
+    "db_delete";
+    "register";
+    "unregister";
+    "counts";
+  ]
+
 (* ---------------- decoding ---------------- *)
 
 let ( let* ) = Result.bind
 
+(* Every field-level decode error names the offending field the same way:
+   ["missing field: f"] when absent, ["field f: <detail>"] otherwise —
+   one spelling across all ops, pinned by the decode-error table test. *)
+let missing_field name = Error (Printf.sprintf "missing field: %s" name)
+
+let field_error name detail =
+  Error (Printf.sprintf "field %s: %s" name detail)
+
 let field_string j name =
   match Json.member name j with
   | Some (Json.Str s) -> Ok s
-  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
-  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some _ -> field_error name "must be a string"
+  | None -> missing_field name
 
 let field_nonneg_int j name ~default =
   match Json.member name j with
   | None -> Ok default
   | Some (Json.Int i) when i >= 0 -> Ok i
-  | Some _ ->
-      Error (Printf.sprintf "field %S must be a non-negative integer" name)
+  | Some _ -> field_error name "must be a non-negative integer"
 
 let field_opt_nonneg_int j name =
   match Json.member name j with
   | None -> Ok None
   | Some (Json.Int i) when i >= 0 -> Ok (Some i)
-  | Some _ ->
-      Error (Printf.sprintf "field %S must be a non-negative integer" name)
+  | Some _ -> field_error name "must be a non-negative integer"
 
 let parse_query j name =
   let* text = field_string j name in
   match Parse.parse text with
   | Ok q -> Ok q
-  | Error e -> Error (Printf.sprintf "field %S: %s" name e)
+  | Error e -> field_error name e
+
+let parse_ucq j name =
+  let* text = field_string j name in
+  match Parse.parse_ucq text with
+  | Ok u -> Ok u
+  | Error e -> field_error name e
 
 let parse_db j name =
   let* text = field_string j name in
   match Encode.parse text with
   | Ok d -> Ok d
-  | Error e -> Error (Printf.sprintf "field %S: %s" name e)
+  | Error e -> field_error name e
 
 (* A fact reuses the database surface syntax ([Encode]) so anything a
    [db] payload can say — symbolic and integer values, a trailing '.' —
@@ -84,24 +133,24 @@ let parse_db j name =
 let parse_fact j name =
   let* text = field_string j name in
   match Encode.parse text with
-  | Error e -> Error (Printf.sprintf "field %S: %s" name e)
+  | Error e -> field_error name e
   | Ok d -> (
       match Structure.fold_atoms (fun s tup acc -> (s, tup) :: acc) d [] with
       | [ fact ] -> Ok fact
-      | _ -> Error (Printf.sprintf "field %S must contain exactly one fact" name))
+      | _ -> field_error name "must contain exactly one fact")
 
 (* Eval's database is inline text ("db") or a data-plane reference
    ("db_name") — exactly one of the two. *)
 let parse_db_ref j =
   match (Json.member "db" j, Json.member "db_name" j) with
-  | Some _, Some _ -> Error "fields \"db\" and \"db_name\" are mutually exclusive"
+  | Some _, Some _ -> Error "fields db and db_name are mutually exclusive"
   | Some _, None ->
       let* d = parse_db j "db" in
       Ok (Db_inline d)
   | None, Some _ ->
       let* name = field_string j "db_name" in
       Ok (Db_named name)
-  | None, None -> Error "missing field \"db\" (or \"db_name\")"
+  | None, None -> missing_field "db (or db_name)"
 
 let default_samples = 200
 let default_exhaustive_size = 2
@@ -137,6 +186,23 @@ let decode j =
             in
             let* seed = field_nonneg_int j "seed" ~default:default_seed in
             Ok (Hunt { small; big; samples; exhaustive_size; seed })
+        | "ucq_eval" ->
+            let* query = parse_ucq j "query" in
+            let* db = parse_db_ref j in
+            Ok (Ucq_eval { query; db })
+        | "ucq_contain" ->
+            let* small = parse_ucq j "small" in
+            let* big = parse_ucq j "big" in
+            Ok (Ucq_contain { small; big })
+        | "ucq_hunt" ->
+            let* small = parse_ucq j "small" in
+            let* big = parse_ucq j "big" in
+            let* samples = field_nonneg_int j "samples" ~default:default_samples in
+            let* exhaustive_size =
+              field_nonneg_int j "exhaustive_size" ~default:default_exhaustive_size
+            in
+            let* seed = field_nonneg_int j "seed" ~default:default_seed in
+            Ok (Ucq_hunt { small; big; samples; exhaustive_size; seed })
         | "db_create" ->
             let* name = field_string j "name" in
             let* db =
@@ -203,6 +269,25 @@ let cache_key { id = _; budget; op } =
         [
           ("small", Json.Str (Query.to_string small));
           ("big", Json.Str (Query.to_string big));
+          ("samples", Json.Int samples);
+          ("exhaustive_size", Json.Int exhaustive_size);
+          ("seed", Json.Int seed);
+        ]
+    | Ucq_eval { query; db } ->
+        ("query", Json.Str (Ucq.to_string query))
+        ::
+        (match db with
+        | Db_inline d -> [ ("db", Json.Str (Encode.to_string d)) ]
+        | Db_named name -> [ ("db_name", Json.Str name) ])
+    | Ucq_contain { small; big } ->
+        [
+          ("small", Json.Str (Ucq.to_string small));
+          ("big", Json.Str (Ucq.to_string big));
+        ]
+    | Ucq_hunt { small; big; samples; exhaustive_size; seed } ->
+        [
+          ("small", Json.Str (Ucq.to_string small));
+          ("big", Json.Str (Ucq.to_string big));
           ("samples", Json.Int samples);
           ("exhaustive_size", Json.Int exhaustive_size);
           ("seed", Json.Int seed);
@@ -280,7 +365,13 @@ let error_response ?id msg = error_body ?id ~kind:Bad_request msg
 
 let ping_response ?id () =
   Json.Obj
-    (with_id id [ ("op", Json.Str "ping"); ("status", Json.Str "ok") ])
+    (with_id id
+       [
+         ("op", Json.Str "ping");
+         ("status", Json.Str "ok");
+         ("api_version", Json.Int api_version);
+         ("ops", Json.List (List.map (fun o -> Json.Str o) supported_ops));
+       ])
 
 let core ~op rest = ("op", Json.Str op) :: ("status", Json.Str "ok") :: rest
 
@@ -301,6 +392,25 @@ let contain_core ~set_contains ~bag_equivalent ~ticks =
       ("ticks", Json.Int ticks);
     ]
 
+let ucq_eval_core ~count ~satisfied ~disjuncts ~ticks =
+  core ~op:"ucq_eval"
+    [
+      ("count", Json.Str (Nat.to_string count));
+      ("satisfied", Json.Bool satisfied);
+      ("disjuncts", Json.Int disjuncts);
+      ("ticks", Json.Int ticks);
+    ]
+
+let ucq_contain_core ~set_contains ~bag_equivalent ~hom_checks ~ticks =
+  core ~op:"ucq_contain"
+    [
+      ( "set_contains",
+        match set_contains with Some b -> Json.Bool b | None -> Json.Null );
+      ("bag_equivalent", Json.Bool bag_equivalent);
+      ("hom_checks", Json.Int hom_checks);
+      ("ticks", Json.Int ticks);
+    ]
+
 let witness_fields = function
   | Some (d, cs, cb) ->
       [
@@ -311,8 +421,8 @@ let witness_fields = function
       ]
   | None -> [ ("violated", Json.Bool false) ]
 
-let hunt_core ~witness ~exhaustive_complete ~tested_random ~ticks =
-  core ~op:"hunt"
+let hunt_core ?(op = "hunt") ~witness ~exhaustive_complete ~tested_random ~ticks () =
+  core ~op
     (witness_fields witness
     @ [
         ("exhaustive_complete", Json.Bool exhaustive_complete);

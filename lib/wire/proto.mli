@@ -49,6 +49,17 @@ type op =
       exhaustive_size : int;
       seed : int;
     }
+  | Ucq_eval of { query : Ucq.t; db : db_ref }
+      (** Same [db]-inline-xor-[db_name] shape as [Eval], so data-plane
+          databases serve union queries too. *)
+  | Ucq_contain of { small : Ucq.t; big : Ucq.t }
+  | Ucq_hunt of {
+      small : Ucq.t;
+      big : Ucq.t;
+      samples : int;
+      exhaustive_size : int;
+      seed : int;
+    }
   | Db_create of { name : string; db : Structure.t }
       (** ["db"] is optional initial contents ({!Bagcq_relational.Encode}
           syntax); omitted means empty. *)
@@ -65,13 +76,25 @@ type request = { id : Json.t option; budget : budget_spec; op : op }
 
 val op_name : op -> string
 (** ["ping"], ["stats"], ["metrics"], ["eval"], ["contain"], ["hunt"],
-    ["db_create"], ["db_insert"], ["db_delete"], ["register"],
-    ["unregister"], ["counts"]. *)
+    ["ucq_eval"], ["ucq_contain"], ["ucq_hunt"], ["db_create"],
+    ["db_insert"], ["db_delete"], ["register"], ["unregister"],
+    ["counts"]. *)
+
+val api_version : int
+(** Protocol revision advertised by {!ping_response}; bumped whenever an op
+    is added or a shape changes. *)
+
+val supported_ops : string list
+(** Every op name the service understands, in canonical order — the
+    ["ops"] capability array of {!ping_response}.  Clients feature-detect
+    against this instead of probing with trial requests. *)
 
 val decode : Json.t -> (request, string) result
 (** Decode a parsed line.  Errors are human-readable and name the
-    offending field; payload syntax errors (query/database) are decode
-    errors too, so a request can never half-execute. *)
+    offending field uniformly across every op — ["missing field: small"]
+    when absent, ["field small: <detail>"] for a present-but-bad value —
+    and payload syntax errors (query/database) are decode errors too, so a
+    request can never half-execute. *)
 
 val decode_line : string -> (request, string) result
 (** {!Json.parse} composed with {!decode}. *)
@@ -106,8 +129,24 @@ val witness_fields : (Structure.t * Nat.t * Nat.t) option -> (string * Json.t) l
     counts, or [violated:false]. *)
 
 val hunt_core :
-  witness:(Structure.t * Nat.t * Nat.t) option -> exhaustive_complete:bool ->
-  tested_random:int -> ticks:int -> (string * Json.t) list
+  ?op:string -> witness:(Structure.t * Nat.t * Nat.t) option ->
+  exhaustive_complete:bool -> tested_random:int -> ticks:int -> unit ->
+  (string * Json.t) list
+(** [?op] defaults to ["hunt"]; the UCQ hunt reuses the same shape under
+    ["ucq_hunt"]. *)
+
+val ucq_eval_core :
+  count:Nat.t -> satisfied:bool -> disjuncts:int -> ticks:int ->
+  (string * Json.t) list
+(** [count] is the bag-union count (sum over disjuncts); [disjuncts] echoes
+    how many the union had. *)
+
+val ucq_contain_core :
+  set_contains:bool option -> bag_equivalent:bool -> hom_checks:int ->
+  ticks:int -> (string * Json.t) list
+(** [set_contains] is the ∀∃ Sagiv–Yannakakis verdict ([null] when
+    inequalities make it inapplicable); [hom_checks] counts the inner
+    Chandra–Merlin checks the decision spent. *)
 
 (** {2 Data-plane cores}
 
@@ -172,6 +211,9 @@ val error_response : ?id:Json.t -> string -> Json.t
 (** [error_body ~kind:Bad_request] — shorthand for the common case. *)
 
 val ping_response : ?id:Json.t -> unit -> Json.t
+(** [op], [status], then the capability surface: [api_version]
+    ({!api_version}) and [ops] ({!supported_ops}). *)
+
 val stats_response : ?id:Json.t -> (string * Json.t) list -> Json.t
 
 (** {2 Metrics on the wire} *)

@@ -20,19 +20,27 @@ for jobs in 1 2; do
   BAGCQ_JOBS=$jobs ./_build/default/test/test_parallel.exe >/dev/null
 done
 
-echo "== BENCH_PR8.json schema =="
+echo "== BENCH_PR9.json schema =="
 dune exec bench/main.exe -- --json-only >/dev/null
-grep -o '"[a-z_0-9]*":' BENCH_PR8.json | sort -u | tr -d '":' \
-  | diff scripts/bench_pr8_keys.txt - \
-  || { echo "BENCH_PR8.json keys drifted from scripts/bench_pr8_keys.txt" >&2; exit 1; }
-grep -q '"wcoj_2x_bar": true' BENCH_PR8.json \
+grep -o '"[a-z_0-9]*":' BENCH_PR9.json | sort -u | tr -d '":' \
+  | diff scripts/bench_pr9_keys.txt - \
+  || { echo "BENCH_PR9.json keys drifted from scripts/bench_pr9_keys.txt" >&2; exit 1; }
+grep -q '"wcoj_2x_bar": true' BENCH_PR9.json \
   || { echo "wcoj engine bar: kernel-cycle8-on-K5 not >= 2x over backtracking" >&2; exit 1; }
-grep -q '"wcoj_5x_bar": true' BENCH_PR8.json \
+grep -q '"wcoj_5x_bar": true' BENCH_PR9.json \
   || { echo "wcoj bar: wcoj-triangles not >= 5x over backtracking" >&2; exit 1; }
-grep -q '"store_delta_bar": true' BENCH_PR8.json \
+grep -q '"store_delta_bar": true' BENCH_PR9.json \
   || { echo "store bar: single-tuple delta not >= 10x over full recompute" >&2; exit 1; }
-grep -q '"differential_ok": true' BENCH_PR8.json \
+grep -q '"differential_ok": true' BENCH_PR9.json \
   || { echo "store bench: maintained count drifted from the reference solver" >&2; exit 1; }
+grep -q '"contained": true' BENCH_PR9.json \
+  || { echo "ucq bench: forall-exists decision on the 6-disjunct pair failed" >&2; exit 1; }
+grep -q '"reverse_refused": true' BENCH_PR9.json \
+  || { echo "ucq bench: reverse containment direction not refused" >&2; exit 1; }
+grep -q '"violated": true' BENCH_PR9.json \
+  || { echo "ucq bench: hunt did not find the known bag-UCQ violation" >&2; exit 1; }
+grep -q '"solver_ref_agrees": true' BENCH_PR9.json \
+  || { echo "ucq bench: witness counts drifted from the reference solver" >&2; exit 1; }
 
 echo "== serve --stdio answers, survives malformed input, dumps metrics =="
 serve_out=$(printf '%s\n' \
@@ -56,7 +64,9 @@ for counter in plan_components plan_dp_selected plan_fallback \
                wcoj_plans_compiled wcoj_runs wcoj_seeks \
                store_creates store_inserts store_deletes store_databases \
                store_registered store_delta_maintained store_delta_recomputed \
-               store_stale store_repairs server_cache_evicted; do
+               store_stale store_repairs server_cache_evicted \
+               ucq_contain_checks ucq_hom_checks \
+               ucq_hunt_runs ucq_hunt_witnesses_found; do
   echo "$serve_out" | grep -q "\"name\": \"$counter\"" \
     || { echo "serve --stdio: metrics op missing counter $counter" >&2; exit 1; }
 done
@@ -115,6 +125,44 @@ echo "$counts_out" | grep -q '"count": "0"' \
 wait "$store_pid" \
   || { echo "store round-trip: server exited nonzero" >&2; exit 1; }
 rm -f /tmp/bagcq_check_store.$$
+
+echo "== ucq round-trip: eval (inline + named store db) and contain over TCP =="
+rm -f /tmp/bagcq_check_ucq.$$
+./_build/default/bin/bagcq_cli.exe serve --port 0 --max-connections 6 \
+  2>/tmp/bagcq_check_ucq.$$ &
+ucq_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' /tmp/bagcq_check_ucq.$$)
+  [ -n "$port" ] && break
+  sleep 0.05
+done
+[ -n "$port" ] || { echo "ucq serve --port 0 never reported its port" >&2; exit 1; }
+printf 'E(1,2). E(2,3).\n' > /tmp/bagcq_check_ucq_db.$$
+inline_out=$(./_build/default/bin/bagcq_cli.exe ucq eval \
+  -q '(E(x,y)) | (E(x,y) & E(y,z))' -d /tmp/bagcq_check_ucq_db.$$ --port "$port") \
+  || { echo "ucq round-trip: inline eval failed" >&2; exit 1; }
+echo "$inline_out" | grep -q '"count": "3"' \
+  || { echo "ucq round-trip: inline count is not 3" >&2; exit 1; }
+./_build/default/bin/bagcq_cli.exe store create u --port "$port" >/dev/null \
+  || { echo "ucq round-trip: store create failed" >&2; exit 1; }
+./_build/default/bin/bagcq_cli.exe store insert u 'E(1,2)' --port "$port" >/dev/null \
+  || { echo "ucq round-trip: store insert failed" >&2; exit 1; }
+./_build/default/bin/bagcq_cli.exe store insert u 'E(2,3)' --port "$port" >/dev/null \
+  || { echo "ucq round-trip: store insert failed" >&2; exit 1; }
+named_out=$(./_build/default/bin/bagcq_cli.exe ucq eval \
+  -q '(E(x,y)) | (E(x,y) & E(y,z))' --db-name u --port "$port") \
+  || { echo "ucq round-trip: named eval failed" >&2; exit 1; }
+echo "$named_out" | grep -q '"count": "3"' \
+  || { echo "ucq round-trip: named-store count differs from inline" >&2; exit 1; }
+contain_out=$(./_build/default/bin/bagcq_cli.exe ucq contain \
+  --small 'E(x,y)' --big '(E(x,y)) | (E(x,y) & E(y,z))' --port "$port") \
+  || { echo "ucq round-trip: contain failed" >&2; exit 1; }
+echo "$contain_out" | grep -q '"set_contains": true' \
+  || { echo "ucq round-trip: forall-exists containment did not hold" >&2; exit 1; }
+wait "$ucq_pid" \
+  || { echo "ucq round-trip: server exited nonzero" >&2; exit 1; }
+rm -f /tmp/bagcq_check_ucq.$$ /tmp/bagcq_check_ucq_db.$$
 
 echo "== overload round-trip: flood a tiny server, expect sheds + clean exit =="
 rm -f /tmp/bagcq_check_shed.$$

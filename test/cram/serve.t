@@ -19,7 +19,7 @@ latency summaries (same treatment):
 
   $ normalise() { sed -e 's/"elapsed_ms": [^,}]*/"elapsed_ms": _/' -e 's/"latency": {.*/"latency": {...}}/'; }
   $ ../../bin/bagcq_cli.exe serve --stdio < requests.ndjson | normalise
-  {"id": 1, "op": "ping", "status": "ok"}
+  {"id": 1, "op": "ping", "status": "ok", "api_version": 9, "ops": ["ping", "stats", "metrics", "eval", "contain", "hunt", "ucq_eval", "ucq_contain", "ucq_hunt", "db_create", "db_insert", "db_delete", "register", "unregister", "counts"]}
   {"id": 2, "op": "eval", "status": "ok", "cached": false, "count": "3", "satisfied": true, "ticks": 8}
   {"id": 3, "op": "eval", "status": "ok", "cached": true, "count": "3", "satisfied": true, "ticks": 8}
   {"id": 4, "op": "contain", "status": "ok", "cached": false, "set_contains": true, "bag_equivalent": false, "ticks": 3}
@@ -103,6 +103,10 @@ values are not, so the run pins names only):
   "name": "store_registered"
   "name": "store_repairs"
   "name": "store_stale"
+  "name": "ucq_contain_checks"
+  "name": "ucq_hom_checks"
+  "name": "ucq_hunt_runs"
+  "name": "ucq_hunt_witnesses_found"
   "name": "wcoj_plans_compiled"
   "name": "wcoj_runs"
   "name": "wcoj_seeks"
@@ -140,13 +144,36 @@ silent no-op (which would desynchronise the maintained counts):
   {"id": 10, "op": "unregister", "status": "ok", "cached": false}
   {"id": 11, "op": "db_create", "status": "error", "code": "bad_request", "error": "database \"g\" already exists"}
 
+The UCQ surface: a union counts as the sum of its disjuncts, inline and
+named databases answer identically (one engine underneath), ucq_contain
+decides the ∀∃ set containment alongside the bag-equivalence check, and
+ucq_hunt finds the canonical bag-UCQ violation — 2·E(x,y) vs
+E(x,y)∧E(z,w), exposed by the single loop E(1,1) where 2 > 1.  Missing
+fields answer in the one uniform spelling:
+
+  $ cat > ucq.ndjson <<'EOF'
+  > {"op":"ucq_eval","id":1,"query":"(E(x,y)) | (E(x,y) & E(y,z))","db":"E(1,2). E(2,3)."}
+  > {"op":"db_create","id":2,"name":"u","db":"E(1,2). E(2,3)."}
+  > {"op":"ucq_eval","id":3,"query":"(E(x,y)) | (E(x,y) & E(y,z))","db_name":"u"}
+  > {"op":"ucq_contain","id":4,"small":"E(x,y)","big":"(E(x,y)) | (E(x,y) & E(y,z))"}
+  > {"op":"ucq_hunt","id":5,"small":"(E(x,y)) | (E(x,y))","big":"E(x,y) & E(z,w)","samples":0,"exhaustive_size":1}
+  > {"op":"ucq_contain","id":6,"big":"E(x,y)"}
+  > EOF
+  $ ../../bin/bagcq_cli.exe serve --stdio < ucq.ndjson
+  {"id": 1, "op": "ucq_eval", "status": "ok", "cached": false, "count": "3", "satisfied": true, "disjuncts": 2, "ticks": 9}
+  {"id": 2, "op": "db_create", "status": "ok", "cached": false, "atoms": 2}
+  {"id": 3, "op": "ucq_eval", "status": "ok", "cached": false, "count": "3", "satisfied": true, "disjuncts": 2, "ticks": 9}
+  {"id": 4, "op": "ucq_contain", "status": "ok", "cached": false, "set_contains": true, "bag_equivalent": false, "hom_checks": 1, "ticks": 2}
+  {"id": 5, "op": "ucq_hunt", "status": "ok", "cached": false, "violated": true, "witness": "E(1, 1).\n", "small_count": "2", "big_count": "1", "exhaustive_complete": true, "tested_random": 0, "ticks": 5}
+  {"id": 6, "status": "error", "code": "bad_request", "error": "missing field: small"}
+
 With --trace FILE every request is wrapped in a span and dumped as one
 NDJSON record (timings normalised — only the structure is deterministic):
 
   $ printf '%s\n' '{"op":"ping","id":1}' '{"op":"ping","id":2}' \
   >   | ../../bin/bagcq_cli.exe serve --stdio --trace trace.ndjson
-  {"id": 1, "op": "ping", "status": "ok"}
-  {"id": 2, "op": "ping", "status": "ok"}
+  {"id": 1, "op": "ping", "status": "ok", "api_version": 9, "ops": ["ping", "stats", "metrics", "eval", "contain", "hunt", "ucq_eval", "ucq_contain", "ucq_hunt", "db_create", "db_insert", "db_delete", "register", "unregister", "counts"]}
+  {"id": 2, "op": "ping", "status": "ok", "api_version": 9, "ops": ["ping", "stats", "metrics", "eval", "contain", "hunt", "ucq_eval", "ucq_contain", "ucq_hunt", "db_create", "db_insert", "db_delete", "register", "unregister", "counts"]}
   $ sed -e 's/"start_ms": [^,}]*/"start_ms": _/' -e 's/"dur_ms": [^,}]*/"dur_ms": _/' trace.ndjson
   {"span_id": 1, "parent_id": null, "name": "req:ping", "start_ms": _, "dur_ms": _}
   {"span_id": 2, "parent_id": null, "name": "req:ping", "start_ms": _, "dur_ms": _}

@@ -90,6 +90,61 @@ let test_index_built_once_per_db () =
   Alcotest.(check int) "second database, second build" 2
     (global_counter "hom_index_builds" - before)
 
+(* The UCQ surface through the router: an inline database and the same
+   facts held in the named store must give the identical count (the named
+   path snapshots, the inline path interns — one engine underneath), and
+   a store mutation must be visible to the next ucq_eval (the result memo
+   keys on the database version). *)
+let test_ucq_ops () =
+  let r = Router.create () in
+  let u = "(E(x,y)) | (E(x,y) & E(y,z))" in
+  let v =
+    handle r
+      (Printf.sprintf {|{"op":"ucq_eval","id":1,"query":"%s","db":"E(1,2). E(2,3)."}|} u)
+  in
+  Alcotest.(check (option string)) "inline status" (Some "ok") (status v);
+  Alcotest.(check (option string)) "inline count" (Some "3")
+    (Json.get_string "count" v);
+  Alcotest.(check (option int)) "disjuncts" (Some 2) (Json.get_int "disjuncts" v);
+  Alcotest.(check (option bool)) "satisfied" (Some true)
+    (Json.get_bool "satisfied" v);
+  ignore (handle r {|{"op":"db_create","name":"g"}|});
+  ignore (handle r {|{"op":"db_insert","name":"g","fact":"E(1,2)"}|});
+  ignore (handle r {|{"op":"db_insert","name":"g","fact":"E(2,3)"}|});
+  let v' =
+    handle r (Printf.sprintf {|{"op":"ucq_eval","id":2,"query":"%s","db_name":"g"}|} u)
+  in
+  Alcotest.(check (option string)) "named = inline count"
+    (Json.get_string "count" v) (Json.get_string "count" v');
+  (* mutate the named db: the memo must not serve the stale count *)
+  ignore (handle r {|{"op":"db_insert","name":"g","fact":"E(1,1)"}|});
+  let v'' =
+    handle r (Printf.sprintf {|{"op":"ucq_eval","id":3,"query":"%s","db_name":"g"}|} u)
+  in
+  Alcotest.(check (option string)) "post-insert count" (Some "6")
+    (Json.get_string "count" v'');
+  let v =
+    handle r
+      (Printf.sprintf {|{"op":"ucq_contain","small":"E(x,y)","big":"%s"}|} u)
+  in
+  Alcotest.(check (option bool)) "set containment holds" (Some true)
+    (Json.get_bool "set_contains" v);
+  Alcotest.(check (option bool)) "not bag equivalent" (Some false)
+    (Json.get_bool "bag_equivalent" v);
+  (* the canonical bag-UCQ violation: 2·E(x,y) vs E(x,y)∧E(z,w), exposed
+     by E(1,1) where 2·1 > 1·1 *)
+  let v =
+    handle r
+      ({|{"op":"ucq_hunt","small":"(E(x,y)) | (E(x,y))","big":"E(x,y) & E(z,w)",|}
+      ^ {|"exhaustive_size":1,"samples":0}|})
+  in
+  Alcotest.(check (option bool)) "violated" (Some true)
+    (Json.get_bool "violated" v);
+  Alcotest.(check (option string)) "small count on witness" (Some "2")
+    (Json.get_string "small_count" v);
+  Alcotest.(check (option string)) "big count on witness" (Some "1")
+    (Json.get_string "big_count" v)
+
 let test_budget_clamp () =
   (* server cap of 50 ticks: a request asking for a billion is clamped,
      and a request asking for nothing gets the cap as its default *)
@@ -562,6 +617,8 @@ let () =
           Alcotest.test_case "eval + shared result cache" `Quick test_eval_and_cache;
           Alcotest.test_case "interned db builds its index once" `Quick
             test_index_built_once_per_db;
+          Alcotest.test_case "ucq ops: named = inline, contain, hunt" `Quick
+            test_ucq_ops;
           Alcotest.test_case "budgets clamped by caps" `Quick test_budget_clamp;
           Alcotest.test_case "exhaustion is structured" `Quick test_exhausted_shape;
           Alcotest.test_case "malformed input + stats" `Quick test_malformed_and_stats;

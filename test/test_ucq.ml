@@ -1,0 +1,200 @@
+(* UCQ algebra: the identities that make unions first-class.  A UCQ's
+   bag count is the plain sum of its disjuncts' counts (no dedup across
+   disjuncts — bag semantics), [Ucq.scale] is multiplication by a
+   natural coefficient, and the Ioannidis–Ramakrishnan translation sends
+   polynomial evaluation to UCQ counting exactly.  Each identity is
+   checked by qcheck over random queries/databases, with the compiled
+   kernel cross-checked against the reference solver. *)
+
+open Bagcq_cq
+module Nat = Bagcq_bignum.Nat
+module Schema = Bagcq_relational.Schema
+module Structure = Bagcq_relational.Structure
+module Value = Bagcq_relational.Value
+module Encode = Bagcq_relational.Encode
+module Eval = Bagcq_hom.Eval
+module Solver_ref = Bagcq_hom.Solver_ref
+module Ioannidis = Bagcq_reduction.Ioannidis
+module Polynomial = Bagcq_poly.Polynomial
+module Monomial = Bagcq_poly.Monomial
+
+(* ---------------- generators ---------------- *)
+
+let e_sym = Build.sym "E" 2
+let r_sym = Build.sym "R" 3
+
+(* variables only: these queries get evaluated, and an unbound constant
+   would just force both sides of every identity to 0 *)
+let gen_query st =
+  let vars = [| "x"; "y"; "z"; "u" |] in
+  let term () = Term.var vars.(Random.State.int st (Array.length vars)) in
+  let atom () =
+    if Random.State.bool st then Build.atom e_sym [ term (); term () ]
+    else Build.atom r_sym [ term (); term (); term () ]
+  in
+  let atoms = List.init (1 + Random.State.int st 3) (fun _ -> atom ()) in
+  let neqs =
+    List.filter_map
+      (fun _ ->
+        let a = term () and b = term () in
+        if Term.equal a b then None else Some (a, b))
+      (List.init (Random.State.int st 2) Fun.id)
+  in
+  Query.make ~neqs atoms
+
+(* 0 disjuncts is deliberate: the empty union ("false") counts 0 and must
+   survive print/parse *)
+let gen_ucq st =
+  Ucq.of_disjuncts (List.init (Random.State.int st 4) (fun _ -> gen_query st))
+
+let gen_db st =
+  let base = Structure.empty (Schema.make [ e_sym; r_sym ]) in
+  let v () = Value.int (Random.State.int st 3) in
+  let n = Random.State.int st 7 in
+  List.fold_left
+    (fun d _ ->
+      if Random.State.bool st then Structure.add_fact d e_sym [ v (); v () ]
+      else Structure.add_fact d r_sym [ v (); v (); v () ])
+    base
+    (List.init n Fun.id)
+
+let print_pair (u, d) =
+  Printf.sprintf "ucq: %s\ndb: %s" (Ucq.to_string u) (Encode.to_string d)
+
+let arb_ucq_db =
+  QCheck.make ~print:print_pair
+    (fun st -> (gen_ucq st, gen_db st))
+
+let arb_query_db =
+  QCheck.make
+    ~print:(fun (q, c, d) ->
+      Printf.sprintf "q: %s scale %d\ndb: %s" (Query.to_string q) c
+        (Encode.to_string d))
+    (fun st -> (gen_query st, Random.State.int st 4, gen_db st))
+
+(* small polynomials with signed coefficients, as Hilbert-10 instances *)
+let gen_poly st =
+  let monomial () =
+    Monomial.of_list
+      (List.init (Random.State.int st 3) (fun _ -> 1 + Random.State.int st 3))
+  in
+  let coeff () =
+    let c = 1 + Random.State.int st 2 in
+    if Random.State.bool st then c else -c
+  in
+  Polynomial.of_list
+    (List.init (1 + Random.State.int st 3) (fun _ -> (coeff (), monomial ())))
+
+let arb_poly_valuation =
+  QCheck.make
+    ~print:(fun (p, xs) ->
+      Printf.sprintf "p: %s at [%s]" (Polynomial.to_string p)
+        (String.concat "; " (Array.to_list (Array.map string_of_int xs))))
+    (fun st ->
+      let p = gen_poly st in
+      let n = Stdlib.max 1 (Polynomial.max_var p) in
+      (p, Array.init n (fun _ -> Random.State.int st 3)))
+
+(* ---------------- qcheck identities ---------------- *)
+
+let sum_of_counts count u d =
+  List.fold_left
+    (fun acc q -> Nat.add acc (count q d))
+    Nat.zero (Ucq.disjuncts u)
+
+let count_is_sum =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"count_ucq u d = sum of disjunct counts" ~count:300
+       arb_ucq_db (fun (u, d) ->
+         Nat.equal (Eval.count_ucq u d) (sum_of_counts Eval.count u d)))
+
+let scale_is_multiplication =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"count_ucq (scale c q) = c * count q" ~count:300
+       arb_query_db (fun (q, c, d) ->
+         Nat.equal
+           (Eval.count_ucq (Ucq.scale c q) d)
+           (Nat.mul_int (Eval.count q d) c)))
+
+let differential_vs_solver_ref =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"count_ucq agrees with Solver_ref summed" ~count:150
+       arb_ucq_db (fun (u, d) ->
+         Nat.equal (Eval.count_ucq u d)
+           (sum_of_counts
+              (fun q d -> Nat.of_int (Solver_ref.count q d))
+              u d)))
+
+(* [reduce p] builds (UCQ(P₁), UCQ(P₂)) with P₁ = (p²)₋ + 1, P₂ = (p²)₊;
+   on the valuation database their counts must be exactly those two
+   polynomials evaluated — the whole point of the translation. *)
+let reduce_counts_are_polynomial_values =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"counts_on (reduce p) = polynomial evaluation"
+       ~count:150 arb_poly_valuation (fun (p, xs) ->
+         let qpos, qneg = Polynomial.split_signs (Polynomial.square p) in
+         let p1 = Polynomial.add qneg Polynomial.one and p2 = qpos in
+         let value q = Polynomial.eval (fun i -> xs.(i - 1)) q in
+         let cs, cb = Ioannidis.counts_on (Ioannidis.reduce p) (Ioannidis.valuation_db xs) in
+         Nat.equal cs (Nat.of_int (value p1)) && Nat.equal cb (Nat.of_int (value p2))))
+
+let print_parse_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"parse_ucq (to_string u) = u" ~count:500
+       (QCheck.make ~print:Ucq.to_string gen_ucq) (fun u ->
+         match Parse.parse_ucq (Ucq.to_string u) with
+         | Ok u' -> Ucq.equal u u'
+         | Error e ->
+             QCheck.Test.fail_reportf "reparse of %S failed: %s"
+               (Ucq.to_string u) e))
+
+(* ---------------- parser unit tests ---------------- *)
+
+let test_parse_ucq () =
+  let ok s = match Parse.parse_ucq s with
+    | Ok u -> u
+    | Error e -> Alcotest.failf "parse_ucq %S failed: %s" s e
+  in
+  let err s = match Parse.parse_ucq s with
+    | Error e -> e
+    | Ok u -> Alcotest.failf "parse_ucq %S succeeded as %s" s (Ucq.to_string u)
+  in
+  Alcotest.(check int) "single CQ" 1 (Ucq.num_disjuncts (ok "E(x,y) & E(y,z)"));
+  Alcotest.(check int) "two disjuncts" 2 (Ucq.num_disjuncts (ok "E(x,y) | E(y,x)"));
+  Alcotest.(check int) "parens optional" 2
+    (Ucq.num_disjuncts (ok "(E(x,y)) | (E(y,z) & E(z,w))"));
+  Alcotest.(check int) "empty union" 0 (Ucq.num_disjuncts (ok "false"));
+  Alcotest.(check int) "blank is empty union" 0 (Ucq.num_disjuncts (ok "  "));
+  Alcotest.(check bool) "true disjunct" true
+    (List.exists (fun q -> Query.num_atoms q = 0) (Ucq.disjuncts (ok "true | E(x,y)")));
+  (* relation arities are shared across the whole union, not per disjunct *)
+  ignore (err "E(x,y) | E(x,y,z)");
+  ignore (err "E(x,y) | ");
+  ignore (err "| E(x,y)");
+  ignore (err "E(x,y) | (E(y,z)");
+  ignore (err "E(x,y) || E(y,x)")
+
+let test_to_string_pin () =
+  let u = Parse.parse_ucq_exn "E(x,y)|(E(y,z)&E(z,w))" in
+  Alcotest.(check string) "spelling" "(E(x,y)) | (E(y,z) & E(z,w))"
+    (Ucq.to_string u);
+  Alcotest.(check string) "empty union" "false"
+    (Ucq.to_string (Ucq.of_disjuncts []))
+
+let () =
+  Alcotest.run "ucq"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "parse_ucq" `Quick test_parse_ucq;
+          Alcotest.test_case "to_string pin" `Quick test_to_string_pin;
+        ] );
+      ( "identities",
+        [
+          count_is_sum;
+          scale_is_multiplication;
+          differential_vs_solver_ref;
+          reduce_counts_are_polynomial_values;
+          print_parse_roundtrip;
+        ] );
+    ]

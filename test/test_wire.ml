@@ -238,6 +238,89 @@ let test_decode_errors () =
   ignore (decode_err {|{"op":"ping","fuel":"lots"}|});
   ignore (decode_err "{not json")
 
+(* The decode-error table: for every op, dropping a required field (or
+   sending it with the wrong type) produces the one uniform spelling —
+   "missing field: f" / "field f: <detail>" — pinned byte-exactly so no op
+   can drift into its own phrasing. *)
+let test_decode_error_table () =
+  let expect line msg =
+    Alcotest.(check string) (Printf.sprintf "error for %s" line) msg
+      (decode_err line)
+  in
+  (* missing required fields, every op *)
+  expect {|{"op":"eval","db":"E(1,2)."}|} "missing field: query";
+  expect {|{"op":"eval","query":"E(x,y)"}|} "missing field: db (or db_name)";
+  expect {|{"op":"contain","big":"E(x,y)"}|} "missing field: small";
+  expect {|{"op":"contain","small":"E(x,y)"}|} "missing field: big";
+  expect {|{"op":"hunt","big":"E(x,y)"}|} "missing field: small";
+  expect {|{"op":"hunt","small":"E(x,y)"}|} "missing field: big";
+  expect {|{"op":"ucq_eval","db":"E(1,2)."}|} "missing field: query";
+  expect {|{"op":"ucq_eval","query":"E(x,y)"}|} "missing field: db (or db_name)";
+  expect {|{"op":"ucq_contain","big":"E(x,y)"}|} "missing field: small";
+  expect {|{"op":"ucq_contain","small":"E(x,y)"}|} "missing field: big";
+  expect {|{"op":"ucq_hunt","big":"E(x,y)"}|} "missing field: small";
+  expect {|{"op":"ucq_hunt","small":"E(x,y)"}|} "missing field: big";
+  expect {|{"op":"db_create"}|} "missing field: name";
+  expect {|{"op":"db_insert","name":"g"}|} "missing field: fact";
+  expect {|{"op":"db_insert","fact":"E(1,2)"}|} "missing field: name";
+  expect {|{"op":"db_delete","name":"g"}|} "missing field: fact";
+  expect {|{"op":"register","name":"g"}|} "missing field: query";
+  expect {|{"op":"unregister","query":"E(x,y)"}|} "missing field: name";
+  expect {|{"op":"counts"}|} "missing field: name";
+  expect {|{"id":1}|} "missing field: op";
+  (* wrong types share the "field f: <detail>" spelling *)
+  expect {|{"op":"contain","small":7,"big":"E(x,y)"}|}
+    "field small: must be a string";
+  expect {|{"op":"ucq_hunt","small":"E(x,y)","big":null}|}
+    "field big: must be a string";
+  expect {|{"op":"ping","fuel":"lots"}|}
+    "field fuel: must be a non-negative integer";
+  expect {|{"op":"hunt","small":"E(x,y)","big":"E(x,y)","seed":-3}|}
+    "field seed: must be a non-negative integer";
+  (* payload syntax errors keep the field prefix *)
+  expect {|{"op":"db_insert","name":"g","fact":"E(1,2). E(2,3)."}|}
+    "field fact: must contain exactly one fact";
+  expect {|{"op":"eval","query":"E(x,y)","db":"E(1,2).","db_name":"g"}|}
+    "fields db and db_name are mutually exclusive"
+
+let test_ucq_decode () =
+  let r = decode_ok {|{"op":"ucq_eval","query":"E(x,y) | E(y,x)","db":"E(1,2)."}|} in
+  (match r.Proto.op with
+  | Proto.Ucq_eval { query; db = Proto.Db_inline _ } ->
+      Alcotest.(check int) "disjuncts" 2 (Bagcq_cq.Ucq.num_disjuncts query)
+  | _ -> Alcotest.fail "expected inline ucq_eval");
+  let r = decode_ok {|{"op":"ucq_eval","query":"E(x,y)","db_name":"g"}|} in
+  (match r.Proto.op with
+  | Proto.Ucq_eval { db = Proto.Db_named "g"; _ } -> ()
+  | _ -> Alcotest.fail "expected named ucq_eval");
+  let r =
+    decode_ok {|{"op":"ucq_contain","small":"(E(x,y)) | (E(x,y))","big":"E(x,y) & E(z,w)"}|}
+  in
+  (match r.Proto.op with
+  | Proto.Ucq_contain { small; big } ->
+      Alcotest.(check int) "small disjuncts" 2 (Bagcq_cq.Ucq.num_disjuncts small);
+      Alcotest.(check int) "big disjuncts" 1 (Bagcq_cq.Ucq.num_disjuncts big)
+  | _ -> Alcotest.fail "expected ucq_contain");
+  let r = decode_ok {|{"op":"ucq_hunt","small":"E(x,y)","big":"E(x,y)"}|} in
+  (match r.Proto.op with
+  | Proto.Ucq_hunt { samples; exhaustive_size; seed; _ } ->
+      Alcotest.(check int) "default samples" 200 samples;
+      Alcotest.(check int) "default exhaustive_size" 2 exhaustive_size;
+      Alcotest.(check int) "default seed" 0x5eed seed
+  | _ -> Alcotest.fail "expected ucq_hunt")
+
+(* The ping response is the capability handshake: clients feature-detect
+   from this exact shape ([Load.connect ~require_ops]), so it is pinned
+   byte-for-byte — adding an op or bumping the protocol must show up here. *)
+let test_ping_pin () =
+  Alcotest.(check string)
+    "ping response bytes"
+    ({|{"id": 1, "op": "ping", "status": "ok", "api_version": 9, |}
+    ^ {|"ops": ["ping", "stats", "metrics", "eval", "contain", "hunt", |}
+    ^ {|"ucq_eval", "ucq_contain", "ucq_hunt", "db_create", "db_insert", |}
+    ^ {|"db_delete", "register", "unregister", "counts"]}|})
+    (Json.to_string (Proto.ping_response ~id:(Json.Int 1) ()))
+
 let test_cache_key () =
   let key line = Proto.cache_key (decode_ok line) in
   (* the id and the spelling of the query are not part of the key *)
@@ -254,7 +337,17 @@ let test_cache_key () =
   Alcotest.(check bool)
     "budget in key" false
     (key {|{"op":"eval","query":"E(x,y)","db":"E(1,2).","fuel":10}|}
-    = key {|{"op":"eval","query":"E(x,y)","db":"E(1,2)."}|})
+    = key {|{"op":"eval","query":"E(x,y)","db":"E(1,2)."}|});
+  (* UCQ keys normalise the union spelling too: optional parens and
+     whitespace around '|' collapse to one re-printed form *)
+  Alcotest.(check string)
+    "ucq re-printed"
+    (key {|{"op":"ucq_eval","query":"(E(x,y))|(E(y,x))","db":"E(1,2)."}|})
+    (key {|{"op":"ucq_eval","query":"E(x,y)  |  E(y,x)","db":"E(1,2)."}|});
+  Alcotest.(check string)
+    "ucq_contain re-printed"
+    (key {|{"op":"ucq_contain","small":"E(x,y)|E(x,y)","big":"E(x,y)&E(z,w)"}|})
+    (key {|{"op":"ucq_contain","small":"(E(x,y)) | (E(x,y))","big":"E(x,y) & E(z,w)"}|})
 
 let test_responses () =
   Alcotest.(check (option string))
@@ -337,6 +430,9 @@ let () =
         [
           Alcotest.test_case "decode ok" `Quick test_decode_ok;
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "decode error table" `Quick test_decode_error_table;
+          Alcotest.test_case "ucq decode" `Quick test_ucq_decode;
+          Alcotest.test_case "ping pin" `Quick test_ping_pin;
           Alcotest.test_case "cache key" `Quick test_cache_key;
           Alcotest.test_case "responses" `Quick test_responses;
           Alcotest.test_case "error body shape" `Quick test_error_body;
