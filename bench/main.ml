@@ -476,7 +476,7 @@ let exp_guard () =
 
 (* ------------------------------------------------------------------ *)
 (* EXP-KERNEL: compiled solver kernel and the parallel database sweep.  *)
-(* Wall-clock numbers land in BENCH_PR9.json (schema checked by         *)
+(* Wall-clock numbers land in BENCH_PR10.json (schema checked by         *)
 (* scripts/check.sh), so the rows use explicit timing rather than       *)
 (* Bechamel: the JSON must be producible in the --json-only fast mode.  *)
 (* ------------------------------------------------------------------ *)
@@ -498,7 +498,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       [
-        ("bench", Json.Str "BENCH_PR9");
+        ("bench", Json.Str "BENCH_PR10");
         ("jobs_available", Json.Int (Domain.recommended_domain_count ()));
         ( "experiments",
           Json.List
@@ -825,6 +825,119 @@ let exp_wcoj () =
   let cycliq_q, cycliq_d = cycliq_fixture () in
   wcoj_row "wcoj-cycliq-p5-rotation" ~reps:100 ~bar_field:"wcoj_1x_bar" ~bar:1.0
     cycliq_q cycliq_d
+
+(* ------------------------------------------------------------------ *)
+(* EXP-GHD: bounded-width hypertree decomposition vs both flat kernels  *)
+(* on two fused 6-cycles (treewidth 2).  The flat kernels touch every   *)
+(* homomorphism individually, so their time grows with the bag count    *)
+(* itself; the decomposition materialises quadratic-size bags and       *)
+(* multiplies counts through the join-tree DP.                          *)
+(* ------------------------------------------------------------------ *)
+
+let exp_ghd () =
+  header "EXP-GHD - hypertree decomposition vs flat kernels on fused 6-cycles";
+  let module Solver = Bagcq_hom.Solver in
+  let module Solver_ref = Bagcq_hom.Solver_ref in
+  let module Plan = Bagcq_hom.Plan in
+  let module Wcoj = Bagcq_hom.Wcoj in
+  let module Ghd = Bagcq_hom.Ghd in
+  let module Decomp = Bagcq_hom.Decomp in
+  (* two 6-cycles sharing the x0-x1 edge: x0..x5 and x0,x1,y2..y5 *)
+  let q =
+    let x i = Build.v (Printf.sprintf "x%d" i) in
+    let y i = Build.v (Printf.sprintf "y%d" i) in
+    Build.query
+      (Build.cycle e_sym [ x 0; x 1; x 2; x 3; x 4; x 5 ]
+      @ [
+          Build.atom e_sym [ x 1; y 2 ];
+          Build.atom e_sym [ y 2; y 3 ];
+          Build.atom e_sym [ y 3; y 4 ];
+          Build.atom e_sym [ y 4; y 5 ];
+          Build.atom e_sym [ y 5; x 0 ];
+        ])
+  in
+  let random_digraph ~n ~m ~seed =
+    let st = Random.State.make [| seed |] in
+    let seen = Hashtbl.create m in
+    let d = ref (Structure.empty Schema.empty) in
+    let k = ref 0 in
+    while !k < m do
+      let a = Random.State.int st n and b = Random.State.int st n in
+      if not (Hashtbl.mem seen (a, b)) then begin
+        Hashtbl.add seen (a, b) ();
+        d := Structure.add_fact !d e_sym [ Value.int a; Value.int b ];
+        incr k
+      end
+    done;
+    !d
+  in
+  let g =
+    match Ghd.plan q with
+    | Some g -> g
+    | None -> failwith "EXP-GHD: the fused 6-cycles must decompose"
+  in
+  let strategy_is_ghd =
+    match Decomp.choose (Decomp.canonical q) with
+    | Decomp.Ghd _ -> true
+    | _ -> false
+  in
+  let wp = Wcoj.compile q in
+  let bp = Plan.compile q in
+  (* the reference interpreter only sees a small instance — it touches
+     every hom too, with none of the compiled plan's pruning *)
+  let d_small = random_digraph ~n:12 ~m:50 ~seed:7 in
+  let ref_ok =
+    let expect = Nat.of_int (Solver_ref.count q d_small) in
+    Nat.equal (Ghd.count g d_small) expect
+    && Nat.equal (Wcoj.count wp d_small) expect
+    && Nat.equal (Nat.of_int (Solver.count_plan bp d_small)) expect
+  in
+  let d = random_digraph ~n:60 ~m:300 ~seed:42 in
+  ignore (Solver.count_plan bp d) (* warm the structure's index *);
+  let reps = 3 in
+  let time ~reps count =
+    ignore (count ()) (* warm *);
+    let r, t =
+      wall (fun () ->
+          let n = ref Nat.zero in
+          for _ = 1 to reps do
+            n := count ()
+          done;
+          !n)
+    in
+    (r, t /. float_of_int reps)
+  in
+  let cg, tg = time ~reps (fun () -> Ghd.count g d) in
+  let cw, tw = time ~reps (fun () -> Wcoj.count wp d) in
+  (* the backtracking kernel walks all the homs one by one — once is plenty *)
+  let cb, tb = time ~reps:1 (fun () -> Nat.of_int (Solver.count_plan bp d)) in
+  let counts_ok = ref_ok && Nat.equal cg cw && Nat.equal cg cb in
+  let best_flat = Stdlib.min tw tb in
+  let speedup = best_flat /. Stdlib.max 1e-9 tg in
+  let bar_ok = speedup >= 5.0 in
+  row "  query: 11 atoms, 10 variables; decomposition width %d, %d bags\n"
+    (Ghd.width g) (Ghd.nbags g);
+  row
+    "  %-24s hom count %-12s ghd %.6fs  wcoj %.6fs  backtrack %.6fs\n"
+    "ghd-fused-6-cycles" (Nat.to_string cg) tg tw tb;
+  row
+    "  speedup vs best flat kernel %6.2fx  (>= 5x bar) [%s]  counts [%s]  \
+     planner picks ghd [%s]\n"
+    speedup (ok bar_ok) (ok counts_ok) (ok strategy_is_ghd);
+  emit "ghd-fused-6-cycles"
+    [
+      ("reps", Json.Int reps);
+      ("hom_count", Json.Str (Nat.to_string cg));
+      ("width", Json.Int (Ghd.width g));
+      ("bags", Json.Int (Ghd.nbags g));
+      ("ghd_wall_s", Json.Float tg);
+      ("wcoj_wall_s", Json.Float tw);
+      ("backtrack_wall_s", Json.Float tb);
+      ("speedup", Json.Float speedup);
+      ("ghd_5x_bar", Json.Bool bar_ok);
+      ("counts_match", Json.Bool counts_ok);
+      ("planner_picks_ghd", Json.Bool strategy_is_ghd);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* EXP-OBS: cost of the always-on instrumentation.  The same EXP-KERNEL *)
@@ -1332,7 +1445,7 @@ let run_benchmarks () =
       | _ -> Printf.printf "  %-42s (no estimate)\n" name)
     (List.sort compare rows)
 
-let default_bench_json_path = "BENCH_PR9.json"
+let default_bench_json_path = "BENCH_PR10.json"
 
 (* minimal flag parsing: --json PATH overrides where the row file lands *)
 let bench_json_path =
@@ -1351,6 +1464,7 @@ let () =
     exp_parallel_sweep ();
     exp_plan ();
     exp_wcoj ();
+    exp_ghd ();
     exp_obs ();
     exp_serve ();
     exp_store ();
@@ -1386,6 +1500,7 @@ let () =
   exp_parallel_sweep ();
   exp_plan ();
   exp_wcoj ();
+  exp_ghd ();
   exp_obs ();
   exp_serve ();
   exp_store ();

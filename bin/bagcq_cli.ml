@@ -24,6 +24,8 @@ module Eval = Bagcq_hom.Eval
 module Decomp = Bagcq_hom.Decomp
 module Plan = Bagcq_hom.Plan
 module Wcoj = Bagcq_hom.Wcoj
+module Ghd = Bagcq_hom.Ghd
+module Json = Bagcq_wire.Json
 module Hunt = Bagcq_search.Hunt
 module Sampler = Bagcq_search.Sampler
 module Pool = Bagcq_parallel.Pool
@@ -135,48 +137,131 @@ let eval_cmd =
 
 (* ---------------- explain ---------------- *)
 
+let atom_str = Format.asprintf "%a" Atom.pp
+
+(* The [class:] line groups the structural reason with the chosen engine —
+   both halves are cram-pinned, so keep them stable. *)
+let explain_class comp = function
+  | Decomp.Dp _ -> "acyclic -> join-tree dynamic program"
+  | Decomp.Wcoj _ ->
+      if Query.has_neqs comp then
+        "inequalities -> worst-case-optimal leapfrog join (filtered)"
+      else "cyclic -> worst-case-optimal leapfrog join"
+  | Decomp.Ghd g ->
+      Printf.sprintf "cyclic -> hypertree decomposition (width %d) + join-tree DP"
+        (Ghd.width g)
+  | Decomp.Backtrack ->
+      let why =
+        if Query.has_neqs comp then
+          if Wcoj.supports_neqs comp then "inequalities (wcoj disabled)"
+          else "inequalities (variable outside every atom)"
+        else "cyclic (wcoj disabled)"
+      in
+      why ^ " -> backtracking kernel"
+
+let explain_text groups =
+  List.iteri
+    (fun i (comp, mult) ->
+      Printf.printf "component %d (x%d): %s\n" (i + 1) mult (Query.to_string comp);
+      let s = Decomp.choose comp in
+      Printf.printf "  class: %s\n" (explain_class comp s);
+      match s with
+      | Decomp.Dp _ ->
+          print_string "  join tree:\n";
+          List.iter (fun l -> Printf.printf "    %s\n" l) (Decomp.render s)
+      | Decomp.Wcoj w ->
+          Printf.printf "  variable order: %s\n"
+            (String.concat " -> " (Wcoj.variable_order w))
+      | Decomp.Ghd g ->
+          print_string "  decomposition:\n";
+          List.iter (fun l -> Printf.printf "    %s\n" l) (Ghd.render g)
+      | Decomp.Backtrack ->
+          Printf.printf "  join order: %s\n"
+            (String.concat " -> " (List.map atom_str (Plan.ordered_atoms comp))))
+    groups
+
+(* The machine-readable plan report: stable field names, one object per
+   component, the decomposition as a recursive bag tree — what the
+   eval-farm batch runners consume. *)
+let explain_json q groups =
+  let strs l = Json.List (List.map (fun s -> Json.Str s) l) in
+  let rec bag_json b =
+    Json.Obj
+      [
+        ("vars", strs (Ghd.bag_vars b));
+        ("cover", strs (List.map atom_str (Ghd.bag_cover b)));
+        ("join_order", strs (List.map atom_str (Ghd.bag_atoms b)));
+        ("key", strs (Ghd.bag_key b));
+        ("children", Json.List (List.map bag_json (Ghd.bag_children b)));
+      ]
+  in
+  let comp_json (comp, mult) =
+    let s = Decomp.choose comp in
+    let strategy, fields =
+      match s with
+      | Decomp.Dp _ -> ("dp", [ ("join_tree", strs (Decomp.render s)) ])
+      | Decomp.Wcoj w ->
+          ("wcoj", [ ("variable_order", strs (Wcoj.variable_order w)) ])
+      | Decomp.Ghd g ->
+          ( "ghd",
+            [
+              ("width", Json.Int (Ghd.width g));
+              ("bags", Json.Int (Ghd.nbags g));
+              ("decomposition", bag_json (Ghd.root g));
+            ] )
+      | Decomp.Backtrack ->
+          ( "backtrack",
+            [
+              ( "join_order",
+                strs (List.map atom_str (Plan.ordered_atoms comp)) );
+            ] )
+    in
+    Json.Obj
+      ([
+         ("query", Json.Str (Query.to_string comp));
+         ("multiplicity", Json.Int mult);
+         ("strategy", Json.Str strategy);
+         ("class", Json.Str (explain_class comp s));
+       ]
+      @ fields)
+  in
+  Json.Obj
+    [
+      ("query", Json.Str (Query.to_string q));
+      ("components", Json.List (List.map comp_json groups));
+    ]
+
 let explain_cmd =
   let query =
     Arg.(required & opt (some query_conv) None & info [ "q"; "query" ] ~docv:"QUERY"
            ~doc:"The boolean conjunctive query to plan.")
   in
-  let run q =
-    Printf.printf "query: %s\n" (Query.to_string q);
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the plan report as JSON instead of text.")
+  in
+  let run q json =
     let groups = Decomp.factor q in
-    let total = List.fold_left (fun n (_, m) -> n + m) 0 groups in
-    Printf.printf "components: %d (%d distinct)\n" total (List.length groups);
-    if groups = [] then
-      print_string "the empty conjunction: count is 1 on every database\n";
-    List.iteri
-      (fun i (comp, mult) ->
-        Printf.printf "component %d (x%d): %s\n" (i + 1) mult (Query.to_string comp);
-        match Decomp.choose comp with
-        | Decomp.Dp _ as s ->
-            print_string "  class: acyclic -> join-tree dynamic program\n";
-            print_string "  join tree:\n";
-            List.iter (fun l -> Printf.printf "    %s\n" l) (Decomp.render s)
-        | Decomp.Wcoj w ->
-            print_string "  class: cyclic -> worst-case-optimal leapfrog join\n";
-            Printf.printf "  variable order: %s\n"
-              (String.concat " -> " (Wcoj.variable_order w))
-        | Decomp.Backtrack ->
-            let why =
-              if Query.has_neqs comp then "inequalities" else "cyclic (wcoj disabled)"
-            in
-            Printf.printf "  class: %s -> backtracking kernel\n" why;
-            Printf.printf "  join order: %s\n"
-              (String.concat " -> "
-                 (List.map (Format.asprintf "%a" Atom.pp) (Plan.ordered_atoms comp))))
-      groups;
+    if json then print_string (Json.to_string_pretty (explain_json q groups))
+    else begin
+      Printf.printf "query: %s\n" (Query.to_string q);
+      let total = List.fold_left (fun n (_, m) -> n + m) 0 groups in
+      Printf.printf "components: %d (%d distinct)\n" total (List.length groups);
+      if groups = [] then
+        print_string "the empty conjunction: count is 1 on every database\n";
+      explain_text groups
+    end;
     `Ok 0
   in
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show the evaluation plan: connected components with \
              multiplicities (repeated components are counted once and \
-             raised to their power), acyclic-vs-cyclic classification, and \
-             the join tree or backtracking join order per component.")
-    Cmdliner.Term.(ret (const run $ query))
+             raised to their power), structural classification, and the \
+             join tree, leapfrog variable order, hypertree decomposition \
+             or backtracking join order per component.  $(b,--json) emits \
+             the same report as JSON.")
+    Cmdliner.Term.(ret (const run $ query $ json))
 
 (* ---------------- contain ---------------- *)
 

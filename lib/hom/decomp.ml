@@ -11,7 +11,17 @@ module StringSet = Set.Make (String)
 let components_seen = Metrics.counter Metrics.global "plan_components"
 let dp_selected = Metrics.counter Metrics.global "plan_dp_selected"
 let wcoj_selected = Metrics.counter Metrics.global "plan_wcoj_selected"
+let ghd_selected = Metrics.counter Metrics.global "plan_ghd_selected"
 let fallback_selected = Metrics.counter Metrics.global "plan_fallback"
+
+(* Escape hatches, read per {!choose} call — value-sensitive, so a test
+   (or an operator attaching to a live server) can un-set a hatch by
+   overwriting it with [""] or ["0"]: [Unix.putenv] cannot remove a
+   variable from the environment, only rewrite it. *)
+let env_flag name =
+  match Sys.getenv_opt name with
+  | Some s when s <> "" && s <> "0" -> true
+  | _ -> false
 
 (* Variables renamed by first occurrence, so that components that differ
    only in variable names share one search per evaluation — queries built
@@ -48,7 +58,12 @@ let factor q =
   group comps
 
 type tree = { atom : Atom.t; key : string list; children : tree list }
-type strategy = Dp of tree | Wcoj of Wcoj.plan | Backtrack
+
+type strategy =
+  | Dp of tree
+  | Wcoj of Wcoj.plan
+  | Ghd of Ghd.t
+  | Backtrack
 
 (* GYO reduction.  Repeatedly (1) delete vertices covered by exactly one
    alive hyperedge, (2) absorb a hyperedge whose reduced vertex set is
@@ -128,32 +143,59 @@ let join_tree (atoms : Atom.t array) : tree option =
     end
   end
 
+(* The GHD cost model, computed on query structure alone ({!choose} runs
+   before any structure is seen — [Eval]'s plan cache is keyed by query).
+   Leapfrog degrades toward its worst case when many ranks of the chosen
+   variable order intersect nothing — each iterator spans its whole
+   relation because no earlier binding narrowed it — while a bounded-width
+   decomposition pays a bag materialisation up front and then runs the
+   linear join-tree DP.  So: count the {e weak} ranks (support ≤ 1, rank 0
+   excluded — the outermost rank is always unsupported) and switch to a
+   GHD only when the order is weak in ≥ 4 ranks {e and} a width ≤ 2
+   decomposition exists.  Short cycles (length ≤ 5) stay on leapfrog:
+   their orders have at most three weak ranks and the kernel beats the
+   materialisation there. *)
+let weak_ranks w =
+  let supports = Wcoj.rank_supports w in
+  let weak = ref 0 in
+  Array.iteri (fun r s -> if r > 0 && s <= 1 then incr weak) supports;
+  !weak
+
 let choose q =
-  (* An inequality is no hyperedge — its variables range over the whole
-     domain — so components carrying inequalities keep the backtracking
-     kernel, which compiles them into binding-point checks. *)
+  (* Hatches are read per call so a long-lived server honours the
+     variables at plan time, not at module initialisation. *)
+  let no_wcoj = env_flag "BAGCQ_NO_WCOJ" in
   if Query.has_neqs q then begin
-    Metrics.incr fallback_selected;
-    Backtrack
+    (* Inequalities ride the leapfrog as per-rank filters when every
+       inequality variable is joined somewhere; a variable occurring only
+       in ≠ atoms ranges over the whole active domain, which only the
+       backtracking kernel enumerates. *)
+    if (not no_wcoj) && Wcoj.supports_neqs q then Wcoj (Wcoj.compile q)
+    else Backtrack
   end
   else
     match join_tree (Array.of_list (Query.atoms q)) with
-    | Some t ->
-        Metrics.incr dp_selected;
-        Dp t
+    | Some t -> Dp t
     | None ->
-        (* Cyclic: worst-case-optimal leapfrog, unless the escape hatch
-           asks for the old backtracking kernel.  Checked per call so a
-           long-lived server honours the variable at plan time, not at
-           module initialisation. *)
-        if Sys.getenv_opt "BAGCQ_NO_WCOJ" <> None then begin
-          Metrics.incr fallback_selected;
-          Backtrack
-        end
+        if no_wcoj then Backtrack
         else begin
-          Metrics.incr wcoj_selected;
-          Wcoj (Wcoj.compile q)
+          let w = Wcoj.compile q in
+          if (not (env_flag "BAGCQ_NO_GHD")) && weak_ranks w >= 4 then
+            match Ghd.plan q with
+            | Some g when Ghd.width g <= 2 -> Ghd g
+            | _ -> Wcoj w
+          else Wcoj w
         end
+
+(* Strategy counters are bumped here rather than inside {!choose}: [Eval]
+   and the store call {!choose} only on plan-cache misses and record the
+   choice once, so the [plan_*] family counts cold plans — not every
+   cache-hit re-dispatch. *)
+let record_choice = function
+  | Dp _ -> Metrics.incr dp_selected
+  | Wcoj _ -> Metrics.incr wcoj_selected
+  | Ghd _ -> Metrics.incr ghd_selected
+  | Backtrack -> Metrics.incr fallback_selected
 
 module KeyTbl = Hashtbl.Make (struct
   type t = Value.t array
@@ -556,6 +598,7 @@ let render = function
         "worst-case-optimal leapfrog join";
         "variable order: " ^ String.concat " -> " (Wcoj.variable_order p);
       ]
+  | Ghd g -> "hypertree decomposition + join-tree DP over bags" :: Ghd.render g
   | Dp t ->
       let lines = ref [] in
       let rec go depth node =

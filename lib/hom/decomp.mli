@@ -7,15 +7,20 @@
     count over the connected components of its Gaifman graph.  This module
     turns both laws into a planner: {!factor} splits a query into canonical
     components with multiplicities (so [θ↑k] costs one component search
-    plus one [Nat.pow]), and {!choose} classifies each component with a
-    GYO reduction, producing a join-tree dynamic program for α-acyclic
-    components ({!count_tree}: polynomial in the structure) and falling
-    back to the compiled backtracking kernel otherwise.
+    plus one [Nat.pow]), and {!choose} classifies each component — GYO
+    reduction sends α-acyclic components to the join-tree dynamic program
+    ({!count_tree}: polynomial in the structure), cyclic components run
+    the leapfrog kernel ({!Wcoj}) or, when the order is weak and a
+    width ≤ 2 decomposition exists, the join-tree DP over hypertree bags
+    ({!Ghd}); the compiled backtracking kernel survives for components
+    whose inequalities the leapfrog cannot filter, and behind the escape
+    hatches.
 
-    Plan selection is observable through four process-wide counters in
+    Plan selection is observable through five process-wide counters in
     {!Bagcq_obs.Metrics.global}: [plan_components] (components seen by
-    {!factor}), [plan_dp_selected], [plan_wcoj_selected] and
-    [plan_fallback] (strategy choices made by {!choose}). *)
+    {!factor}), and [plan_dp_selected] / [plan_wcoj_selected] /
+    [plan_ghd_selected] / [plan_fallback] — bumped by {!record_choice} on
+    cold plans only, so the family tracks plan-cache misses. *)
 
 open Bagcq_bignum
 open Bagcq_cq
@@ -48,21 +53,39 @@ type tree = {
 type strategy =
   | Dp of tree  (** α-acyclic, no inequalities: count by {!count_tree} *)
   | Wcoj of Wcoj.plan
-      (** cyclic, no inequalities: worst-case-optimal leapfrog join *)
-  | Backtrack  (** carrying inequalities, or cyclic with the
-                   [BAGCQ_NO_WCOJ] escape hatch set: compiled kernel *)
+      (** cyclic, or inequalities filterable by the leapfrog:
+          worst-case-optimal leapfrog join *)
+  | Ghd of Ghd.t
+      (** cyclic with a weak leapfrog order but small hypertree width:
+          join-tree DP over materialised decomposition bags *)
+  | Backtrack
+      (** inequality variables outside every atom, or an escape hatch
+          set: compiled backtracking kernel *)
 
 val choose : Query.t -> strategy
-(** Classify one component (callers pass the elements of {!factor}).  A
-    component with inequalities always backtracks — an inequality-only
-    variable ranges over the whole domain and is no hyperedge.  Otherwise
-    GYO reduction decides: repeatedly delete vertices covered by a single
-    hyperedge and hyperedges contained in another; one surviving edge
-    means α-acyclic (join-tree DP), and a cyclic residue goes to the
-    leapfrog kernel — unless the [BAGCQ_NO_WCOJ] environment variable is
-    set (checked per call), which restores the backtracking fallback.
-    Strategy choices land in the [plan_dp_selected] /
-    [plan_wcoj_selected] / [plan_fallback] counters. *)
+(** Classify one component (callers pass the elements of {!factor}).
+    Components with inequalities run the leapfrog with per-rank ≠ filters
+    when {!Wcoj.supports_neqs} holds, and backtrack otherwise (a variable
+    occurring only in ≠ atoms ranges over the whole domain and is no
+    hyperedge).  Otherwise GYO reduction decides: one surviving edge
+    means α-acyclic (join-tree DP); a cyclic residue compiles the
+    leapfrog plan, and when its variable order has ≥ 4 weak ranks
+    (iterators unsupported by any earlier binding — {!Wcoj.rank_supports})
+    {e and} {!Ghd.plan} finds a width ≤ 2 decomposition, the component
+    runs the decomposition instead.  Escape hatches, read per call and
+    value-sensitive (unset, [""] and ["0"] all mean "off"):
+    [BAGCQ_NO_WCOJ] restores the backtracking fallback for everything
+    cyclic (and disables ≠ filtering), [BAGCQ_NO_GHD] pins cyclic
+    components to the leapfrog.
+
+    {!choose} does not touch the [plan_*] counters — callers holding a
+    plan cache call {!record_choice} on misses. *)
+
+val record_choice : strategy -> unit
+(** Bump the strategy's selection counter ([plan_dp_selected] /
+    [plan_wcoj_selected] / [plan_ghd_selected] / [plan_fallback]).
+    Called by plan-cache holders on cold plans only, so the counter
+    family matches cache misses, not lookups. *)
 
 val count_tree :
   ?budget:Bagcq_guard.Budget.t -> tree -> Bagcq_relational.Structure.t -> Nat.t

@@ -5,10 +5,16 @@ module QueryMap = Map.Make (Query)
 
 (* One per-component execution strategy, chosen by [Decomp.choose] on the
    first encounter with a canonical component: acyclic inequality-free
-   components count by join-tree dynamic programming, cyclic
-   inequality-free ones by the worst-case-optimal leapfrog kernel, and
-   components with inequalities by the compiled backtracking kernel. *)
-type strategy = Dp of Decomp.tree | Leapfrog of Wcoj.plan | Search of Plan.t
+   components count by join-tree dynamic programming, cyclic ones by the
+   worst-case-optimal leapfrog kernel (which also filters inequalities)
+   or — weak leapfrog order, small hypertree width — by the join-tree DP
+   over decomposition bags, and components whose inequality variables
+   escape every atom by the compiled backtracking kernel. *)
+type strategy =
+  | Dp of Decomp.tree
+  | Leapfrog of Wcoj.plan
+  | Hyper of Ghd.t
+  | Search of Plan.t
 
 (* The evaluation cache.  [plans] maps a canonical component to its
    strategy and is never invalidated (strategies depend only on the query);
@@ -78,10 +84,15 @@ let plan_for cache key =
       p
   | None ->
       Metrics.incr cache.plan_misses;
+      let choice = Decomp.choose key in
+      (* cold plan: this is the one site where the plan_* selection
+         counters advance, so they track plan-cache misses exactly *)
+      Decomp.record_choice choice;
       let p =
-        match Decomp.choose key with
+        match choice with
         | Decomp.Dp t -> Dp t
         | Decomp.Wcoj w -> Leapfrog w
+        | Decomp.Ghd g -> Hyper g
         | Decomp.Backtrack -> Search (Plan.compile key)
       in
       cache.plans := QueryMap.add key p !(cache.plans);
@@ -118,6 +129,7 @@ let count_memo ?budget cache key d =
         match plan_for cache key with
         | Dp t -> Decomp.count_tree ?budget t d
         | Leapfrog w -> Wcoj.count ?budget w d
+        | Hyper g -> Ghd.count ?budget g d
         | Search p -> Nat.of_int (Solver.count_plan ?budget p d)
       in
       cache.counts := QueryMap.add key c !(cache.counts);
@@ -145,7 +157,8 @@ let satisfies ?budget ?cache d q =
   List.for_all
     (fun (comp, _mult) ->
       match plan_for cache comp with
-      | Dp _ | Leapfrog _ -> not (Nat.is_zero (count_memo ?budget cache comp d))
+      | Dp _ | Leapfrog _ | Hyper _ ->
+          not (Nat.is_zero (count_memo ?budget cache comp d))
       | Search p -> Solver.exists_plan ?budget p d)
     (Decomp.factor q)
 

@@ -14,13 +14,16 @@ open Bagcq_cq
 type cache
 (** An evaluation cache: one execution strategy per canonical component —
     a join-tree dynamic program for acyclic inequality-free components, a
-    worst-case-optimal leapfrog plan for cyclic inequality-free ones, a
-    compiled backtracking plan otherwise, chosen by {!Decomp.choose} and
-    kept for the cache's lifetime (strategies depend only on the query) —
-    plus component counts for the most recent structure (invalidated
-    whenever evaluation moves to a structure that is not physically the
-    same).  One cache serves one domain: share nothing, shard everything —
-    parallel sweeps allocate one per worker. *)
+    worst-case-optimal leapfrog plan (with ≠ filters) or a bounded-width
+    hypertree decomposition for cyclic ones, a compiled backtracking plan
+    otherwise, chosen by {!Decomp.choose} and kept for the cache's
+    lifetime (strategies depend only on the query) — plus component
+    counts for the most recent structure (invalidated whenever evaluation
+    moves to a structure that is not physically the same).  Cold plans
+    call {!Decomp.record_choice}, so the process-wide [plan_*] selection
+    counters count this cache's misses, never its hits.  One cache serves
+    one domain: share nothing, shard everything — parallel sweeps
+    allocate one per worker. *)
 
 val create_cache : unit -> cache
 

@@ -1,0 +1,655 @@
+open Bagcq_relational
+open Bagcq_cq
+module Nat = Bagcq_bignum.Nat
+module Budget = Bagcq_guard.Budget
+module Metrics = Bagcq_obs.Metrics
+module StringSet = Set.Make (String)
+
+(* GHD metrics.  Handles resolve once at module initialisation so the
+   family is present (at zero) in every metrics dump — the check.sh
+   contract.  The module is always linked: [Decomp.strategy] carries a
+   [Ghd.t]. *)
+let plans_built = Metrics.counter Metrics.global "ghd_plans_built"
+let ghd_runs = Metrics.counter Metrics.global "ghd_runs"
+let ghd_bag_rows = Metrics.counter Metrics.global "ghd_bag_rows"
+
+(* One bag of a generalised hypertree decomposition.  [b_chi] is χ(B) —
+   the bag's variables, sorted.  [b_cover] is λ(B) — atoms whose variables
+   jointly cover χ(B); they may mention variables outside χ(B), which is
+   the "generalised" part.  [b_atoms] is the full join the bag
+   materialises — λ(B) plus every query atom assigned to this bag — in
+   the backtracking join order [bagcq explain] reports.  [b_key] indexes
+   into [b_chi]: the positions of χ(B) ∩ χ(parent), the DP interface. *)
+type bag = {
+  b_chi : string array;
+  b_cover : Atom.t array;
+  b_atoms : Atom.t array;
+  b_key : int array;
+  b_children : bag list;
+}
+
+type t = { g_root : bag; g_width : int; g_nbags : int }
+
+let width g = g.g_width
+let nbags g = g.g_nbags
+let root g = g.g_root
+let bag_vars b = Array.to_list b.b_chi
+let bag_cover b = Array.to_list b.b_cover
+let bag_atoms b = Array.to_list b.b_atoms
+let bag_key b = List.map (fun i -> b.b_chi.(i)) (Array.to_list b.b_key)
+let bag_children b = b.b_children
+
+(* ------------------------- decomposition search ----------------------- *)
+
+(* The search runs on the query's variable graph — one vertex per
+   variable, a clique per atom — through the classic elimination-order
+   route: eliminating vertex [v] forms the bag {v} ∪ N(v) and turns N(v)
+   into a clique, and the max bag size over the order minus one is the
+   width of the resulting tree decomposition.  Every atom is a clique, so
+   every atom fits inside some bag; covering each bag's χ with at most
+   [max_cover] atoms then yields a GHD whose width is the max cover size.
+
+   For small queries (≤ 8 atoms, and hence a small variable graph) the
+   order is *exact*: a Held–Karp-style subset DP over elimination
+   prefixes, using the fact that the degree of [v] eliminated after the
+   prefix [S] is the number of vertices outside [S ∪ {v}] reachable from
+   [v] through [S] — no fill edges need materialising.  Larger queries
+   fall back to a greedy min-degree order with a min-fill tiebreak;
+   min-degree alone is already exact on treewidth ≤ 2 graphs (a tw≤2
+   graph always has a vertex of degree ≤ 2 whose elimination leaves a
+   tw≤2 minor), which is the width regime the cost model sends here. *)
+
+let exact_max_vars = 12
+
+(* Exact elimination order by subset DP.  [q_count adj s v] is the degree
+   of [v] when eliminated right after the prefix set [s] (a bitmask):
+   vertices outside [s], other than [v], reachable from [v] through [s]. *)
+let q_count adj n s v =
+  let seen = Array.make n false in
+  let count = ref 0 in
+  let rec visit u =
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          if s land (1 lsl w) <> 0 then visit w
+          else incr count
+        end)
+      adj.(u)
+  in
+  seen.(v) <- true;
+  visit v;
+  !count
+
+let exact_order adj n =
+  let full = (1 lsl n) - 1 in
+  let cost = Array.make (full + 1) 0 in
+  let pick = Array.make (full + 1) (-1) in
+  for s = 1 to full do
+    let best = ref max_int and best_v = ref (-1) in
+    for v = 0 to n - 1 do
+      if s land (1 lsl v) <> 0 then begin
+        let s' = s lxor (1 lsl v) in
+        let c = max cost.(s') (q_count adj n s' v) in
+        if c < !best then begin
+          best := c;
+          best_v := v
+        end
+      end
+    done;
+    cost.(s) <- !best;
+    pick.(s) <- !best_v
+  done;
+  let order = Array.make n 0 in
+  let s = ref full in
+  for i = n - 1 downto 0 do
+    order.(i) <- pick.(!s);
+    s := !s lxor (1 lsl pick.(!s))
+  done;
+  order
+
+(* Greedy min-degree order, min-fill then vertex index as tiebreaks, on a
+   mutable copy of the graph (fill edges are materialised as we go). *)
+let greedy_order adj n =
+  let nbr = Array.map (fun l -> List.fold_left (fun s w -> s lor (1 lsl w)) 0 l) adj in
+  let popcount m =
+    let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+    go m 0
+  in
+  let alive = ref ((1 lsl n) - 1) in
+  let order = ref [] in
+  for _ = 1 to n do
+    let best = ref None in
+    for v = 0 to n - 1 do
+      if !alive land (1 lsl v) <> 0 then begin
+        let ns = nbr.(v) land !alive in
+        let deg = popcount ns in
+        (* fill edges needed to clique-ify v's live neighbourhood *)
+        let fill = ref 0 in
+        for u = 0 to n - 1 do
+          if ns land (1 lsl u) <> 0 then
+            fill := !fill + popcount (ns land lnot nbr.(u) land lnot (1 lsl u))
+        done;
+        let score = (deg, !fill, v) in
+        match !best with
+        | Some (_, s) when s <= score -> ()
+        | _ -> best := Some (v, score)
+      end
+    done;
+    let v, _ = Option.get !best in
+    let ns = nbr.(v) land !alive in
+    for u = 0 to n - 1 do
+      if ns land (1 lsl u) <> 0 then nbr.(u) <- nbr.(u) lor (ns land lnot (1 lsl u))
+    done;
+    alive := !alive lxor (1 lsl v);
+    order := v :: !order
+  done;
+  Array.of_list (List.rev !order)
+
+(* A raw decomposition node before cover search: χ as a variable set,
+   parent index (or -1 for the root). *)
+type raw = { mutable r_chi : StringSet.t; mutable r_parent : int; mutable r_dead : bool }
+
+let max_cover = 3
+
+(* Smallest λ ⊆ atoms with χ ⊆ vars(λ), searched exhaustively over
+   singletons, pairs, and triples; among equal sizes, prefer covers
+   introducing the fewest variables outside χ (cheaper bag joins), then
+   lexicographic atom order for determinism.  None when three atoms do
+   not suffice — the planner then refuses the decomposition. *)
+let find_cover (atom_sets : (Atom.t * StringSet.t) array) chi =
+  let m = Array.length atom_sets in
+  let extra cover =
+    List.fold_left
+      (fun acc (_, s) -> acc + StringSet.cardinal (StringSet.diff s chi))
+      0 cover
+  in
+  let covers cover =
+    let u =
+      List.fold_left (fun acc (_, s) -> StringSet.union acc s) StringSet.empty cover
+    in
+    StringSet.subset chi u
+  in
+  let best = ref None in
+  let consider ids =
+    let cover = List.map (fun i -> atom_sets.(i)) ids in
+    if covers cover then begin
+      let score = (List.length cover, extra cover, ids) in
+      match !best with
+      | Some (_, s) when s <= score -> ()
+      | _ -> best := Some (List.map fst cover, score)
+    end
+  in
+  for i = 0 to m - 1 do
+    consider [ i ]
+  done;
+  if !best = None then
+    for i = 0 to m - 1 do
+      for j = i + 1 to m - 1 do
+        consider [ i; j ]
+      done
+    done;
+  if !best = None && max_cover >= 3 then
+    for i = 0 to m - 1 do
+      for j = i + 1 to m - 1 do
+        for k = j + 1 to m - 1 do
+          consider [ i; j; k ]
+        done
+      done
+    done;
+  Option.map fst !best
+
+(* Greedy backtracking join order over a bag's atoms: most
+   already-determined variables first, ties towards more total variables
+   (wider atoms narrow the remainder harder), then atom order. *)
+let join_order (atoms : Atom.t list) =
+  let remaining = ref atoms and bound = ref StringSet.empty and out = ref [] in
+  while !remaining <> [] do
+    let score a =
+      let vs = Atom.vars a in
+      let det = List.length (List.filter (fun x -> StringSet.mem x !bound) vs) in
+      (det, List.length vs)
+    in
+    let best =
+      List.fold_left
+        (fun best a ->
+          match best with
+          | Some (_, s) when s >= score a -> best
+          | _ -> Some (a, score a))
+        None !remaining
+    in
+    let a, _ = Option.get best in
+    out := a :: !out;
+    remaining := List.filter (fun a' -> a' != a) !remaining;
+    bound := List.fold_left (fun s x -> StringSet.add x s) !bound (Atom.vars a)
+  done;
+  List.rev !out
+
+let plan (q : Query.t) : t option =
+  if Query.has_neqs q then None
+  else begin
+    let atoms = Array.of_list (Query.atoms q) in
+    let atom_sets = Array.map (fun a -> (a, StringSet.of_list (Atom.vars a))) atoms in
+    let vars =
+      Array.fold_left (fun acc (_, s) -> StringSet.union acc s) StringSet.empty atom_sets
+    in
+    let vlist = Array.of_list (StringSet.elements vars) in
+    let n = Array.length vlist in
+    if Array.length atoms < 3 || n < 3 || n > Sys.int_size - 2 then None
+    else begin
+      let vid = Hashtbl.create 16 in
+      Array.iteri (fun i x -> Hashtbl.add vid x i) vlist;
+      let edge = Array.make_matrix n n false in
+      Array.iter
+        (fun (_, s) ->
+          let ids = List.map (Hashtbl.find vid) (StringSet.elements s) in
+          List.iter
+            (fun i -> List.iter (fun j -> if i <> j then edge.(i).(j) <- true) ids)
+            ids)
+        atom_sets;
+      let adj =
+        Array.init n (fun i ->
+            List.filter (fun j -> edge.(i).(j)) (List.init n Fun.id))
+      in
+      let order =
+        if Array.length atoms <= 8 && n <= exact_max_vars then exact_order adj n
+        else greedy_order adj n
+      in
+      (* Replay the elimination to collect bags: eliminating order.(i)
+         forms χ_i = {v_i} ∪ N_i and clique-ifies N_i; the parent of bag i
+         is the bag of the earliest-eliminated vertex of N_i. *)
+      let pos = Array.make n 0 in
+      Array.iteri (fun i v -> pos.(v) <- i) order;
+      let nbr = Array.map (fun l -> List.fold_left (fun s w -> StringSet.add vlist.(w) s) StringSet.empty l) adj in
+      let raws =
+        Array.init n (fun _ -> { r_chi = StringSet.empty; r_parent = -1; r_dead = false })
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          let live = StringSet.filter (fun x -> pos.(Hashtbl.find vid x) > i) nbr.(v) in
+          raws.(i).r_chi <- StringSet.add vlist.(v) live;
+          (* clique-ify the live neighbourhood *)
+          StringSet.iter
+            (fun x ->
+              let xi = Hashtbl.find vid x in
+              nbr.(xi) <- StringSet.union nbr.(xi) (StringSet.remove x live))
+            live;
+          if StringSet.is_empty live then begin
+            if i < n - 1 then ok := false (* disconnected: bail out *)
+          end
+          else begin
+            let p =
+              StringSet.fold
+                (fun x acc -> min acc pos.(Hashtbl.find vid x))
+                live max_int
+            in
+            raws.(i).r_parent <- p
+          end)
+        order;
+      if not !ok then None
+      else begin
+        (* Absorb bags contained in their parent (projection-only bags
+           carry no information and would cost a join each). *)
+        for i = 0 to n - 2 do
+          let p = raws.(i).r_parent in
+          if p >= 0 && StringSet.subset raws.(i).r_chi raws.(p).r_chi then begin
+            raws.(i).r_dead <- true;
+            for j = 0 to i - 1 do
+              if (not raws.(j).r_dead) && raws.(j).r_parent = i then
+                raws.(j).r_parent <- p
+            done
+          end
+        done;
+        (* ... and the symmetric contraction: a parent contained in one of
+           its children (the last few elimination steps produce a chain of
+           shrinking root-ward bags).  Contracting the tree edge preserves
+           running intersection — everything that routed through the
+           parent routes through the child, whose χ is a superset. *)
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          for i = 0 to n - 2 do
+            if not raws.(i).r_dead then begin
+              let p = raws.(i).r_parent in
+              if
+                p >= 0
+                && StringSet.subset raws.(p).r_chi raws.(i).r_chi
+              then begin
+                raws.(p).r_dead <- true;
+                raws.(i).r_parent <- raws.(p).r_parent;
+                for j = 0 to n - 1 do
+                  if (not raws.(j).r_dead) && j <> i && raws.(j).r_parent = p
+                  then raws.(j).r_parent <- i
+                done;
+                changed := true
+              end
+            end
+          done
+        done;
+        (* Assign every atom to one live bag containing its variables
+           (exists: each atom is a clique, and absorption preserves
+           maximal bags).  Highest-indexed container keeps assignments
+           close to the root. *)
+        let assigned = Array.make n [] in
+        let assign_ok = ref true in
+        Array.iter
+          (fun (a, s) ->
+            let home = ref (-1) in
+            for i = 0 to n - 1 do
+              if (not raws.(i).r_dead) && StringSet.subset s raws.(i).r_chi then
+                home := i
+            done;
+            if !home < 0 then assign_ok := false
+            else assigned.(!home) <- a :: assigned.(!home))
+          atom_sets;
+        if not !assign_ok then None
+        else begin
+          let width = ref 0 and nbags = ref 0 and cover_ok = ref true in
+          let kids = Array.make n [] in
+          for i = 0 to n - 1 do
+            if (not raws.(i).r_dead) && raws.(i).r_parent >= 0 then
+              kids.(raws.(i).r_parent) <- i :: kids.(raws.(i).r_parent)
+          done;
+          let rec build i =
+            let chi = raws.(i).r_chi in
+            let chi_arr = Array.of_list (StringSet.elements chi) in
+            let cover =
+              match find_cover atom_sets chi with
+              | Some c -> c
+              | None ->
+                  cover_ok := false;
+                  []
+            in
+            incr nbags;
+            width := max !width (List.length cover);
+            let locals =
+              List.filter (fun a -> not (List.memq a cover)) (List.rev assigned.(i))
+            in
+            let key =
+              if raws.(i).r_parent < 0 then [||]
+              else begin
+                let pchi = raws.(raws.(i).r_parent).r_chi in
+                let ks = ref [] in
+                Array.iteri
+                  (fun p x -> if StringSet.mem x pchi then ks := p :: !ks)
+                  chi_arr;
+                Array.of_list (List.rev !ks)
+              end
+            in
+            {
+              b_chi = chi_arr;
+              b_cover = Array.of_list cover;
+              b_atoms = Array.of_list (join_order (cover @ locals));
+              b_key = key;
+              b_children = List.map build (List.rev kids.(i));
+            }
+          in
+          let root_ix = ref (n - 1) in
+          for i = 0 to n - 1 do
+            if (not raws.(i).r_dead) && raws.(i).r_parent < 0 then root_ix := i
+          done;
+          let g_root = build !root_ix in
+          if not !cover_ok then None
+          else begin
+            Metrics.incr plans_built;
+            Some { g_root; g_width = !width; g_nbags = !nbags }
+          end
+        end
+      end
+    end
+  end
+
+(* ------------------------------ counting ------------------------------ *)
+
+module KeyTbl = Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i < 0 || (Value.equal a.(i) b.(i) && go (i - 1)) in
+    go (Array.length a - 1)
+
+  let hash (t : Value.t array) =
+    Array.fold_left (fun h v -> (h * 31) + Value.hash v) 17 t
+end)
+
+exception Unsat_const
+
+type op = Op_cst of Value.t | Op_check of int | Op_bind of int
+
+(* The bag-relation DP.  Bottom-up over the decomposition: each bag
+   materialises the *distinct* projections onto χ(B) of the join of its
+   atoms (a backtracking join over [Index] probes — duplicates from the
+   projection are folded by the seen-set, because a bag row asserts only
+   the *existence* of an extension), weights each row by the product of
+   its children's table entries under the shared-variable projection, and
+   aggregates by the bag's parent key.  Every atom is enforced in exactly
+   one bag and χ-sets of any variable form a connected subtree, so the
+   glued rows are in bijection with the satisfying assignments and the
+   root's single entry is exactly |Hom(component, D)|.  One budget tick
+   per candidate tuple keeps fuel semantics: a fuel-limited run trips
+   mid-materialisation. *)
+let count ?budget (g : t) d =
+  Metrics.incr ghd_runs;
+  let rows_seen = ref 0 in
+  let tick =
+    match budget with None -> fun () -> () | Some b -> fun () -> Budget.tick b
+  in
+  let idx = Index.get d in
+  let interp c =
+    match Structure.interpretation d c with
+    | Some v -> v
+    | None -> raise_notrace Unsat_const
+  in
+  let compute () =
+    let rec pass bag =
+      let nchi = Array.length bag.b_chi in
+      (* variable frame: χ first, then extension variables of the cover *)
+      let var_pos = Hashtbl.create 8 in
+      Array.iteri (fun i x -> Hashtbl.add var_pos x i) bag.b_chi;
+      let nvars = ref nchi in
+      Array.iter
+        (fun a ->
+          List.iter
+            (fun x ->
+              if not (Hashtbl.mem var_pos x) then begin
+                Hashtbl.add var_pos x !nvars;
+                incr nvars
+              end)
+            (Atom.vars a))
+        bag.b_atoms;
+      let env = Array.make (max 1 !nvars) (Value.int 0) in
+      let bound = Array.make (max 1 !nvars) false in
+      (* per-atom ops in join order; [probe] is the first position whose
+         variable is bound by an earlier atom, if any — the index probe *)
+      let steps =
+        Array.map
+          (fun a ->
+            let args = Atom.args a in
+            (* positions bound by *earlier atoms* — a same-atom repeat is
+               an [Op_check] too but its env slot is not yet set when the
+               probe runs, so it must not be used as one *)
+            let pre_bound = Array.copy bound in
+            let ops =
+              Array.map
+                (function
+                  | Term.Cst c -> Op_cst (interp c)
+                  | Term.Var x ->
+                      let i = Hashtbl.find var_pos x in
+                      if bound.(i) then Op_check i
+                      else begin
+                        bound.(i) <- true;
+                        Op_bind i
+                      end)
+                args
+            in
+            let probe = ref None in
+            Array.iteri
+              (fun p op ->
+                if !probe = None then
+                  match op with
+                  | Op_cst v -> probe := Some (p, `V v)
+                  | Op_check i when pre_bound.(i) -> probe := Some (p, `E i)
+                  | Op_check _ | Op_bind _ -> ())
+              ops;
+            (Index.sym_index idx (Atom.sym a), ops, !probe))
+          bag.b_atoms
+      in
+      (* A cover atom can carry *private* variables: bound here, outside
+         χ, read by no other atom (pure range restrictors, e.g. the v in
+         E(v,x) covering only x).  Enumerating them multiplies work by
+         their degree only for the seen-set to fold it away again — so
+         env-independent steps (no probe) are pre-projected: private
+         positions are blanked and the tuple list deduped once per bag. *)
+      let checked = Array.make (max 1 !nvars) false in
+      Array.iter
+        (fun (_, ops, _) ->
+          Array.iter
+            (function Op_check j -> checked.(j) <- true | _ -> ())
+            ops)
+        steps;
+      let blank = Value.int 0 in
+      let steps =
+        Array.map
+          (fun (si, ops, probe) ->
+            let private_pos =
+              Array.map
+                (function
+                  | Op_bind j -> j >= nchi && not checked.(j)
+                  | Op_cst _ | Op_check _ -> false)
+                ops
+            in
+            let projected =
+              if probe <> None || not (Array.exists Fun.id private_pos) then
+                None
+              else begin
+                let dedup = KeyTbl.create 64 in
+                let out = ref [] in
+                Array.iter
+                  (fun (tup : Tuple.t) ->
+                    tick ();
+                    let norm =
+                      Array.mapi
+                        (fun p v -> if private_pos.(p) then blank else v)
+                        tup
+                    in
+                    if not (KeyTbl.mem dedup norm) then begin
+                      KeyTbl.add dedup norm ();
+                      out := norm :: !out
+                    end)
+                  (Index.all si);
+                Some (Array.of_list (List.rev !out))
+              end
+            in
+            (si, ops, probe, projected))
+          steps
+      in
+      let children =
+        List.map
+          (fun ch ->
+            let tbl = pass ch in
+            let lookup =
+              Array.map (fun p -> Hashtbl.find var_pos ch.b_chi.(p)) ch.b_key
+            in
+            (tbl, lookup))
+          bag.b_children
+      in
+      let seen = KeyTbl.create 64 in
+      let tbl = KeyTbl.create 64 in
+      let nsteps = Array.length steps in
+      let rec join s =
+        if s = nsteps then begin
+          let row = Array.sub env 0 nchi in
+          if not (KeyTbl.mem seen row) then begin
+            KeyTbl.add seen row ();
+            incr rows_seen;
+            let w =
+              List.fold_left
+                (fun acc (ctbl, cpos) ->
+                  if Nat.is_zero acc then acc
+                  else
+                    match
+                      KeyTbl.find_opt ctbl (Array.map (fun p -> env.(p)) cpos)
+                    with
+                    | Some s -> Nat.mul acc s
+                    | None -> Nat.zero)
+                Nat.one children
+            in
+            if not (Nat.is_zero w) then begin
+              let key = Array.map (fun p -> row.(p)) bag.b_key in
+              let prev = Option.value ~default:Nat.zero (KeyTbl.find_opt tbl key) in
+              KeyTbl.replace tbl key (Nat.add prev w)
+            end
+          end
+        end
+        else begin
+          let si, ops, probe, projected = steps.(s) in
+          let tuples =
+            match (projected, probe) with
+            | Some ts, _ -> ts
+            | None, None -> Index.all si
+            | None, Some (p, `V v) -> Index.candidates si ~pos:p v
+            | None, Some (p, `E i) -> Index.candidates si ~pos:p env.(i)
+          in
+          let nops = Array.length ops in
+          Array.iter
+            (fun (tup : Tuple.t) ->
+              tick ();
+              let rec matches i =
+                i = nops
+                || (match ops.(i) with
+                   | Op_cst v -> Value.equal tup.(i) v
+                   | Op_check j -> Value.equal tup.(i) env.(j)
+                   | Op_bind j ->
+                       env.(j) <- tup.(i);
+                       true)
+                   && matches (i + 1)
+              in
+              if matches 0 then join (s + 1))
+            tuples
+        end
+      in
+      join 0;
+      tbl
+    in
+    let tbl = pass g.g_root in
+    Option.value ~default:Nat.zero (KeyTbl.find_opt tbl [||])
+  in
+  match compute () with
+  | n ->
+      Metrics.add ghd_bag_rows !rows_seen;
+      n
+  | exception Unsat_const ->
+      Metrics.add ghd_bag_rows !rows_seen;
+      Nat.zero
+  | exception e ->
+      Metrics.add ghd_bag_rows !rows_seen;
+      raise e
+
+(* ------------------------------ reporting ----------------------------- *)
+
+let render g =
+  let atom_list l =
+    String.concat " " (List.map (fun a -> Format.asprintf "%a" Atom.pp a) l)
+  in
+  let lines = ref [ Printf.sprintf "width: %d, bags: %d" g.g_width g.g_nbags ] in
+  let rec go depth b =
+    let key =
+      match bag_key b with
+      | [] -> ""
+      | ks -> Printf.sprintf " [%s]" (String.concat "," ks)
+    in
+    lines :=
+      Printf.sprintf "%sbag {%s}%s cover: %s | join: %s"
+        (String.make (2 * depth) ' ')
+        (String.concat "," (Array.to_list b.b_chi))
+        key
+        (atom_list (bag_cover b))
+        (atom_list (bag_atoms b))
+      :: !lines;
+    List.iter (go (depth + 1)) b.b_children
+  in
+  go 0 g.g_root;
+  List.rev !lines

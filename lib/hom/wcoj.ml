@@ -22,14 +22,57 @@ type atom_plan = {
   const_ids : int array;  (* levels 0..len-1 are pinned to these constants *)
 }
 
+(* One compiled inequality, attached to the later of its two ranks (or to
+   the variable's own rank for a variable-vs-constant test), checked the
+   moment the leapfrog binds that rank: [F_var r] is "≠ the code bound at
+   rank r" and [F_const i] is "≠ the i-th neq constant" — whose code is
+   resolved per structure at count time, because an interpreted constant
+   outside the active domain makes the test vacuous rather than the count
+   zero. *)
+type filter = F_var of int | F_const of int
+
 type plan = {
   atoms : atom_plan array;
   occs : occ array array;  (* per variable rank, in atom order *)
   consts : string array;
   var_order : string array;
+  filters : filter array array;  (* per variable rank *)
+  neq_consts : string array;  (* constants appearing in ≠ atoms *)
+  neq_const_pairs : (int * int) list;  (* c ≠ c' between two constants *)
 }
 
 let variable_order p = Array.to_list p.var_order
+
+(* A component's inequalities fit the leapfrog iff every inequality
+   variable is joined somewhere — a variable occurring only in ≠ atoms
+   ranges over the whole active domain, which the trie iterators never
+   enumerate, so such components keep the backtracking kernel. *)
+let supports_neqs q =
+  Query.atoms q <> []
+  &&
+  let atom_vars =
+    List.fold_left
+      (fun acc a -> List.fold_left (fun acc x -> x :: acc) acc (Atom.vars a))
+      [] (Query.atoms q)
+  in
+  let ok = function Term.Var x -> List.mem x atom_vars | Term.Cst _ -> true in
+  List.for_all (fun (a, b) -> ok a && ok b) (Query.neqs q)
+
+(* Order quality, for the planner's cost model: how many of a rank's
+   iterators sit below an earlier *variable* level of their atom — i.e.
+   enter the intersection already narrowed by a binding rather than
+   spanning their whole relation.  A rank supported at most once
+   intersects nothing: it is the degenerate regime where leapfrog
+   degrades to scanning, which is what the GHD route exists to avoid. *)
+let rank_supports p =
+  Array.map
+    (fun entries ->
+      Array.fold_left
+        (fun acc (o : occ) ->
+          if o.level > Array.length p.atoms.(o.atom_id).const_ids then acc + 1
+          else acc)
+        0 entries)
+    p.occs
 
 (* Global variable order, cheapest-first greedy: prefer the variable whose
    atoms are already touched by chosen variables (stay connected, so each
@@ -79,8 +122,8 @@ let choose_var_order (atoms : Atom.t array) =
   Array.of_list (List.rev !order)
 
 let compile q =
-  if Query.has_neqs q then
-    invalid_arg "Wcoj.compile: query carries inequalities";
+  if Query.has_neqs q && not (supports_neqs q) then
+    invalid_arg "Wcoj.compile: inequality variable outside the query's atoms";
   Metrics.incr plans_compiled;
   let atoms = Array.of_list (Query.atoms q) in
   let var_order = choose_var_order atoms in
@@ -138,12 +181,48 @@ let compile q =
         done;
         { sym = Atom.sym a; order; const_ids = cids })
   in
+  (* Inequalities become per-rank filters.  A variable-variable test runs
+     at the later rank against the earlier binding; x ≠ x degenerates to a
+     filter at x's own rank against itself, which [count] sets before
+     checking — always equal, hence correctly unsatisfiable.  Constants in
+     ≠ atoms are interned separately from join constants: a join constant
+     outside the active domain empties the whole count, a filter constant
+     outside it is merely vacuous. *)
+  let neqc_tbl = Hashtbl.create 4 in
+  let neqc_list = ref [] and n_neqc = ref 0 in
+  let neqc_id c =
+    match Hashtbl.find_opt neqc_tbl c with
+    | Some i -> i
+    | None ->
+        let i = !n_neqc in
+        incr n_neqc;
+        Hashtbl.add neqc_tbl c i;
+        neqc_list := c :: !neqc_list;
+        i
+  in
+  let filters = Array.make (max 1 nranks) [] in
+  let const_pairs = ref [] in
+  List.iter
+    (fun (t1, t2) ->
+      match (t1, t2) with
+      | Term.Var x, Term.Var y ->
+          let rx = Hashtbl.find rank x and ry = Hashtbl.find rank y in
+          let r = max rx ry in
+          filters.(r) <- F_var (min rx ry) :: filters.(r)
+      | Term.Var x, Term.Cst c | Term.Cst c, Term.Var x ->
+          let r = Hashtbl.find rank x in
+          filters.(r) <- F_const (neqc_id c) :: filters.(r)
+      | Term.Cst c, Term.Cst c' -> const_pairs := (neqc_id c, neqc_id c') :: !const_pairs)
+    (Query.neqs q);
   {
     atoms = atom_plans;
     occs =
       Array.init nranks (fun r -> Array.of_list (List.rev occs.(r)));
     consts = Array.of_list (List.rev !const_list);
     var_order;
+    filters = Array.init (max 1 nranks) (fun r -> Array.of_list (List.rev filters.(r)));
+    neq_consts = Array.of_list (List.rev !neqc_list);
+    neq_const_pairs = List.rev !const_pairs;
   }
 
 (* Galloping search: first index in [lo, hi) whose code is >= v, or [hi].
@@ -227,6 +306,24 @@ let count ?budget (p : plan) d =
               | Some code -> code))
         p.consts
     in
+    (* ≠ constants: an uninterpreted constant admits no homomorphism at
+       all (the reference solver's semantics), two constants interpreted
+       equal refute a c ≠ c' outright, and a constant interpreted outside
+       the active domain leaves its filters vacuous ([None] code — a trie
+       value can never equal it). *)
+    let neq_vals =
+      Array.map
+        (fun c ->
+          match Structure.interpretation d c with
+          | None -> raise_notrace Unsat
+          | Some v -> v)
+        p.neq_consts
+    in
+    List.iter
+      (fun (i, j) ->
+        if Value.equal neq_vals.(i) neq_vals.(j) then raise_notrace Unsat)
+      p.neq_const_pairs;
+    let neq_codes = Array.map (Index.code idx) neq_vals in
     let iatoms =
       Array.map
         (fun ap ->
@@ -284,13 +381,33 @@ let count ?budget (p : plan) d =
           Array.exists (fun (e : rentry) -> e.ndups > 0) entries)
         rt_occs
     in
+    (* Codes bound at earlier ranks, for the ≠ filters.  Written at every
+       [match_found] — cheap enough to skip gating — and read only by
+       deeper ranks' filters, which always run after the write because the
+       leaf specialisations fire at the last rank alone. *)
+    let bound = Array.make (max 1 nranks) (-1) in
+    let rank_has_filters = Array.map (fun fs -> Array.length fs > 0) p.filters in
+    let filters_pass r v =
+      let fs = p.filters.(r) in
+      let nf = Array.length fs in
+      let rec ok i =
+        i = nf
+        || (match fs.(i) with
+           | F_var r' -> v <> bound.(r')
+           | F_const ci -> (
+               match neq_codes.(ci) with None -> true | Some c -> v <> c))
+           && ok (i + 1)
+      in
+      ok 0
+    in
     let rec go r =
       if r = nranks then add 1
       else begin
         let entries = rt_occs.(r) in
         let k = Array.length entries in
         let e0 = Array.unsafe_get entries 0 in
-        if r = nranks - 1 && k = 1 && e0.ndups = 0 then begin
+        if r = nranks - 1 && k = 1 && e0.ndups = 0 && not rank_has_filters.(r)
+        then begin
           tick ();
           add (e0.ia.ahi.(e0.level) - e0.ia.alo.(e0.level))
         end
@@ -303,7 +420,8 @@ let count ?budget (p : plan) d =
           done;
           if !ok then begin
             let next i = if i + 1 = k then 0 else i + 1 in
-            if r = nranks - 1 && not rank_has_dups.(r) then begin
+            if r = nranks - 1 && (not rank_has_dups.(r)) && not rank_has_filters.(r)
+            then begin
               (* Leaf intersection.  Every level here is its atom's last:
                  rows in a value run share the whole bound prefix, so a
                  run has width exactly 1 (tuples are a set).  Each match
@@ -342,6 +460,15 @@ let count ?budget (p : plan) d =
                   end
                 end
               and match_found v =
+                bound.(r) <- v;
+                if rank_has_filters.(r) && not (filters_pass r v) then begin
+                  (* filtered out: skip the narrowing pass entirely and
+                     resume the intersection past this value *)
+                  let hi0 = e0.ia.ahi.(e0.level) in
+                  e0.cur <- seek e0.col e0.cur hi0 (v + 1);
+                  if e0.cur < hi0 then leapfrog e0.col.(e0.cur) (next 0) 1
+                end
+                else begin
                 let alive = ref true and i = ref 0 in
                 while !alive && !i < k do
                   let e = Array.unsafe_get entries !i in
@@ -373,6 +500,7 @@ let count ?budget (p : plan) d =
                 e0.cur <- stop0;
                 if e0.cur < e0.ia.ahi.(e0.level) then
                   leapfrog e0.col.(e0.cur) (next 0) 1
+                end
               in
               leapfrog e0.col.(e0.cur) (next 0) 1
             end

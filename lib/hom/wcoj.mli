@@ -22,26 +22,50 @@
     visiting the values.  Counts accumulate in an int and flush into a
     {!Bagcq_bignum.Nat} before overflow.
 
-    Selected by {!Decomp.choose} for cyclic, inequality-free components
-    (the [BAGCQ_NO_WCOJ] environment variable restores the backtracking
-    fallback).  Observable through the process-wide counters
-    [wcoj_plans_compiled], [wcoj_runs] and [wcoj_seeks]. *)
+    Inequalities compile into {e per-rank filters}: an [x ≠ y] atom runs
+    at the later of the two ranks against the code bound at the earlier
+    one, an [x ≠ c] atom at [x]'s rank against the constant's per-structure
+    code, both checked the moment the intersection matches a value —
+    before any range narrowing or recursion.  A variable occurring only
+    in ≠ atoms has no iterator to filter ({!supports_neqs} is false) and
+    such components keep the backtracking kernel.
+
+    Selected by {!Decomp.choose} for cyclic components and for components
+    whose inequalities pass {!supports_neqs} (the [BAGCQ_NO_WCOJ]
+    environment variable restores the backtracking fallback).  Observable
+    through the process-wide counters [wcoj_plans_compiled], [wcoj_runs]
+    and [wcoj_seeks]. *)
 
 open Bagcq_cq
 
 type plan
 
+val supports_neqs : Query.t -> bool
+(** Whether the query's inequalities fit the leapfrog: at least one atom,
+    and every inequality {e variable} occurs in some atom.  Constants in
+    inequalities are always fine (they become code filters, or a
+    per-structure precheck when both sides are constants). *)
+
 val compile : Query.t -> plan
 (** Compile one component: choose the global variable order (prefer
     variables connected to already-ordered ones, then higher atom
-    frequency, ties by name — deterministic), and lay out each atom's trie
+    frequency, ties by name — deterministic), lay out each atom's trie
     level order (constants first, then variables by rank, repeats on
-    consecutive levels).  Raises [Invalid_argument] on a query with
-    inequalities — those stay on the backtracking kernel. *)
+    consecutive levels), and attach inequalities as per-rank filters.
+    Raises [Invalid_argument] when {!supports_neqs} is false — those
+    components stay on the backtracking kernel. *)
 
 val variable_order : plan -> string list
 (** The chosen global variable order, outermost first — what
     [bagcq explain] prints. *)
+
+val rank_supports : plan -> int array
+(** Per rank of the variable order: how many of the rank's iterators sit
+    below an earlier variable level of their own atom, i.e. enter the
+    intersection already narrowed by an outer binding.  The planner's
+    cost model counts ranks supported ≤ 1 — where leapfrog degenerates to
+    scanning — to decide when a bounded-width decomposition ({!Ghd}) is
+    worth the bag materialisation. *)
 
 val count :
   ?budget:Bagcq_guard.Budget.t ->
@@ -50,4 +74,8 @@ val count :
   Bagcq_bignum.Nat.t
 (** [count p D] = |Hom(component, D)|.  With [?budget] every seek
     (gallop) ticks once, and the call unwinds with
-    {!Bagcq_guard.Budget.Exhausted_} mid-intersection on a trip. *)
+    {!Bagcq_guard.Budget.Exhausted_} mid-intersection on a trip.
+    Inequality semantics follow {!Solver_ref}: an uninterpreted constant
+    anywhere (≠ atoms included) yields zero, a [c ≠ c'] between constants
+    interpreted equal yields zero, and a filter constant interpreted
+    outside the active domain is vacuous. *)

@@ -5,6 +5,7 @@ module Budget = Bagcq_guard.Budget
 module Metrics = Bagcq_obs.Metrics
 module Decomp = Bagcq_hom.Decomp
 module Wcoj = Bagcq_hom.Wcoj
+module Ghd = Bagcq_hom.Ghd
 module Plan = Bagcq_hom.Plan
 module Solver = Bagcq_hom.Solver
 
@@ -15,7 +16,11 @@ module Solver = Bagcq_hom.Solver
    the database does not (yet) interpret — recomputes, but only this
    component: the siblings' cached counts are reused through the factor
    product. *)
-type recount = Rq_tree of Decomp.tree | Rq_wcoj of Wcoj.plan | Rq_plan of Plan.t
+type recount =
+  | Rq_tree of Decomp.tree
+  | Rq_wcoj of Wcoj.plan
+  | Rq_ghd of Ghd.t
+  | Rq_plan of Plan.t
 type comp_plan = Maintained of Decomp.dp | Recount of recount
 
 type comp_state = {
@@ -150,11 +155,17 @@ let recount ?budget how d =
   match how with
   | Rq_tree tr -> Decomp.count_tree ?budget tr d
   | Rq_wcoj w -> Wcoj.count ?budget w d
+  | Rq_ghd g -> Ghd.count ?budget g d
   | Rq_plan p -> Nat.of_int (Solver.count_plan ?budget p d)
 
 let build_comp ?budget d (q, mult) =
+  let choice = Decomp.choose q in
+  (* per-component registration is a cold plan site: the store keeps the
+     chosen strategy for the registration's lifetime, so the plan_*
+     selection counters advance here, once — never on delta recounts *)
+  Decomp.record_choice choice;
   let plan, count =
-    match Decomp.choose q with
+    match choice with
     | Decomp.Dp tr -> (
         match Decomp.dp_build ?budget tr d with
         | Some dp -> (Maintained dp, Decomp.dp_count dp)
@@ -163,6 +174,7 @@ let build_comp ?budget d (q, mult) =
                insert can auto-bind the constant, so stay recomputable *)
             (Recount (Rq_tree tr), Nat.zero))
     | Decomp.Wcoj w -> (Recount (Rq_wcoj w), Wcoj.count ?budget w d)
+    | Decomp.Ghd g -> (Recount (Rq_ghd g), Ghd.count ?budget g d)
     | Decomp.Backtrack ->
         let p = Plan.compile q in
         (Recount (Rq_plan p), Nat.of_int (Solver.count_plan ?budget p d))

@@ -30,8 +30,10 @@ Cyclic queries run the worst-case-optimal leapfrog kernel — same counts:
 The planner explains itself: components are canonicalised and grouped
 (disjoint copies are counted once and raised to a power), acyclic
 components get a join-tree dynamic program, cyclic components run the
-leapfrog multiway join under a chosen variable order, and components
-carrying inequalities keep the backtracking kernel:
+leapfrog multiway join under a chosen variable order (with inequalities
+as per-level filters), and long thin cycles — where the leapfrog has
+little to intersect — are rebuilt as bounded-width hypertree
+decompositions and counted by the join-tree DP over their bags:
 
   $ ../../bin/bagcq_cli.exe explain -q 'E(x,y) & E(y,z) & E(u,v) & E(v,w) & E(a,b) & E(b,c) & E(c,a)'
   query: E(a,b) & E(b,c) & E(c,a) & E(u,v) & E(v,w) & E(x,y) & E(y,z)
@@ -44,6 +46,45 @@ carrying inequalities keep the backtracking kernel:
   component 2 (x1): E(v1,v2) & E(v2,v3) & E(v3,v1)
     class: cyclic -> worst-case-optimal leapfrog join
     variable order: v1 -> v2 -> v3
+
+A 6-cycle decomposes into a width-2 bag tree:
+
+  $ ../../bin/bagcq_cli.exe explain -q 'E(x0,x1) & E(x1,x2) & E(x2,x3) & E(x3,x4) & E(x4,x5) & E(x5,x0)'
+  query: E(x0,x1) & E(x1,x2) & E(x2,x3) & E(x3,x4) & E(x4,x5) & E(x5,x0)
+  components: 1 (1 distinct)
+  component 1 (x1): E(v1,v2) & E(v2,v3) & E(v3,v4) & E(v4,v5) & E(v5,v6) & E(v6,v1)
+    class: cyclic -> hypertree decomposition (width 2) + join-tree DP
+    decomposition:
+      width: 2, bags: 4
+      bag {v1,v2,v3} cover: E(v1,v2) E(v2,v3) | join: E(v1,v2) E(v2,v3)
+        bag {v1,v3,v4} [v1,v3] cover: E(v1,v2) E(v3,v4) | join: E(v1,v2) E(v3,v4)
+          bag {v1,v4,v5} [v1,v4] cover: E(v1,v2) E(v4,v5) | join: E(v1,v2) E(v4,v5)
+            bag {v1,v5,v6} [v1,v5] cover: E(v5,v6) E(v6,v1) | join: E(v5,v6) E(v6,v1)
+
+BAGCQ_NO_GHD keeps such components on the flat leapfrog kernel:
+
+  $ BAGCQ_NO_GHD=1 ../../bin/bagcq_cli.exe explain -q 'E(x0,x1) & E(x1,x2) & E(x2,x3) & E(x3,x4) & E(x4,x5) & E(x5,x0)' | grep class
+    class: cyclic -> worst-case-optimal leapfrog join
+
+The report is also available as JSON, for tooling:
+
+  $ ../../bin/bagcq_cli.exe explain --json -q 'E(x,y) & E(y,z) & E(z,x) & x != z'
+  {
+    "query": "E(x,y) & E(y,z) & E(z,x) & x != z",
+    "components": [
+      {
+        "query": "E(v1,v2) & E(v2,v3) & E(v3,v1) & v1 != v3",
+        "multiplicity": 1,
+        "strategy": "wcoj",
+        "class": "inequalities -> worst-case-optimal leapfrog join (filtered)",
+        "variable_order": [
+          "v1",
+          "v2",
+          "v3"
+        ]
+      }
+    ]
+  }
 
 BAGCQ_NO_WCOJ restores the old backtracking route for cyclic components
 (the escape hatch), and explain says so:
@@ -60,12 +101,29 @@ BAGCQ_NO_WCOJ restores the old backtracking route for cyclic components
   bag count  ψ(D) = 4
   satisfied  D ⊨ ψ: true
 
+Inequalities whose variables all occur in ordinary atoms ride the
+leapfrog as filters — even on a cyclic core — instead of falling back
+to the backtracking kernel:
+
   $ ../../bin/bagcq_cli.exe explain -q 'U(x) & E(x,y) & E(x,z) & x != z'
   query: E(x,y) & E(x,z) & U(x) & x != z
   components: 1 (1 distinct)
   component 1 (x1): E(v1,v2) & E(v1,v3) & U(v1) & v1 != v3
-    class: inequalities -> backtracking kernel
-    join order: U(v1) -> E(v1,v2) -> E(v1,v3)
+    class: inequalities -> worst-case-optimal leapfrog join (filtered)
+    variable order: v1 -> v2 -> v3
+
+  $ ../../bin/bagcq_cli.exe explain -q 'E(x,y) & E(y,z) & E(z,x) & x != z' | grep class
+    class: inequalities -> worst-case-optimal leapfrog join (filtered)
+
+Only a variable living exclusively in inequalities (it ranges over the
+whole domain, so no iterator can drive it) still needs backtracking:
+
+  $ ../../bin/bagcq_cli.exe explain -q 'E(x,y) & x != w'
+  query: E(x,y) & w != x
+  components: 1 (1 distinct)
+  component 1 (x1): E(v1,v2) & v1 != v3
+    class: inequalities (variable outside every atom) -> backtracking kernel
+    join order: E(v1,v2)
 
 The decidable baselines:
 

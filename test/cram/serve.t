@@ -65,6 +65,9 @@ values are not, so the run pins names only):
   "name": "cache_plan_misses"
   "name": "cache_result_hits"
   "name": "cache_result_misses"
+  "name": "ghd_bag_rows"
+  "name": "ghd_plans_built"
+  "name": "ghd_runs"
   "name": "hom_index_builds"
   "name": "hom_plans_compiled"
   "name": "hom_solver_probes"
@@ -77,6 +80,7 @@ values are not, so the run pins names only):
   "name": "plan_components"
   "name": "plan_dp_selected"
   "name": "plan_fallback"
+  "name": "plan_ghd_selected"
   "name": "plan_wcoj_selected"
   "name": "pool_chunks_claimed"
   "name": "pool_items"

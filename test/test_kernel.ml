@@ -12,6 +12,7 @@ module Index = Bagcq_hom.Index
 module Eval = Bagcq_hom.Eval
 module Decomp = Bagcq_hom.Decomp
 module Budget = Bagcq_guard.Budget
+module Metrics = Bagcq_obs.Metrics
 module Nat = Bagcq_bignum.Nat
 
 let e = Build.sym "E" 2
@@ -152,7 +153,7 @@ let prop_acyclic_dp_matches_reference =
        ~count:1000 gen_tree_pair (fun (q, d) ->
          (match Decomp.choose (Decomp.canonical q) with
          | Decomp.Dp _ -> true
-         | Decomp.Wcoj _ | Decomp.Backtrack -> false)
+         | Decomp.Wcoj _ | Decomp.Ghd _ | Decomp.Backtrack -> false)
          && Nat.equal (Eval.count q d) (Nat.of_int (Solver_ref.count q d))))
 
 (* ------------------------------------------------------------------ *)
@@ -263,24 +264,30 @@ let test_classification () =
         [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "z" ]; atom e [ v "z"; v "x" ] ])
   in
   let neq = Build.(query ~neqs:[ (v "x", v "y") ] [ atom e [ v "x"; v "y" ] ]) in
+  (* a variable occurring only in inequalities ranges over the whole
+     domain: no iterator to filter, so only backtracking can run it *)
+  let neq_free =
+    Build.(query ~neqs:[ (v "x", v "w") ] [ atom e [ v "x"; v "y" ] ])
+  in
   (match Decomp.choose path with
   | Decomp.Dp _ -> ()
-  | Decomp.Wcoj _ | Decomp.Backtrack -> Alcotest.fail "path query must run the DP");
+  | _ -> Alcotest.fail "path query must run the DP");
   (match Decomp.choose triangle with
   | Decomp.Wcoj _ -> ()
-  | Decomp.Dp _ | Decomp.Backtrack ->
-      Alcotest.fail "triangle must take the leapfrog kernel");
-  match Decomp.choose neq with
+  | _ -> Alcotest.fail "triangle must take the leapfrog kernel");
+  (match Decomp.choose neq with
+  | Decomp.Wcoj _ -> ()
+  | _ -> Alcotest.fail "joined inequalities must ride the leapfrog filters");
+  match Decomp.choose neq_free with
   | Decomp.Backtrack -> ()
-  | Decomp.Dp _ | Decomp.Wcoj _ ->
-      Alcotest.fail "inequalities must fall back to backtracking"
+  | _ -> Alcotest.fail "inequality-only variables must fall back to backtracking"
 
 let test_dp_ticks_budget () =
   let q = Build.(query [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "z" ] ]) in
   let d = db_of_edges [ (1, 2); (2, 3); (3, 1) ] in
   (match Decomp.choose q with
   | Decomp.Dp _ -> ()
-  | Decomp.Wcoj _ | Decomp.Backtrack -> Alcotest.fail "expected the DP strategy");
+  | _ -> Alcotest.fail "expected the DP strategy");
   let b = Budget.create ~fuel:3 () in
   (match Budget.protect b (fun () -> Eval.count ~budget:b q d) with
   | Error _ -> ()
@@ -289,6 +296,42 @@ let test_dp_ticks_budget () =
   match Budget.protect b (fun () -> Eval.count ~budget:b q d) with
   | Ok n -> Alcotest.(check string) "count" "3" (Nat.to_string n)
   | Error _ -> Alcotest.fail "ample fuel must complete"
+
+let global_counter name =
+  List.fold_left
+    (fun acc (row : Metrics.row) ->
+      if row.Metrics.name = name && row.Metrics.labels = [] then
+        match row.Metrics.value with Metrics.Counter_v v -> v | _ -> acc
+      else acc)
+    0 (Metrics.rows Metrics.global)
+
+let selection_counters () =
+  List.map global_counter
+    [
+      "plan_dp_selected"; "plan_wcoj_selected"; "plan_ghd_selected"; "plan_fallback";
+    ]
+
+let test_selection_counters_count_cold_plans_only () =
+  let q =
+    Build.(query [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "z" ] ])
+  in
+  let d = db_of_edges [ (1, 2); (2, 3) ] and d' = db_of_edges [ (4, 5); (5, 6) ] in
+  let cache = Eval.create_cache () in
+  let before = selection_counters () in
+  ignore (Eval.count ~cache q d);
+  let after_first = selection_counters () in
+  Alcotest.(check (list int)) "cold plan bumps exactly the DP counter"
+    [ 1; 0; 0; 0 ]
+    (List.map2 ( - ) after_first before);
+  (* warm plans — same cache, same and different structures — are free *)
+  ignore (Eval.count ~cache q d);
+  ignore (Eval.count ~cache q d');
+  Alcotest.(check (list int)) "cache hits leave the counters alone"
+    [ 0; 0; 0; 0 ]
+    (List.map2 ( - ) (selection_counters ()) after_first);
+  let misses = (Eval.cache_stats cache).Eval.plan_misses in
+  Alcotest.(check int) "counters advanced once per plan miss" misses
+    (List.fold_left ( + ) 0 (List.map2 ( - ) (selection_counters ()) before))
 
 let () =
   Alcotest.run "kernel"
@@ -309,6 +352,8 @@ let () =
           Alcotest.test_case "acyclic/cyclic/neq classification" `Quick
             test_classification;
           Alcotest.test_case "DP ticks the budget" `Quick test_dp_ticks_budget;
+          Alcotest.test_case "plan_* counters count cold plans only" `Quick
+            test_selection_counters_count_cold_plans_only;
         ] );
       ( "plan-and-index",
         [

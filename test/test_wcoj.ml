@@ -1,11 +1,13 @@
 (* The worst-case-optimal leapfrog kernel: differential checking against
    the reference solver on random cyclic CQs (triangles, 4/5-cycles with
-   chords, CYCLIQ rotations), classification, fuel-trip semantics
-   (Exhausted must surface mid-intersection), kernel metrics, and the
-   BAGCQ_NO_WCOJ escape hatch.
+   chords, CYCLIQ rotations), inequality filters, classification,
+   fuel-trip semantics (Exhausted must surface mid-intersection), kernel
+   metrics, and the BAGCQ_NO_WCOJ / BAGCQ_NO_GHD escape hatches.
 
-   The escape-hatch test calls [Unix.putenv], which cannot be undone in
-   this process — it must stay the last test of the run. *)
+   [Unix.putenv] cannot remove a variable from the environment, but
+   [Decomp.choose] reads the hatches per call and treats [""] and ["0"]
+   as unset, so the hatch tests restore the default by overwriting with
+   ["0"] and may run in any order. *)
 
 open Bagcq_relational
 open Bagcq_cq
@@ -72,8 +74,7 @@ let agrees (q, d) =
   let canonical = Decomp.canonical q in
   (match Decomp.choose canonical with
   | Decomp.Wcoj _ -> ()
-  | Decomp.Dp _ | Decomp.Backtrack ->
-      QCheck.Test.fail_reportf "component not classified as wcoj: %a" Query.pp q);
+  | _ -> QCheck.Test.fail_reportf "component not classified as wcoj: %a" Query.pp q);
   Nat.equal (Wcoj.count (Wcoj.compile q) d) (Nat.of_int expected)
   && Nat.equal (Eval.count q d) (Nat.of_int expected)
 
@@ -91,6 +92,47 @@ let prop_five_cycles =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name:"5-cycles (+chords/constants) = reference"
        ~count:600 (gen_cyclic ~len:5) agrees)
+
+(* Cyclic queries decorated with inequalities whose variables all sit on
+   the cycle — the per-rank filter path.  Constants in ≠ atoms exercise
+   the uninterpreted-constant (count zero) and out-of-domain (vacuous
+   filter) semantics, both pinned by the reference solver. *)
+let random_neq_cyclic_query ~len st =
+  let q = random_cyclic_query ~len st in
+  let var i = Build.v (Printf.sprintf "x%d" (i mod len)) in
+  let neqs =
+    List.init
+      (1 + Random.State.int st 3)
+      (fun _ ->
+        let i = Random.State.int st len in
+        if Random.State.int st 4 = 0 then (var i, Build.c "a")
+        else (var i, var (i + 1 + Random.State.int st (len - 1))))
+  in
+  Build.query ~neqs (Query.atoms q)
+
+let gen_neq_cyclic ~len =
+  QCheck.make ~print:pp_pair (fun st ->
+      (random_neq_cyclic_query ~len st, random_db st))
+
+let agrees_neq (q, d) =
+  let expected = Solver_ref.count q d in
+  (match Decomp.choose (Decomp.canonical q) with
+  | Decomp.Wcoj _ -> ()
+  | _ ->
+      QCheck.Test.fail_reportf "joined inequalities not classified as wcoj: %a"
+        Query.pp q);
+  Nat.equal (Wcoj.count (Wcoj.compile q) d) (Nat.of_int expected)
+  && Nat.equal (Eval.count q d) (Nat.of_int expected)
+
+let prop_neq_triangles =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"triangles + inequalities = reference"
+       ~count:1200 (gen_neq_cyclic ~len:3) agrees_neq)
+
+let prop_neq_four_cycles =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"4-cycles + inequalities = reference"
+       ~count:800 (gen_neq_cyclic ~len:4) agrees_neq)
 
 (* CYCLIQ(x₁,…,x_p): all p rotations of one p-ary atom — every variable
    occurs in every atom, the hardest multiway-intersection shape the
@@ -216,19 +258,57 @@ let test_deadline_reason_preserved () =
   | Error Budget.Fuel -> Alcotest.fail "wrong trip reason"
   | Ok _ -> Alcotest.fail "fault injection must trip"
 
-(* Must stay last: putenv cannot be undone in-process. *)
-let test_escape_hatch () =
+let six_cycle =
+  Build.(query (cycle e (List.init 6 (fun i -> v (Printf.sprintf "x%d" i)))))
+
+let neq_triangle =
+  Build.(
+    query
+      ~neqs:[ (v "x", v "z") ]
+      [ atom e [ v "x"; v "y" ]; atom e [ v "y"; v "z" ]; atom e [ v "z"; v "x" ] ])
+
+(* [Decomp.choose] reads the hatch per call, so toggling it back to "0"
+   restores the default — these tests may run in any order. *)
+let test_wcoj_escape_hatch () =
   (match Decomp.choose (Decomp.canonical triangle) with
   | Decomp.Wcoj _ -> ()
   | _ -> Alcotest.fail "triangle must pick wcoj before the hatch");
   Unix.putenv "BAGCQ_NO_WCOJ" "1";
-  (match Decomp.choose (Decomp.canonical triangle) with
-  | Decomp.Backtrack -> ()
-  | _ -> Alcotest.fail "BAGCQ_NO_WCOJ must restore backtracking");
-  (* both routes agree on the count *)
-  let d = complete_digraph 3 in
-  Alcotest.(check string) "counts agree under the hatch" "27"
-    (Nat.to_string (Eval.count triangle d))
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "BAGCQ_NO_WCOJ" "0")
+    (fun () ->
+      (match Decomp.choose (Decomp.canonical triangle) with
+      | Decomp.Backtrack -> ()
+      | _ -> Alcotest.fail "BAGCQ_NO_WCOJ must restore backtracking");
+      (* the hatch also disables inequality filtering and the GHD *)
+      (match Decomp.choose (Decomp.canonical neq_triangle) with
+      | Decomp.Backtrack -> ()
+      | _ -> Alcotest.fail "BAGCQ_NO_WCOJ must disable ≠ filtering too");
+      (match Decomp.choose (Decomp.canonical six_cycle) with
+      | Decomp.Backtrack -> ()
+      | _ -> Alcotest.fail "BAGCQ_NO_WCOJ must disable the GHD too");
+      (* both routes agree on the count *)
+      let d = complete_digraph 3 in
+      Alcotest.(check string) "counts agree under the hatch" "27"
+        (Nat.to_string (Eval.count triangle d)));
+  match Decomp.choose (Decomp.canonical triangle) with
+  | Decomp.Wcoj _ -> ()
+  | _ -> Alcotest.fail "overwriting the hatch with \"0\" must restore wcoj"
+
+let test_ghd_escape_hatch () =
+  (match Decomp.choose (Decomp.canonical six_cycle) with
+  | Decomp.Ghd _ -> ()
+  | _ -> Alcotest.fail "a 6-cycle must pick the hypertree decomposition");
+  Unix.putenv "BAGCQ_NO_GHD" "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "BAGCQ_NO_GHD" "0")
+    (fun () ->
+      match Decomp.choose (Decomp.canonical six_cycle) with
+      | Decomp.Wcoj _ -> ()
+      | _ -> Alcotest.fail "BAGCQ_NO_GHD must pin the leapfrog kernel");
+  match Decomp.choose (Decomp.canonical six_cycle) with
+  | Decomp.Ghd _ -> ()
+  | _ -> Alcotest.fail "overwriting the hatch with \"0\" must restore the GHD"
 
 let () =
   Alcotest.run "wcoj"
@@ -238,6 +318,8 @@ let () =
           prop_triangles;
           prop_four_cycles;
           prop_five_cycles;
+          prop_neq_triangles;
+          prop_neq_four_cycles;
           prop_cycliq_rotations ~p:3 ~count:400;
           prop_cycliq_rotations ~p:4 ~count:200;
         ] );
@@ -246,12 +328,16 @@ let () =
           Alcotest.test_case "pinned counts" `Quick test_pinned_counts;
           Alcotest.test_case "variable order is deterministic" `Quick
             test_variable_order_is_deterministic;
+          (* deliberately before the metrics/fuel cases: the hatches must
+             leave no trace behind *)
+          Alcotest.test_case "BAGCQ_NO_WCOJ escape hatch" `Quick
+            test_wcoj_escape_hatch;
+          Alcotest.test_case "BAGCQ_NO_GHD escape hatch" `Quick
+            test_ghd_escape_hatch;
           Alcotest.test_case "wcoj_* metrics family" `Quick test_metrics_family;
           Alcotest.test_case "fuel trips mid-intersection" `Quick
             test_fuel_trips_mid_intersection;
           Alcotest.test_case "deadline reason preserved" `Quick
             test_deadline_reason_preserved;
-          Alcotest.test_case "BAGCQ_NO_WCOJ escape hatch (last)" `Quick
-            test_escape_hatch;
         ] );
     ]
